@@ -1,0 +1,16 @@
+"""Shared fixtures for the benchmark suite."""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def corpus_programs():
+    from repro.corpus import build_all
+    return build_all()
+
+
+@pytest.fixture(scope="session")
+def samate_sample_suite():
+    """A 2% stratified SAMATE population (fast enough to benchmark)."""
+    from repro.samate import generate_suite
+    return generate_suite(scale=0.02)

@@ -1,0 +1,53 @@
+"""Bench: Table I — the unsafe-function catalogue and its replacements.
+
+Table I is reference data rather than a measurement; this bench checks the
+catalogue is wired end-to-end (every unsafe function is actually replaced
+by its safe alternative on a minimal program) and measures the single-site
+transformation cost.
+"""
+
+import pytest
+
+from repro.core.slr import SAFE_ALTERNATIVES, SafeLibraryReplacement
+from repro.cfront.preprocessor import Preprocessor
+
+_SNIPPETS = {
+    "strcpy": "char d[8]; strcpy(d, s);",
+    "strcat": "char d[8]; d[0] = '\\0'; strcat(d, s);",
+    "sprintf": 'char d[32]; sprintf(d, "%s", s);',
+    "vsprintf": None,       # needs a varargs wrapper, below
+    "memcpy": "char d[8]; memcpy(d, s, 4);",
+    "gets": "char d[8]; gets(d);",
+}
+
+_PRELUDE = ("#include <stdio.h>\n#include <string.h>\n"
+            "#include <stdlib.h>\n#include <stdarg.h>\n")
+
+
+def _program(fn: str) -> str:
+    body = _SNIPPETS[fn]
+    if body is not None:
+        return _PRELUDE + f"void f(const char *s) {{ {body} }}\n"
+    return _PRELUDE + """
+void logit(const char *fmt, ...) {
+    char d[64];
+    va_list ap;
+    va_start(ap, fmt);
+    vsprintf(d, fmt, ap);
+    va_end(ap);
+    puts(d);
+}
+"""
+
+
+@pytest.mark.parametrize("fn", sorted(SAFE_ALTERNATIVES))
+def test_catalogue_replacement(benchmark, fn):
+    text = Preprocessor().preprocess(_program(fn), f"{fn}.c").text
+
+    def transform():
+        return SafeLibraryReplacement(text, f"{fn}.c").run()
+
+    result = benchmark(transform)
+    assert result.transformed_count == 1
+    replacement = SAFE_ALTERNATIVES[fn]
+    assert replacement in result.new_text

@@ -1,0 +1,75 @@
+"""Bench: Table II — the STR replacement patterns.
+
+Transforms a program exercising every Table II pattern and checks each
+expected rewrite appears; measures the whole-unit STR cost.
+"""
+
+from repro.cfront.preprocessor import Preprocessor
+from repro.core.strtransform import REPLACEMENT_PATTERNS, SafeTypeReplacement
+
+_PROGRAM = r"""
+#include <stdio.h>
+#include <string.h>
+#include <stdlib.h>
+
+int peek(const char *p) { return p[0]; }
+
+int main(void)
+{
+    char *buf;                      /* pattern 2 */
+    char other[16];
+    int a = 1, b = 2;
+    buf = malloc(1024);             /* pattern 3 */
+    buf = NULL;                     /* pattern 4 */
+    buf = other;                    /* pattern 5 (after grouping) */
+    buf = "text";                   /* pattern 6 */
+    buf++;                          /* pattern 8 */
+    buf -= 3;                       /* pattern 9 */
+    if (sizeof(other) < 3) {        /* pattern 10 */
+        return 1;
+    }
+    a = other[1];                   /* pattern 11 */
+    other[1] = 'b';                 /* pattern 12 */
+    other[0] = other[1];            /* pattern 13 */
+    *(other + 4) = 'a';             /* pattern 14 */
+    *(other + 1) = a + b;           /* pattern 15 */
+    a = (int)strlen(other);        /* pattern 16 */
+    peek(other);                    /* pattern 17 */
+    if (other[0] == 'a') {          /* pattern 18 */
+        return 2;
+    }
+    printf("%d\n", a);
+    return 0;
+}
+"""
+
+_EXPECTED = [
+    "stralloc *buf",
+    "buf->s = malloc(1024)",
+    'stralloc_copybuf(buf, "text", strlen("text"))',
+    "stralloc_increment_by(buf, 1)",
+    "stralloc_decrement_by(buf, 3)",
+    "other->a < 3",
+    "stralloc_get_dereferenced_char_at(other, 1)",
+    "stralloc_dereference_replace_by(other, 1, 'b')",
+    "stralloc_dereference_replace_by(other, 0, "
+    "stralloc_get_dereferenced_char_at(other, 1))",
+    "stralloc_dereference_replace_by(other, 4, 'a')",
+    "stralloc_dereference_replace_by(other, 1, a + b)",
+    "other->len",
+    "peek(other->s)",
+    "stralloc_get_dereferenced_char_at(other, 0) == 'a'",
+]
+
+
+def test_table2_patterns(benchmark):
+    assert len(REPLACEMENT_PATTERNS) == 18
+    text = Preprocessor().preprocess(_PROGRAM, "patterns.c").text
+
+    def transform():
+        return SafeTypeReplacement(text, "patterns.c").run()
+
+    result = benchmark(transform)
+    assert result.transformed_count == 2        # buf and other
+    for expected in _EXPECTED:
+        assert expected in result.new_text, expected

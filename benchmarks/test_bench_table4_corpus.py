@@ -1,0 +1,12 @@
+"""Bench: Table IV — corpus statistics (build + preprocess the corpus)."""
+
+from repro.eval.table4 import compute_table4
+
+
+def test_table4_corpus_stats(benchmark):
+    result = benchmark(compute_table4)
+    names = {r.program for r in result.rows}
+    assert names == {"zlib", "libpng", "GMP", "libtiff"}
+    for row in result.rows:
+        assert row.files >= 4
+        assert row.pp_kloc >= row.kloc > 0

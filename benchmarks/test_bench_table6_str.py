@@ -1,0 +1,29 @@
+"""Bench: Table VI — batch STR over the four corpus programs (RQ2).
+
+Asserts the paper's exact totals: 296 candidate buffers, 237 replaced,
+59 rejected by the interprocedural write check, and — the paper's key
+claim — 100% of precondition-passing buffers replaced.
+"""
+
+from repro.eval.table6 import compute_table6
+
+
+def test_table6_str_batch(benchmark):
+    result = benchmark.pedantic(
+        lambda: compute_table6(execute=True), rounds=1, iterations=1)
+    identified, replaced, failed = result.totals
+    assert identified == 296
+    assert replaced == 237
+    assert failed == 59
+    for row in result.rows:
+        # 100% of buffers that pass the preconditions are replaced.
+        assert row.replaced == row.identified - row.failed_precondition
+        assert row.tests_pass, f"{row.program} test suite changed"
+
+
+def test_table6_overall_replacement_rate(benchmark):
+    result = benchmark.pedantic(
+        lambda: compute_table6(execute=False), rounds=1, iterations=1)
+    identified, replaced, _ = result.totals
+    # Paper: 80.01% of all identified buffers replaced.
+    assert abs(100.0 * replaced / identified - 80.0) < 0.5

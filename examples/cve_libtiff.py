@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Case study: the LibTIFF 3.8.2 tiff2pdf vulnerability (paper §IV-A2).
+
+``t2p_write_pdf_string`` escapes non-printable characters into a
+``char buffer[5]`` with ``sprintf(buffer, "\\%.3o", pdfstr[i])``.  When a
+DocumentTag byte has its high bit set (any UTF-8 text), ``pdfstr[i]``
+sign-extends to a negative int, ``%.3o`` prints eleven octal digits, and
+the write overruns the buffer — a remote denial of service when
+converting a crafted TIFF to PDF.
+
+SLR replaces the sprintf with ``g_snprintf(buffer, sizeof(buffer), ...)``:
+the attack input now produces truncated (wrong-looking) escape text
+instead of a crash — exactly the trade the paper describes: "this
+modifies what was previously acceptable by the program to be unacceptable
+now, but such changes are beneficial".
+"""
+
+from repro.cfront.preprocessor import Preprocessor
+from repro.core.slr import SafeLibraryReplacement
+from repro.corpus.minitiff import cve_attack_program
+from repro.vm import run_source
+
+
+def main() -> None:
+    source = cve_attack_program()
+    preprocessed = Preprocessor().preprocess(source, "tiff2pdf.c").text
+
+    print("=== the vulnerable escaping loop ===")
+    for line in source.splitlines():
+        if "sprintf" in line or "& 0x80" in line:
+            print(" ", line.strip())
+
+    print("\n=== converting a TIFF whose DocumentTag contains UTF-8 ===")
+    before = run_source(preprocessed)
+    print(f"before the fix: {before!r}")
+    assert before.fault == "buffer-overflow", before
+
+    print("\n=== applying SLR ===")
+    result = SafeLibraryReplacement(preprocessed, "tiff2pdf.c").run()
+    fixed_sites = [o for o in result.outcomes if o.transformed]
+    for outcome in fixed_sites:
+        print(f"  {outcome.function}:{outcome.line} {outcome.target} "
+              f"replaced")
+    for line in result.new_text.splitlines():
+        if "g_snprintf" in line and "buffer" in line:
+            print("  rewritten:", line.strip())
+
+    print("\n=== the attack input after the fix ===")
+    after = run_source(result.new_text)
+    print(f"after the fix: {after!r}")
+    print(f"output: {after.stdout_text!r}")
+    assert after.ok
+
+    print("\nThe denial-of-service is gone; the escape text for the "
+          "UTF-8 byte is truncated rather than overflowing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: fix a buffer overflow in C source with one call.
+
+This is the paper's running example (§II-A4): a fifty-byte string copied
+into a ten-byte buffer through a pointer.  We run the program in the
+bounds-checked VM (it overflows), apply SAFE LIBRARY REPLACEMENT, and run
+the fixed program.
+"""
+
+import repro
+
+SOURCE = r"""
+#include <stdio.h>
+#include <string.h>
+
+int main(void) {
+    char buf[10];
+    char src[100];
+    memset(src, 'c', 50);
+    src[50] = '\0';
+    char *dst = buf;
+    strcpy(dst, src);
+    printf("copied: %s\n", buf);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    print("=== original program ===")
+    original = repro.preprocess(SOURCE)
+    before = repro.run_c(original)
+    print(f"result: {before!r}")
+    assert before.fault == "buffer-overflow"
+
+    print("\n=== applying SAFE LIBRARY REPLACEMENT ===")
+    fixed = repro.fix_buffer_overflows(SOURCE, str_transform=False)
+    for outcome in fixed.outcomes:
+        print(f"  {outcome.function}:{outcome.line} "
+              f"{outcome.target} -> {outcome.status}")
+
+    print("\n=== the rewritten call site ===")
+    for line in fixed.new_text.splitlines():
+        if "g_strlcpy" in line:
+            print(" ", line.strip())
+
+    print("\n=== fixed program ===")
+    after = repro.run_c(fixed.new_text)
+    print(f"result: {after!r}")
+    print(f"output: {after.stdout_text!r}")
+    assert after.ok
+
+    print("\nThe overflow is gone: g_strlcpy truncates the copy to "
+          "sizeof(buf).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Comparing SLR's two replacement profiles (Table I families).
+
+The paper's Table I catalogues several safe-function families.  The glib
+family (the paper's Linux implementation) *truncates* an oversized
+operation; the ISO/IEC TR 24731 / C11 Annex K family (`strcpy_s` & co.,
+the "Windows analogs") *rejects* it — the destination is emptied and an
+errno_t reports the violation.  Same transformation machinery, same
+Algorithm 1 size computation, different recovery policy.
+"""
+
+from repro.cfront.preprocessor import Preprocessor
+from repro.core.slr import SafeLibraryReplacement
+from repro.vm import run_source
+
+SOURCE = r"""
+#include <stdio.h>
+#include <string.h>
+
+int main(void) {
+    char username[12];
+    strcpy(username, "averyverylongusername");
+    printf("logged in as: [%s]\n", username);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    text = Preprocessor().preprocess(SOURCE, "login.c").text
+
+    print("=== original ===")
+    before = run_source(text)
+    print(f"  {before!r}")
+    assert before.fault == "buffer-overflow"
+
+    for profile in ("glib", "c11"):
+        print(f"\n=== profile: {profile} ===")
+        result = SafeLibraryReplacement(text, "login.c",
+                                        profile=profile).run()
+        call_line = next(line.strip()
+                         for line in result.new_text.splitlines()
+                         if "username," in line and "printf" not in line)
+        print(f"  rewrite: {call_line}")
+        outcome = run_source(result.new_text)
+        print(f"  runtime: {outcome!r}")
+        print(f"  output : {outcome.stdout_text.strip()!r}")
+        assert outcome.ok
+
+    print("\nglib truncates the oversized name; Annex K refuses it "
+          "outright.\nBoth eliminate the overflow — choose per your "
+          "failure-policy taste.")
+
+
+if __name__ == "__main__":
+    main()

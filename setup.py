@@ -1,0 +1,10 @@
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    include_package_data=True,
+    package_data={"repro": ["corpus/data/*", "corpus/data/**/*"]},
+)

@@ -1,0 +1,82 @@
+"""repro — reproduction of "Automatically Fixing C Buffer Overflows Using
+Program Transformations" (DSN 2014).
+
+Quickstart::
+
+    from repro import fix_buffer_overflows, run_c
+
+    fixed = fix_buffer_overflows(C_SOURCE)
+    print(fixed.new_text)          # the transformed program
+    result = run_c(fixed.new_text) # execute it in the bounds-checked VM
+
+Subpackages:
+
+* :mod:`repro.cfront`   — C preprocessor, parser, rewriter
+* :mod:`repro.analysis` — name binding, types, CFG, reaching defs,
+  points-to/alias, dependence, interprocedural write checks
+* :mod:`repro.core`     — the SLR and STR transformations (the paper's
+  contribution) and Algorithm 1
+* :mod:`repro.vm`       — bounds-checked C interpreter (evaluation substrate)
+* :mod:`repro.samate`   — Juliet-style benchmark generator (CWE 121/122/
+  124/126/127/242)
+* :mod:`repro.corpus`   — miniature open-source-style test programs
+* :mod:`repro.eval`     — regenerates every table and figure of the paper
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+from .core import (
+    SafeLibraryReplacement, SafeTypeReplacement, SourceProgram,
+    TransformResult, apply_batch, apply_slr, apply_str,
+)
+from .cfront import Preprocessor, preprocess_and_parse
+from .vm import ExecutionResult, run_source
+
+
+def preprocess(text: str, filename: str = "<source>") -> str:
+    """Preprocess C source with the builtin headers; returns the text the
+    transformations operate on."""
+    return Preprocessor().preprocess(text, filename).text
+
+
+def fix_buffer_overflows(text: str, filename: str = "<source>",
+                         *, slr: bool = True,
+                         str_transform: bool = True) -> TransformResult:
+    """One-call API: preprocess then apply SLR and/or STR to C source.
+
+    Returns the last transformation's :class:`TransformResult`; its
+    ``new_text`` holds the fully transformed program and ``outcomes`` the
+    per-site log (including precondition failures and their reasons).
+    """
+    current = preprocess(text, filename)
+    result: TransformResult | None = None
+    if slr:
+        result = apply_slr(current, filename)
+        current = result.new_text
+    if str_transform:
+        str_result = apply_str(current, filename)
+        if result is not None:
+            str_result.outcomes = result.outcomes + str_result.outcomes
+            str_result.original_text = result.original_text
+        result = str_result
+    if result is None:
+        raise ValueError("at least one of slr/str_transform must be True")
+    return result
+
+
+def run_c(text: str, *, stdin: bytes = b"",
+          step_limit: int = 5_000_000) -> ExecutionResult:
+    """Run (already preprocessed) C text in the bounds-checked VM."""
+    return run_source(text, stdin=stdin, step_limit=step_limit)
+
+
+__all__ = [
+    "__version__",
+    "SafeLibraryReplacement", "SafeTypeReplacement", "SourceProgram",
+    "TransformResult", "apply_batch", "apply_slr", "apply_str",
+    "Preprocessor", "preprocess_and_parse",
+    "ExecutionResult", "run_source",
+    "preprocess", "fix_buffer_overflows", "run_c",
+]

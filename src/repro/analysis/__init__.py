@@ -1,0 +1,75 @@
+"""Program analyses over the C AST.
+
+:class:`ProgramAnalysis` is the facade the transformations consume: it runs
+name binding, type analysis, CFG construction, reaching definitions,
+points-to/alias analysis, call-graph construction, and exposes the
+dependence and interprocedural write analyses lazily.
+"""
+
+from __future__ import annotations
+
+from ..cfront import astnodes as ast
+from .alias import AliasAnalysis, analyze_aliases
+from .callgraph import CallGraph, build_call_graph
+from .cfg import CFG, CFGNode, build_all_cfgs, build_cfg
+from .dependence import DependenceAnalysis
+from .interproc import InterproceduralWriteAnalysis
+from .pointsto import PointsToAnalysis
+from .reaching import Definition, ReachingDefinitions
+from .symtab import Binder, Symbol, SymbolTable, bind
+from .typecheck import TypeChecker, typecheck
+
+
+class ProgramAnalysis:
+    """All analyses for one translation unit, built once, queried often."""
+
+    def __init__(self, unit: ast.TranslationUnit):
+        self.unit = unit
+        self.symbols: SymbolTable = bind(unit)
+        self.type_diagnostics = typecheck(unit)
+        self.cfgs: dict[str, CFG] = build_all_cfgs(unit)
+        self.pointsto = PointsToAnalysis(unit, self.symbols)
+        self.aliases = AliasAnalysis(self.pointsto, self.symbols)
+        self.callgraph = build_call_graph(unit)
+        self.interproc = InterproceduralWriteAnalysis(self.callgraph)
+        self._reaching: dict[str, ReachingDefinitions] = {}
+        self._dependence: dict[str, DependenceAnalysis] = {}
+
+    def cfg_of(self, function_name: str) -> CFG | None:
+        return self.cfgs.get(function_name)
+
+    def reaching_of(self, function_name: str) -> ReachingDefinitions | None:
+        if function_name not in self.cfgs:
+            return None
+        if function_name not in self._reaching:
+            self._reaching[function_name] = ReachingDefinitions(
+                self.cfgs[function_name])
+        return self._reaching[function_name]
+
+    def dependence_of(self, function_name: str) -> DependenceAnalysis | None:
+        if function_name not in self.cfgs:
+            return None
+        if function_name not in self._dependence:
+            self._dependence[function_name] = DependenceAnalysis(
+                self.cfgs[function_name],
+                self.reaching_of(function_name))
+        return self._dependence[function_name]
+
+
+def analyze(unit: ast.TranslationUnit) -> ProgramAnalysis:
+    """Run the full analysis pipeline over a translation unit."""
+    return ProgramAnalysis(unit)
+
+
+__all__ = [
+    "ProgramAnalysis", "analyze",
+    "AliasAnalysis", "analyze_aliases",
+    "CallGraph", "build_call_graph",
+    "CFG", "CFGNode", "build_cfg", "build_all_cfgs",
+    "DependenceAnalysis",
+    "InterproceduralWriteAnalysis",
+    "PointsToAnalysis",
+    "Definition", "ReachingDefinitions",
+    "Binder", "Symbol", "SymbolTable", "bind",
+    "TypeChecker", "typecheck",
+]

@@ -1,0 +1,120 @@
+"""Alias sets derived from the solved points-to graph.
+
+The paper's alias generator "topologically sorts the points-to graphs and
+calculates the alias sets", ignoring self-cycles on aggregate nodes, and
+caches the sets in a hash map.  Functionally: two pointers alias when their
+points-to sets intersect; an object is aliased when more than one access
+path can reach it.  ``ISALIASED`` in Algorithm 1 consults these sets.
+"""
+
+from __future__ import annotations
+
+from ..cfront import astnodes as ast
+from ..cfront.ctypes_model import StructType
+from .pointsto import PointsToAnalysis
+from .symtab import Symbol, SymbolTable
+
+
+class AliasAnalysis:
+    def __init__(self, pointsto: PointsToAnalysis, table: SymbolTable):
+        self.pointsto = pointsto
+        self.table = table
+        # symbol uid -> set of symbols it may alias (cached, per paper).
+        self._alias_map: dict[int, set[Symbol]] = {}
+        self._object_pointers: dict[int, set[Symbol]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        pointers = self.pointsto.pointer_symbols()
+        pts_of: dict[int, set[int]] = {}
+        for symbol in pointers:
+            pts = {node.index for node in self.pointsto.points_to(symbol)
+                   # Recursive self-cycles on aggregates are irrelevant to
+                   # aliasing (paper §III-A) — drop pointers to self.
+                   if node.symbol is not symbol}
+            pts_of[symbol.uid] = pts
+            for target in pts:
+                self._object_pointers.setdefault(target, set()).add(symbol)
+
+        for symbol in pointers:
+            aliases: set[Symbol] = set()
+            mine = pts_of[symbol.uid]
+            if mine:
+                for other in pointers:
+                    if other is symbol:
+                        continue
+                    if mine & pts_of[other.uid]:
+                        aliases.add(other)
+            self._alias_map[symbol.uid] = aliases
+
+    # ------------------------------------------------------------------ API
+
+    def aliases_of(self, symbol: Symbol) -> set[Symbol]:
+        """Other pointer variables whose targets intersect this one's."""
+        return self._alias_map.get(symbol.uid, set())
+
+    def is_aliased(self, symbol: Symbol) -> bool:
+        """ISALIASED(B) of Algorithm 1.
+
+        A pointer is aliased when another pointer may reference the same
+        storage, or when the pointer *itself* is reachable from another
+        pointer (``char **pp = &p``) — its value can then change behind
+        the reaching-definition analysis's back.  An object (array/
+        struct) is aliased when more than one pointer can reach its
+        aggregate node.
+        """
+        from ..cfront.ctypes_model import PointerType
+        if self._alias_map.get(symbol.uid):
+            return True
+        obj = self.pointsto.object_node(symbol)
+        if obj is not None:
+            pointing = self._object_pointers.get(obj.index, set())
+            pointing = {s for s in pointing if s is not symbol}
+            if isinstance(symbol.ctype, PointerType):
+                if pointing:
+                    return True
+            elif len(pointing) >= 2:
+                return True
+            if obj.index in self.pointsto.escaped:
+                return True
+        return False
+
+    def struct_is_aliased(self, symbol: Symbol) -> bool:
+        """Is a struct variable's aggregate reachable from any pointer?
+
+        Used for the element-access branch of Algorithm 1 (a struct whose
+        address escapes may have its members rewritten behind our back).
+        """
+        if not isinstance(symbol.ctype, StructType):
+            return False
+        obj = self.pointsto.object_node(symbol)
+        if obj is None:
+            return False
+        pointing = self._object_pointers.get(obj.index, set())
+        return bool(pointing) or obj.index in self.pointsto.escaped
+
+    def alias_sets(self) -> list[set[Symbol]]:
+        """Partition pointer symbols into maximal alias groups."""
+        seen: set[int] = set()
+        groups: list[set[Symbol]] = []
+        for symbol in self.pointsto.pointer_symbols():
+            if symbol.uid in seen:
+                continue
+            group = {symbol}
+            frontier = [symbol]
+            while frontier:
+                current = frontier.pop()
+                seen.add(current.uid)
+                for other in self.aliases_of(current):
+                    if other.uid not in seen:
+                        group.add(other)
+                        frontier.append(other)
+            if len(group) > 1:
+                groups.append(group)
+        return groups
+
+
+def analyze_aliases(unit: ast.TranslationUnit,
+                    table: SymbolTable) -> AliasAnalysis:
+    """Convenience: run points-to then alias analysis."""
+    return AliasAnalysis(PointsToAnalysis(unit, table), table)

@@ -1,0 +1,279 @@
+"""Intraprocedural control-flow graphs.
+
+One CFG per function definition.  Nodes are elementary statements
+(declarations, expression statements, returns, …) plus synthetic
+entry/exit/condition/join nodes; edges carry no labels.  Downstream
+dataflow (reaching definitions, dependence) runs over these graphs, and
+Algorithm 1's "is the struct redefined on the control-flow path from def to
+use?" question is answered by graph reachability here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..cfront import astnodes as ast
+
+
+class CFGNode:
+    __slots__ = ("nid", "kind", "stmt", "succs", "preds", "function")
+
+    def __init__(self, nid: int, kind: str, stmt: ast.Node | None = None):
+        self.nid = nid
+        self.kind = kind        # entry | exit | stmt | decl | cond | join
+        self.stmt = stmt
+        self.succs: list[CFGNode] = []
+        self.preds: list[CFGNode] = []
+        self.function: str | None = None
+
+    def link(self, succ: "CFGNode") -> None:
+        if succ not in self.succs:
+            self.succs.append(succ)
+            succ.preds.append(self)
+
+    def __repr__(self) -> str:
+        what = type(self.stmt).__name__ if self.stmt is not None else ""
+        return f"CFGNode#{self.nid}({self.kind}{':' + what if what else ''})"
+
+    def __hash__(self) -> int:
+        return self.nid
+
+    def __eq__(self, other) -> bool:
+        return self is other
+
+
+class CFG:
+    """The control-flow graph of one function."""
+
+    def __init__(self, function: ast.FunctionDef):
+        self.function = function
+        self.nodes: list[CFGNode] = []
+        self.entry = self._new("entry")
+        self.exit = self._new("exit")
+        self._stmt_map: dict[int, CFGNode] = {}
+
+    def _new(self, kind: str, stmt: ast.Node | None = None) -> CFGNode:
+        node = CFGNode(len(self.nodes), kind, stmt)
+        node.function = self.function.name
+        self.nodes.append(node)
+        if stmt is not None:
+            self._stmt_map[id(stmt)] = node
+        return node
+
+    def node_for(self, stmt: ast.Node) -> CFGNode | None:
+        """CFG node of a statement (or of the statement enclosing a node)."""
+        found = self._stmt_map.get(id(stmt))
+        if found is not None:
+            return found
+        enclosing = stmt.enclosing_statement()
+        while enclosing is not None:
+            found = self._stmt_map.get(id(enclosing))
+            if found is not None:
+                return found
+            enclosing = None if enclosing.parent is None else \
+                enclosing.parent.enclosing_statement()
+        return None
+
+    def reachable_between(self, src: CFGNode, dst: CFGNode,
+                          through: CFGNode) -> bool:
+        """Is there a path src -> ... -> dst that visits ``through``?"""
+        return self._reaches(src, through) and self._reaches(through, dst)
+
+    def _reaches(self, src: CFGNode, dst: CFGNode) -> bool:
+        seen = {src}
+        stack = [src]
+        while stack:
+            node = stack.pop()
+            if node is dst:
+                return True
+            for succ in node.succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return False
+
+    def statements(self) -> Iterator[CFGNode]:
+        return (n for n in self.nodes if n.stmt is not None)
+
+
+class _BuildContext:
+    __slots__ = ("break_target", "continue_target")
+
+    def __init__(self, break_target=None, continue_target=None):
+        self.break_target = break_target
+        self.continue_target = continue_target
+
+
+class CFGBuilder:
+    def __init__(self, function: ast.FunctionDef):
+        self.cfg = CFG(function)
+        self._labels: dict[str, CFGNode] = {}
+        self._pending_gotos: list[tuple[CFGNode, str]] = []
+
+    def build(self) -> CFG:
+        cfg = self.cfg
+        tails = self._statement(cfg.function.body, [cfg.entry],
+                                _BuildContext())
+        for tail in tails:
+            tail.link(cfg.exit)
+        for node, label in self._pending_gotos:
+            target = self._labels.get(label)
+            if target is not None:
+                node.link(target)
+            else:
+                node.link(cfg.exit)
+        return cfg
+
+    # ``frontier`` is the set of nodes whose control falls into the next
+    # statement; each handler returns the new frontier.
+
+    def _statement(self, stmt: ast.Node, frontier: list[CFGNode],
+                   ctx: _BuildContext) -> list[CFGNode]:
+        cfg = self.cfg
+
+        if isinstance(stmt, ast.CompoundStmt):
+            for item in stmt.items:
+                frontier = self._statement(item, frontier, ctx)
+            return frontier
+
+        if isinstance(stmt, ast.Declaration):
+            node = cfg._new("decl", stmt)
+            self._link_all(frontier, node)
+            return [node]
+
+        if isinstance(stmt, (ast.ExprStmt, ast.EmptyStmt)):
+            node = cfg._new("stmt", stmt)
+            self._link_all(frontier, node)
+            return [node]
+
+        if isinstance(stmt, ast.ReturnStmt):
+            node = cfg._new("stmt", stmt)
+            self._link_all(frontier, node)
+            node.link(cfg.exit)
+            return []
+
+        if isinstance(stmt, ast.IfStmt):
+            cond = cfg._new("cond", stmt)
+            self._link_all(frontier, cond)
+            then_tails = self._statement(stmt.then_stmt, [cond], ctx)
+            if stmt.else_stmt is not None:
+                else_tails = self._statement(stmt.else_stmt, [cond], ctx)
+                return then_tails + else_tails
+            return then_tails + [cond]
+
+        if isinstance(stmt, ast.WhileStmt):
+            cond = cfg._new("cond", stmt)
+            self._link_all(frontier, cond)
+            inner = _BuildContext(break_target=[], continue_target=cond)
+            body_tails = self._statement(stmt.body, [cond], inner)
+            self._link_all(body_tails, cond)
+            return [cond] + inner.break_target
+
+        if isinstance(stmt, ast.DoWhileStmt):
+            cond = cfg._new("cond", stmt)
+            inner = _BuildContext(break_target=[], continue_target=cond)
+            entry_marker = cfg._new("join")
+            self._link_all(frontier, entry_marker)
+            body_tails = self._statement(stmt.body, [entry_marker], inner)
+            self._link_all(body_tails, cond)
+            # back edge: cond true -> body entry
+            cond.link(entry_marker)
+            return [cond] + inner.break_target
+
+        if isinstance(stmt, ast.ForStmt):
+            if stmt.init is not None:
+                frontier = self._statement(stmt.init, frontier, ctx)
+            cond = cfg._new("cond", stmt)
+            self._link_all(frontier, cond)
+            advance = cfg._new("stmt", stmt.advance) \
+                if stmt.advance is not None else cond
+            inner = _BuildContext(break_target=[], continue_target=advance)
+            body_tails = self._statement(stmt.body, [cond], inner)
+            if stmt.advance is not None:
+                self._link_all(body_tails, advance)
+                advance.link(cond)
+            else:
+                self._link_all(body_tails, cond)
+            return [cond] + inner.break_target
+
+        if isinstance(stmt, ast.BreakStmt):
+            node = cfg._new("stmt", stmt)
+            self._link_all(frontier, node)
+            if ctx.break_target is not None:
+                ctx.break_target.append(node)
+            return []
+
+        if isinstance(stmt, ast.ContinueStmt):
+            node = cfg._new("stmt", stmt)
+            self._link_all(frontier, node)
+            if ctx.continue_target is not None:
+                node.link(ctx.continue_target)
+            return []
+
+        if isinstance(stmt, ast.SwitchStmt):
+            cond = cfg._new("cond", stmt)
+            self._link_all(frontier, cond)
+            inner = _BuildContext(break_target=[],
+                                  continue_target=ctx.continue_target)
+            tails = self._switch_body(stmt.body, cond, inner)
+            return tails + inner.break_target
+
+        if isinstance(stmt, (ast.CaseStmt, ast.DefaultStmt)):
+            # Case outside a switch body (or nested oddly): treat the body
+            # as a plain statement.
+            return self._statement(stmt.body, frontier, ctx)
+
+        if isinstance(stmt, ast.LabelStmt):
+            marker = cfg._new("join", stmt)
+            self._link_all(frontier, marker)
+            self._labels[stmt.name] = marker
+            return self._statement(stmt.body, [marker], ctx)
+
+        if isinstance(stmt, ast.GotoStmt):
+            node = cfg._new("stmt", stmt)
+            self._link_all(frontier, node)
+            self._pending_gotos.append((node, stmt.label))
+            return []
+
+        # Unknown statement kind: conservative single node.
+        node = cfg._new("stmt", stmt)
+        self._link_all(frontier, node)
+        return [node]
+
+    def _switch_body(self, body: ast.Node, cond: CFGNode,
+                     ctx: _BuildContext) -> list[CFGNode]:
+        """Build a switch body: each case label gets an edge from the
+        switch condition; fallthrough chains cases together."""
+        if not isinstance(body, ast.CompoundStmt):
+            tails = self._statement(body, [cond], ctx)
+            return tails
+        frontier: list[CFGNode] = []
+        has_default = False
+        for item in body.items:
+            if isinstance(item, (ast.CaseStmt, ast.DefaultStmt)):
+                marker = self.cfg._new("join", item)
+                cond.link(marker)
+                self._link_all(frontier, marker)
+                if isinstance(item, ast.DefaultStmt):
+                    has_default = True
+                frontier = self._statement(item.body, [marker], ctx)
+            else:
+                frontier = self._statement(item, frontier, ctx)
+        tails = list(frontier)
+        if not has_default:
+            tails.append(cond)
+        return tails
+
+    @staticmethod
+    def _link_all(sources: list[CFGNode], target: CFGNode) -> None:
+        for src in sources:
+            src.link(target)
+
+
+def build_cfg(function: ast.FunctionDef) -> CFG:
+    """Build the control-flow graph of a function definition."""
+    return CFGBuilder(function).build()
+
+
+def build_all_cfgs(unit: ast.TranslationUnit) -> dict[str, CFG]:
+    return {fn.name: build_cfg(fn) for fn in unit.functions()}

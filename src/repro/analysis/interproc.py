@@ -1,0 +1,177 @@
+"""Interprocedural may-write analysis for pointer arguments.
+
+STR's precondition (paper §III-C): when a char pointer is passed to a
+user-defined function, determine *at the call site* whether the callee may
+modify the buffer through that parameter.  The analysis is conservative —
+it may answer "writes" when the callee actually does not — because a wrong
+"does not write" would let STR change program behaviour.
+
+Rules, applied to the callee's body for the parameter in question:
+
+* stores through the parameter (``*p = …``, ``p[i] = …``, ``p->f = …``,
+  ``(*p)++`` …) → writes;
+* the parameter passed to a libc function position that writes → writes;
+* the parameter passed onward to another user function → recurse (cycles
+  and undefined callees assume writes);
+* the parameter's value stored into a global/struct/array or returned →
+  escapes → assume writes;
+* otherwise → does not write.
+"""
+
+from __future__ import annotations
+
+from ..cfront import astnodes as ast
+from .callgraph import CallGraph
+from .libcinfo import is_known_libc, libc_writes_through
+from .symtab import Symbol
+
+
+class InterproceduralWriteAnalysis:
+    def __init__(self, callgraph: CallGraph):
+        self.callgraph = callgraph
+        # (function name, parameter index) -> may write?
+        self._cache: dict[tuple[str, int], bool] = {}
+
+    # ------------------------------------------------------------------ API
+
+    def call_may_write_arg(self, call: ast.Call, arg_index: int) -> bool:
+        """May this call site write through its ``arg_index``-th argument?"""
+        name = call.callee_name
+        if name is None:            # indirect call: conservative
+            return True
+        if is_known_libc(name):
+            return libc_writes_through(name, arg_index)
+        return self.function_may_write_param(name, arg_index)
+
+    def function_may_write_param(self, name: str, index: int) -> bool:
+        key = (name, index)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        fn = self.callgraph.defined.get(name)
+        if fn is None:
+            self._cache[key] = True     # undefined: assume the worst
+            return True
+        # Seed True (cycle-safe conservative default), then refine.
+        self._cache[key] = True
+        result = self._body_writes_param(fn, index)
+        self._cache[key] = result
+        return result
+
+    # ------------------------------------------------------------ internals
+
+    def _body_writes_param(self, fn: ast.FunctionDef, index: int) -> bool:
+        if index >= len(fn.params):
+            return True                 # variadic or mismatched call
+        param = fn.params[index]
+        if param.symbol is None:
+            return True
+        symbol = param.symbol
+        # Track local aliases of the parameter: `char *q = p;` means writes
+        # through q are writes through p.
+        tracked = self._local_aliases(fn, symbol)
+        for node in fn.body.walk():
+            if self._node_writes_through(node, tracked):
+                return True
+        return False
+
+    @staticmethod
+    def _local_aliases(fn: ast.FunctionDef, root: Symbol) -> set[Symbol]:
+        """Fixed point of 'assigned from a tracked pointer'."""
+        tracked: set[Symbol] = {root}
+        changed = True
+        while changed:
+            changed = False
+            for node in fn.body.walk():
+                source: ast.Node | None = None
+                target: Symbol | None = None
+                if isinstance(node, ast.Assignment) and node.op == "=":
+                    if isinstance(node.lhs, ast.Identifier) and \
+                            node.lhs.symbol is not None:
+                        target = node.lhs.symbol
+                        source = node.rhs
+                elif isinstance(node, ast.Declarator) and \
+                        node.init is not None and node.symbol is not None:
+                    target = node.symbol
+                    source = node.init
+                if target is None or source is None or target in tracked:
+                    continue
+                base = _pointer_source_symbol(source)
+                if base is not None and base in tracked:
+                    tracked.add(target)
+                    changed = True
+        return tracked
+
+    def _node_writes_through(self, node: ast.Node,
+                             tracked: set[Symbol]) -> bool:
+        if isinstance(node, ast.Assignment):
+            if self._lvalue_derefs_tracked(node.lhs, tracked):
+                return True
+            # Storing a tracked pointer anywhere non-local lets it escape.
+            base = _pointer_source_symbol(node.rhs)
+            if base is not None and base in tracked and \
+                    not isinstance(node.lhs, ast.Identifier):
+                return True
+            if base is not None and base in tracked and \
+                    isinstance(node.lhs, ast.Identifier) and \
+                    node.lhs.symbol is not None and \
+                    node.lhs.symbol.is_global:
+                return True
+        elif isinstance(node, ast.Unary) and node.op in ("++", "--"):
+            if self._lvalue_derefs_tracked(node.operand, tracked):
+                return True
+        elif isinstance(node, ast.Call):
+            for i, arg in enumerate(node.args):
+                base = _pointer_source_symbol(arg)
+                if base is None or base not in tracked:
+                    continue
+                name = node.callee_name
+                if name is None:
+                    return True
+                if is_known_libc(name):
+                    if libc_writes_through(name, i):
+                        return True
+                elif self.function_may_write_param(name, i):
+                    return True
+            # Passing &p (address of the tracked pointer itself) anywhere
+            # is a write risk.
+            for arg in node.args:
+                if isinstance(arg, ast.Unary) and arg.op == "&":
+                    inner = arg.operand
+                    if isinstance(inner, ast.Identifier) and \
+                            inner.symbol in tracked:
+                        return True
+        return False
+
+    @staticmethod
+    def _lvalue_derefs_tracked(lhs: ast.Node, tracked: set[Symbol]) -> bool:
+        """Is this lvalue a store *through* a tracked pointer?"""
+        if isinstance(lhs, ast.Unary) and lhs.op == "*":
+            base = _pointer_source_symbol(lhs.operand)
+            return base is not None and base in tracked
+        if isinstance(lhs, ast.ArrayAccess):
+            base = _pointer_source_symbol(lhs.base)
+            return base is not None and base in tracked
+        if isinstance(lhs, ast.FieldAccess) and lhs.arrow:
+            base = _pointer_source_symbol(lhs.base)
+            return base is not None and base in tracked
+        return False
+
+
+def _pointer_source_symbol(expr: ast.Node) -> Symbol | None:
+    """The variable a pointer-valued expression is rooted at, if any."""
+    while True:
+        if isinstance(expr, ast.Identifier):
+            return expr.symbol
+        if isinstance(expr, ast.Cast):
+            expr = expr.operand
+        elif isinstance(expr, ast.Unary) and expr.op in ("++", "--", "+",
+                                                         "-"):
+            expr = expr.operand
+        elif isinstance(expr, ast.Binary) and expr.op in ("+", "-"):
+            lhs = _pointer_source_symbol(expr.lhs)
+            if lhs is not None:
+                return lhs
+            expr = expr.rhs
+        else:
+            return None

@@ -1,0 +1,72 @@
+"""Knowledge base about C library functions.
+
+Used by three consumers:
+
+* the interprocedural write-check (which pointer arguments does a libc
+  function write through?),
+* STR's precondition ("the variable is not used in an unsupported C library
+  function") and its argument-rewriting patterns, and
+* the VM's native function dispatch.
+"""
+
+from __future__ import annotations
+
+# function name -> indices of pointer parameters the function WRITES through.
+LIBC_WRITES_PARAM: dict[str, tuple[int, ...]] = {
+    "strcpy": (0,), "strncpy": (0,), "strcat": (0,), "strncat": (0,),
+    "memcpy": (0,), "memmove": (0,), "memset": (0,),
+    "sprintf": (0,), "snprintf": (0,), "vsprintf": (0,), "vsnprintf": (0,),
+    "gets": (0,), "fgets": (0,),
+    "strdup": (), "strlen": (), "strcmp": (), "strncmp": (),
+    "strchr": (), "strrchr": (), "strstr": (), "memcmp": (), "memchr": (),
+    "printf": (), "fprintf": (), "puts": (), "fputs": (), "putchar": (),
+    "fputc": (), "perror": (),
+    "atoi": (), "atol": (), "atof": (), "strtol": (1,), "strtoul": (1,),
+    "free": (), "malloc": (), "calloc": (), "realloc": (),
+    "malloc_usable_size": (), "alloca": (),
+    "fopen": (), "fclose": (), "fflush": (), "feof": (), "ferror": (),
+    "fread": (0,), "fwrite": (), "fseek": (), "ftell": (), "remove": (),
+    "getchar": (), "fgetc": (), "exit": (), "abort": (), "getenv": (),
+    "sscanf": (),        # conservative: %s targets vary; treated specially
+    "read": (1,), "write": (),
+    "isalpha": (), "isdigit": (), "isalnum": (), "isspace": (),
+    "isupper": (), "islower": (), "isprint": (), "toupper": (),
+    "tolower": (), "abs": (), "labs": (), "rand": (), "srand": (),
+    "time": (0,), "clock": (),
+    "g_strlcpy": (0,), "g_strlcat": (0,), "g_snprintf": (0,),
+    "g_vsnprintf": (0,),
+    "strcpy_s": (0,), "strcat_s": (0,), "sprintf_s": (0,),
+    "vsprintf_s": (0,), "memcpy_s": (0,), "gets_s": (0,),
+    "__assert_fail": (),
+    "__builtin_va_start": (0,), "__builtin_va_end": (0,),
+    "__builtin_va_copy": (0,),
+    # stralloc library (the safe replacements write their first argument's
+    # storage but never out of bounds).
+    "stralloc_init": (0,), "stralloc_ready": (0,), "stralloc_free": (0,),
+    "stralloc_copys": (0,), "stralloc_copybuf": (0,),
+    "stralloc_cats": (0,), "stralloc_catbuf": (0,),
+    "stralloc_append": (0,), "stralloc_memset": (0,),
+    "stralloc_increment_by": (0,), "stralloc_decrement_by": (0,),
+    "stralloc_get_dereferenced_char_at": (),
+    "stralloc_dereference_replace_by": (0,),
+    "stralloc_compare": (), "stralloc_equals": (),
+    "stralloc_find_char": (), "stralloc_substring_at": (),
+    "stralloc_length": (),
+}
+
+KNOWN_LIBC = frozenset(LIBC_WRITES_PARAM)
+
+
+def is_known_libc(name: str) -> bool:
+    return name in LIBC_WRITES_PARAM
+
+
+def libc_writes_through(name: str, arg_index: int) -> bool:
+    """Does libc function ``name`` write through pointer argument ``i``?
+
+    Unknown functions conservatively write through everything.
+    """
+    written = LIBC_WRITES_PARAM.get(name)
+    if written is None:
+        return True
+    return arg_index in written

@@ -1,0 +1,448 @@
+"""Inclusion-based (Andersen-style) points-to analysis.
+
+Follows the paper's description of its analysis (§III-A): intra-procedural,
+flow-insensitive, inclusion-based, performed at source level, after
+Hardekopf's algorithm.  The *constraint generator* walks the AST and emits
+base constraints; arrays and structures are *aggregate nodes* (no shape
+analysis); the solver propagates over the constraint graph with online
+cycle collapsing (the "graph rewriting" step), and the alias generator
+(:mod:`repro.analysis.alias`) derives alias sets from the solved graph.
+
+Calls are not propagated through (intra-procedural); a call returning a
+pointer yields a fresh anonymous object per call site, and pointer arguments
+to unknown callees mark their targets as escaped.
+"""
+
+from __future__ import annotations
+
+from ..cfront import astnodes as ast
+from ..cfront.ctypes_model import ArrayType, PointerType, StructType
+from .symtab import Symbol, SymbolTable
+
+# malloc-family functions: calls to these create heap objects.
+HEAP_ALLOCATORS = frozenset({
+    "malloc", "calloc", "realloc", "alloca", "strdup",
+})
+
+
+class PTNode:
+    """A node in the points-to graph: a variable, heap object, or anon."""
+
+    __slots__ = ("index", "kind", "symbol", "label", "pts", "copy_out",
+                 "rep")
+
+    def __init__(self, index: int, kind: str, symbol: Symbol | None,
+                 label: str):
+        self.index = index
+        self.kind = kind        # var | obj | heap | anon
+        self.symbol = symbol
+        self.label = label
+        self.pts: set[int] = set()
+        self.copy_out: set[int] = set()     # inclusion edges: self ⊆ target
+        self.rep = index        # union-find representative
+
+    def __repr__(self) -> str:
+        return f"PTNode#{self.index}({self.kind}:{self.label})"
+
+
+class _Constraint:
+    __slots__ = ("kind", "lhs", "rhs")
+
+    def __init__(self, kind: str, lhs: int, rhs: int):
+        self.kind = kind        # addr | copy | load | store
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class PointsToAnalysis:
+    """Constraint generation + solving for one translation unit."""
+
+    def __init__(self, unit: ast.TranslationUnit, table: SymbolTable,
+                 *, collapse_cycles: bool = True):
+        self.unit = unit
+        self.table = table
+        # Ablation switch: disable the Hardekopf-style online cycle
+        # collapsing (graph rewriting) to measure its effect.
+        self.collapse_cycles = collapse_cycles
+        self.nodes: list[PTNode] = []
+        self._var_node: dict[int, int] = {}     # symbol uid -> node index
+        self._obj_node: dict[int, int] = {}     # symbol uid -> object node
+        # (id(ast node), kind) -> node index
+        self._site_node: dict[tuple[int, str], int] = {}
+        self.constraints: list[_Constraint] = []
+        self.escaped: set[int] = set()          # object nodes that escape
+        self._generate()
+        self._solve()
+
+    # --------------------------------------------------------------- nodes
+
+    def _new_node(self, kind: str, symbol: Symbol | None,
+                  label: str) -> PTNode:
+        node = PTNode(len(self.nodes), kind, symbol, label)
+        self.nodes.append(node)
+        return node
+
+    def var(self, symbol: Symbol) -> int:
+        """Pointer-variable node of a symbol."""
+        found = self._var_node.get(symbol.uid)
+        if found is None:
+            found = self._new_node("var", symbol, symbol.name).index
+            self._var_node[symbol.uid] = found
+        return found
+
+    def obj(self, symbol: Symbol) -> int:
+        """Storage-object node of a symbol.
+
+        Arrays and structs get a distinct aggregate node; for scalar
+        variables (including pointers) the storage *is* the variable node,
+        so that ``*pp = y`` after ``pp = &p`` flows into ``p``'s points-to
+        set (standard Andersen treatment).
+        """
+        if not isinstance(symbol.ctype, (ArrayType, StructType)):
+            return self.var(symbol)
+        found = self._obj_node.get(symbol.uid)
+        if found is None:
+            found = self._new_node("obj", symbol,
+                                   f"obj:{symbol.name}").index
+            self._obj_node[symbol.uid] = found
+        return found
+
+    def _heap(self, site: ast.Node, label: str) -> int:
+        key = (id(site), "heap")
+        found = self._site_node.get(key)
+        if found is None:
+            found = self._new_node("heap", None, label).index
+            self._site_node[key] = found
+        return found
+
+    def _anon(self, site: ast.Node, label: str) -> int:
+        key = (id(site), "anon")
+        found = self._site_node.get(key)
+        if found is None:
+            found = self._new_node("anon", None, label).index
+            self._site_node[key] = found
+        return found
+
+    # ----------------------------------------------------------- generation
+
+    def _generate(self) -> None:
+        for item in self.unit.items:
+            if isinstance(item, ast.FunctionDef):
+                for node in item.body.walk():
+                    self._constraints_for(node)
+            elif isinstance(item, ast.Declaration):
+                for declarator in item.declarators:
+                    if declarator.symbol is not None and \
+                            declarator.init is not None:
+                        self._assign(self._lvalue_node(declarator.symbol),
+                                     declarator.init)
+
+    def _constraints_for(self, node: ast.Node) -> None:
+        if isinstance(node, ast.Declaration):
+            for declarator in node.declarators:
+                if declarator.symbol is None or declarator.init is None:
+                    continue
+                if isinstance(declarator.init, ast.InitList):
+                    for item in declarator.init.items:
+                        self._escape_expr(item)
+                    continue
+                self._assign(self._lvalue_node(declarator.symbol),
+                             declarator.init)
+        elif isinstance(node, ast.Assignment) and node.op == "=":
+            target = self._lvalue_target(node.lhs)
+            if target is not None:
+                kind, idx = target
+                if kind == "node":
+                    self._assign(idx, node.rhs)
+                else:       # store through pointer: *p = rhs
+                    rhs_idx = self._rvalue_node(node.rhs)
+                    if rhs_idx is not None:
+                        self.constraints.append(
+                            _Constraint("store", idx, rhs_idx))
+        elif isinstance(node, ast.Call):
+            self._call_constraints(node)
+
+    def _assign(self, lhs_idx: int, rhs: ast.Expression) -> None:
+        rhs_idx = self._rvalue_node(rhs)
+        if rhs_idx is not None:
+            self.constraints.append(_Constraint("copy", lhs_idx, rhs_idx))
+
+    def _lvalue_node(self, symbol: Symbol) -> int:
+        return self.var(symbol)
+
+    def _lvalue_target(self, lhs: ast.Node):
+        """Classify an assignment target.
+
+        Returns ("node", idx) for a direct variable/aggregate, or
+        ("deref", idx) for a store through the pointer at node idx, or
+        None when untracked.
+        """
+        if isinstance(lhs, ast.Identifier) and lhs.symbol is not None:
+            return ("node", self.var(lhs.symbol))
+        if isinstance(lhs, ast.FieldAccess):
+            base = lhs.base
+            if lhs.arrow:
+                if isinstance(base, ast.Identifier) and \
+                        base.symbol is not None:
+                    return ("deref", self.var(base.symbol))
+                return None
+            # s.f = ... : the aggregate node of s stands for all members.
+            if isinstance(base, ast.Identifier) and base.symbol is not None:
+                return ("node", self.obj_field_node(base.symbol))
+            return None
+        if isinstance(lhs, ast.ArrayAccess):
+            base = lhs.base
+            if isinstance(base, ast.Identifier) and base.symbol is not None:
+                ctype = base.symbol.ctype
+                if isinstance(ctype, ArrayType):
+                    return ("node", self.obj(base.symbol))
+                return ("deref", self.var(base.symbol))
+            return None
+        if isinstance(lhs, ast.Unary) and lhs.op == "*":
+            inner = _strip_casts(lhs.operand)
+            if isinstance(inner, ast.Identifier) and inner.symbol is not None:
+                return ("deref", self.var(inner.symbol))
+            return None
+        return None
+
+    def obj_field_node(self, symbol: Symbol) -> int:
+        """Struct member lvalues collapse onto the aggregate object node
+        when the variable is a struct, else onto the variable node."""
+        if isinstance(symbol.ctype, StructType):
+            return self.obj(symbol)
+        return self.var(symbol)
+
+    def _rvalue_node(self, expr: ast.Expression) -> int | None:
+        expr = _strip_casts(expr)
+        if isinstance(expr, ast.Identifier) and expr.symbol is not None:
+            ctype = expr.symbol.ctype
+            if isinstance(ctype, ArrayType):
+                # Array decays to the address of its aggregate object: the
+                # rvalue is a fresh "address-of obj" pseudo node.
+                addr = self._anon(expr, f"&{expr.symbol.name}")
+                self.nodes[addr].pts.add(self.obj(expr.symbol))
+                return addr
+            return self.var(expr.symbol)
+        if isinstance(expr, ast.Unary) and expr.op == "&":
+            inner = _strip_casts(expr.operand)
+            if isinstance(inner, ast.Identifier) and \
+                    inner.symbol is not None:
+                addr = self._anon(expr, f"&{inner.name}")
+                self.nodes[addr].pts.add(self.obj(inner.symbol))
+                return addr
+            if isinstance(inner, (ast.ArrayAccess, ast.FieldAccess)):
+                base = _innermost_identifier(inner)
+                if base is not None and base.symbol is not None:
+                    addr = self._anon(expr, f"&{base.name}[]")
+                    self.nodes[addr].pts.add(self.obj(base.symbol))
+                    return addr
+            return None
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            inner = _strip_casts(expr.operand)
+            if isinstance(inner, ast.Identifier) and \
+                    inner.symbol is not None:
+                load = self._anon(expr, f"*{inner.name}")
+                self.constraints.append(
+                    _Constraint("load", load, self.var(inner.symbol)))
+                return load
+            return None
+        if isinstance(expr, ast.Unary) and expr.op in ("++", "--"):
+            return self._rvalue_node(expr.operand)
+        if isinstance(expr, ast.Binary) and expr.op in ("+", "-"):
+            # Pointer arithmetic: the result points into the same object.
+            lhs = self._rvalue_node(expr.lhs)
+            if lhs is not None:
+                return lhs
+            return self._rvalue_node(expr.rhs)
+        if isinstance(expr, ast.Conditional):
+            # Both arms may flow: make a join node.
+            join = self._anon(expr, "?:")
+            for arm in (expr.then_expr, expr.else_expr):
+                arm_idx = self._rvalue_node(arm)
+                if arm_idx is not None:
+                    self.constraints.append(_Constraint("copy", join,
+                                                        arm_idx))
+            return join
+        if isinstance(expr, ast.Call):
+            name = expr.callee_name
+            if name in HEAP_ALLOCATORS:
+                addr = self._anon(expr, f"&heap@{expr.extent.start}")
+                self.nodes[addr].pts.add(
+                    self._heap(expr, f"heap@{expr.extent.start}"))
+                return addr
+            # Unknown call returning a pointer: fresh anonymous object.
+            addr = self._anon(expr, f"&ret@{expr.extent.start}")
+            ret_obj = self._new_node("anon",
+                                     None, f"ret@{expr.extent.start}").index
+            self.nodes[addr].pts.add(ret_obj)
+            return addr
+        if isinstance(expr, ast.FieldAccess):
+            base = _innermost_identifier(expr)
+            if base is not None and base.symbol is not None and \
+                    isinstance(base.symbol.ctype, StructType):
+                # Loading a pointer member: modelled via aggregate node.
+                load = self._anon(expr, f"{base.name}.{expr.member}")
+                self.constraints.append(
+                    _Constraint("copy", load, self.obj(base.symbol)))
+                return load
+            return None
+        if isinstance(expr, ast.StringLiteral):
+            addr = self._anon(expr, f"&str@{expr.extent.start}")
+            self.nodes[addr].pts.add(
+                self._heap(expr, f"str@{expr.extent.start}"))
+            return addr
+        return None
+
+    def _call_constraints(self, call: ast.Call) -> None:
+        for arg in call.args:
+            self._escape_expr(arg)
+
+    def _escape_expr(self, arg: ast.Expression) -> None:
+        arg = _strip_casts(arg)
+        if isinstance(arg, ast.Unary) and arg.op == "&":
+            inner = _strip_casts(arg.operand)
+            base = inner if isinstance(inner, ast.Identifier) \
+                else _innermost_identifier(inner)
+            if isinstance(base, ast.Identifier) and base.symbol is not None:
+                self.escaped.add(self.obj(base.symbol))
+
+    # -------------------------------------------------------------- solving
+
+    def _solve(self) -> None:
+        # Seed: addr constraints became direct pts entries during
+        # generation.  Build initial copy edges.
+        copy_edges: dict[int, set[int]] = {}
+        loads: list[_Constraint] = []
+        stores: list[_Constraint] = []
+        for con in self.constraints:
+            if con.kind == "copy":
+                copy_edges.setdefault(con.rhs, set()).add(con.lhs)
+            elif con.kind == "load":
+                loads.append(con)
+            elif con.kind == "store":
+                stores.append(con)
+
+        for src, targets in copy_edges.items():
+            self.nodes[src].copy_out |= targets
+
+        if self.collapse_cycles:
+            self._collapse_cycles()
+
+        # Worklist propagation with dereference constraints re-examined as
+        # points-to sets grow.
+        worklist = [n.index for n in self.nodes if n.pts]
+        in_list = set(worklist)
+        iterations = 0
+        while worklist:
+            iterations += 1
+            if self.collapse_cycles and iterations % 4096 == 0:
+                self._collapse_cycles()
+            idx = self._find(worklist.pop())
+            in_list.discard(idx)
+            node = self.nodes[idx]
+            # Dereference constraints involving this node.
+            for con in loads:
+                if self._find(con.rhs) == idx:
+                    lhs = self._find(con.lhs)
+                    for target in list(node.pts):
+                        tgt = self.nodes[self._find(target)]
+                        if not tgt.pts <= self.nodes[lhs].pts:
+                            self.nodes[lhs].pts |= tgt.pts
+                            if lhs not in in_list:
+                                worklist.append(lhs)
+                                in_list.add(lhs)
+            for con in stores:
+                if self._find(con.lhs) == idx:
+                    rhs = self._find(con.rhs)
+                    rhs_pts = self.nodes[rhs].pts
+                    for target in list(node.pts):
+                        tgt = self._find(target)
+                        if not rhs_pts <= self.nodes[tgt].pts:
+                            self.nodes[tgt].pts |= rhs_pts
+                            if tgt not in in_list:
+                                worklist.append(tgt)
+                                in_list.add(tgt)
+            # Copy edges.
+            for succ_raw in list(node.copy_out):
+                succ = self._find(succ_raw)
+                if succ == idx:
+                    continue
+                if not node.pts <= self.nodes[succ].pts:
+                    self.nodes[succ].pts |= node.pts
+                    if succ not in in_list:
+                        worklist.append(succ)
+                        in_list.add(succ)
+
+    def _collapse_cycles(self) -> None:
+        """Online cycle elimination: SCCs in the copy graph are collapsed
+        onto a representative (the points-to graph rewriting step)."""
+        import networkx as nx
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self._find(n.index) for n in self.nodes)
+        for node in self.nodes:
+            src = self._find(node.index)
+            for dst_raw in node.copy_out:
+                dst = self._find(dst_raw)
+                if src != dst:
+                    graph.add_edge(src, dst)
+        for scc in nx.strongly_connected_components(graph):
+            if len(scc) <= 1:
+                continue
+            members = sorted(scc)
+            rep = members[0]
+            rep_node = self.nodes[rep]
+            for other in members[1:]:
+                other_node = self.nodes[other]
+                rep_node.pts |= other_node.pts
+                rep_node.copy_out |= other_node.copy_out
+                other_node.rep = rep
+                other_node.pts = rep_node.pts       # share the set
+                other_node.copy_out = set()
+
+    def _find(self, idx: int) -> int:
+        node = self.nodes[idx]
+        while node.rep != node.index:
+            node = self.nodes[node.rep]
+        # Path compression.
+        self.nodes[idx].rep = node.index
+        return node.index
+
+    # ------------------------------------------------------------------ API
+
+    def points_to(self, symbol: Symbol) -> set[PTNode]:
+        idx = self._var_node.get(symbol.uid)
+        if idx is None:
+            return set()
+        rep = self.nodes[self._find(idx)]
+        return {self.nodes[self._find(t)] for t in rep.pts}
+
+    def object_node(self, symbol: Symbol) -> PTNode | None:
+        if not isinstance(symbol.ctype, (ArrayType, StructType)):
+            idx = self._var_node.get(symbol.uid)
+        else:
+            idx = self._obj_node.get(symbol.uid)
+        return None if idx is None else self.nodes[self._find(idx)]
+
+    def pointer_symbols(self) -> list[Symbol]:
+        return [n.symbol for n in self.nodes
+                if n.kind == "var" and n.symbol is not None]
+
+
+def _strip_casts(expr: ast.Node) -> ast.Node:
+    while isinstance(expr, ast.Cast):
+        expr = expr.operand
+    return expr
+
+
+def _innermost_identifier(expr: ast.Node) -> ast.Identifier | None:
+    while True:
+        if isinstance(expr, ast.Identifier):
+            return expr
+        if isinstance(expr, (ast.ArrayAccess, ast.FieldAccess)):
+            expr = expr.base
+        elif isinstance(expr, ast.Unary):
+            expr = expr.operand
+        elif isinstance(expr, ast.Cast):
+            expr = expr.operand
+        else:
+            return None

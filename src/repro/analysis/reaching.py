@@ -1,0 +1,276 @@
+"""Reaching-definitions analysis (classic worklist, bitset IN/OUT sets).
+
+Algorithm 1 of the paper asks for *the* definition reaching a buffer
+expression; this module computes, at each CFG node, which definitions of
+which symbols (and which struct members) may reach it.  Definitions through
+pointers or through address-taken arguments are recorded as *weak*: they
+generate but do not kill, so a strong unique definition remains
+distinguishable — and a use reached by several candidate definitions makes
+`GetBufferLength` bail out, exactly as the paper's transformation does.
+"""
+
+from __future__ import annotations
+
+from ..cfront import astnodes as ast
+from .cfg import CFG, CFGNode
+from .symtab import Symbol
+
+
+class Definition:
+    """One definition site of ``symbol`` (optionally of ``member``)."""
+
+    __slots__ = ("index", "symbol", "member", "node", "cfg_node", "kind",
+                 "value")
+
+    def __init__(self, index: int, symbol: Symbol, member: str | None,
+                 node: ast.Node | None, cfg_node: CFGNode, kind: str,
+                 value: ast.Expression | None):
+        self.index = index
+        self.symbol = symbol
+        self.member = member
+        self.node = node            # the Assignment / Declarator / etc.
+        self.cfg_node = cfg_node
+        self.kind = kind            # direct | decl | weak | param
+        self.value = value          # RHS expression when known
+
+    @property
+    def is_strong(self) -> bool:
+        return self.kind in ("direct", "decl", "param")
+
+    def __repr__(self) -> str:
+        member = f".{self.member}" if self.member else ""
+        return (f"Def#{self.index}({self.symbol.name}{member}, {self.kind})")
+
+
+class ReachingDefinitions:
+    """Reaching definitions over one function's CFG."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self.definitions: list[Definition] = []
+        self._defs_by_node: dict[int, list[Definition]] = {}
+        self._in: dict[int, int] = {}
+        self._out: dict[int, int] = {}
+        self._collect()
+        self._solve()
+
+    # ------------------------------------------------------------- collect
+
+    def _new_def(self, symbol: Symbol, member: str | None,
+                 node: ast.Node | None, cfg_node: CFGNode, kind: str,
+                 value: ast.Expression | None) -> Definition:
+        definition = Definition(len(self.definitions), symbol, member, node,
+                                cfg_node, kind, value)
+        self.definitions.append(definition)
+        self._defs_by_node.setdefault(cfg_node.nid, []).append(definition)
+        return definition
+
+    def _collect(self) -> None:
+        # Parameters are definitions at function entry.
+        for param in self.cfg.function.params:
+            if param.symbol is not None:
+                self._new_def(param.symbol, None, param, self.cfg.entry,
+                              "param", None)
+        for node in self.cfg.nodes:
+            if node.stmt is None:
+                continue
+            self._collect_in_stmt(node.stmt, node)
+
+    def _collect_in_stmt(self, stmt: ast.Node, cfg_node: CFGNode) -> None:
+        # Only look at the *direct* expression content of this node; nested
+        # statements have their own CFG nodes.
+        for expr in _direct_expressions(stmt):
+            self._collect_in_expr(expr, cfg_node)
+        if isinstance(stmt, ast.Declaration):
+            for declarator in stmt.declarators:
+                if declarator.symbol is not None:
+                    self._new_def(declarator.symbol, None, declarator,
+                                  cfg_node, "decl", declarator.init)
+                if declarator.init is not None:
+                    self._collect_in_expr(declarator.init, cfg_node)
+
+    def _collect_in_expr(self, expr: ast.Node, cfg_node: CFGNode) -> None:
+        for node in expr.walk():
+            if isinstance(node, ast.Assignment):
+                self._record_store(node.lhs, node, cfg_node,
+                                   node.rhs if node.op == "=" else None)
+            elif isinstance(node, ast.Unary) and node.op in ("++", "--"):
+                self._record_store(node.operand, node, cfg_node, None)
+            elif isinstance(node, ast.Call):
+                self._record_call_effects(node, cfg_node)
+
+    def _record_store(self, lhs: ast.Node, site: ast.Node,
+                      cfg_node: CFGNode,
+                      value: ast.Expression | None) -> None:
+        if isinstance(lhs, ast.Identifier) and lhs.symbol is not None:
+            self._new_def(lhs.symbol, None, site, cfg_node, "direct", value)
+        elif isinstance(lhs, ast.FieldAccess):
+            base = lhs.base
+            if isinstance(base, ast.Identifier) and base.symbol is not None:
+                self._new_def(base.symbol, lhs.member, site, cfg_node,
+                              "direct", value)
+            else:
+                self._record_weak_target(base, site, cfg_node)
+        elif isinstance(lhs, ast.ArrayAccess):
+            base = lhs.base
+            if isinstance(base, ast.Identifier) and \
+                    base.symbol is not None and \
+                    base.symbol.ctype is not None and \
+                    base.symbol.ctype.is_array:
+                # Element store into an array: weak def of the aggregate.
+                # A store through a *pointer* (p[i] = x) modifies the
+                # pointee, never the pointer value itself, so it defines
+                # nothing that reaching-definitions tracks.
+                self._new_def(base.symbol, None, site, cfg_node, "weak",
+                              None)
+        elif isinstance(lhs, ast.Unary) and lhs.op == "*":
+            # *p = x: likewise, p's own value is unchanged.
+            pass
+
+    def _record_weak_target(self, expr: ast.Node, site: ast.Node,
+                            cfg_node: CFGNode) -> None:
+        for node in expr.walk():
+            if isinstance(node, ast.Identifier) and node.symbol is not None:
+                self._new_def(node.symbol, None, site, cfg_node, "weak",
+                              None)
+
+    def _record_call_effects(self, call: ast.Call,
+                             cfg_node: CFGNode) -> None:
+        # &x passed to a call may define x; x passed as pointer may define
+        # what x points to, not x itself — only address-of is recorded.
+        for arg in call.args:
+            if isinstance(arg, ast.Unary) and arg.op == "&" and \
+                    isinstance(arg.operand, ast.Identifier) and \
+                    arg.operand.symbol is not None:
+                self._new_def(arg.operand.symbol, None, call, cfg_node,
+                              "weak", None)
+
+    # --------------------------------------------------------------- solve
+
+    def _solve(self) -> None:
+        gen: dict[int, int] = {}
+        kill: dict[int, int] = {}
+        # Pre-index defs per (symbol, member) for kill computation.
+        by_target: dict[tuple[int, str | None], int] = {}
+        whole_of_symbol: dict[int, int] = {}
+        for definition in self.definitions:
+            key = (definition.symbol.uid, definition.member)
+            by_target[key] = by_target.get(key, 0) | (1 << definition.index)
+            whole_of_symbol[definition.symbol.uid] = \
+                whole_of_symbol.get(definition.symbol.uid, 0) | \
+                (1 << definition.index)
+
+        for node in self.cfg.nodes:
+            g = 0
+            k = 0
+            for definition in self._defs_by_node.get(node.nid, ()):
+                g |= 1 << definition.index
+                if not definition.is_strong:
+                    continue
+                if definition.member is None:
+                    # Whole-object def kills every def of the symbol.
+                    k |= whole_of_symbol.get(definition.symbol.uid, 0)
+                else:
+                    k |= by_target.get(
+                        (definition.symbol.uid, definition.member), 0)
+            gen[node.nid] = g
+            kill[node.nid] = k & ~g
+
+        in_sets = {node.nid: 0 for node in self.cfg.nodes}
+        out_sets = {node.nid: gen[node.nid] for node in self.cfg.nodes}
+        worklist = list(self.cfg.nodes)
+        while worklist:
+            node = worklist.pop()
+            new_in = 0
+            for pred in node.preds:
+                new_in |= out_sets[pred.nid]
+            new_out = gen[node.nid] | (new_in & ~kill[node.nid])
+            if new_in != in_sets[node.nid] or new_out != out_sets[node.nid]:
+                in_sets[node.nid] = new_in
+                out_sets[node.nid] = new_out
+                worklist.extend(node.succs)
+        self._in = in_sets
+        self._out = out_sets
+
+    # ----------------------------------------------------------------- API
+
+    def reaching_in(self, cfg_node: CFGNode) -> list[Definition]:
+        bits = self._in.get(cfg_node.nid, 0)
+        return self._from_bits(bits)
+
+    def defs_reaching(self, use_site: ast.Node, symbol: Symbol,
+                      member: str | None = None) -> list[Definition]:
+        """Definitions of ``symbol`` (``member``) reaching ``use_site``.
+
+        ``use_site`` is any AST node; its enclosing statement's CFG node
+        provides the IN set.  A member query also returns whole-object
+        definitions of the symbol, since those redefine the member too.
+        """
+        cfg_node = self.cfg.node_for(use_site)
+        if cfg_node is None:
+            return [d for d in self.definitions if d.symbol is symbol]
+        bits = self._in[cfg_node.nid]
+        # Definitions in the *same* statement that appear before the use
+        # also reach it (e.g. `p = malloc(n); use in next stmt` is IN, but
+        # `len = f(); memcpy(p, q, len)` keeps len's def in a prior node).
+        out = []
+        for definition in self._from_bits(bits):
+            if definition.symbol is not symbol:
+                continue
+            if member is not None and definition.member not in (None,
+                                                                member):
+                continue
+            if member is None and definition.member is not None:
+                continue
+            out.append(definition)
+        return out
+
+    def unique_strong_def(self, use_site: ast.Node, symbol: Symbol,
+                          member: str | None = None) -> Definition | None:
+        """The single strong definition reaching a use, if it is unique and
+        unchallenged by weak definitions; else None (the caller bails)."""
+        defs = self.defs_reaching(use_site, symbol, member)
+        strong = [d for d in defs if d.is_strong and d.kind != "param"]
+        weak = [d for d in defs if not d.is_strong]
+        if len(strong) == 1 and not weak:
+            return strong[0]
+        # A declaration + exactly one assignment: the assignment wins if
+        # the declaration had no initializer.
+        if len(strong) == 2 and not weak:
+            decls = [d for d in strong if d.kind == "decl"
+                     and (d.value is None)]
+            others = [d for d in strong if d not in decls]
+            if len(decls) == 1 and len(others) == 1:
+                return others[0]
+        return None
+
+    def _from_bits(self, bits: int) -> list[Definition]:
+        out = []
+        index = 0
+        while bits:
+            if bits & 1:
+                out.append(self.definitions[index])
+            bits >>= 1
+            index += 1
+        return out
+
+
+def _direct_expressions(stmt: ast.Node):
+    """Expressions evaluated *at* this statement's CFG node (not nested
+    statements)."""
+    if isinstance(stmt, ast.ExprStmt):
+        if stmt.expr is not None:
+            yield stmt.expr
+    elif isinstance(stmt, (ast.IfStmt, ast.WhileStmt, ast.DoWhileStmt,
+                           ast.SwitchStmt)):
+        yield stmt.cond
+    elif isinstance(stmt, ast.ForStmt):
+        if stmt.cond is not None:
+            yield stmt.cond
+    elif isinstance(stmt, ast.ReturnStmt):
+        if stmt.value is not None:
+            yield stmt.value
+    elif isinstance(stmt, ast.CaseStmt):
+        yield stmt.value
+    elif isinstance(stmt, ast.Expression):
+        yield stmt         # e.g. a for-advance expression node

@@ -1,0 +1,26 @@
+"""C frontend: lexer, preprocessor, parser, type model, rewriter.
+
+This is the substrate the paper builds on (OpenRefactory/C in the original);
+everything downstream — analyses, the SLR/STR transformations, and the VM —
+consumes the AST and source extents produced here.
+"""
+
+from .astnodes import TranslationUnit, set_parents
+from .parser import Parser, parse_translation_unit, preprocess_and_parse
+from .preprocessor import PreprocessedSource, Preprocessor
+from .rewriter import Rewriter
+from .unparser import Unparser, type_text, unparse
+from .source import (
+    LexError, ParseError, PreprocessorError, SourceError, SourceExtent,
+    SourceFile, count_source_lines,
+)
+
+__all__ = [
+    "TranslationUnit", "set_parents",
+    "Parser", "parse_translation_unit", "preprocess_and_parse",
+    "PreprocessedSource", "Preprocessor",
+    "Rewriter",
+    "Unparser", "type_text", "unparse",
+    "LexError", "ParseError", "PreprocessorError", "SourceError",
+    "SourceExtent", "SourceFile", "count_source_lines",
+]

@@ -1,0 +1,314 @@
+"""Built-in virtual headers.
+
+The preprocessor resolves ``#include`` against this virtual filesystem: real
+system headers are far outside the C subset our parser accepts, and the VM
+provides the library implementations natively, so the headers only need the
+*declarations*.  They cover what the SAMATE-style programs, the corpus
+programs, and the transformation outputs (glib safe functions, stralloc)
+require.
+"""
+
+STDDEF_H = """
+#ifndef _REPRO_STDDEF_H
+#define _REPRO_STDDEF_H
+typedef unsigned long size_t;
+typedef long ptrdiff_t;
+typedef int wchar_t;
+#define NULL ((void*)0)
+#define offsetof(type, member) __builtin_offsetof(type, member)
+#endif
+"""
+
+STDARG_H = """
+#ifndef _REPRO_STDARG_H
+#define _REPRO_STDARG_H
+typedef __builtin_va_list va_list;
+#define va_start(ap, last) __builtin_va_start(ap, last)
+#define va_arg(ap, type) __builtin_va_arg(ap, type)
+#define va_end(ap) __builtin_va_end(ap)
+#define va_copy(dst, src) __builtin_va_copy(dst, src)
+#endif
+"""
+
+STDIO_H = """
+#ifndef _REPRO_STDIO_H
+#define _REPRO_STDIO_H
+#include <stddef.h>
+#include <stdarg.h>
+typedef struct _FILE FILE;
+extern FILE *stdin;
+extern FILE *stdout;
+extern FILE *stderr;
+#define EOF (-1)
+#define BUFSIZ 8192
+int printf(const char *format, ...);
+int fprintf(FILE *stream, const char *format, ...);
+int sprintf(char *str, const char *format, ...);
+int snprintf(char *str, size_t size, const char *format, ...);
+int vsprintf(char *str, const char *format, va_list ap);
+int vsnprintf(char *str, size_t size, const char *format, va_list ap);
+int puts(const char *s);
+int putchar(int c);
+int fputs(const char *s, FILE *stream);
+int fputc(int c, FILE *stream);
+int getchar(void);
+int fgetc(FILE *stream);
+char *gets(char *s);
+char *fgets(char *s, int size, FILE *stream);
+FILE *fopen(const char *path, const char *mode);
+int fclose(FILE *stream);
+size_t fread(void *ptr, size_t size, size_t nmemb, FILE *stream);
+size_t fwrite(const void *ptr, size_t size, size_t nmemb, FILE *stream);
+int fflush(FILE *stream);
+int feof(FILE *stream);
+int ferror(FILE *stream);
+int fseek(FILE *stream, long offset, int whence);
+long ftell(FILE *stream);
+int remove(const char *pathname);
+void perror(const char *s);
+int sscanf(const char *str, const char *format, ...);
+#define SEEK_SET 0
+#define SEEK_CUR 1
+#define SEEK_END 2
+#endif
+"""
+
+STDLIB_H = """
+#ifndef _REPRO_STDLIB_H
+#define _REPRO_STDLIB_H
+#include <stddef.h>
+void *malloc(size_t size);
+void *calloc(size_t nmemb, size_t size);
+void *realloc(void *ptr, size_t size);
+void free(void *ptr);
+void *alloca(size_t size);
+int atoi(const char *nptr);
+long atol(const char *nptr);
+long strtol(const char *nptr, char **endptr, int base);
+unsigned long strtoul(const char *nptr, char **endptr, int base);
+double atof(const char *nptr);
+void abort(void);
+void exit(int status);
+int abs(int j);
+long labs(long j);
+int rand(void);
+void srand(unsigned int seed);
+char *getenv(const char *name);
+#define RAND_MAX 2147483647
+#define EXIT_SUCCESS 0
+#define EXIT_FAILURE 1
+#endif
+"""
+
+STRING_H = """
+#ifndef _REPRO_STRING_H
+#define _REPRO_STRING_H
+#include <stddef.h>
+size_t strlen(const char *s);
+char *strcpy(char *dest, const char *src);
+char *strncpy(char *dest, const char *src, size_t n);
+char *strcat(char *dest, const char *src);
+char *strncat(char *dest, const char *src, size_t n);
+int strcmp(const char *s1, const char *s2);
+int strncmp(const char *s1, const char *s2, size_t n);
+char *strchr(const char *s, int c);
+char *strrchr(const char *s, int c);
+char *strstr(const char *haystack, const char *needle);
+char *strdup(const char *s);
+void *memcpy(void *dest, const void *src, size_t n);
+void *memmove(void *dest, const void *src, size_t n);
+void *memset(void *s, int c, size_t n);
+int memcmp(const void *s1, const void *s2, size_t n);
+void *memchr(const void *s, int c, size_t n);
+#endif
+"""
+
+MALLOC_H = """
+#ifndef _REPRO_MALLOC_H
+#define _REPRO_MALLOC_H
+#include <stdlib.h>
+size_t malloc_usable_size(void *ptr);
+#endif
+"""
+
+GLIB_H = """
+#ifndef _REPRO_GLIB_H
+#define _REPRO_GLIB_H
+#include <stddef.h>
+#include <stdarg.h>
+typedef char gchar;
+typedef int gint;
+typedef unsigned long gsize;
+typedef unsigned long gulong;
+gsize g_strlcpy(gchar *dest, const gchar *src, gsize dest_size);
+gsize g_strlcat(gchar *dest, const gchar *src, gsize dest_size);
+gint g_snprintf(gchar *string, gulong n, const gchar *format, ...);
+gint g_vsnprintf(gchar *string, gulong n, const gchar *format, va_list args);
+#endif
+"""
+
+STRALLOC_H = """
+#ifndef _REPRO_STRALLOC_H
+#define _REPRO_STRALLOC_H
+#include <stddef.h>
+/* Safe string data structure, modified from qmail's stralloc.
+ * s   - the character data (equivalent of the replaced char pointer)
+ * f   - always points at the base of the original s, for bounds checks
+ * len - length of the string currently stored
+ * a   - number of bytes currently allocated/used
+ */
+typedef struct stralloc {
+    char *s;
+    char *f;
+    unsigned int len;
+    unsigned int a;
+} stralloc;
+
+int stralloc_init(stralloc *sa);
+int stralloc_ready(stralloc *sa, unsigned int n);
+void stralloc_free(stralloc *sa);
+int stralloc_copys(stralloc *sa, const char *s);
+int stralloc_copybuf(stralloc *sa, const char *buf, unsigned int n);
+int stralloc_cats(stralloc *sa, const char *s);
+int stralloc_catbuf(stralloc *sa, const char *buf, unsigned int n);
+int stralloc_append(stralloc *sa, char c);
+int stralloc_memset(stralloc *sa, char c, unsigned int n);
+int stralloc_increment_by(stralloc *sa, unsigned int n);
+int stralloc_decrement_by(stralloc *sa, unsigned int n);
+char stralloc_get_dereferenced_char_at(stralloc *sa, long idx);
+int stralloc_dereference_replace_by(stralloc *sa, long idx, char c);
+int stralloc_compare(stralloc *a, stralloc *b);
+int stralloc_equals(stralloc *a, stralloc *b);
+int stralloc_find_char(stralloc *sa, char c);
+int stralloc_substring_at(stralloc *sa, stralloc *needle);
+unsigned int stralloc_length(stralloc *sa);
+#endif
+"""
+
+ASSERT_H = """
+#ifndef _REPRO_ASSERT_H
+#define _REPRO_ASSERT_H
+void __assert_fail(const char *expr, const char *file, int line);
+#define assert(expr) ((expr) ? (void)0 : __assert_fail(#expr, "", 0))
+#endif
+"""
+
+CTYPE_H = """
+#ifndef _REPRO_CTYPE_H
+#define _REPRO_CTYPE_H
+int isalpha(int c);
+int isdigit(int c);
+int isalnum(int c);
+int isspace(int c);
+int isupper(int c);
+int islower(int c);
+int isprint(int c);
+int toupper(int c);
+int tolower(int c);
+#endif
+"""
+
+LIMITS_H = """
+#ifndef _REPRO_LIMITS_H
+#define _REPRO_LIMITS_H
+#define CHAR_BIT 8
+#define SCHAR_MIN (-128)
+#define SCHAR_MAX 127
+#define UCHAR_MAX 255
+#define CHAR_MIN (-128)
+#define CHAR_MAX 127
+#define SHRT_MIN (-32768)
+#define SHRT_MAX 32767
+#define USHRT_MAX 65535
+#define INT_MIN (-2147483647 - 1)
+#define INT_MAX 2147483647
+#define UINT_MAX 4294967295U
+#define LONG_MIN (-9223372036854775807L - 1L)
+#define LONG_MAX 9223372036854775807L
+#define ULONG_MAX 18446744073709551615UL
+#endif
+"""
+
+ERRNO_H = """
+#ifndef _REPRO_ERRNO_H
+#define _REPRO_ERRNO_H
+extern int errno;
+#define ENOMEM 12
+#define EINVAL 22
+#define ERANGE 34
+typedef int errno_t;
+#endif
+"""
+
+STDBOOL_H = """
+#ifndef _REPRO_STDBOOL_H
+#define _REPRO_STDBOOL_H
+#define bool _Bool
+#define true 1
+#define false 0
+#endif
+"""
+
+STDINT_H = """
+#ifndef _REPRO_STDINT_H
+#define _REPRO_STDINT_H
+typedef signed char int8_t;
+typedef unsigned char uint8_t;
+typedef short int16_t;
+typedef unsigned short uint16_t;
+typedef int int32_t;
+typedef unsigned int uint32_t;
+typedef long int64_t;
+typedef unsigned long uint64_t;
+typedef unsigned long uintptr_t;
+typedef long intptr_t;
+#define INT8_MAX 127
+#define INT16_MAX 32767
+#define INT32_MAX 2147483647
+#define UINT8_MAX 255
+#define UINT16_MAX 65535
+#define UINT32_MAX 4294967295U
+#endif
+"""
+
+UNISTD_H = """
+#ifndef _REPRO_UNISTD_H
+#define _REPRO_UNISTD_H
+#include <stddef.h>
+typedef long ssize_t;
+ssize_t read(int fd, void *buf, size_t count);
+ssize_t write(int fd, const void *buf, size_t count);
+#endif
+"""
+
+TIME_H = """
+#ifndef _REPRO_TIME_H
+#define _REPRO_TIME_H
+typedef long time_t;
+typedef long clock_t;
+time_t time(time_t *tloc);
+clock_t clock(void);
+#define CLOCKS_PER_SEC 1000000
+#endif
+"""
+
+BUILTIN_HEADERS: dict[str, str] = {
+    "stddef.h": STDDEF_H,
+    "stdarg.h": STDARG_H,
+    "stdio.h": STDIO_H,
+    "stdlib.h": STDLIB_H,
+    "string.h": STRING_H,
+    "strings.h": STRING_H,
+    "malloc.h": MALLOC_H,
+    "glib.h": GLIB_H,
+    "glib/glib.h": GLIB_H,
+    "stralloc.h": STRALLOC_H,
+    "assert.h": ASSERT_H,
+    "ctype.h": CTYPE_H,
+    "limits.h": LIMITS_H,
+    "errno.h": ERRNO_H,
+    "stdbool.h": STDBOOL_H,
+    "stdint.h": STDINT_H,
+    "unistd.h": UNISTD_H,
+    "time.h": TIME_H,
+}

@@ -1,0 +1,139 @@
+"""C99 lexer.
+
+One master-regex tokenizer serves both the preprocessor (which needs
+newline-significant token streams and ``#`` directive detection) and the
+parser (which consumes a newline-free stream of preprocessed tokens).
+Comments and whitespace are skipped but recorded via ``space_before`` so the
+preprocessor can regenerate readable text.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .source import LexError, SourceFile
+from .tokens import (
+    CHAR_CONST, EOF, HASH, ID, KEYWORD, KEYWORDS, NEWLINE, NUMBER, PUNCT,
+    PUNCTUATORS, STRING, Token,
+)
+
+_PUNCT_ALTERNATION = "|".join(re.escape(p) for p in PUNCTUATORS)
+
+# Order matters: comments and strings must win over punctuation; floats over
+# ints.  Preprocessing numbers (C99 6.4.8) are matched loosely and validated
+# later where it matters.
+_MASTER = re.compile(
+    r"""
+    (?P<ws>[ \t\r\f\v]+)
+  | (?P<line_comment>//[^\n]*)
+  | (?P<block_comment>/\*.*?\*/)
+  | (?P<unterminated_comment>/\*.*)
+  | (?P<newline>\n)
+  | (?P<string>L?"(?:[^"\\\n]|\\.)*")
+  | (?P<char>L?'(?:[^'\\\n]|\\.)+')
+  | (?P<number>\.?[0-9](?:[eEpP][+-]|[0-9a-zA-Z_.])*)
+  | (?P<id>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>%s)
+    """ % _PUNCT_ALTERNATION,
+    re.VERBOSE | re.DOTALL,
+)
+
+_LINE_SPLICE = re.compile(r"\\\r?\n")
+
+
+def splice_lines(text: str) -> str:
+    """Remove backslash-newline line splices (translation phase 2).
+
+    Replaces each splice with nothing; line numbers downstream refer to the
+    spliced text, which is how the rest of the pipeline sees the file.
+    """
+    return _LINE_SPLICE.sub("", text)
+
+
+class Lexer:
+    """Tokenizes a :class:`SourceFile` into :class:`Token` objects."""
+
+    def __init__(self, source: SourceFile, *, preprocessor_mode: bool = False):
+        self.source = source
+        self.preprocessor_mode = preprocessor_mode
+
+    def tokenize(self) -> list[Token]:
+        src = self.source
+        text = src.text
+        tokens: list[Token] = []
+        append = tokens.append
+        pos = 0
+        length = len(text)
+        space_pending = False
+        at_line_start = True
+        pp_mode = self.preprocessor_mode
+
+        while pos < length:
+            match = _MASTER.match(text, pos)
+            if match is None:
+                line, col = src.line_col(pos)
+                raise LexError(f"unexpected character {text[pos]!r}",
+                               src.name, line, col)
+            kind = match.lastgroup
+            tok_text = match.group()
+            start = pos
+            pos = match.end()
+
+            if kind == "ws":
+                space_pending = True
+                continue
+            if kind in ("line_comment", "block_comment"):
+                space_pending = True
+                if "\n" in tok_text and pp_mode:
+                    # A block comment spanning lines still ends the logical
+                    # preprocessor line(s) it crosses.
+                    for i, ch in enumerate(tok_text):
+                        if ch == "\n":
+                            off = start + i
+                            ln, cl = src.line_col(off)
+                            append(Token(NEWLINE, "\n", off, ln, cl))
+                    at_line_start = True
+                continue
+            if kind == "unterminated_comment":
+                line, col = src.line_col(start)
+                raise LexError("unterminated block comment",
+                               src.name, line, col)
+            if kind == "newline":
+                if pp_mode:
+                    ln, cl = src.line_col(start)
+                    append(Token(NEWLINE, "\n", start, ln, cl))
+                at_line_start = True
+                space_pending = False
+                continue
+
+            line, col = src.line_col(start)
+            if kind == "id":
+                tkind = KEYWORD if tok_text in KEYWORDS else ID
+            elif kind == "number":
+                tkind = NUMBER
+            elif kind == "string":
+                tkind = STRING
+            elif kind == "char":
+                tkind = CHAR_CONST
+            else:  # punct
+                if pp_mode and tok_text == "#" and at_line_start:
+                    tkind = HASH
+                else:
+                    tkind = PUNCT
+            append(Token(tkind, tok_text, start, line, col, space_pending))
+            space_pending = False
+            at_line_start = False
+
+        eof_line, eof_col = src.line_col(length)
+        if pp_mode and tokens and tokens[-1].kind != NEWLINE:
+            append(Token(NEWLINE, "\n", length, eof_line, eof_col))
+        append(Token(EOF, "", length, eof_line, eof_col))
+        return tokens
+
+
+def tokenize(text: str, name: str = "<string>",
+             *, preprocessor_mode: bool = False) -> list[Token]:
+    """Convenience wrapper: splice lines, build a SourceFile, tokenize."""
+    spliced = splice_lines(text)
+    return Lexer(SourceFile(name, spliced),
+                 preprocessor_mode=preprocessor_mode).tokenize()

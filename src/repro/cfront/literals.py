@@ -1,0 +1,120 @@
+"""Parsing of C literal tokens: integer/float constants, chars, strings."""
+
+from __future__ import annotations
+
+_SIMPLE_ESCAPES = {
+    "a": 7, "b": 8, "f": 12, "n": 10, "r": 13, "t": 9, "v": 11,
+    "\\": 92, "'": 39, '"': 34, "?": 63, "0": 0,
+}
+
+
+class LiteralError(ValueError):
+    """Raised for malformed literal token text."""
+
+
+def decode_escapes(body: str) -> bytes:
+    """Decode the body (no quotes) of a C char/string literal to bytes."""
+    out = bytearray()
+    i = 0
+    n = len(body)
+    while i < n:
+        ch = body[i]
+        if ch != "\\":
+            out.extend(ch.encode("utf-8"))
+            i += 1
+            continue
+        i += 1
+        if i >= n:
+            raise LiteralError("dangling backslash in literal")
+        esc = body[i]
+        if esc in _SIMPLE_ESCAPES:
+            out.append(_SIMPLE_ESCAPES[esc])
+            i += 1
+        elif esc == "x":
+            i += 1
+            start = i
+            while i < n and body[i] in "0123456789abcdefABCDEF":
+                i += 1
+            if start == i:
+                raise LiteralError("\\x with no hex digits")
+            out.append(int(body[start:i], 16) & 0xFF)
+        elif esc.isdigit():
+            start = i
+            while i < n and i - start < 3 and body[i] in "01234567":
+                i += 1
+            out.append(int(body[start:i], 8) & 0xFF)
+        else:
+            # Unknown escape: C says implementation-defined; keep the char.
+            out.append(ord(esc) & 0xFF)
+            i += 1
+    return bytes(out)
+
+
+def parse_char_constant(text: str) -> int:
+    """Parse a character constant token (including quotes) to its int value."""
+    if text.startswith("L"):
+        text = text[1:]
+    if len(text) < 3 or text[0] != "'" or text[-1] != "'":
+        raise LiteralError(f"malformed char constant {text!r}")
+    decoded = decode_escapes(text[1:-1])
+    if not decoded:
+        raise LiteralError(f"empty char constant {text!r}")
+    # Multi-char constants are implementation defined; fold big-endian.
+    value = 0
+    for byte in decoded:
+        value = (value << 8) | byte
+    return value
+
+
+def parse_string_literal(text: str) -> bytes:
+    """Parse a string literal token (including quotes) to its bytes, no NUL."""
+    if text.startswith("L"):
+        text = text[1:]
+    if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+        raise LiteralError(f"malformed string literal {text!r}")
+    return decode_escapes(text[1:-1])
+
+
+def parse_number(text: str) -> tuple[int | float, bool, bool, int]:
+    """Parse a numeric constant token.
+
+    Returns ``(value, is_float, is_unsigned, long_count)``.
+    """
+    t = text
+    is_float = False
+    # Detect floats: a '.' not part of a hex prefix, or exponent markers.
+    lower = t.lower()
+    if lower.startswith("0x"):
+        if "." in lower or "p" in lower:
+            is_float = True
+    else:
+        if "." in lower or "e" in lower:
+            is_float = True
+
+    suffix = ""
+    # 'f'/'F' are digits in hex constants, only suffix letters elsewhere.
+    suffix_chars = "uUlL" if lower.startswith("0x") else "uUlLfF"
+    while t and t[-1] in suffix_chars:
+        suffix = t[-1] + suffix
+        t = t[:-1]
+    is_unsigned = "u" in suffix.lower()
+    long_count = suffix.lower().count("l")
+    if "f" in suffix.lower() and not lower.startswith("0x"):
+        is_float = True
+
+    if is_float:
+        try:
+            value: int | float = float.fromhex(t) if lower.startswith("0x") \
+                else float(t)
+        except ValueError as exc:
+            raise LiteralError(f"bad float constant {text!r}") from exc
+        return value, True, False, long_count
+
+    try:
+        if len(t) > 1 and t[0] == "0" and t[1] not in "xXbB":
+            ivalue = int(t, 8)          # C octal: 0755
+        else:
+            ivalue = int(t, 0)
+    except ValueError as exc:
+        raise LiteralError(f"bad integer constant {text!r}") from exc
+    return ivalue, False, is_unsigned, long_count

@@ -1,0 +1,1042 @@
+"""Recursive-descent parser for the C99 subset.
+
+Consumes preprocessed text (see :mod:`repro.cfront.preprocessor`) and builds
+the AST of :mod:`repro.cfront.astnodes`.  The parser is typedef-aware (it
+keeps scoped typedef and tag tables, as any C parser must) and records exact
+source extents on every node so the rewriter can edit the original text.
+"""
+
+from __future__ import annotations
+
+from . import astnodes as ast
+from .ctypes_model import (
+    BOOL, CHAR, CType, DOUBLE, EnumType, FLOAT, FloatType, FunctionType, INT,
+    ArrayType, IntType, PointerType, StructType, VOID, VaListType,
+)
+from .lexer import splice_lines, tokenize
+from .literals import parse_char_constant, parse_number, parse_string_literal
+from .source import ParseError, SourceExtent, SourceFile
+from .tokens import CHAR_CONST, EOF, ID, KEYWORD, NUMBER, PUNCT, STRING, Token
+
+_TYPE_SPECIFIER_KEYWORDS = frozenset({
+    "void", "char", "short", "int", "long", "float", "double", "signed",
+    "unsigned", "_Bool", "struct", "union", "enum",
+})
+_STORAGE_CLASSES = frozenset({"typedef", "extern", "static", "auto",
+                              "register"})
+_QUALIFIERS = frozenset({"const", "volatile", "restrict", "inline"})
+
+_ASSIGN_OPS = frozenset({"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+                         "^=", "<<=", ">>="})
+
+# (precedence, right-assoc) for binary operators, parsed by precedence
+# climbing.  Higher binds tighter.
+_BINARY_PRECEDENCE = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class _Scope:
+    """Parser-level scope: typedef names, struct/union/enum tags, enum
+    constants."""
+
+    def __init__(self, parent: "_Scope | None" = None):
+        self.parent = parent
+        self.typedefs: dict[str, CType] = {}
+        self.tags: dict[str, CType] = {}
+        self.enum_constants: dict[str, int] = {}
+        # Names declared as ordinary identifiers (shadowing typedef names).
+        self.ordinary: set[str] = set()
+
+    def lookup_typedef(self, name: str) -> CType | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.ordinary:
+                return None
+            if name in scope.typedefs:
+                return scope.typedefs[name]
+            scope = scope.parent
+        return None
+
+    def lookup_tag(self, name: str) -> CType | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.tags:
+                return scope.tags[name]
+            scope = scope.parent
+        return None
+
+    def lookup_enum_constant(self, name: str) -> int | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.ordinary:
+                return None         # shadowed by an ordinary declaration
+            if name in scope.enum_constants:
+                return scope.enum_constants[name]
+            scope = scope.parent
+        return None
+
+
+class Parser:
+    """Parse one preprocessed translation unit."""
+
+    def __init__(self, text: str, filename: str = "<string>"):
+        self.text = text
+        self.filename = filename
+        source = SourceFile(filename, splice_lines(text))
+        from .lexer import Lexer
+        self.tokens = Lexer(source).tokenize()
+        self.pos = 0
+        self.scope = _Scope()
+        self._install_builtins()
+
+    # ------------------------------------------------------------ plumbing
+
+    def _install_builtins(self) -> None:
+        self.scope.typedefs["__builtin_va_list"] = VaListType()
+
+    def _peek(self, offset: int = 0) -> Token:
+        idx = self.pos + offset
+        if idx >= len(self.tokens):
+            return self.tokens[-1]
+        return self.tokens[idx]
+
+    def _next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != EOF:
+            self.pos += 1
+        return tok
+
+    def _prev_end(self) -> int:
+        return self.tokens[self.pos - 1].end if self.pos else 0
+
+    def _error(self, message: str, tok: Token | None = None) -> ParseError:
+        tok = tok or self._peek()
+        return ParseError(message, self.filename, tok.line, tok.col)
+
+    def _expect_punct(self, text: str) -> Token:
+        tok = self._peek()
+        if not tok.is_punct(text):
+            raise self._error(f"expected {text!r}, found {tok.text!r}")
+        return self._next()
+
+    def _expect_id(self) -> Token:
+        tok = self._peek()
+        if tok.kind != ID:
+            raise self._error(f"expected identifier, found {tok.text!r}")
+        return self._next()
+
+    def _accept_punct(self, text: str) -> bool:
+        if self._peek().is_punct(text):
+            self._next()
+            return True
+        return False
+
+    def _accept_keyword(self, text: str) -> bool:
+        if self._peek().is_keyword(text):
+            self._next()
+            return True
+        return False
+
+    def _extent_from(self, start: int) -> SourceExtent:
+        return SourceExtent(start, self._prev_end())
+
+    def _push_scope(self) -> None:
+        self.scope = _Scope(self.scope)
+
+    def _pop_scope(self) -> None:
+        assert self.scope.parent is not None
+        self.scope = self.scope.parent
+
+    # ------------------------------------------------------------ top level
+
+    def parse(self) -> ast.TranslationUnit:
+        # Expression grammars recurse one Python level per nesting level;
+        # give deeply parenthesized legacy code room.
+        import sys
+        if sys.getrecursionlimit() < 20_000:
+            sys.setrecursionlimit(20_000)
+        items: list[ast.Node] = []
+        while self._peek().kind != EOF:
+            if self._accept_punct(";"):
+                continue
+            items.append(self._external_declaration())
+        unit = ast.TranslationUnit(SourceExtent(0, len(self.text)), items,
+                                   self.filename)
+        ast.set_parents(unit)
+        return unit
+
+    def _external_declaration(self) -> ast.Node:
+        start = self._peek().offset
+        base_type, storage, is_typedef = self._declaration_specifiers()
+        if self._peek().is_punct(";"):
+            # struct/union/enum definition with no declarators
+            self._next()
+            return ast.Declaration(self._extent_from(start), [], storage,
+                                   is_typedef, base_type)
+        decl_start = self._peek().offset
+        name, ctype, name_extent = self._declarator(base_type)
+        if isinstance(ctype, FunctionType) and self._peek().is_punct("{") \
+                and not is_typedef:
+            return self._function_definition(start, name, ctype, name_extent,
+                                             storage)
+        return self._finish_declaration(start, decl_start, base_type, storage,
+                                        is_typedef, name, ctype, name_extent)
+
+    def _function_definition(self, start: int, name: str,
+                             ctype: FunctionType,
+                             name_extent: SourceExtent,
+                             storage: str | None) -> ast.FunctionDef:
+        self._push_scope()
+        params: list[ast.ParamDecl] = []
+        for pname, ptype in ctype.params:
+            pdecl = ast.ParamDecl(name_extent, pname, ptype)
+            params.append(pdecl)
+            if pname:
+                self.scope.ordinary.add(pname)
+        body = self._compound_statement(new_scope=False)
+        self._pop_scope()
+        self.scope.ordinary.add(name)
+        return ast.FunctionDef(self._extent_from(start), name, ctype, params,
+                               body, storage, name_extent)
+
+    def _finish_declaration(self, start: int, decl_start: int, base_type,
+                            storage, is_typedef, name, ctype,
+                            name_extent) -> ast.Declaration:
+        declarators: list[ast.Declarator] = []
+        while True:
+            init = None
+            if self._accept_punct("="):
+                init = self._initializer()
+            self._register_name(name, ctype, is_typedef)
+            declarators.append(ast.Declarator(
+                self._extent_from(decl_start), name, ctype, init,
+                name_extent))
+            if not self._accept_punct(","):
+                break
+            decl_start = self._peek().offset
+            name, ctype, name_extent = self._declarator(base_type)
+        self._expect_punct(";")
+        return ast.Declaration(self._extent_from(start), declarators,
+                               storage, is_typedef, base_type)
+
+    def _register_name(self, name: str, ctype: CType,
+                       is_typedef: bool) -> None:
+        if is_typedef:
+            self.scope.typedefs[name] = ctype
+        elif name:
+            self.scope.ordinary.add(name)
+
+    # ------------------------------------------------ declaration specifiers
+
+    def _starts_type(self, tok: Token) -> bool:
+        if tok.kind == KEYWORD:
+            return (tok.text in _TYPE_SPECIFIER_KEYWORDS
+                    or tok.text in _QUALIFIERS
+                    or tok.text in _STORAGE_CLASSES)
+        if tok.kind == ID:
+            return self.scope.lookup_typedef(tok.text) is not None
+        return False
+
+    def _declaration_specifiers(self) -> tuple[CType, str | None, bool]:
+        storage: str | None = None
+        is_typedef = False
+        quals: set[str] = set()
+        base: CType | None = None
+        int_parts: list[str] = []
+
+        while True:
+            tok = self._peek()
+            if tok.kind == KEYWORD and tok.text in _STORAGE_CLASSES:
+                self._next()
+                if tok.text == "typedef":
+                    is_typedef = True
+                else:
+                    storage = tok.text
+            elif tok.kind == KEYWORD and tok.text in _QUALIFIERS:
+                self._next()
+                quals.add(tok.text)
+            elif tok.kind == KEYWORD and tok.text in (
+                    "void", "char", "short", "int", "long", "float",
+                    "double", "signed", "unsigned", "_Bool"):
+                self._next()
+                int_parts.append(tok.text)
+            elif tok.is_keyword("struct") or tok.is_keyword("union"):
+                base = self._struct_or_union_specifier()
+            elif tok.is_keyword("enum"):
+                base = self._enum_specifier()
+            elif tok.kind == ID and not int_parts and base is None:
+                td = self.scope.lookup_typedef(tok.text)
+                if td is not None:
+                    # Only treat as type if what follows makes sense.
+                    self._next()
+                    base = td
+                else:
+                    break
+            else:
+                break
+
+        if base is None:
+            base = _combine_int_parts(int_parts, self)
+        elif int_parts:
+            raise self._error("conflicting type specifiers")
+        return base.with_qualifiers(quals), storage, is_typedef
+
+    def _struct_or_union_specifier(self) -> CType:
+        kw = self._next()           # 'struct' or 'union'
+        is_union = kw.text == "union"
+        tag = None
+        if self._peek().kind == ID:
+            tag = self._next().text
+        if self._peek().is_punct("{"):
+            stype = None
+            if tag is not None:
+                existing = self.scope.tags.get(tag)
+                if isinstance(existing, StructType) and \
+                        existing.is_union == is_union and \
+                        not existing.is_complete:
+                    stype = existing
+            if stype is None:
+                stype = StructType(tag, is_union)
+                if tag is not None:
+                    self.scope.tags[tag] = stype
+            self._next()            # '{'
+            members: list[tuple[str, CType]] = []
+            while not self._peek().is_punct("}"):
+                base, _, _ = self._declaration_specifiers()
+                if self._peek().is_punct(";"):    # anonymous struct member
+                    self._next()
+                    if isinstance(base, StructType) and base.is_complete:
+                        members.extend(base.members)
+                    continue
+                while True:
+                    mname, mtype, _ = self._declarator(base)
+                    if self._accept_punct(":"):   # bit-field width, ignored
+                        self._conditional_expression()
+                    members.append((mname, mtype))
+                    if not self._accept_punct(","):
+                        break
+                self._expect_punct(";")
+            self._next()            # '}'
+            stype.define(members)
+            return stype
+        if tag is None:
+            raise self._error("struct/union needs a tag or a body")
+        existing = self.scope.lookup_tag(tag)
+        if isinstance(existing, StructType) and existing.is_union == is_union:
+            return existing
+        stype = StructType(tag, is_union)
+        self.scope.tags[tag] = stype
+        return stype
+
+    def _enum_specifier(self) -> CType:
+        self._next()                # 'enum'
+        tag = None
+        if self._peek().kind == ID:
+            tag = self._next().text
+        if self._peek().is_punct("{"):
+            etype = EnumType(tag)
+            if tag is not None:
+                self.scope.tags[tag] = etype
+            self._next()
+            value = 0
+            while not self._peek().is_punct("}"):
+                const_name = self._expect_id().text
+                if self._accept_punct("="):
+                    expr = self._conditional_expression()
+                    value = self._const_value(expr)
+                etype.constants[const_name] = value
+                self.scope.enum_constants[const_name] = value
+                value += 1
+                if not self._accept_punct(","):
+                    break
+            self._expect_punct("}")
+            return etype
+        if tag is None:
+            raise self._error("enum needs a tag or a body")
+        existing = self.scope.lookup_tag(tag)
+        if isinstance(existing, EnumType):
+            return existing
+        etype = EnumType(tag)
+        self.scope.tags[tag] = etype
+        return etype
+
+    # ------------------------------------------------------------ declarators
+
+    def _declarator(self, base: CType) -> tuple[str, CType, SourceExtent]:
+        """Parse a (possibly nested) declarator; returns (name, type,
+        name_extent)."""
+        ctype = self._pointer_suffix(base)
+        return self._direct_declarator(ctype, abstract=False)
+
+    def _abstract_declarator(self, base: CType) -> CType:
+        ctype = self._pointer_suffix(base)
+        name, ctype, _ = self._direct_declarator(ctype, abstract=True)
+        if name:
+            raise self._error("unexpected identifier in type name")
+        return ctype
+
+    def _pointer_suffix(self, ctype: CType) -> CType:
+        while self._peek().is_punct("*"):
+            self._next()
+            quals: set[str] = set()
+            while self._peek().kind == KEYWORD and \
+                    self._peek().text in _QUALIFIERS:
+                quals.add(self._next().text)
+            ctype = PointerType(ctype).with_qualifiers(quals)
+        return ctype
+
+    def _direct_declarator(self, ctype: CType, *, abstract: bool
+                           ) -> tuple[str, CType, SourceExtent]:
+        tok = self._peek()
+        name = ""
+        name_extent = SourceExtent(tok.offset, tok.offset)
+        inner_marker = None
+
+        if tok.kind == ID:
+            self._next()
+            name = tok.text
+            name_extent = tok.extent
+        elif tok.is_punct("(") and self._is_nested_declarator():
+            self._next()
+            # Parse the inner declarator against a placeholder; re-apply
+            # suffixes afterwards (standard two-pass trick).
+            inner_marker = _Placeholder()
+            inner_base = self._pointer_suffix(inner_marker)
+            name, inner_type, name_extent = self._direct_declarator(
+                inner_base, abstract=abstract)
+            self._expect_punct(")")
+        elif not abstract:
+            raise self._error(f"expected declarator, found {tok.text!r}")
+
+        suffixed = self._declarator_suffixes(ctype)
+        if inner_marker is not None:
+            ctype = _replace_placeholder(inner_type, inner_marker, suffixed)
+        else:
+            ctype = suffixed
+        return name, ctype, name_extent
+
+    def _is_nested_declarator(self) -> bool:
+        """Disambiguate '(' in declarators: nested declarator vs parameter
+        list."""
+        nxt = self._peek(1)
+        if nxt.is_punct("*") or nxt.is_punct("("):
+            return True
+        if nxt.kind == ID and self.scope.lookup_typedef(nxt.text) is None:
+            return True
+        return False
+
+    def _declarator_suffixes(self, ctype: CType) -> CType:
+        # Collect suffixes left-to-right, then fold right-to-left so that
+        # e.g. `int x[2][3]` is array-2 of array-3 of int.
+        suffixes: list[tuple] = []
+        while True:
+            if self._peek().is_punct("["):
+                self._next()
+                length = None
+                if not self._peek().is_punct("]"):
+                    expr = self._conditional_expression()
+                    length = self._const_value(expr)
+                self._expect_punct("]")
+                suffixes.append(("array", length))
+            elif self._peek().is_punct("("):
+                self._next()
+                params, variadic = self._parameter_list()
+                self._expect_punct(")")
+                suffixes.append(("function", params, variadic))
+            else:
+                break
+        for suffix in reversed(suffixes):
+            if suffix[0] == "array":
+                ctype = ArrayType(ctype, suffix[1])
+            else:
+                ctype = FunctionType(ctype, suffix[1], suffix[2])
+        return ctype
+
+    def _parameter_list(self) -> tuple[list[tuple[str | None, CType]], bool]:
+        params: list[tuple[str | None, CType]] = []
+        variadic = False
+        if self._peek().is_punct(")"):
+            return params, variadic
+        if self._peek().is_keyword("void") and self._peek(1).is_punct(")"):
+            self._next()
+            return params, variadic
+        while True:
+            if self._peek().is_punct("..."):
+                self._next()
+                variadic = True
+                break
+            base, _, _ = self._declaration_specifiers()
+            if self._peek().is_punct(",") or self._peek().is_punct(")"):
+                ptype: CType = base
+                pname: str | None = None
+            else:
+                pname_s, ptype, _ = self._maybe_abstract_declarator(base)
+                pname = pname_s or None
+            # Parameter decay: arrays and functions become pointers.
+            ptype = ptype.decay() if isinstance(ptype, (ArrayType,
+                                                        FunctionType)) \
+                else ptype
+            params.append((pname, ptype))
+            if not self._accept_punct(","):
+                break
+        return params, variadic
+
+    def _maybe_abstract_declarator(self, base: CType
+                                   ) -> tuple[str, CType, SourceExtent]:
+        ctype = self._pointer_suffix(base)
+        tok = self._peek()
+        if tok.kind == ID or tok.is_punct("(") or tok.is_punct("["):
+            return self._direct_declarator(ctype, abstract=True) \
+                if tok.is_punct("[") else \
+                self._direct_declarator(ctype, abstract=not (tok.kind == ID))
+        return "", ctype, SourceExtent(tok.offset, tok.offset)
+
+    def _type_name(self) -> CType:
+        base, storage, is_typedef = self._declaration_specifiers()
+        if storage or is_typedef:
+            raise self._error("storage class in type name")
+        return self._abstract_declarator(base)
+
+    # ------------------------------------------------------------ statements
+
+    def _compound_statement(self, *, new_scope: bool = True
+                            ) -> ast.CompoundStmt:
+        start = self._expect_punct("{").offset
+        if new_scope:
+            self._push_scope()
+        items: list[ast.Node] = []
+        while not self._peek().is_punct("}"):
+            if self._peek().kind == EOF:
+                raise self._error("unterminated block")
+            items.append(self._block_item())
+        self._next()        # '}'
+        if new_scope:
+            self._pop_scope()
+        return ast.CompoundStmt(self._extent_from(start), items)
+
+    def _block_item(self) -> ast.Node:
+        tok = self._peek()
+        if self._starts_type(tok) and not self._is_label():
+            start = tok.offset
+            base_type, storage, is_typedef = self._declaration_specifiers()
+            if self._peek().is_punct(";"):
+                self._next()
+                return ast.Declaration(self._extent_from(start), [], storage,
+                                       is_typedef, base_type)
+            decl_start = self._peek().offset
+            name, ctype, name_extent = self._declarator(base_type)
+            return self._finish_declaration(start, decl_start, base_type,
+                                            storage, is_typedef, name, ctype,
+                                            name_extent)
+        return self._statement()
+
+    def _is_label(self) -> bool:
+        return self._peek().kind == ID and self._peek(1).is_punct(":")
+
+    def _statement(self) -> ast.Statement:
+        tok = self._peek()
+        start = tok.offset
+
+        if tok.is_punct("{"):
+            return self._compound_statement()
+        if tok.is_punct(";"):
+            self._next()
+            return ast.EmptyStmt(self._extent_from(start))
+        if tok.kind == KEYWORD:
+            handler = {
+                "if": self._if_statement,
+                "while": self._while_statement,
+                "do": self._do_statement,
+                "for": self._for_statement,
+                "return": self._return_statement,
+                "break": self._break_statement,
+                "continue": self._continue_statement,
+                "switch": self._switch_statement,
+                "case": self._case_statement,
+                "default": self._default_statement,
+                "goto": self._goto_statement,
+            }.get(tok.text)
+            if handler is not None:
+                return handler()
+        if self._is_label():
+            name = self._next().text
+            self._next()        # ':'
+            body = self._statement()
+            return ast.LabelStmt(self._extent_from(start), name, body)
+        expr = self._expression()
+        self._expect_punct(";")
+        return ast.ExprStmt(self._extent_from(start), expr)
+
+    def _if_statement(self) -> ast.IfStmt:
+        start = self._next().offset         # 'if'
+        self._expect_punct("(")
+        cond = self._expression()
+        self._expect_punct(")")
+        then_stmt = self._statement()
+        else_stmt = None
+        if self._accept_keyword("else"):
+            else_stmt = self._statement()
+        return ast.IfStmt(self._extent_from(start), cond, then_stmt,
+                          else_stmt)
+
+    def _while_statement(self) -> ast.WhileStmt:
+        start = self._next().offset
+        self._expect_punct("(")
+        cond = self._expression()
+        self._expect_punct(")")
+        body = self._statement()
+        return ast.WhileStmt(self._extent_from(start), cond, body)
+
+    def _do_statement(self) -> ast.DoWhileStmt:
+        start = self._next().offset
+        body = self._statement()
+        if not self._accept_keyword("while"):
+            raise self._error("expected 'while' after do-body")
+        self._expect_punct("(")
+        cond = self._expression()
+        self._expect_punct(")")
+        self._expect_punct(";")
+        return ast.DoWhileStmt(self._extent_from(start), body, cond)
+
+    def _for_statement(self) -> ast.ForStmt:
+        start = self._next().offset
+        self._expect_punct("(")
+        self._push_scope()
+        init: ast.Node | None = None
+        if not self._peek().is_punct(";"):
+            if self._starts_type(self._peek()):
+                init = self._block_item()       # consumes the ';'
+            else:
+                expr_start = self._peek().offset
+                expr = self._expression()
+                self._expect_punct(";")
+                init = ast.ExprStmt(self._extent_from(expr_start), expr)
+        else:
+            self._next()
+        cond = None
+        if not self._peek().is_punct(";"):
+            cond = self._expression()
+        self._expect_punct(";")
+        advance = None
+        if not self._peek().is_punct(")"):
+            advance = self._expression()
+        self._expect_punct(")")
+        body = self._statement()
+        self._pop_scope()
+        return ast.ForStmt(self._extent_from(start), init, cond, advance,
+                           body)
+
+    def _return_statement(self) -> ast.ReturnStmt:
+        start = self._next().offset
+        value = None
+        if not self._peek().is_punct(";"):
+            value = self._expression()
+        self._expect_punct(";")
+        return ast.ReturnStmt(self._extent_from(start), value)
+
+    def _break_statement(self) -> ast.BreakStmt:
+        start = self._next().offset
+        self._expect_punct(";")
+        return ast.BreakStmt(self._extent_from(start))
+
+    def _continue_statement(self) -> ast.ContinueStmt:
+        start = self._next().offset
+        self._expect_punct(";")
+        return ast.ContinueStmt(self._extent_from(start))
+
+    def _switch_statement(self) -> ast.SwitchStmt:
+        start = self._next().offset
+        self._expect_punct("(")
+        cond = self._expression()
+        self._expect_punct(")")
+        body = self._statement()
+        return ast.SwitchStmt(self._extent_from(start), cond, body)
+
+    def _case_statement(self) -> ast.CaseStmt:
+        start = self._next().offset
+        value = self._conditional_expression()
+        self._expect_punct(":")
+        body = self._statement()
+        return ast.CaseStmt(self._extent_from(start), value, body)
+
+    def _default_statement(self) -> ast.DefaultStmt:
+        start = self._next().offset
+        self._expect_punct(":")
+        body = self._statement()
+        return ast.DefaultStmt(self._extent_from(start), body)
+
+    def _goto_statement(self) -> ast.GotoStmt:
+        start = self._next().offset
+        label = self._expect_id().text
+        self._expect_punct(";")
+        return ast.GotoStmt(self._extent_from(start), label)
+
+    # ----------------------------------------------------------- initializer
+
+    def _initializer(self) -> ast.Expression:
+        if self._peek().is_punct("{"):
+            start = self._next().offset
+            items: list[ast.Expression] = []
+            while not self._peek().is_punct("}"):
+                # Designators are parsed and skipped (we keep positional
+                # semantics, which covers the corpus and SAMATE programs).
+                while True:
+                    if self._peek().is_punct("."):
+                        self._next()
+                        self._expect_id()
+                    elif self._peek().is_punct("["):
+                        self._next()
+                        self._conditional_expression()
+                        self._expect_punct("]")
+                    else:
+                        break
+                if self._peek().is_punct("="):
+                    self._next()
+                items.append(self._initializer())
+                if not self._accept_punct(","):
+                    break
+            self._expect_punct("}")
+            return ast.InitList(self._extent_from(start), items)
+        return self._assignment_expression()
+
+    # ----------------------------------------------------------- expressions
+
+    def _expression(self) -> ast.Expression:
+        start = self._peek().offset
+        expr = self._assignment_expression()
+        while self._peek().is_punct(","):
+            self._next()
+            rhs = self._assignment_expression()
+            expr = ast.Comma(self._extent_from(start), expr, rhs)
+        return expr
+
+    def _assignment_expression(self) -> ast.Expression:
+        start = self._peek().offset
+        lhs = self._conditional_expression()
+        tok = self._peek()
+        if tok.kind == PUNCT and tok.text in _ASSIGN_OPS:
+            self._next()
+            rhs = self._assignment_expression()
+            return ast.Assignment(self._extent_from(start), tok.text, lhs,
+                                  rhs)
+        return lhs
+
+    def _conditional_expression(self) -> ast.Expression:
+        start = self._peek().offset
+        cond = self._binary_expression(1)
+        if self._peek().is_punct("?"):
+            self._next()
+            then_expr = self._expression()
+            self._expect_punct(":")
+            else_expr = self._conditional_expression()
+            return ast.Conditional(self._extent_from(start), cond, then_expr,
+                                   else_expr)
+        return cond
+
+    def _binary_expression(self, min_prec: int) -> ast.Expression:
+        start = self._peek().offset
+        lhs = self._cast_expression()
+        while True:
+            tok = self._peek()
+            if tok.kind != PUNCT:
+                return lhs
+            prec = _BINARY_PRECEDENCE.get(tok.text)
+            if prec is None or prec < min_prec:
+                return lhs
+            self._next()
+            rhs = self._binary_expression(prec + 1)
+            lhs = ast.Binary(self._extent_from(start), tok.text, lhs, rhs)
+
+    def _cast_expression(self) -> ast.Expression:
+        tok = self._peek()
+        if tok.is_punct("(") and self._starts_type(self._peek(1)):
+            start = tok.offset
+            self._next()
+            target = self._type_name()
+            self._expect_punct(")")
+            if self._peek().is_punct("{"):
+                # Compound literal: parse the init list; model as a cast of
+                # the initializer (adequate for our corpus programs).
+                init = self._initializer()
+                return ast.Cast(self._extent_from(start), target, init)
+            operand = self._cast_expression()
+            return ast.Cast(self._extent_from(start), target, operand)
+        return self._unary_expression()
+
+    def _unary_expression(self) -> ast.Expression:
+        tok = self._peek()
+        start = tok.offset
+        if tok.is_punct("++") or tok.is_punct("--"):
+            self._next()
+            operand = self._unary_expression()
+            return ast.Unary(self._extent_from(start), tok.text, operand)
+        if tok.kind == PUNCT and tok.text in ("&", "*", "+", "-", "~", "!"):
+            self._next()
+            operand = self._cast_expression()
+            return ast.Unary(self._extent_from(start), tok.text, operand)
+        if tok.is_keyword("sizeof"):
+            self._next()
+            if self._peek().is_punct("(") and \
+                    self._starts_type(self._peek(1)):
+                self._next()
+                target = self._type_name()
+                self._expect_punct(")")
+                return ast.SizeofType(self._extent_from(start), target)
+            operand = self._unary_expression()
+            return ast.SizeofExpr(self._extent_from(start), operand)
+        return self._postfix_expression()
+
+    def _postfix_expression(self) -> ast.Expression:
+        start = self._peek().offset
+        expr = self._primary_expression()
+        while True:
+            tok = self._peek()
+            if tok.is_punct("["):
+                self._next()
+                index = self._expression()
+                self._expect_punct("]")
+                expr = ast.ArrayAccess(self._extent_from(start), expr, index)
+            elif tok.is_punct("("):
+                self._next()
+                args: list[ast.Expression] = []
+                if not self._peek().is_punct(")"):
+                    args.append(self._assignment_expression())
+                    while self._accept_punct(","):
+                        args.append(self._assignment_expression())
+                self._expect_punct(")")
+                expr = ast.Call(self._extent_from(start), expr, args)
+            elif tok.is_punct("."):
+                self._next()
+                member = self._expect_member_name()
+                expr = ast.FieldAccess(self._extent_from(start), expr,
+                                       member, arrow=False)
+            elif tok.is_punct("->"):
+                self._next()
+                member = self._expect_member_name()
+                expr = ast.FieldAccess(self._extent_from(start), expr,
+                                       member, arrow=True)
+            elif tok.is_punct("++") or tok.is_punct("--"):
+                self._next()
+                expr = ast.Unary(self._extent_from(start), tok.text, expr,
+                                 is_postfix=True)
+            else:
+                return expr
+
+    def _expect_member_name(self) -> str:
+        tok = self._peek()
+        if tok.kind not in (ID, KEYWORD):
+            raise self._error(f"expected member name, found {tok.text!r}")
+        self._next()
+        return tok.text
+
+    def _primary_expression(self) -> ast.Expression:
+        tok = self._peek()
+        start = tok.offset
+
+        if tok.kind == NUMBER:
+            self._next()
+            value, is_float, unsigned, longs = parse_number(tok.text)
+            extent = self._extent_from(start)
+            if is_float:
+                return ast.FloatLiteral(extent, float(value), tok.text)
+            node = ast.IntLiteral(extent, int(value), tok.text)
+            return node
+        if tok.kind == CHAR_CONST:
+            self._next()
+            return ast.CharLiteral(self._extent_from(start),
+                                   parse_char_constant(tok.text), tok.text)
+        if tok.kind == STRING:
+            # Adjacent string literals concatenate.
+            parts: list[bytes] = []
+            texts: list[str] = []
+            while self._peek().kind == STRING:
+                stok = self._next()
+                parts.append(parse_string_literal(stok.text))
+                texts.append(stok.text)
+            return ast.StringLiteral(self._extent_from(start),
+                                     b"".join(parts), " ".join(texts))
+        if tok.kind == ID:
+            if tok.text == "__builtin_va_arg":
+                return self._va_arg_expression()
+            self._next()
+            enum_value = self.scope.lookup_enum_constant(tok.text)
+            if enum_value is not None:
+                # Enum constants fold to literals (they are rvalues with a
+                # compile-time value); the extent keeps the original name so
+                # rewrites remain faithful.
+                return ast.IntLiteral(self._extent_from(start), enum_value,
+                                      tok.text)
+            return ast.Identifier(self._extent_from(start), tok.text)
+        if tok.is_punct("("):
+            self._next()
+            expr = self._expression()
+            self._expect_punct(")")
+            # Keep the parenthesized extent: the rewriter must replace the
+            # whole '(expr)' when it replaces expr.
+            expr.extent = self._extent_from(start)
+            return expr
+        raise self._error(f"unexpected token {tok.text!r} in expression")
+
+    def _va_arg_expression(self) -> ast.VaArg:
+        start = self._next().offset     # __builtin_va_arg
+        self._expect_punct("(")
+        ap = self._assignment_expression()
+        self._expect_punct(",")
+        target = self._type_name()
+        self._expect_punct(")")
+        return ast.VaArg(self._extent_from(start), ap, target)
+
+    # ----------------------------------------------------- const evaluation
+
+    def _const_value(self, expr: ast.Expression) -> int:
+        value = self._try_const_value(expr)
+        if value is None:
+            raise self._error("expected integer constant expression")
+        return value
+
+    def _try_const_value(self, expr: ast.Expression) -> int | None:
+        if isinstance(expr, ast.IntLiteral):
+            return expr.value
+        if isinstance(expr, ast.CharLiteral):
+            return expr.value
+        if isinstance(expr, ast.Identifier):
+            return self.scope.lookup_enum_constant(expr.name)
+        if isinstance(expr, ast.Unary) and not expr.is_postfix:
+            value = self._try_const_value(expr.operand)
+            if value is None:
+                return None
+            return {"-": lambda v: -v, "+": lambda v: v,
+                    "~": lambda v: ~v, "!": lambda v: int(not v)} \
+                .get(expr.op, lambda v: None)(value)
+        if isinstance(expr, ast.Binary):
+            lhs = self._try_const_value(expr.lhs)
+            rhs = self._try_const_value(expr.rhs)
+            if lhs is None or rhs is None:
+                return None
+            try:
+                return _eval_binop(expr.op, lhs, rhs)
+            except ZeroDivisionError:
+                return None
+        if isinstance(expr, ast.Conditional):
+            cond = self._try_const_value(expr.cond)
+            if cond is None:
+                return None
+            return self._try_const_value(
+                expr.then_expr if cond else expr.else_expr)
+        if isinstance(expr, ast.SizeofType):
+            try:
+                return expr.target_type.sizeof()
+            except TypeError:
+                return None
+        if isinstance(expr, ast.SizeofExpr):
+            # sizeof(expr) in array bounds: only literals supported here.
+            if isinstance(expr.operand, ast.StringLiteral):
+                return len(expr.operand.value) + 1
+            return None
+        if isinstance(expr, ast.Cast):
+            return self._try_const_value(expr.operand)
+        return None
+
+
+def _eval_binop(op: str, lhs: int, rhs: int) -> int | None:
+    table = {
+        "+": lambda a, b: a + b, "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "/": lambda a, b: _c_div(a, b), "%": lambda a, b: _c_mod(a, b),
+        "<<": lambda a, b: a << b, ">>": lambda a, b: a >> b,
+        "&": lambda a, b: a & b, "|": lambda a, b: a | b,
+        "^": lambda a, b: a ^ b,
+        "==": lambda a, b: int(a == b), "!=": lambda a, b: int(a != b),
+        "<": lambda a, b: int(a < b), ">": lambda a, b: int(a > b),
+        "<=": lambda a, b: int(a <= b), ">=": lambda a, b: int(a >= b),
+        "&&": lambda a, b: int(bool(a) and bool(b)),
+        "||": lambda a, b: int(bool(a) or bool(b)),
+    }
+    fn = table.get(op)
+    return None if fn is None else fn(lhs, rhs)
+
+
+def _c_div(a: int, b: int) -> int:
+    if b == 0:
+        raise ZeroDivisionError
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _c_mod(a: int, b: int) -> int:
+    if b == 0:
+        raise ZeroDivisionError
+    return a - _c_div(a, b) * b
+
+
+class _Placeholder(CType):
+    """Marks the position of the inner declarator's base type."""
+
+    def sizeof(self) -> int:  # pragma: no cover
+        raise TypeError("placeholder type")
+
+
+def _replace_placeholder(ctype: CType, marker: "_Placeholder",
+                         replacement: CType) -> CType:
+    if ctype is marker:
+        return replacement
+    if isinstance(ctype, PointerType):
+        return PointerType(_replace_placeholder(ctype.pointee, marker,
+                                                replacement))
+    if isinstance(ctype, ArrayType):
+        return ArrayType(_replace_placeholder(ctype.element, marker,
+                                              replacement), ctype.length)
+    if isinstance(ctype, FunctionType):
+        return FunctionType(
+            _replace_placeholder(ctype.return_type, marker, replacement),
+            ctype.params, ctype.variadic)
+    return ctype
+
+
+def _combine_int_parts(parts: list[str], parser: Parser) -> CType:
+    if not parts:
+        raise parser._error("expected type specifier")
+    counts = {p: parts.count(p) for p in set(parts)}
+    if "void" in counts:
+        return VOID
+    if "_Bool" in counts:
+        return BOOL
+    if "float" in counts:
+        return FLOAT
+    if "double" in counts:
+        return FloatType("long double") if "long" in counts else DOUBLE
+    signed = "unsigned" not in counts
+    if "char" in counts:
+        return IntType("char", signed=signed)
+    long_count = counts.get("long", 0)
+    if long_count >= 2:
+        return IntType("long long", signed=signed)
+    if long_count == 1:
+        return IntType("long", signed=signed)
+    if "short" in counts:
+        return IntType("short", signed=signed)
+    return IntType("int", signed=signed)
+
+
+def parse_translation_unit(text: str,
+                           filename: str = "<string>") -> ast.TranslationUnit:
+    """Parse preprocessed C text into an AST."""
+    return Parser(text, filename).parse()
+
+
+def preprocess_and_parse(text: str, filename: str = "<string>",
+                         include_paths: dict[str, str] | None = None,
+                         predefined: dict[str, str] | None = None,
+                         ) -> tuple[ast.TranslationUnit, str]:
+    """Preprocess then parse; returns (AST, preprocessed_text)."""
+    from .preprocessor import Preprocessor
+    pp = Preprocessor(include_paths, predefined)
+    result = pp.preprocess(text, filename)
+    unit = parse_translation_unit(result.text, filename)
+    return unit, result.text

@@ -1,0 +1,133 @@
+"""Source rewriter: minimal, extent-based text edits.
+
+Transformations queue edits against the preprocessed source text; ``apply``
+materializes them in one pass.  Edits must not overlap (a nested replacement
+inside an outer replacement is a transformation bug), and the rewriter
+enforces this, mirroring how IDE refactoring engines guard their text-change
+objects.
+"""
+
+from __future__ import annotations
+
+from .source import SourceExtent
+
+
+class RewriteConflict(Exception):
+    """Two queued edits overlap."""
+
+
+class Edit:
+    __slots__ = ("start", "end", "replacement", "sequence")
+
+    def __init__(self, start: int, end: int, replacement: str,
+                 sequence: int):
+        self.start = start
+        self.end = end
+        self.replacement = replacement
+        self.sequence = sequence
+
+    @property
+    def is_insertion(self) -> bool:
+        return self.start == self.end
+
+    def __repr__(self) -> str:
+        return f"Edit([{self.start},{self.end}) -> {self.replacement!r})"
+
+
+class Rewriter:
+    """Accumulates edits over one body of text."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self._edits: list[Edit] = []
+        self._sequence = 0
+
+    # ------------------------------------------------------------- queueing
+
+    def replace(self, extent: SourceExtent, replacement: str) -> None:
+        self._add(extent.start, extent.end, replacement)
+
+    def replace_range(self, start: int, end: int, replacement: str) -> None:
+        self._add(start, end, replacement)
+
+    def insert_before(self, offset: int, text: str) -> None:
+        self._add(offset, offset, text)
+
+    def insert_after(self, extent: SourceExtent, text: str) -> None:
+        self._add(extent.end, extent.end, text)
+
+    def delete(self, extent: SourceExtent) -> None:
+        self._add(extent.start, extent.end, "")
+
+    def _add(self, start: int, end: int, replacement: str) -> None:
+        if not 0 <= start <= end <= len(self.text):
+            raise ValueError(f"edit [{start},{end}) outside text")
+        edit = Edit(start, end, replacement, self._sequence)
+        self._sequence += 1
+        for other in self._edits:
+            if _conflicts(edit, other):
+                raise RewriteConflict(
+                    f"edit {edit} overlaps already-queued {other}")
+        self._edits.append(edit)
+
+    @property
+    def has_edits(self) -> bool:
+        return bool(self._edits)
+
+    @property
+    def edit_count(self) -> int:
+        return len(self._edits)
+
+    # ------------------------------------------------------------- applying
+
+    def apply(self) -> str:
+        """Apply all queued edits and return the new text."""
+        # Stable order: by position; same-position insertions keep queue
+        # order so a transformation can build up multi-line insertions.
+        ordered = sorted(self._edits, key=lambda e: (e.start, e.end,
+                                                     e.sequence))
+        parts: list[str] = []
+        cursor = 0
+        for edit in ordered:
+            parts.append(self.text[cursor:edit.start])
+            parts.append(edit.replacement)
+            cursor = edit.end
+        parts.append(self.text[cursor:])
+        return "".join(parts)
+
+    def preview(self) -> list[tuple[str, str]]:
+        """Return (old, new) snippets for each edit, for logging/UIs."""
+        return [(self.text[e.start:e.end], e.replacement)
+                for e in sorted(self._edits, key=lambda e: e.start)]
+
+
+def _conflicts(a: Edit, b: Edit) -> bool:
+    # Pure insertions at the same point are allowed (they compose in
+    # sequence order); anything else that overlaps is a conflict.
+    if a.is_insertion and b.is_insertion:
+        return False
+    if a.is_insertion:
+        return b.start < a.start < b.end
+    if b.is_insertion:
+        return a.start < b.start < a.end
+    return a.start < b.end and b.start < a.end
+
+
+def line_indent(text: str, offset: int) -> str:
+    """Return the leading whitespace of the line containing ``offset``."""
+    line_start = text.rfind("\n", 0, offset) + 1
+    end = line_start
+    while end < len(text) and text[end] in " \t":
+        end += 1
+    return text[line_start:end]
+
+
+def statement_line_start(text: str, offset: int) -> int:
+    """Offset of the first character of the line containing ``offset``."""
+    return text.rfind("\n", 0, offset) + 1
+
+
+def end_of_line(text: str, offset: int) -> int:
+    """Offset just past the newline of the line containing ``offset``."""
+    idx = text.find("\n", offset)
+    return len(text) if idx == -1 else idx + 1

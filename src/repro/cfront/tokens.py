@@ -1,0 +1,126 @@
+"""Token model shared by the lexer, preprocessor, and parser."""
+
+from __future__ import annotations
+
+from .source import SourceExtent
+
+# Token kinds.  Kept as plain strings (not an Enum) for speed: tokenizing a
+# multi-KLOC translation unit touches these values millions of times.
+ID = "id"
+KEYWORD = "keyword"
+NUMBER = "number"
+CHAR_CONST = "char"
+STRING = "string"
+PUNCT = "punct"
+NEWLINE = "newline"        # significant only inside the preprocessor
+INDENT = "indent"          # synthetic: leading whitespace of an output line
+HASH = "hash"              # a '#' that begins a directive line
+EOF = "eof"
+
+KEYWORDS = frozenset({
+    "auto", "break", "case", "char", "const", "continue", "default", "do",
+    "double", "else", "enum", "extern", "float", "for", "goto", "if",
+    "inline", "int", "long", "register", "restrict", "return", "short",
+    "signed", "sizeof", "static", "struct", "switch", "typedef", "union",
+    "unsigned", "void", "volatile", "while",
+    "_Bool",
+})
+
+# Multi-character punctuators, longest first so the lexer regex prefers them.
+PUNCTUATORS = [
+    "...", "<<=", ">>=",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "^=", "|=", "##",
+    "[", "]", "(", ")", "{", "}", ".", "&", "*", "+", "-", "~", "!",
+    "/", "%", "<", ">", "^", "|", "?", ":", ";", "=", ",", "#",
+]
+
+
+class Token:
+    """A lexical token with its exact extent in the source text."""
+
+    __slots__ = ("kind", "text", "offset", "line", "col",
+                 "space_before", "expanded_from")
+
+    def __init__(self, kind: str, text: str, offset: int = 0,
+                 line: int = 0, col: int = 0, space_before: bool = False):
+        self.kind = kind
+        self.text = text
+        self.offset = offset
+        self.line = line
+        self.col = col
+        # True when whitespace (or a comment) preceded this token; the
+        # preprocessor uses it to reconstruct readable output text.
+        self.space_before = space_before
+        # Name of the macro this token was expanded from, or None.  Used for
+        # recursion blocking during macro expansion.
+        self.expanded_from: frozenset | None = None
+
+    @property
+    def end(self) -> int:
+        return self.offset + len(self.text)
+
+    @property
+    def extent(self) -> SourceExtent:
+        return SourceExtent(self.offset, self.end)
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind == PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind == KEYWORD and self.text == text
+
+    def matches(self, kind: str, text: str | None = None) -> bool:
+        return self.kind == kind and (text is None or self.text == text)
+
+    def clone(self) -> "Token":
+        tok = Token(self.kind, self.text, self.offset, self.line, self.col,
+                    self.space_before)
+        tok.expanded_from = self.expanded_from
+        return tok
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, @{self.line}:{self.col})"
+
+
+def tokens_to_text(tokens: list[Token]) -> str:
+    """Render a token list back to text, honouring ``space_before`` flags.
+
+    Used by the preprocessor to materialize expanded lines.  Adjacent tokens
+    that would lex differently when juxtaposed (e.g. two identifiers, ``+``
+    followed by ``+``) are always separated, regardless of the flag.
+    """
+    parts: list[str] = []
+    prev: Token | None = None
+    for tok in tokens:
+        if tok.kind in (NEWLINE, EOF):
+            parts.append("\n")
+            prev = None
+            continue
+        if tok.kind == INDENT:
+            if prev is None:
+                parts.append(tok.text)
+            continue
+        if prev is not None and (tok.space_before or
+                                 _needs_separator(prev, tok)):
+            parts.append(" ")
+        parts.append(tok.text)
+        prev = tok
+    return "".join(parts)
+
+
+def _needs_separator(prev: Token, cur: Token) -> bool:
+    wordish = (ID, KEYWORD, NUMBER)
+    if prev.kind in wordish and cur.kind in wordish:
+        return True
+    if prev.kind == PUNCT and cur.kind == PUNCT:
+        # Avoid accidentally forming a longer punctuator: '+' '+' -> '++'.
+        return (prev.text + cur.text[:1]) in _PUNCT_PREFIXES
+    if prev.kind == NUMBER and cur.kind == PUNCT and cur.text[0] in "+-.":
+        return True
+    return False
+
+
+_PUNCT_PREFIXES = frozenset(
+    p[:i] for p in PUNCTUATORS for i in range(2, len(p) + 1)
+)

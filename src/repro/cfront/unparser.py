@@ -1,0 +1,276 @@
+"""AST unparser: render a parsed translation unit back to C text.
+
+The transformations themselves edit *original source text* (see
+:mod:`repro.cfront.rewriter`) to keep diffs minimal; the unparser serves
+the complementary uses a refactoring library needs:
+
+* normalized output for golden tests and debugging dumps,
+* round-trip checking (parse → unparse → parse must preserve the tree),
+* programmatic C code generation from synthesized ASTs.
+
+Operator precedence is respected, so the output re-parses to an
+identical-shape tree without relying on recorded parentheses.
+"""
+
+from __future__ import annotations
+
+from . import astnodes as ast
+from .ctypes_model import (
+    ArrayType, CType, EnumType, FunctionType, PointerType, StructType,
+    VaListType,
+)
+
+# Precedence levels mirroring the parser's table; higher binds tighter.
+_BINARY_PREC = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+_PREC_ASSIGN = 0
+_PREC_CONDITIONAL = 0.5
+_PREC_UNARY = 11
+_PREC_POSTFIX = 12
+_PREC_PRIMARY = 13
+
+
+def type_text(ctype: CType, declarator: str = "") -> str:
+    """Render a C type with an optional declarator name inside it,
+    handling the inside-out declarator syntax (arrays, pointers,
+    function pointers)."""
+    if isinstance(ctype, PointerType):
+        inner = f"*{declarator}"
+        if isinstance(ctype.pointee, (ArrayType, FunctionType)):
+            inner = f"({inner})"
+        return type_text(ctype.pointee, inner)
+    if isinstance(ctype, ArrayType):
+        length = "" if ctype.length is None else str(ctype.length)
+        return type_text(ctype.element, f"{declarator}[{length}]")
+    if isinstance(ctype, FunctionType):
+        params = ", ".join(type_text(ptype, pname or "")
+                           for pname, ptype in ctype.params)
+        if ctype.variadic:
+            params = f"{params}, ..." if params else "..."
+        elif not params:
+            params = "void"
+        return type_text(ctype.return_type,
+                         f"{declarator}({params})")
+    base = _base_type_name(ctype)
+    if declarator:
+        return f"{base} {declarator}".rstrip()
+    return base
+
+
+def _base_type_name(ctype: CType) -> str:
+    if isinstance(ctype, StructType):
+        keyword = "union" if ctype.is_union else "struct"
+        return f"{keyword} {ctype.tag}" if ctype.tag else keyword
+    if isinstance(ctype, EnumType):
+        return f"enum {ctype.tag}" if ctype.tag else "enum"
+    if isinstance(ctype, VaListType):
+        return "__builtin_va_list"
+    return str(ctype)
+
+
+class Unparser:
+    """Renders AST nodes to C text."""
+
+    def __init__(self, indent: str = "    "):
+        self.indent_unit = indent
+
+    # ---------------------------------------------------------------- API
+
+    def unit(self, node: ast.TranslationUnit) -> str:
+        parts = []
+        for item in node.items:
+            if isinstance(item, ast.FunctionDef):
+                parts.append(self.function(item))
+            else:
+                parts.append(self.statement(item, 0))
+        return "\n\n".join(parts) + "\n"
+
+    def function(self, node: ast.FunctionDef) -> str:
+        assert isinstance(node.ctype, FunctionType)
+        params = []
+        for param, (pname, ptype) in zip(node.params, node.ctype.params):
+            params.append(type_text(ptype, param.name or pname or ""))
+        if node.ctype.variadic:
+            params.append("...")
+        if not params:
+            params = ["void"]
+        storage = f"{node.storage_class} " if node.storage_class else ""
+        header = (f"{storage}"
+                  f"{type_text(node.ctype.return_type, node.name)}"
+                  f"({', '.join(params)})")
+        return f"{header}\n{self.statement(node.body, 0)}"
+
+    # ---------------------------------------------------------- statements
+
+    def statement(self, node: ast.Node, depth: int) -> str:
+        pad = self.indent_unit * depth
+
+        if isinstance(node, ast.CompoundStmt):
+            inner = "\n".join(self.statement(item, depth + 1)
+                              for item in node.items)
+            return f"{pad}{{\n{inner}\n{pad}}}" if node.items \
+                else f"{pad}{{\n{pad}}}"
+        if isinstance(node, ast.Declaration):
+            return f"{pad}{self.declaration(node)}"
+        if isinstance(node, ast.ExprStmt):
+            body = self.expr(node.expr) if node.expr is not None else ""
+            return f"{pad}{body};"
+        if isinstance(node, ast.IfStmt):
+            text = (f"{pad}if ({self.expr(node.cond)})\n"
+                    f"{self._substmt(node.then_stmt, depth)}")
+            if node.else_stmt is not None:
+                text += (f"\n{pad}else\n"
+                         f"{self._substmt(node.else_stmt, depth)}")
+            return text
+        if isinstance(node, ast.WhileStmt):
+            return (f"{pad}while ({self.expr(node.cond)})\n"
+                    f"{self._substmt(node.body, depth)}")
+        if isinstance(node, ast.DoWhileStmt):
+            return (f"{pad}do\n{self._substmt(node.body, depth)}\n"
+                    f"{pad}while ({self.expr(node.cond)});")
+        if isinstance(node, ast.ForStmt):
+            init = ""
+            if isinstance(node.init, ast.Declaration):
+                init = self.declaration(node.init).rstrip(";")
+            elif isinstance(node.init, ast.ExprStmt) and \
+                    node.init.expr is not None:
+                init = self.expr(node.init.expr)
+            cond = self.expr(node.cond) if node.cond is not None else ""
+            advance = self.expr(node.advance) \
+                if node.advance is not None else ""
+            return (f"{pad}for ({init}; {cond}; {advance})\n"
+                    f"{self._substmt(node.body, depth)}")
+        if isinstance(node, ast.ReturnStmt):
+            if node.value is None:
+                return f"{pad}return;"
+            return f"{pad}return {self.expr(node.value)};"
+        if isinstance(node, ast.BreakStmt):
+            return f"{pad}break;"
+        if isinstance(node, ast.ContinueStmt):
+            return f"{pad}continue;"
+        if isinstance(node, ast.SwitchStmt):
+            return (f"{pad}switch ({self.expr(node.cond)})\n"
+                    f"{self._substmt(node.body, depth)}")
+        if isinstance(node, ast.CaseStmt):
+            return (f"{pad}case {self.expr(node.value)}:\n"
+                    f"{self.statement(node.body, depth + 1)}")
+        if isinstance(node, ast.DefaultStmt):
+            return (f"{pad}default:\n"
+                    f"{self.statement(node.body, depth + 1)}")
+        if isinstance(node, ast.LabelStmt):
+            return f"{pad}{node.name}:\n{self.statement(node.body, depth)}"
+        if isinstance(node, ast.GotoStmt):
+            return f"{pad}goto {node.label};"
+        if isinstance(node, ast.EmptyStmt):
+            return f"{pad};"
+        raise ValueError(f"cannot unparse {type(node).__name__}")
+
+    def _substmt(self, node: ast.Node, depth: int) -> str:
+        if isinstance(node, ast.CompoundStmt):
+            return self.statement(node, depth)
+        return self.statement(node, depth + 1)
+
+    def declaration(self, node: ast.Declaration) -> str:
+        storage = f"{node.storage_class} " if node.storage_class else ""
+        typedef = "typedef " if node.is_typedef else ""
+        if not node.declarators:
+            return f"{storage}{typedef}{_base_type_name(node.base_type)};"
+        parts = []
+        for declarator in node.declarators:
+            text = type_text(declarator.ctype, declarator.name)
+            if declarator.init is not None:
+                text += f" = {self.init(declarator.init)}"
+            parts.append(text)
+        # Multiple declarators with divergent derived types are emitted as
+        # full per-declarator types joined by ';' to stay correct.
+        return f"{storage}{typedef}" + "; ".join(parts) + ";"
+
+    def init(self, node: ast.Expression) -> str:
+        if isinstance(node, ast.InitList):
+            return "{" + ", ".join(self.init(i) for i in node.items) + "}"
+        return self.expr(node)
+
+    # ---------------------------------------------------------- expressions
+
+    def expr(self, node: ast.Expression, parent_prec: float = -1) -> str:
+        text, prec = self._expr(node)
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+
+    def _expr(self, node: ast.Expression) -> tuple[str, float]:
+        if isinstance(node, (ast.IntLiteral, ast.FloatLiteral,
+                             ast.CharLiteral)):
+            return node.text, _PREC_PRIMARY
+        if isinstance(node, ast.StringLiteral):
+            return node.text, _PREC_PRIMARY
+        if isinstance(node, ast.Identifier):
+            return node.name, _PREC_PRIMARY
+        if isinstance(node, ast.ArrayAccess):
+            base = self.expr(node.base, _PREC_POSTFIX)
+            return f"{base}[{self.expr(node.index)}]", _PREC_POSTFIX
+        if isinstance(node, ast.FieldAccess):
+            base = self.expr(node.base, _PREC_POSTFIX)
+            op = "->" if node.arrow else "."
+            return f"{base}{op}{node.member}", _PREC_POSTFIX
+        if isinstance(node, ast.Call):
+            func = self.expr(node.func, _PREC_POSTFIX)
+            args = ", ".join(self.expr(a, _PREC_ASSIGN + 0.1)
+                             for a in node.args)
+            return f"{func}({args})", _PREC_POSTFIX
+        if isinstance(node, ast.Unary):
+            if node.is_postfix:
+                operand = self.expr(node.operand, _PREC_POSTFIX)
+                return f"{operand}{node.op}", _PREC_POSTFIX
+            operand = self.expr(node.operand, _PREC_UNARY)
+            # Avoid token pasting: `-` before `-a` must not become `--a`.
+            space = " " if operand.startswith(node.op[-1]) else ""
+            return f"{node.op}{space}{operand}", _PREC_UNARY
+        if isinstance(node, ast.Binary):
+            prec = _BINARY_PREC[node.op]
+            lhs = self.expr(node.lhs, prec)
+            rhs = self.expr(node.rhs, prec + 0.1)   # left-assoc
+            return f"{lhs} {node.op} {rhs}", prec
+        if isinstance(node, ast.Assignment):
+            lhs = self.expr(node.lhs, _PREC_UNARY)
+            rhs = self.expr(node.rhs, _PREC_ASSIGN)
+            return f"{lhs} {node.op} {rhs}", _PREC_ASSIGN
+        if isinstance(node, ast.Conditional):
+            cond = self.expr(node.cond, _PREC_CONDITIONAL + 0.1)
+            then = self.expr(node.then_expr)
+            other = self.expr(node.else_expr, _PREC_CONDITIONAL)
+            return f"{cond} ? {then} : {other}", _PREC_CONDITIONAL
+        if isinstance(node, ast.Cast):
+            operand = self.expr(node.operand, _PREC_UNARY)
+            return f"({type_text(node.target_type)}){operand}", _PREC_UNARY
+        if isinstance(node, ast.SizeofExpr):
+            return f"sizeof({self.expr(node.operand)})", _PREC_UNARY
+        if isinstance(node, ast.SizeofType):
+            return f"sizeof({type_text(node.target_type)})", _PREC_UNARY
+        if isinstance(node, ast.Comma):
+            return (f"{self.expr(node.lhs, _PREC_ASSIGN)}, "
+                    f"{self.expr(node.rhs, _PREC_ASSIGN)}"), -0.5
+        if isinstance(node, ast.VaArg):
+            return (f"__builtin_va_arg({self.expr(node.ap)}, "
+                    f"{type_text(node.target_type)})"), _PREC_POSTFIX
+        if isinstance(node, ast.InitList):
+            return self.init(node), _PREC_PRIMARY
+        raise ValueError(f"cannot unparse {type(node).__name__}")
+
+
+def unparse(node: ast.Node) -> str:
+    """Render an AST node (translation unit, statement, or expression)."""
+    unparser = Unparser()
+    if isinstance(node, ast.TranslationUnit):
+        return unparser.unit(node)
+    if isinstance(node, ast.FunctionDef):
+        return unparser.function(node)
+    if isinstance(node, ast.Expression):
+        return unparser.expr(node)
+    return unparser.statement(node, 0)

@@ -1,0 +1,142 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands mirror how the paper's tool is used:
+
+* ``fix FILE``       — apply SLR and/or STR to a C file, print or write
+  the transformed source, and report per-site outcomes;
+* ``run FILE``       — execute a C file in the bounds-checked VM;
+* ``analyze FILE``   — print analysis facts (points-to, aliases, buffer
+  lengths at unsafe call sites).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import apply_slr, apply_str, preprocess, run_c
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def cmd_fix(args: argparse.Namespace) -> int:
+    source = _read(args.file)
+    text = preprocess(source, args.file)
+    outcomes = []
+    if not args.no_slr:
+        result = apply_slr(text, args.file, profile=args.profile)
+        outcomes.extend(result.outcomes)
+        text = result.new_text
+    if not args.no_str:
+        result = apply_str(text, args.file)
+        outcomes.extend(result.outcomes)
+        text = result.new_text
+
+    for outcome in outcomes:
+        marker = "FIXED" if outcome.transformed else "SKIP "
+        reason = f" ({outcome.reason})" if outcome.reason else ""
+        print(f"[{marker}] {outcome.transformation} "
+              f"{outcome.function}:{outcome.line} "
+              f"{outcome.target}{reason}", file=sys.stderr)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    transformed = sum(1 for o in outcomes if o.transformed)
+    print(f"{transformed}/{len(outcomes)} sites transformed",
+          file=sys.stderr)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    source = _read(args.file)
+    text = preprocess(source, args.file)
+    stdin = args.stdin.encode() if args.stdin else b""
+    result = run_c(text, stdin=stdin)
+    sys.stdout.write(result.stdout_text)
+    if result.fault:
+        print(f"FAULT: {result.fault_detail}", file=sys.stderr)
+        return 1
+    return result.exit_code or 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis import analyze
+    from .cfront import astnodes as ast
+    from .cfront.parser import parse_translation_unit
+    from .core.bufferlen import BufferLengthAnalyzer, LengthFailure
+    from .core.slr import UNSAFE_FUNCTIONS
+
+    source = _read(args.file)
+    text = preprocess(source, args.file)
+    unit = parse_translation_unit(text, args.file)
+    pa = analyze(unit)
+    lengths = BufferLengthAnalyzer(pa, text)
+
+    print("== functions ==")
+    for fn in unit.functions():
+        locals_ = pa.symbols.locals_of.get(fn.name, [])
+        print(f"  {fn.name}: {len(locals_)} locals, "
+              f"calls {sorted(pa.callgraph.callees(fn.name))}")
+
+    print("\n== pointer aliases ==")
+    for group in pa.aliases.alias_sets():
+        print("  {" + ", ".join(sorted(s.name for s in group)) + "}")
+
+    print("\n== unsafe call sites ==")
+    for node in unit.walk():
+        if isinstance(node, ast.Call) and \
+                node.callee_name in UNSAFE_FUNCTIONS and node.args:
+            result = lengths.get_buffer_length(node.args[0])
+            dest = node.args[0].source_text(text)
+            if isinstance(result, LengthFailure):
+                print(f"  {node.callee_name}({dest}, ...): "
+                      f"UNSIZABLE ({result.reason})")
+            else:
+                print(f"  {node.callee_name}({dest}, ...): "
+                      f"size = {result.render()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Automatically fix C buffer overflows using program "
+                    "transformations (DSN 2014 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fix = sub.add_parser("fix", help="apply SLR/STR to a C file")
+    fix.add_argument("file")
+    fix.add_argument("-o", "--output", help="write result here")
+    fix.add_argument("--no-slr", action="store_true")
+    fix.add_argument("--no-str", action="store_true")
+    fix.add_argument("--profile", choices=("glib", "c11"),
+                     default="glib",
+                     help="safe-function family for SLR (Table I)")
+    fix.set_defaults(func=cmd_fix)
+
+    run = sub.add_parser("run", help="run a C file in the checked VM")
+    run.add_argument("file")
+    run.add_argument("--stdin", default="", help="text fed to stdin")
+    run.set_defaults(func=cmd_run)
+
+    analyze_cmd = sub.add_parser("analyze",
+                                 help="print analysis facts for a C file")
+    analyze_cmd.add_argument("file")
+    analyze_cmd.set_defaults(func=cmd_analyze)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

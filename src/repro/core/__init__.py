@@ -1,0 +1,29 @@
+"""The paper's contribution: SLR and STR program transformations.
+
+* :class:`SafeLibraryReplacement` (SLR) — replace unsafe library calls with
+  bounds-aware alternatives, sizing destinations via Algorithm 1.
+* :class:`SafeTypeReplacement` (STR) — replace local char buffers with the
+  stralloc safe-string type, rewriting all uses per Table II.
+* :func:`apply_batch` — batch both transformations over a whole program.
+"""
+
+from .batch import BatchResult, SourceProgram, apply_batch
+from .bufferlen import BufferLength, BufferLengthAnalyzer, LengthFailure
+from .slr import SAFE_ALTERNATIVES, SafeLibraryReplacement, UNSAFE_FUNCTIONS, apply_slr
+from .stralloc import STRALLOC_DECLARATIONS, STRALLOC_FUNCTIONS
+from .strtransform import REPLACEMENT_PATTERNS, SafeTypeReplacement, apply_str
+from .transform import (
+    PRECONDITION_FAILED, SiteOutcome, TRANSFORMED, TransformResult,
+    Transformation, verify_output_parses,
+)
+
+__all__ = [
+    "BatchResult", "SourceProgram", "apply_batch",
+    "BufferLength", "BufferLengthAnalyzer", "LengthFailure",
+    "SAFE_ALTERNATIVES", "SafeLibraryReplacement", "UNSAFE_FUNCTIONS",
+    "apply_slr",
+    "STRALLOC_DECLARATIONS", "STRALLOC_FUNCTIONS",
+    "REPLACEMENT_PATTERNS", "SafeTypeReplacement", "apply_str",
+    "PRECONDITION_FAILED", "SiteOutcome", "TRANSFORMED", "TransformResult",
+    "Transformation", "verify_output_parses",
+]

@@ -1,0 +1,144 @@
+"""Batch application of the transformations to whole programs.
+
+The paper evaluates SLR/STR by applying them *on all possible targets* in
+benchmark and open-source programs (§IV).  This module provides the program
+model (a named set of C source files plus headers) and the driver that
+preprocesses every file, runs SLR and/or STR over each, verifies the output
+still parses (the paper's "no compilation errors" check), and aggregates
+per-site outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cfront.parser import parse_translation_unit
+from ..cfront.preprocessor import Preprocessor
+from ..cfront.source import count_source_lines
+from .slr import SafeLibraryReplacement
+from .strtransform import SafeTypeReplacement
+from .transform import TransformResult
+
+
+@dataclass
+class SourceProgram:
+    """A C program: source files, private headers, predefined macros."""
+
+    name: str
+    files: dict[str, str]                       # .c file name -> text
+    headers: dict[str, str] = field(default_factory=dict)
+    predefined: dict[str, str] = field(default_factory=dict)
+    main_file: str | None = None
+    preprocessed: bool = False                  # files already preprocessed
+
+    @property
+    def file_count(self) -> int:
+        return len(self.files)
+
+    def kloc(self) -> float:
+        """Source KLOC over the .c files (blank lines excluded)."""
+        return sum(count_source_lines(text)
+                   for text in self.files.values()) / 1000.0
+
+    def preprocess(self) -> "SourceProgram":
+        """Preprocess every file; returns a new, preprocessed program."""
+        if self.preprocessed:
+            return self
+        out: dict[str, str] = {}
+        for filename, text in self.files.items():
+            pp = Preprocessor(self.headers, self.predefined)
+            out[filename] = pp.preprocess(text, filename).text
+        return SourceProgram(self.name, out, {}, {}, self.main_file,
+                             preprocessed=True)
+
+    def pp_kloc(self) -> float:
+        """Preprocessed KLOC (the paper's 'PP KLOC' column)."""
+        return self.preprocess().kloc()
+
+
+@dataclass
+class FileTransformReport:
+    filename: str
+    slr: TransformResult | None
+    str_: TransformResult | None
+    final_text: str
+    parses: bool
+
+
+@dataclass
+class BatchResult:
+    """Aggregated outcome of batch-transforming one program."""
+
+    program: SourceProgram
+    reports: list[FileTransformReport]
+
+    @property
+    def transformed_program(self) -> SourceProgram:
+        return SourceProgram(
+            self.program.name + "+fixed",
+            {r.filename: r.final_text for r in self.reports},
+            {}, {}, self.program.main_file, preprocessed=True)
+
+    def _results(self, which: str) -> list[TransformResult]:
+        out = []
+        for report in self.reports:
+            result = report.slr if which == "SLR" else report.str_
+            if result is not None:
+                out.append(result)
+        return out
+
+    def candidates(self, which: str) -> int:
+        return sum(r.candidates for r in self._results(which))
+
+    def transformed(self, which: str) -> int:
+        return sum(r.transformed_count for r in self._results(which))
+
+    def percent(self, which: str) -> float:
+        total = self.candidates(which)
+        if total == 0:
+            return 0.0
+        return 100.0 * self.transformed(which) / total
+
+    def failures_by_reason(self, which: str) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for result in self._results(which):
+            for reason, n in result.failures_by_reason().items():
+                counts[reason] = counts.get(reason, 0) + n
+        return counts
+
+    def by_target(self, which: str) -> dict[str, tuple[int, int]]:
+        stats: dict[str, tuple[int, int]] = {}
+        for result in self._results(which):
+            for target, (done, total) in result.by_target().items():
+                prev_done, prev_total = stats.get(target, (0, 0))
+                stats[target] = (prev_done + done, prev_total + total)
+        return stats
+
+    @property
+    def all_parse(self) -> bool:
+        return all(r.parses for r in self.reports)
+
+
+def apply_batch(program: SourceProgram, *, run_slr: bool = True,
+                run_str: bool = True) -> BatchResult:
+    """Preprocess and transform every file of ``program``."""
+    preprocessed = program.preprocess()
+    reports: list[FileTransformReport] = []
+    for filename, text in preprocessed.files.items():
+        slr_result: TransformResult | None = None
+        str_result: TransformResult | None = None
+        current = text
+        if run_slr:
+            slr_result = SafeLibraryReplacement(current, filename).run()
+            current = slr_result.new_text
+        if run_str:
+            str_result = SafeTypeReplacement(current, filename).run()
+            current = str_result.new_text
+        parses = True
+        try:
+            parse_translation_unit(current, filename)
+        except Exception:
+            parses = False
+        reports.append(FileTransformReport(filename, slr_result, str_result,
+                                           current, parses))
+    return BatchResult(program, reports)

@@ -1,0 +1,381 @@
+"""Algorithm 1 of the paper: statically compute a destination buffer's size.
+
+``get_buffer_length`` takes the AST expression used as a destination buffer
+(e.g. the first argument of ``strcpy``) and returns a *C expression string*
+that evaluates to the number of bytes available at that destination —
+``sizeof(buf)`` for statically allocated buffers, ``malloc_usable_size(p)``
+for heap buffers, with ``±n`` corrections for pointer arithmetic — or a
+failure carrying the reason the paper's evaluation taxonomy names:
+
+* ``no-heap-alloc``    — the pointer's reaching definition contains no
+  visible heap allocation (allocated elsewhere / passed as parameter);
+* ``aliased``          — the pointer is aliased (Algorithm 1 line 27);
+* ``aliased-struct``   — the buffer is an aliased struct member;
+* ``struct-redefined`` — the whole struct is redefined on the control-flow
+  path between the member's definition and its use;
+* ``array-of-buffers`` — the buffer lives in an array of pointers (no shape
+  analysis, paper failure 3);
+* ``ternary-alloc``    — the definition is a ternary with allocations in
+  its branches (paper failure 4);
+* ``no-unique-def``    — zero or several definitions reach the use;
+* ``unsupported-expr`` — an expression form Algorithm 1 does not cover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import ProgramAnalysis
+from ..analysis.pointsto import HEAP_ALLOCATORS
+from ..cfront import astnodes as ast
+from ..cfront.ctypes_model import ArrayType, PointerType, StructType
+
+_MAX_DEPTH = 32
+
+
+@dataclass
+class BufferLength:
+    """A successfully computed buffer length."""
+
+    expr_text: str          # C expression for the byte count
+    kind: str               # 'static' (sizeof) or 'heap' (malloc_usable_size)
+    adjustment: int = 0     # accumulated pointer-arithmetic correction
+
+    def render(self) -> str:
+        if self.adjustment == 0:
+            return self.expr_text
+        op = "-" if self.adjustment > 0 else "+"
+        return f"{self.expr_text} {op} {abs(self.adjustment)}"
+
+
+@dataclass
+class LengthFailure:
+    reason: str
+    detail: str = ""
+
+    def __bool__(self) -> bool:      # failures are falsy
+        return False
+
+
+class BufferLengthAnalyzer:
+    """Implements GETBUFFERLENGTH over one analyzed translation unit.
+
+    ``check_aliases=False`` disables Algorithm 1's ISALIASED bail-outs
+    (lines 27 and 39) — used only by the ablation benchmarks to show why
+    the check is load-bearing: without it, the transformation computes
+    sizes from stale definitions and silently changes behaviour.
+    """
+
+    def __init__(self, analysis: ProgramAnalysis, source_text: str,
+                 *, check_aliases: bool = True,
+                 fix_ternary_alloc: bool = False):
+        self.analysis = analysis
+        self.text = source_text
+        self.check_aliases = check_aliases
+        # Paper §IV-B failure 4 calls the ternary-of-allocations case "an
+        # easy structural fix" left undone; enabling this implements it:
+        # when *every* branch of the ternary heap-allocates, the buffer is
+        # heap storage whichever branch ran, so malloc_usable_size(B) is
+        # correct without knowing which branch was taken.
+        self.fix_ternary_alloc = fix_ternary_alloc
+
+    def get_buffer_length(self, expr: ast.Expression
+                          ) -> BufferLength | LengthFailure:
+        return self._compute(expr, expr, 0)
+
+    # ------------------------------------------------------------ internals
+
+    def _compute(self, expr: ast.Expression, use_site: ast.Node,
+                 depth: int) -> BufferLength | LengthFailure:
+        if depth > _MAX_DEPTH:
+            return LengthFailure("no-unique-def", "definition chain too deep")
+        expr = _skip_parens(expr)
+
+        # Lines 2-4: assignment expression -> recurse on RHS.
+        if isinstance(expr, ast.Assignment) and expr.op == "=":
+            return self._compute(expr.rhs, use_site, depth + 1)
+
+        # Lines 5-7: array access expression.
+        if isinstance(expr, ast.ArrayAccess):
+            return self._array_access(expr, use_site, depth)
+
+        # Lines 8-15: pointer-arithmetic binary expression.
+        if isinstance(expr, ast.Binary) and expr.op in ("+", "-"):
+            return self._pointer_arith(expr, use_site, depth)
+
+        # Lines 16-20: prefix increment/decrement.
+        if isinstance(expr, ast.Unary) and expr.op in ("++", "--") \
+                and not expr.is_postfix:
+            inner = self._compute(expr.operand, use_site, depth + 1)
+            if isinstance(inner, LengthFailure):
+                return inner
+            inner.adjustment += 1 if expr.op == "++" else -1
+            return inner
+
+        # Postfix ++/-- yield the pre-step value: size unchanged.
+        if isinstance(expr, ast.Unary) and expr.op in ("++", "--"):
+            return self._compute(expr.operand, use_site, depth + 1)
+
+        # Lines 21-22: cast expression.
+        if isinstance(expr, ast.Cast):
+            return self._compute(expr.operand, use_site, depth + 1)
+
+        # Lines 23-34: identifier expression.
+        if isinstance(expr, ast.Identifier):
+            return self._identifier(expr, use_site, depth)
+
+        # Lines 35-50: struct element access expression.
+        if isinstance(expr, ast.FieldAccess):
+            return self._element_access(expr, use_site, depth)
+
+        # &buf[i] or &x: treat as a pointer into the underlying object.
+        if isinstance(expr, ast.Unary) and expr.op == "&":
+            inner = _skip_parens(expr.operand)
+            if isinstance(inner, ast.ArrayAccess):
+                base_len = self._compute(inner.base, use_site, depth + 1)
+                if isinstance(base_len, LengthFailure):
+                    return base_len
+                index = _constant_int(inner.index)
+                if index is None:
+                    return LengthFailure("unsupported-expr",
+                                         "&buf[i] with non-constant index")
+                base_len.adjustment += index
+                return base_len
+            return self._compute(inner, use_site, depth + 1)
+
+        if isinstance(expr, ast.StringLiteral):
+            return BufferLength(str(len(expr.value) + 1), "static")
+
+        return LengthFailure(
+            "unsupported-expr",
+            f"cannot size a {type(expr).__name__} expression")
+
+    # ----------------------------------------------------------- case: a[i]
+
+    def _array_access(self, expr: ast.ArrayAccess, use_site: ast.Node,
+                      depth: int) -> BufferLength | LengthFailure:
+        accessed_type = expr.ctype
+        if accessed_type is not None and accessed_type.is_pointer:
+            # char *bufs[N]; bufs[i] — array of buffers, no shape analysis.
+            return LengthFailure("array-of-buffers",
+                                 "buffer stored in an array of pointers")
+        if accessed_type is not None and accessed_type.is_array:
+            # Row of a 2-D array: sizeof the accessed row.
+            return BufferLength(f"sizeof({self._src(expr)})", "static")
+        base = _skip_parens(expr.base)
+        if isinstance(base, ast.Identifier):
+            # GETARRAYIDENTIFIER(B) then SIZEOF: writing starts at element
+            # i of the array, so correct by the constant index if known.
+            result = self._identifier(base, use_site, depth)
+            if isinstance(result, LengthFailure):
+                return result
+            index = _constant_int(expr.index)
+            if index is not None:
+                result.adjustment += index
+            return result
+        return LengthFailure("unsupported-expr", "complex array access")
+
+    # -------------------------------------------------------- case: p + n
+
+    def _pointer_arith(self, expr: ast.Binary, use_site: ast.Node,
+                       depth: int) -> BufferLength | LengthFailure:
+        op = expr.op
+        # Identify numeric part and buffer part (lines 12-13).
+        lhs_num = _constant_int(expr.lhs)
+        rhs_num = _constant_int(expr.rhs)
+        if rhs_num is not None and lhs_num is None:
+            buffer_part, num = expr.lhs, rhs_num
+        elif lhs_num is not None and rhs_num is None and op == "+":
+            buffer_part, num = expr.rhs, lhs_num
+        else:
+            return LengthFailure("unsupported-expr",
+                                 "pointer arithmetic with non-constant "
+                                 "offset")
+        result = self._compute(buffer_part, use_site, depth + 1)
+        if isinstance(result, LengthFailure):
+            return result
+        # newop: '+' becomes '-' and vice versa (line 11): writing at
+        # buf + n leaves size(buf) - n bytes.
+        result.adjustment += num if op == "+" else -num
+        return result
+
+    # ------------------------------------------------------ case: identifier
+
+    def _identifier(self, expr: ast.Identifier, use_site: ast.Node,
+                    depth: int) -> BufferLength | LengthFailure:
+        symbol = expr.symbol
+        if symbol is None:
+            return LengthFailure("unsupported-expr",
+                                 f"unbound identifier {expr.name!r}")
+        ctype = symbol.ctype
+        # Line 24-25: array type -> sizeof.
+        if isinstance(ctype, ArrayType):
+            return BufferLength(f"sizeof({expr.name})", "static")
+        if not isinstance(ctype, PointerType):
+            return LengthFailure("unsupported-expr",
+                                 f"{expr.name} is not a buffer")
+        # Line 27: alias check.
+        if self.check_aliases and self.analysis.aliases.is_aliased(symbol):
+            return LengthFailure("aliased",
+                                 f"pointer {expr.name} is aliased")
+        # Line 30: the definition reaching B.
+        definition = self._reaching_def(use_site, symbol, None)
+        if definition is None:
+            return LengthFailure("no-unique-def",
+                                 f"no unique definition of {expr.name} "
+                                 f"reaches the call")
+        return self._from_definition(definition, expr.name, use_site, depth)
+
+    # --------------------------------------------------- case: s.member
+
+    def _element_access(self, expr: ast.FieldAccess, use_site: ast.Node,
+                        depth: int) -> BufferLength | LengthFailure:
+        member_type = expr.ctype
+        if member_type is not None and member_type.is_array:
+            # Line 36-37.
+            return BufferLength(f"sizeof({self._src(expr)})", "static")
+        base = _skip_parens(expr.base)
+        if not isinstance(base, ast.Identifier) or base.symbol is None:
+            return LengthFailure("unsupported-expr",
+                                 "nested struct member access")
+        struct_symbol = base.symbol
+        # Line 39: alias analysis treats the struct as an aggregate; any
+        # alias of the struct makes the member's size untrackable.
+        if self.check_aliases and (
+                self.analysis.aliases.struct_is_aliased(struct_symbol) or
+                self.analysis.aliases.is_aliased(struct_symbol)):
+            return LengthFailure("aliased-struct",
+                                 f"struct {base.name} is aliased")
+        if member_type is not None and not member_type.is_pointer:
+            return LengthFailure("unsupported-expr",
+                                 f"member {expr.member} is not a buffer")
+        # Line 42: definition of the member reaching B.
+        definition = self._reaching_def(use_site, struct_symbol, expr.member)
+        if definition is None:
+            return LengthFailure("no-unique-def",
+                                 f"no unique definition of "
+                                 f"{base.name}.{expr.member}")
+        # Lines 43-46: whole-struct redefinition on the path def -> use.
+        if self._struct_redefined_between(definition, use_site,
+                                          struct_symbol):
+            return LengthFailure("struct-redefined",
+                                 f"struct {base.name} redefined between "
+                                 f"member definition and use")
+        return self._from_definition(definition, self._src(expr), use_site,
+                                     depth)
+
+    # ------------------------------------------------------------- shared
+
+    def _from_definition(self, definition, buffer_text: str,
+                         use_site: ast.Node,
+                         depth: int) -> BufferLength | LengthFailure:
+        value = definition.value
+        if value is None:
+            return LengthFailure("no-heap-alloc",
+                                 f"definition of {buffer_text} carries no "
+                                 f"value (parameter or opaque write)")
+        stripped = _skip_parens(value)
+        while isinstance(stripped, ast.Cast):
+            stripped = _skip_parens(stripped.operand)
+        # Lines 31-32: heap allocation in the definition.
+        if isinstance(stripped, ast.Call) and \
+                stripped.callee_name in HEAP_ALLOCATORS:
+            return BufferLength(f"malloc_usable_size({buffer_text})", "heap")
+        # Paper failure 4: ternary whose branches allocate.
+        if isinstance(stripped, ast.Conditional) and \
+                _contains_allocation(stripped):
+            if self.fix_ternary_alloc and \
+                    _is_allocation(stripped.then_expr) and \
+                    _is_allocation(stripped.else_expr):
+                return BufferLength(
+                    f"malloc_usable_size({buffer_text})", "heap")
+            return LengthFailure("ternary-alloc",
+                                 "definition is a ternary with heap "
+                                 "allocation in its branches")
+        if _contains_allocation(stripped):
+            return LengthFailure("no-heap-alloc",
+                                 "allocation buried in a compound "
+                                 "expression")
+        # Lines 33-34: other assignment -> recurse on its RHS.
+        return self._compute(stripped, definition.node or use_site,
+                             depth + 1)
+
+    def _reaching_def(self, use_site: ast.Node, symbol, member):
+        fn = use_site.enclosing_function()
+        if fn is None:
+            return None
+        reaching = self.analysis.reaching_of(fn.name)
+        if reaching is None:
+            return None
+        return reaching.unique_strong_def(use_site, symbol, member)
+
+    def _struct_redefined_between(self, definition, use_site: ast.Node,
+                                  struct_symbol) -> bool:
+        fn = use_site.enclosing_function()
+        if fn is None:
+            return True
+        reaching = self.analysis.reaching_of(fn.name)
+        cfg = self.analysis.cfg_of(fn.name)
+        if reaching is None or cfg is None:
+            return True
+        whole_defs = [d for d in reaching.defs_reaching(use_site,
+                                                        struct_symbol)
+                      if d.member is None and d is not definition]
+        if not whole_defs:
+            return False
+        use_node = cfg.node_for(use_site)
+        if use_node is None:
+            return True
+        for whole in whole_defs:
+            if cfg.reachable_between(definition.cfg_node, use_node,
+                                     whole.cfg_node):
+                return True
+        return False
+
+    def _src(self, node: ast.Node) -> str:
+        return node.source_text(self.text)
+
+
+def _skip_parens(expr: ast.Node) -> ast.Node:
+    # Parenthesized expressions keep their inner node; nothing to skip in
+    # our AST, but Comma expressions yield their RHS value.
+    while isinstance(expr, ast.Comma):
+        expr = expr.rhs
+    return expr
+
+
+def _constant_int(expr: ast.Node) -> int | None:
+    expr = _skip_parens(expr)
+    if isinstance(expr, ast.IntLiteral):
+        return expr.value
+    if isinstance(expr, ast.CharLiteral):
+        return expr.value
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        inner = _constant_int(expr.operand)
+        return None if inner is None else -inner
+    if isinstance(expr, ast.Binary):
+        lhs = _constant_int(expr.lhs)
+        rhs = _constant_int(expr.rhs)
+        if lhs is None or rhs is None:
+            return None
+        if expr.op == "+":
+            return lhs + rhs
+        if expr.op == "-":
+            return lhs - rhs
+        if expr.op == "*":
+            return lhs * rhs
+    return None
+
+
+def _contains_allocation(expr: ast.Node) -> bool:
+    return any(isinstance(node, ast.Call)
+               and node.callee_name in HEAP_ALLOCATORS
+               for node in expr.walk())
+
+
+def _is_allocation(expr: ast.Node) -> bool:
+    """Is this expression (behind casts) directly a heap-allocator call?"""
+    while isinstance(expr, (ast.Cast, ast.Comma)):
+        expr = expr.operand if isinstance(expr, ast.Cast) else expr.rhs
+    return isinstance(expr, ast.Call) and \
+        expr.callee_name in HEAP_ALLOCATORS

@@ -1,0 +1,58 @@
+"""A tiny C implementation of the glib safe-string functions SLR emits.
+
+The real system links ``-lglib-2.0``; for compiling SLR-transformed output
+on machines without glib (and for the native differential tests that pin
+the VM to a real compiler), this shim provides the four functions with
+the documented glib semantics — identical to the VM's native versions.
+"""
+
+GLIB_SHIM_C_SOURCE = r"""
+#include <stdarg.h>
+#include <stdio.h>
+#include <string.h>
+
+unsigned long g_strlcpy(char *dest, const char *src,
+                        unsigned long dest_size)
+{
+    unsigned long n = strlen(src);
+    if (dest_size > 0) {
+        unsigned long k = n >= dest_size ? dest_size - 1 : n;
+        memcpy(dest, src, k);
+        dest[k] = 0;
+    }
+    return n;
+}
+
+unsigned long g_strlcat(char *dest, const char *src,
+                        unsigned long dest_size)
+{
+    unsigned long old = strlen(dest);
+    unsigned long n = strlen(src);
+    unsigned long room;
+    unsigned long k;
+    if (old >= dest_size) {
+        return dest_size + n;
+    }
+    room = dest_size - old - 1;
+    k = n > room ? room : n;
+    memcpy(dest + old, src, k);
+    dest[old + k] = 0;
+    return old + n;
+}
+
+int g_snprintf(char *string, unsigned long n, const char *format, ...)
+{
+    va_list ap;
+    int written;
+    va_start(ap, format);
+    written = vsnprintf(string, n, format, ap);
+    va_end(ap);
+    return written;
+}
+
+int g_vsnprintf(char *string, unsigned long n, const char *format,
+                va_list args)
+{
+    return vsnprintf(string, n, format, args);
+}
+"""

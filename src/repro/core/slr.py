@@ -1,0 +1,384 @@
+"""SAFE LIBRARY REPLACEMENT (SLR) — paper §II-A and §III-B.
+
+Replaces the six unsafe functions the paper targets with bounds-aware
+alternatives, computing the destination buffer's size via Algorithm 1:
+
+====================  ==========================================
+unsafe                safe replacement
+====================  ==========================================
+``strcpy(d, s)``      ``g_strlcpy(d, s, LEN)``
+``strcat(d, s)``      ``g_strlcat(d, s, LEN)``
+``sprintf(d, f, …)``  ``g_snprintf(d, LEN, f, …)``
+``vsprintf(d, f, a)`` ``g_vsnprintf(d, LEN, f, a)``
+``gets(d)``           ``fgets(d, LEN, stdin)`` + newline strip
+``memcpy(d, s, n)``   length clamped to LEN (Option 1 assigns the
+                      length variable beforehand when it is used
+                      later; Option 2 inlines a ternary)
+====================  ==========================================
+
+LEN is ``sizeof(buf)`` for static buffers and ``malloc_usable_size(p)``
+for heap buffers (Algorithm 1).  When the buffer size cannot be
+established, the precondition fails and the site is left untouched — the
+failure reason is recorded for the evaluation tables.
+
+Two *replacement profiles* implement Table I's alternative families:
+
+* ``profile="glib"`` (default, the paper's Linux implementation):
+  truncating glib functions, shown above;
+* ``profile="c11"`` — ISO/IEC TR 24731 / C11 Annex K bounds-checked
+  functions (``strcpy_s``, ``strcat_s``, ``sprintf_s``, ``vsprintf_s``,
+  ``memcpy_s``, ``gets_s``), whose runtime-constraint semantics *reject*
+  an oversized operation (empty destination, nonzero errno_t) instead of
+  truncating — the paper's "Windows analogs can be implemented" remark.
+"""
+
+from __future__ import annotations
+
+from ..cfront import astnodes as ast
+from ..cfront.rewriter import end_of_line, line_indent
+from .bufferlen import BufferLength, BufferLengthAnalyzer, LengthFailure
+from .transform import (
+    PRECONDITION_FAILED, SiteOutcome, TRANSFORMED, Transformation,
+)
+
+#: Table I (excerpt): the unsafe functions SLR replaces and their safe
+#: glib/C99 alternatives (the default profile).
+SAFE_ALTERNATIVES: dict[str, str] = {
+    "strcpy": "g_strlcpy",
+    "strcat": "g_strlcat",
+    "sprintf": "g_snprintf",
+    "vsprintf": "g_vsnprintf",
+    "gets": "fgets",
+    "memcpy": "memcpy",        # kept, with a clamped length parameter
+}
+
+#: Table I: the ISO/IEC TR 24731 (C11 Annex K) alternative family.
+C11_ALTERNATIVES: dict[str, str] = {
+    "strcpy": "strcpy_s",
+    "strcat": "strcat_s",
+    "sprintf": "sprintf_s",
+    "vsprintf": "vsprintf_s",
+    "gets": "gets_s",
+    "memcpy": "memcpy_s",
+}
+
+PROFILES = ("glib", "c11")
+
+UNSAFE_FUNCTIONS = frozenset(SAFE_ALTERNATIVES)
+
+# Declarations injected into the transformed (preprocessed) text when the
+# program did not already declare the safe alternatives — the moral
+# equivalent of the paper adding '-lglib-2.0' to the Makefile plus the
+# header include.
+_DECLARATIONS: dict[str, str] = {
+    "g_strlcpy": "unsigned long g_strlcpy(char *dest, const char *src, "
+                 "unsigned long dest_size);",
+    "g_strlcat": "unsigned long g_strlcat(char *dest, const char *src, "
+                 "unsigned long dest_size);",
+    "g_snprintf": "int g_snprintf(char *string, unsigned long n, "
+                  "const char *format, ...);",
+    "g_vsnprintf": "int g_vsnprintf(char *string, unsigned long n, "
+                   "const char *format, __builtin_va_list args);",
+    "malloc_usable_size":
+        "unsigned long malloc_usable_size(void *ptr);",
+    "strchr": "char *strchr(const char *s, int c);",
+    "strcpy_s": "int strcpy_s(char *dest, unsigned long destsz, "
+                "const char *src);",
+    "strcat_s": "int strcat_s(char *dest, unsigned long destsz, "
+                "const char *src);",
+    "sprintf_s": "int sprintf_s(char *dest, unsigned long destsz, "
+                 "const char *format, ...);",
+    "vsprintf_s": "int vsprintf_s(char *dest, unsigned long destsz, "
+                  "const char *format, __builtin_va_list args);",
+    "memcpy_s": "int memcpy_s(void *dest, unsigned long destsz, "
+                "const void *src, unsigned long n);",
+    "gets_s": "char *gets_s(char *dest, unsigned long destsz);",
+}
+
+
+class SafeLibraryReplacement(Transformation):
+    """Batch (or single-site) application of SLR to one translation unit."""
+
+    name = "SLR"
+
+    def __init__(self, text: str, filename: str = "<unit>",
+                 profile: str = "glib", *, check_aliases: bool = True,
+                 memcpy_option1: bool = True,
+                 fix_ternary_alloc: bool = False, **kwargs):
+        super().__init__(text, filename, **kwargs)
+        if profile not in PROFILES:
+            raise ValueError(f"unknown SLR profile {profile!r}; "
+                             f"choose from {PROFILES}")
+        self.profile = profile
+        self.alternatives = SAFE_ALTERNATIVES if profile == "glib" \
+            else C11_ALTERNATIVES
+        self.lengths = BufferLengthAnalyzer(
+            self.analysis, text, check_aliases=check_aliases,
+            fix_ternary_alloc=fix_ternary_alloc)
+        # Ablation switch: with Option 1 disabled, memcpy always gets the
+        # inline ternary even when the length variable is read later.
+        self.memcpy_option1 = memcpy_option1
+        self._needed_decls: set[str] = set()
+        self._temp_counter = 0
+
+    # ------------------------------------------------------------- targets
+
+    def find_targets(self) -> list[ast.Call]:
+        targets = []
+        for fn in self.unit.functions():
+            for node in fn.body.walk():
+                if isinstance(node, ast.Call) and \
+                        node.callee_name in UNSAFE_FUNCTIONS:
+                    targets.append(node)
+        # Apply sites bottom-up so queued edits never overlap when two
+        # targets share a line.
+        targets.sort(key=lambda c: c.extent.start, reverse=True)
+        return targets
+
+    # ------------------------------------------------------------ dispatch
+
+    def apply_to(self, call: ast.Call) -> SiteOutcome:
+        callee = call.callee_name or "<indirect>"
+        base = dict(transformation=self.name, target=callee,
+                    function=self.function_of(call), line=self.line_of(call))
+        if callee not in UNSAFE_FUNCTIONS:
+            return SiteOutcome(**base, status=PRECONDITION_FAILED,
+                               reason="not-unsafe-function",
+                               detail=f"{callee} is not handled by SLR")
+        handler = {
+            "strcpy": self._replace_str2,
+            "strcat": self._replace_str2,
+            "sprintf": self._replace_sprintf,
+            "vsprintf": self._replace_sprintf,
+            "gets": self._replace_gets,
+            "memcpy": self._replace_memcpy,
+        }[callee]
+        return handler(call, base)
+
+    # ------------------------------------------------------- strcpy/strcat
+
+    def _replace_str2(self, call: ast.Call, base: dict) -> SiteOutcome:
+        if len(call.args) != 2:
+            return self._fail(base, "bad-arity",
+                              f"{base['target']} call with "
+                              f"{len(call.args)} arguments")
+        length = self.lengths.get_buffer_length(call.args[0])
+        if isinstance(length, LengthFailure):
+            return self._fail(base, length.reason, length.detail)
+        new_name = self.alternatives[base["target"]]
+        self._rename_callee(call, new_name)
+        if self.profile == "glib":
+            # g_strlcpy(dest, src, size)
+            self.rewriter.insert_after(call.args[1].extent,
+                                       f", {length.render()}")
+        else:
+            # strcpy_s(dest, destsz, src)
+            self.rewriter.insert_after(call.args[0].extent,
+                                       f", {length.render()}")
+        self._note_decls(new_name, length)
+        return self._ok(base)
+
+    # ---------------------------------------------------- sprintf/vsprintf
+
+    def _replace_sprintf(self, call: ast.Call, base: dict) -> SiteOutcome:
+        if len(call.args) < 2:
+            return self._fail(base, "bad-arity",
+                              f"{base['target']} call with "
+                              f"{len(call.args)} arguments")
+        length = self.lengths.get_buffer_length(call.args[0])
+        if isinstance(length, LengthFailure):
+            return self._fail(base, length.reason, length.detail)
+        new_name = self.alternatives[base["target"]]
+        self._rename_callee(call, new_name)
+        # Size parameter goes between the destination and the format
+        # (both glib and Annex K families use this signature).
+        self.rewriter.insert_after(call.args[0].extent,
+                                   f", {length.render()}")
+        self._note_decls(new_name, length)
+        return self._ok(base)
+
+    # ---------------------------------------------------------------- gets
+
+    def _replace_gets(self, call: ast.Call, base: dict) -> SiteOutcome:
+        if len(call.args) != 1:
+            return self._fail(base, "bad-arity", "gets takes one argument")
+        length = self.lengths.get_buffer_length(call.args[0])
+        if isinstance(length, LengthFailure):
+            return self._fail(base, length.reason, length.detail)
+        stmt = call.enclosing_statement()
+        if stmt is None:
+            return self._fail(base, "unsupported-expr",
+                              "gets outside a statement")
+        if self.profile == "c11":
+            # gets_s(dest, destsz): no stream argument, no newline kept —
+            # no epilogue needed.
+            self._rename_callee(call, "gets_s")
+            self.rewriter.insert_after(call.args[0].extent,
+                                       f", {length.render()}")
+            self._note_decls("gets_s", length)
+            return self._ok(base)
+        dest_text = self.src(call.args[0])
+        self._rename_callee(call, "fgets")
+        self.rewriter.insert_after(call.args[0].extent,
+                                   f", {length.render()}, stdin")
+        # fgets keeps the trailing newline that gets strips: add the
+        # newline-removal epilogue after the statement (paper §III-B2).
+        indent = line_indent(self.text, stmt.extent.start)
+        check = self._fresh_name("check")
+        epilogue = (
+            f"{indent}char *{check} = strchr({dest_text}, '\\n');\n"
+            f"{indent}if ({check}) {{\n"
+            f"{indent}    *{check} = '\\0';\n"
+            f"{indent}}}\n"
+        )
+        insert_at = end_of_line(self.text, stmt.extent.end - 1)
+        self.rewriter.insert_before(insert_at, epilogue)
+        self._needed_decls.add("strchr")
+        self._note_decls("fgets", length)
+        return self._ok(base)
+
+    # -------------------------------------------------------------- memcpy
+
+    def _replace_memcpy(self, call: ast.Call, base: dict) -> SiteOutcome:
+        if len(call.args) != 3:
+            return self._fail(base, "bad-arity",
+                              "memcpy takes three arguments")
+        dest_type = call.args[0].ctype
+        if dest_type is not None:
+            decayed = dest_type.decay()
+            pointee = decayed.pointee if decayed.is_pointer else None
+            if pointee is not None and not (pointee.is_char or
+                                            pointee.is_void):
+                return self._fail(
+                    base, "non-char-buffer",
+                    "memcpy destination is not a character buffer")
+        length = self.lengths.get_buffer_length(call.args[0])
+        if isinstance(length, LengthFailure):
+            return self._fail(base, length.reason, length.detail)
+        if self.profile == "c11":
+            # memcpy_s(dest, destsz, src, n): the runtime check replaces
+            # the clamp entirely.
+            self._rename_callee(call, "memcpy_s")
+            self.rewriter.insert_after(call.args[0].extent,
+                                       f", {length.render()}")
+            self._note_decls("memcpy_s", length)
+            return self._ok(base)
+        size_arg = call.args[2]
+        dst_len = length.render()
+        used_later = self.memcpy_option1 and \
+            self._length_used_later(size_arg, call)
+        if used_later and isinstance(size_arg, ast.Identifier):
+            # Option 1: clamp the length variable before the call, since
+            # later statements (e.g. NUL termination) read it.
+            stmt = call.enclosing_statement()
+            if stmt is None:
+                return self._fail(base, "unsupported-expr",
+                                  "memcpy outside a statement")
+            name = size_arg.name
+            indent = line_indent(self.text, stmt.extent.start)
+            clamp = (f"{indent}{name} = {dst_len} > {name} ? "
+                     f"{name} : {dst_len};\n")
+            line_start = self.text.rfind("\n", 0, stmt.extent.start) + 1
+            self.rewriter.insert_before(line_start, clamp)
+        else:
+            # Option 2: inline ternary replaces the length argument.
+            size_text = self.src(size_arg)
+            self.rewriter.replace(
+                size_arg.extent,
+                f"{dst_len} > {size_text} ? {size_text} : {dst_len}")
+        self._note_decls("memcpy", length)
+        return self._ok(base)
+
+    def _length_used_later(self, size_arg: ast.Expression,
+                           call: ast.Call) -> bool:
+        """Is the length expression's variable read in control-flow
+        successors of the call (paper's Option 1 trigger)?"""
+        if not isinstance(size_arg, ast.Identifier) or \
+                size_arg.symbol is None:
+            return False
+        fn = call.enclosing_function()
+        if fn is None:
+            return False
+        stmt = call.enclosing_statement()
+        cfg = self.analysis.cfg_of(fn.name)
+        if stmt is None or cfg is None:
+            return False
+        call_node = cfg.node_for(stmt)
+        if call_node is None:
+            return False
+        # Any CFG node reachable from the call that mentions the symbol.
+        seen = set()
+        frontier = list(call_node.succs)
+        while frontier:
+            node = frontier.pop()
+            if node.nid in seen:
+                continue
+            seen.add(node.nid)
+            if node.stmt is not None:
+                for sub in node.stmt.walk():
+                    if isinstance(sub, ast.Identifier) and \
+                            sub.symbol is size_arg.symbol:
+                        return True
+            frontier.extend(node.succs)
+        return False
+
+    # -------------------------------------------------------------- helpers
+
+    def _rename_callee(self, call: ast.Call, new_name: str) -> None:
+        self.rewriter.replace(call.func.extent, new_name)
+
+    def _note_decls(self, new_name: str, length: BufferLength) -> None:
+        if new_name in _DECLARATIONS:
+            self._needed_decls.add(new_name)
+        if length.kind == "heap":
+            self._needed_decls.add("malloc_usable_size")
+
+    def _fresh_name(self, base: str) -> str:
+        self._temp_counter += 1
+        suffix = "" if self._temp_counter == 1 else f"_{self._temp_counter}"
+        return f"{base}{suffix}"
+
+    def _ok(self, base: dict) -> SiteOutcome:
+        return SiteOutcome(**base, status=TRANSFORMED)
+
+    def _fail(self, base: dict, reason: str, detail: str) -> SiteOutcome:
+        return SiteOutcome(**base, status=PRECONDITION_FAILED,
+                           reason=reason, detail=detail)
+
+    def finalize(self) -> None:
+        decls = [
+            _DECLARATIONS[name]
+            for name in sorted(self._needed_decls)
+            if name in _DECLARATIONS and not _already_declared(self.text,
+                                                               name)
+        ]
+        if decls:
+            block = ("/* Declarations added by SAFE LIBRARY REPLACEMENT "
+                     "(link with -lglib-2.0). */\n" + "\n".join(decls)
+                     + "\n\n")
+            self.rewriter.insert_before(0, block)
+        # fgets needs FILE/stdin; declare them if the program lacks stdio.
+        if "fgets" in self._needed_decls and \
+                "stdin" not in self.text:
+            self.rewriter.insert_before(
+                0, "typedef struct _FILE FILE;\n"
+                   "extern FILE *stdin;\n"
+                   "char *fgets(char *s, int size, FILE *stream);\n\n")
+
+
+def _already_declared(text: str, name: str) -> bool:
+    """Does the (preprocessed) text already declare ``name``?
+
+    A declaration shows up as the name followed by '(' with a type before
+    it — ' name(' or '*name(' — which a bare call site inside a function
+    body also matches, but a false positive only suppresses a redundant
+    redeclaration, never a needed one, because call sites in preprocessed
+    text always follow the header's declaration.
+    """
+    return f" {name}(" in text or f"*{name}(" in text
+
+
+def apply_slr(text: str, filename: str = "<unit>",
+              profile: str = "glib"):
+    """Convenience: run SLR over all unsafe calls in ``text``."""
+    return SafeLibraryReplacement(text, filename, profile=profile).run()

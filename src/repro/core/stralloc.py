@@ -1,0 +1,226 @@
+"""The stralloc safe-string library (paper §II-B3, §III-C).
+
+A modified version of qmail's ``stralloc``: the struct stores the data
+pointer ``s``, a base pointer ``f`` kept at the original start of ``s`` for
+bounds checking after pointer arithmetic, the logical string length
+``len``, and the allocated byte count ``a``.
+
+This module carries the *C-level* artifacts: the declarations STR injects
+into transformed translation units, and a reference C implementation
+(useful for reading and for compiling transformed programs outside the VM).
+The VM executes the functions natively (:mod:`repro.vm.stralloc_rt`) with
+full bounds checking, which is what makes the transformed SAMATE programs
+observably safe.
+"""
+
+STRALLOC_DECLARATIONS = """\
+typedef struct stralloc {
+    char *s;
+    char *f;
+    unsigned int len;
+    unsigned int a;
+} stralloc;
+int stralloc_init(stralloc *sa);
+int stralloc_ready(stralloc *sa, unsigned int n);
+void stralloc_free(stralloc *sa);
+int stralloc_copys(stralloc *sa, const char *s);
+int stralloc_copybuf(stralloc *sa, const char *buf, unsigned int n);
+int stralloc_cats(stralloc *sa, const char *s);
+int stralloc_catbuf(stralloc *sa, const char *buf, unsigned int n);
+int stralloc_append(stralloc *sa, char c);
+int stralloc_memset(stralloc *sa, char c, unsigned int n);
+int stralloc_increment_by(stralloc *sa, unsigned int n);
+int stralloc_decrement_by(stralloc *sa, unsigned int n);
+char stralloc_get_dereferenced_char_at(stralloc *sa, long idx);
+int stralloc_dereference_replace_by(stralloc *sa, long idx, char c);
+int stralloc_compare(stralloc *a, stralloc *b);
+int stralloc_equals(stralloc *a, stralloc *b);
+int stralloc_find_char(stralloc *sa, char c);
+int stralloc_substring_at(stralloc *sa, stralloc *needle);
+unsigned int stralloc_length(stralloc *sa);
+char *strchr(const char *s, int c);
+unsigned long strlen(const char *s);
+void *malloc(unsigned long size);
+void free(void *ptr);
+"""
+
+#: Names of the 18 stralloc library functions (paper: "Our implementation
+#: contains 18 functions").
+STRALLOC_FUNCTIONS = (
+    "stralloc_init", "stralloc_ready", "stralloc_free",
+    "stralloc_copys", "stralloc_copybuf",
+    "stralloc_cats", "stralloc_catbuf",
+    "stralloc_append", "stralloc_memset",
+    "stralloc_increment_by", "stralloc_decrement_by",
+    "stralloc_get_dereferenced_char_at", "stralloc_dereference_replace_by",
+    "stralloc_compare", "stralloc_equals",
+    "stralloc_find_char", "stralloc_substring_at", "stralloc_length",
+)
+
+#: Reference C implementation, for reading and out-of-VM compilation.
+STRALLOC_C_SOURCE = r"""
+#include <stdlib.h>
+#include <string.h>
+#include "stralloc.h"
+
+static unsigned int sa_offset(stralloc *sa) {
+    /* How far s has been advanced past the base pointer f. */
+    return (unsigned int)(sa->s - sa->f);
+}
+
+int stralloc_init(stralloc *sa) {
+    sa->s = 0; sa->f = 0; sa->len = 0; sa->a = 0;
+    return 1;
+}
+
+int stralloc_ready(stralloc *sa, unsigned int n) {
+    if (sa->f == 0) {
+        unsigned int want = n > sa->a ? n : sa->a;
+        if (want < 16) want = 16;
+        sa->f = (char *)malloc(want);
+        if (!sa->f) return 0;
+        sa->s = sa->f;
+        sa->a = want;
+        sa->len = 0;
+        return 1;
+    }
+    if (sa_offset(sa) + n > sa->a) {
+        unsigned int want = sa_offset(sa) + n;
+        char *bigger = (char *)malloc(want + (want >> 3) + 16);
+        if (!bigger) return 0;
+        memcpy(bigger, sa->f, sa->a);
+        free(sa->f);
+        sa->s = bigger + sa_offset(sa);
+        sa->f = bigger;
+        sa->a = want + (want >> 3) + 16;
+    }
+    return 1;
+}
+
+void stralloc_free(stralloc *sa) {
+    if (sa->f) free(sa->f);
+    sa->s = 0; sa->f = 0; sa->len = 0; sa->a = 0;
+}
+
+int stralloc_copybuf(stralloc *sa, const char *buf, unsigned int n) {
+    if (!stralloc_ready(sa, n + 1)) return 0;
+    memcpy(sa->s, buf, n);
+    sa->s[n] = 0;
+    sa->len = n;
+    return 1;
+}
+
+int stralloc_copys(stralloc *sa, const char *s) {
+    return stralloc_copybuf(sa, s, (unsigned int)strlen(s));
+}
+
+int stralloc_catbuf(stralloc *sa, const char *buf, unsigned int n) {
+    if (!stralloc_ready(sa, sa->len + n + 1)) return 0;
+    memcpy(sa->s + sa->len, buf, n);
+    sa->len += n;
+    sa->s[sa->len] = 0;
+    return 1;
+}
+
+int stralloc_cats(stralloc *sa, const char *s) {
+    return stralloc_catbuf(sa, s, (unsigned int)strlen(s));
+}
+
+int stralloc_append(stralloc *sa, char c) {
+    return stralloc_catbuf(sa, &c, 1);
+}
+
+static unsigned int sa_scan_len(stralloc *sa, unsigned int start) {
+    /* First NUL at or after start, as strlen would find it. */
+    unsigned int limit = sa->a - sa_offset(sa);
+    unsigned int i;
+    for (i = start; i < limit; i++) {
+        if (sa->s[i] == 0) return i;
+    }
+    return limit;
+}
+
+int stralloc_memset(stralloc *sa, char c, unsigned int n) {
+    /* Like memset: sets exactly n bytes and never NUL-terminates. */
+    if (n == 0) return 1;
+    if (!stralloc_ready(sa, n)) return 0;
+    memset(sa->s, c, n);
+    if (c == 0) sa->len = 0;
+    else if (n >= sa->len) sa->len = sa_scan_len(sa, n);
+    return 1;
+}
+
+int stralloc_increment_by(stralloc *sa, unsigned int n) {
+    /* Advance s, but never beyond the allocated region. */
+    if (sa_offset(sa) + n > sa->a) return 0;
+    sa->s += n;
+    if (sa->len >= n) sa->len -= n; else sa->len = 0;
+    return 1;
+}
+
+int stralloc_decrement_by(stralloc *sa, unsigned int n) {
+    /* Move s back toward f, never before it. */
+    if (n > sa_offset(sa)) return 0;
+    sa->s -= n;
+    sa->len += n;
+    return 1;
+}
+
+char stralloc_get_dereferenced_char_at(stralloc *sa, long idx) {
+    if (idx < 0) return 0;
+    if (sa->f == 0 || sa_offset(sa) + (unsigned long)idx >= sa->a) return 0;
+    return sa->s[idx];
+}
+
+int stralloc_dereference_replace_by(stralloc *sa, long idx, char c) {
+    /* Negative indices are buffer underwrites: refuse the store. */
+    if (idx < 0) return 0;
+    if (!stralloc_ready(sa, (unsigned int)idx + 1)) return 0;
+    sa->s[idx] = c;
+    if (c == 0) {
+        if ((unsigned int)idx < sa->len) sa->len = (unsigned int)idx;
+    } else if ((unsigned int)idx == sa->len) {
+        sa->len = sa_scan_len(sa, (unsigned int)idx + 1);
+    }
+    return 1;
+}
+
+int stralloc_compare(stralloc *a, stralloc *b) {
+    unsigned int i;
+    unsigned int n = a->len < b->len ? a->len : b->len;
+    for (i = 0; i < n; i++) {
+        if (a->s[i] != b->s[i]) return a->s[i] < b->s[i] ? -1 : 1;
+    }
+    if (a->len == b->len) return 0;
+    return a->len < b->len ? -1 : 1;
+}
+
+int stralloc_equals(stralloc *a, stralloc *b) {
+    return stralloc_compare(a, b) == 0;
+}
+
+int stralloc_find_char(stralloc *sa, char c) {
+    unsigned int i;
+    for (i = 0; i < sa->len; i++) {
+        if (sa->s[i] == c) return (int)i;
+    }
+    return -1;
+}
+
+int stralloc_substring_at(stralloc *sa, stralloc *needle) {
+    unsigned int i, j;
+    if (needle->len == 0) return 0;
+    if (needle->len > sa->len) return -1;
+    for (i = 0; i + needle->len <= sa->len; i++) {
+        for (j = 0; j < needle->len; j++) {
+            if (sa->s[i + j] != needle->s[j]) break;
+        }
+        if (j == needle->len) return (int)i;
+    }
+    return -1;
+}
+
+unsigned int stralloc_length(stralloc *sa) {
+    return sa->len;
+}
+"""

@@ -1,0 +1,149 @@
+"""Transformation framework.
+
+A :class:`Transformation` runs against one preprocessed translation unit:
+it finds candidate sites, checks per-site preconditions, queues text edits,
+and reports a :class:`TransformResult` with per-site outcomes.  Mirrors how
+the paper drives SLR/STR both interactively (one selected site) and as a
+batch over all targets (§IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis import ProgramAnalysis, analyze
+from ..cfront import astnodes as ast
+from ..cfront.parser import parse_translation_unit
+from ..cfront.rewriter import Rewriter
+from ..cfront.source import SourceFile
+
+TRANSFORMED = "transformed"
+PRECONDITION_FAILED = "precondition-failed"
+
+
+@dataclass
+class SiteOutcome:
+    """What happened at one candidate site."""
+
+    transformation: str         # 'SLR' | 'STR'
+    target: str                 # callee name (SLR) / variable name (STR)
+    function: str               # enclosing function
+    line: int
+    status: str                 # TRANSFORMED | PRECONDITION_FAILED
+    reason: str = ""            # failure taxonomy key, empty on success
+    detail: str = ""
+
+    @property
+    def transformed(self) -> bool:
+        return self.status == TRANSFORMED
+
+
+@dataclass
+class TransformResult:
+    """Result of running a transformation over a translation unit."""
+
+    transformation: str
+    original_text: str
+    new_text: str
+    outcomes: list[SiteOutcome] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return self.new_text != self.original_text
+
+    @property
+    def candidates(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def transformed_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.transformed)
+
+    @property
+    def failed_count(self) -> int:
+        return self.candidates - self.transformed_count
+
+    @property
+    def percent_transformed(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return 100.0 * self.transformed_count / self.candidates
+
+    def failures_by_reason(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for outcome in self.outcomes:
+            if not outcome.transformed:
+                counts[outcome.reason] = counts.get(outcome.reason, 0) + 1
+        return counts
+
+    def by_target(self) -> dict[str, tuple[int, int]]:
+        """target -> (transformed, total)."""
+        stats: dict[str, tuple[int, int]] = {}
+        for outcome in self.outcomes:
+            done, total = stats.get(outcome.target, (0, 0))
+            stats[outcome.target] = (done + int(outcome.transformed),
+                                     total + 1)
+        return stats
+
+
+class Transformation:
+    """Base class: subclasses implement ``find_targets`` and ``apply_to``."""
+
+    name = "transformation"
+
+    def __init__(self, text: str, filename: str = "<unit>",
+                 unit: ast.TranslationUnit | None = None,
+                 analysis: ProgramAnalysis | None = None):
+        self.text = text
+        self.filename = filename
+        self.unit = unit if unit is not None \
+            else parse_translation_unit(text, filename)
+        self.analysis = analysis if analysis is not None \
+            else analyze(self.unit)
+        self.rewriter = Rewriter(text)
+        self.source = SourceFile(filename, text)
+        self.outcomes: list[SiteOutcome] = []
+
+    # -------------------------------------------------- subclass interface
+
+    def find_targets(self) -> list:
+        raise NotImplementedError
+
+    def apply_to(self, target) -> SiteOutcome:
+        raise NotImplementedError
+
+    def finalize(self) -> None:
+        """Hook for whole-file edits (e.g. adding declarations)."""
+
+    # -------------------------------------------------------------- driver
+
+    def run(self, targets: list | None = None) -> TransformResult:
+        """Apply to all targets (or the given subset); returns the result."""
+        for target in (targets if targets is not None
+                       else self.find_targets()):
+            outcome = self.apply_to(target)
+            self.outcomes.append(outcome)
+        self.finalize()
+        new_text = self.rewriter.apply() if self.rewriter.has_edits \
+            else self.text
+        return TransformResult(self.name, self.text, new_text,
+                               list(self.outcomes))
+
+    # -------------------------------------------------------------- helpers
+
+    def line_of(self, node: ast.Node) -> int:
+        return self.source.line_col(node.extent.start)[0]
+
+    def function_of(self, node: ast.Node) -> str:
+        fn = node.enclosing_function()
+        return fn.name if fn is not None else "<global>"
+
+    def src(self, node: ast.Node) -> str:
+        return node.source_text(self.text)
+
+
+def verify_output_parses(result: TransformResult,
+                         filename: str = "<transformed>") -> bool:
+    """The paper's 'no compilation errors' check: re-parse the output."""
+    parse_translation_unit(result.new_text, filename)
+    return True

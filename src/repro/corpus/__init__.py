@@ -1,0 +1,19 @@
+"""The four miniature open-source-style corpus programs (paper §IV-B)."""
+
+from ..core.batch import SourceProgram
+from . import minigmp, minipng, minitiff, minizlib
+
+PROGRAM_BUILDERS = {
+    "zlib": minizlib.build,
+    "libpng": minipng.build,
+    "GMP": minigmp.build,
+    "libtiff": minitiff.build,
+}
+
+
+def build_all() -> dict[str, SourceProgram]:
+    """Build all four corpus programs (zlib, libpng, GMP, libtiff)."""
+    return {name: builder() for name, builder in PROGRAM_BUILDERS.items()}
+
+
+__all__ = ["PROGRAM_BUILDERS", "build_all", "SourceProgram"]

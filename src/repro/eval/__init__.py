@@ -1,0 +1,23 @@
+"""Evaluation harness: regenerates every table and figure of the paper.
+
+* :mod:`repro.eval.table3` — SAMATE benchmark results (RQ1)
+* :mod:`repro.eval.table4` — corpus statistics
+* :mod:`repro.eval.table5` — SLR on the corpus (RQ2)
+* :mod:`repro.eval.table6` — STR on the corpus (RQ2)
+* :mod:`repro.eval.figure2` — per-function SLR replacement rates
+* :mod:`repro.eval.perf`   — runtime overhead (RQ3)
+
+Run ``python -m repro.eval <experiment>`` (or ``all``).
+"""
+
+from .figure2 import compute_figure2
+from .perf import compute_perf
+from .table3 import compute_table3
+from .table4 import compute_table4
+from .table5 import compute_table5
+from .table6 import compute_table6
+
+__all__ = [
+    "compute_figure2", "compute_perf", "compute_table3", "compute_table4",
+    "compute_table5", "compute_table6",
+]

@@ -1,0 +1,43 @@
+"""CLI: ``python -m repro.eval {table3,table4,table5,table6,figure2,perf,all}``."""
+
+import sys
+
+from . import figure2, perf, report, table3, table4, table5, table6
+
+_EXPERIMENTS = {
+    "table3": table3.main,
+    "table4": table4.main,
+    "table5": table5.main,
+    "table6": table6.main,
+    "figure2": figure2.main,
+    "perf": perf.main,
+    "report": report.main,
+}
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    if not args or args[0] in ("-h", "--help"):
+        names = ", ".join([*_EXPERIMENTS, "all"])
+        print(f"usage: python -m repro.eval <experiment> [options]\n"
+              f"experiments: {names}")
+        return 0
+    which, rest = args[0], args[1:]
+    if which == "all":
+        for name, runner in _EXPERIMENTS.items():
+            print(f"\n##### {name} #####")
+            if name == "table3":
+                runner(["--scale", "0.05", *rest])
+            else:
+                runner(rest)
+        return 0
+    runner = _EXPERIMENTS.get(which)
+    if runner is None:
+        print(f"unknown experiment {which!r}")
+        return 2
+    runner(rest)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

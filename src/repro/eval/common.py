@@ -1,0 +1,100 @@
+"""Shared helpers for the evaluation harness: table rendering and the
+paper's reported numbers (for side-by-side comparison)."""
+
+from __future__ import annotations
+
+
+def render_table(headers: list[str], rows: list[list], title: str = "",
+                 ) -> str:
+    """Render an ASCII table (the harness prints the same rows the paper
+    reports)."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(char: str = "-") -> str:
+        return "+" + "+".join(char * (w + 2) for w in widths) + "+"
+
+    def fmt(row: list[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) \
+            + " |"
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line("="))
+    out.append(fmt(headers))
+    out.append(line("="))
+    for row in cells:
+        out.append(fmt(row))
+    out.append(line())
+    return "\n".join(out)
+
+
+def pct(done: int, total: int) -> str:
+    if total == 0:
+        return "-"
+    return f"{100.0 * done / total:.2f}%"
+
+
+# ------------------------------------------------- paper-reported values
+
+#: Table III (paper): cwe -> (programs, slr_applied, str_applied).
+PAPER_TABLE3 = {
+    121: (1877, 1096, 1877),
+    122: (890, 644, 890),
+    124: (680, 0, 680),
+    126: (416, 0, 416),
+    127: (624, 0, 624),
+    242: (18, 18, 0),
+}
+
+#: Table III KLOC columns: cwe -> (kloc, pp_kloc).
+PAPER_TABLE3_KLOC = {
+    121: (131.9, 820.9),
+    122: (106.3, 463.9),
+    124: (55.8, 243.9),
+    126: (30.2, 141.5),
+    127: (47.5, 171.8),
+    242: (1.0, 1.9),
+}
+
+#: Table IV (paper): program -> (#files, kloc, pp_kloc).
+PAPER_TABLE4 = {
+    "zlib": (12, 29.0, 64.0),
+    "libpng": (18, 43.8, 187.0),
+    "GMP": (62, 76.4, 1097.7),
+    "libtiff": (78, 169.0, 390.3),
+}
+
+#: Table V (paper): totals.
+PAPER_TABLE5_TOTAL = (317, 259, 81.7)
+
+#: Figure 2 (paper): function -> (replaced, total).
+PAPER_FIGURE2 = {
+    "strcpy": (28, 39),
+    "strcat": (8, 8),
+    "sprintf": (150, 153),
+    "vsprintf": (1, 2),
+    "memcpy": (72, 115),
+}
+
+#: Table VI (paper): totals (C1 identified, C2 replaced, C3 failed).
+PAPER_TABLE6_TOTAL = (296, 237, 59)
+
+#: STR failure reasons that are *static* precondition failures — buffers
+#: failing these never enter the paper's Table VI candidate count (the
+#: paper's 296 candidates are the variables that pass preconditions 1-3;
+#: the 59 failures are all interprocedural).
+STR_STATIC_FAIL_REASONS = frozenset({
+    "unsupported-libfn", "address-taken", "returned",
+    "unsupported-assignment", "escapes-assignment", "nested-allocation",
+    "indirect-call", "source-not-transformed", "assigned-from-call",
+})
+
+#: STR failure reasons counted as interprocedural (Table VI column C3).
+STR_INTERPROC_FAIL_REASONS = frozenset({
+    "callee-may-write", "group-member-failed",
+})

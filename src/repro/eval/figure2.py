@@ -1,0 +1,50 @@
+"""Figure 2: per-function SLR replacement rates across the corpus.
+
+The paper reports strcpy 28/39 (71.8%), strcat 8/8 (100%), sprintf
+150/153 (98.0%), vsprintf 1/2 (50%), memcpy 72/115 (62.6%); gets is
+absent because the corpus does not use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .common import PAPER_FIGURE2, pct, render_table
+from .table5 import Table5Result, compute_table5
+
+_ORDER = ("strcpy", "strcat", "sprintf", "vsprintf", "memcpy", "gets")
+
+
+@dataclass
+class Figure2Result:
+    by_function: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        headers = ["Function", "Replaced", "Sites", "% Replaced",
+                   "Paper", "Bar"]
+        rows = []
+        for fn in _ORDER:
+            done, total = self.by_function.get(fn, (0, 0))
+            if total == 0 and fn not in PAPER_FIGURE2:
+                continue        # gets: unused in the corpus, like the paper
+            paper = PAPER_FIGURE2.get(fn)
+            paper_text = f"{paper[0]}/{paper[1]}" if paper else "absent"
+            bar = "#" * round(40 * done / total) if total else ""
+            rows.append([fn, done, total, pct(done, total), paper_text,
+                         bar])
+        return render_table(
+            headers, rows, "Figure 2 — Changes in unsafe functions by SLR")
+
+
+def compute_figure2(table5: Table5Result | None = None) -> Figure2Result:
+    if table5 is None:
+        table5 = compute_table5(execute=False)
+    return Figure2Result(by_function=dict(table5.by_function))
+
+
+def main(argv: list[str] | None = None) -> None:
+    print(compute_figure2().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""RQ3: runtime overhead of the transformed programs (paper §IV-C).
+
+The paper runs the original and the SLR+STR-transformed program and
+reports minimal overhead, for two of the four corpus programs.  Our VM
+provides a deterministic cost metric — interpreter steps (each statement
+and expression evaluation counts one) — alongside wall-clock time, so
+the overhead measurement is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.batch import apply_batch
+from ..corpus import PROGRAM_BUILDERS
+from ..vm.interp import run_program_files
+from .common import render_table
+
+#: The two programs measured (paper: "2 of the 4 open source programs").
+DEFAULT_PROGRAMS = ("zlib", "libpng")
+
+
+@dataclass
+class PerfRow:
+    program: str
+    steps_before: int
+    steps_after: int
+    wall_before: float
+    wall_after: float
+    output_identical: bool
+
+    @property
+    def step_overhead_pct(self) -> float:
+        if self.steps_before == 0:
+            return 0.0
+        return 100.0 * (self.steps_after - self.steps_before) \
+            / self.steps_before
+
+    @property
+    def wall_overhead_pct(self) -> float:
+        if self.wall_before == 0:
+            return 0.0
+        return 100.0 * (self.wall_after - self.wall_before) \
+            / self.wall_before
+
+
+@dataclass
+class PerfResult:
+    rows: list[PerfRow] = field(default_factory=list)
+
+    def render(self) -> str:
+        headers = ["Software", "Steps (orig)", "Steps (fixed)",
+                   "Step overhead", "Wall overhead", "Output identical"]
+        rows = [[r.program, r.steps_before, r.steps_after,
+                 f"{r.step_overhead_pct:+.2f}%",
+                 f"{r.wall_overhead_pct:+.2f}%",
+                 "yes" if r.output_identical else "NO"]
+                for r in self.rows]
+        return render_table(
+            headers, rows,
+            "RQ3 — Performance after applying SLR and STR on all targets")
+
+
+def compute_perf(programs: tuple[str, ...] = DEFAULT_PROGRAMS,
+                 *, repeat: int = 3) -> PerfResult:
+    result = PerfResult()
+    for name in programs:
+        program = PROGRAM_BUILDERS[name]()
+        original = program.preprocess()
+        transformed = apply_batch(program).transformed_program
+
+        def timed(files: dict[str, str]) -> tuple[int, float, bytes]:
+            best = float("inf")
+            steps = 0
+            stdout = b""
+            for _ in range(repeat):
+                start = time.perf_counter()
+                run = run_program_files(files)
+                elapsed = time.perf_counter() - start
+                if elapsed < best:
+                    best = elapsed
+                steps = run.steps
+                stdout = run.stdout
+            return steps, best, stdout
+
+        steps_before, wall_before, out_before = timed(original.files)
+        steps_after, wall_after, out_after = timed(transformed.files)
+        result.rows.append(PerfRow(
+            program=name,
+            steps_before=steps_before, steps_after=steps_after,
+            wall_before=wall_before, wall_after=wall_after,
+            output_identical=out_before == out_after))
+    return result
+
+
+def main(argv: list[str] | None = None) -> None:
+    import argparse
+    parser = argparse.ArgumentParser(description="Regenerate RQ3 table")
+    parser.add_argument("--all", action="store_true",
+                        help="measure all four programs")
+    args = parser.parse_args(argv)
+    programs = tuple(PROGRAM_BUILDERS) if args.all else DEFAULT_PROGRAMS
+    print(compute_perf(programs).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Pipeline for running SAMATE programs through transform-and-execute.
+
+For each generated good/bad program: preprocess, run (the bad function
+must fault), apply SLR and/or STR, run again (no fault, and the good
+output prefix must be preserved) — the paper's RQ1 check that "the
+vulnerability was fixed in bad functions in all test programs" while
+"normal behavior" is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cfront.preprocessor import Preprocessor
+from ..core.slr import SafeLibraryReplacement
+from ..core.strtransform import SafeTypeReplacement
+from ..samate.generator import TestProgram
+from ..vm import run_source
+
+
+@dataclass
+class SamateOutcome:
+    program: str
+    cwe: int
+    slr_applied: bool           # SLR transformed >= 1 site
+    str_applied: bool           # STR transformed >= 1 buffer
+    bad_faulted_before: bool
+    fixed_after: bool           # no fault after transformation
+    good_preserved: bool        # good-function output unchanged
+    fault_before: str
+    fault_after: str
+    pp_lines: int
+    source_lines: int
+    steps_before: int
+    steps_after: int
+
+    @property
+    def success(self) -> bool:
+        return (self.bad_faulted_before and self.fixed_after
+                and self.good_preserved)
+
+
+def run_samate_program(program: TestProgram,
+                       *, execute: bool = True) -> SamateOutcome:
+    """Transform one SAMATE program and (optionally) execute before/after."""
+    pp = Preprocessor().preprocess(program.source, program.name)
+    source_lines = sum(1 for line in program.source.splitlines()
+                      if line.strip())
+
+    text = pp.text
+    slr_applied = False
+    str_applied = False
+    if program.slr_applicable:
+        slr_result = SafeLibraryReplacement(text, program.name).run()
+        slr_applied = slr_result.transformed_count > 0
+        text = slr_result.new_text
+    if program.str_applicable:
+        str_result = SafeTypeReplacement(text, program.name).run()
+        str_applied = str_result.transformed_count > 0
+        text = str_result.new_text
+
+    if not execute:
+        return SamateOutcome(
+            program=program.name, cwe=program.cwe,
+            slr_applied=slr_applied, str_applied=str_applied,
+            bad_faulted_before=True, fixed_after=True, good_preserved=True,
+            fault_before="(not executed)", fault_after="(not executed)",
+            pp_lines=pp.line_count, source_lines=source_lines,
+            steps_before=0, steps_after=0)
+
+    before = run_source(pp.text, stdin=program.stdin)
+    after = run_source(text, stdin=program.stdin)
+    return SamateOutcome(
+        program=program.name, cwe=program.cwe,
+        slr_applied=slr_applied, str_applied=str_applied,
+        bad_faulted_before=before.fault is not None,
+        fixed_after=after.fault is None,
+        good_preserved=after.stdout.startswith(before.stdout),
+        fault_before=before.fault or "", fault_after=after.fault or "",
+        pp_lines=pp.line_count, source_lines=source_lines,
+        steps_before=before.steps, steps_after=after.steps)
+
+
+def stratified_sample(programs: list[TestProgram],
+                      limit: int) -> list[TestProgram]:
+    """An evenly spaced sample preserving variant/flow diversity."""
+    if limit >= len(programs):
+        return list(programs)
+    step = len(programs) / limit
+    return [programs[int(i * step)] for i in range(limit)]

@@ -1,0 +1,132 @@
+"""Table III: securing the SAMATE benchmark programs (RQ1).
+
+Columns: CWE, #programs, SLR-applied, STR-applied, KLOC, PP KLOC —
+plus the security outcome (bad function fixed / good behaviour preserved)
+over the executed subset.
+
+Applicability columns are always computed over the *full* population
+(they are static properties); executing all 4,505 programs in the VM is
+behind ``execute_limit=None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..samate.generator import CWE_TITLES, generate_suite
+from .common import PAPER_TABLE3, render_table
+from .samate_runner import run_samate_program, stratified_sample
+
+
+@dataclass
+class Table3Row:
+    cwe: int
+    programs: int
+    slr_applied: int
+    str_applied: int
+    kloc: float
+    pp_kloc: float
+    executed: int = 0
+    fixed: int = 0
+    preserved: int = 0
+
+
+@dataclass
+class Table3Result:
+    rows: list[Table3Row] = field(default_factory=list)
+
+    @property
+    def total_programs(self) -> int:
+        return sum(r.programs for r in self.rows)
+
+    @property
+    def all_fixed(self) -> bool:
+        return all(r.fixed == r.executed for r in self.rows)
+
+    @property
+    def all_preserved(self) -> bool:
+        return all(r.preserved == r.executed for r in self.rows)
+
+    def render(self) -> str:
+        headers = ["CWE", "Description", "Programs", "SLR", "STR",
+                   "KLOC", "PP KLOC", "Executed", "Fixed", "Preserved",
+                   "Paper (prog/SLR/STR)"]
+        rows = []
+        for r in self.rows:
+            paper = PAPER_TABLE3[r.cwe]
+            rows.append([
+                f"CWE-{r.cwe}", CWE_TITLES[r.cwe], r.programs,
+                r.slr_applied or "-", r.str_applied or "-",
+                f"{r.kloc:.1f}", f"{r.pp_kloc:.1f}",
+                r.executed, r.fixed, r.preserved,
+                f"{paper[0]}/{paper[1] or '-'}/{paper[2] or '-'}",
+            ])
+        rows.append([
+            "Total", "", self.total_programs,
+            sum(r.slr_applied for r in self.rows),
+            sum(r.str_applied for r in self.rows),
+            f"{sum(r.kloc for r in self.rows):.1f}",
+            f"{sum(r.pp_kloc for r in self.rows):.1f}",
+            sum(r.executed for r in self.rows),
+            sum(r.fixed for r in self.rows),
+            sum(r.preserved for r in self.rows),
+            "4505/1758/4487",
+        ])
+        return render_table(headers, rows,
+                            "Table III — CWEs describing buffer overflows")
+
+
+def compute_table3(*, scale: float = 1.0,
+                   execute_limit: int | None = 20) -> Table3Result:
+    """Build Table III.
+
+    ``execute_limit`` caps the per-CWE number of programs actually run in
+    the VM (None = run every program); applicability and line counts are
+    always measured on every generated program.
+    """
+    suite = generate_suite(scale)
+    result = Table3Result()
+    for cwe, programs in suite.items():
+        to_execute = set(
+            id(p) for p in (programs if execute_limit is None
+                            else stratified_sample(programs,
+                                                   execute_limit)))
+        row = Table3Row(cwe=cwe, programs=len(programs), slr_applied=0,
+                        str_applied=0, kloc=0.0, pp_kloc=0.0)
+        for program in programs:
+            outcome = run_samate_program(program,
+                                         execute=id(program) in to_execute)
+            if outcome.slr_applied:
+                row.slr_applied += 1
+            if outcome.str_applied:
+                row.str_applied += 1
+            row.kloc += outcome.source_lines / 1000.0
+            row.pp_kloc += outcome.pp_lines / 1000.0
+            if id(program) in to_execute:
+                row.executed += 1
+                if outcome.bad_faulted_before and outcome.fixed_after:
+                    row.fixed += 1
+                if outcome.good_preserved:
+                    row.preserved += 1
+        result.rows.append(row)
+    return result
+
+
+def main(argv: list[str] | None = None) -> None:
+    import argparse
+    parser = argparse.ArgumentParser(description="Regenerate Table III")
+    parser.add_argument("--full", action="store_true",
+                        help="execute every program (slow)")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--execute-limit", type=int, default=20)
+    args = parser.parse_args(argv)
+    result = compute_table3(
+        scale=args.scale,
+        execute_limit=None if args.full else args.execute_limit)
+    print(result.render())
+    print(f"\nAll executed bad functions fixed: {result.all_fixed}")
+    print(f"All executed good functions preserved: {result.all_preserved}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Table IV: the open-source test programs (corpus statistics)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..corpus import build_all
+from .common import PAPER_TABLE4, render_table
+
+
+@dataclass
+class Table4Row:
+    program: str
+    files: int
+    kloc: float
+    pp_kloc: float
+
+
+@dataclass
+class Table4Result:
+    rows: list[Table4Row] = field(default_factory=list)
+
+    def render(self) -> str:
+        headers = ["Software", "# C Files", "KLOC", "PP KLOC",
+                   "Paper (files/KLOC/PP KLOC)"]
+        rows = []
+        for r in self.rows:
+            paper = PAPER_TABLE4[r.program]
+            rows.append([r.program, r.files, f"{r.kloc:.2f}",
+                         f"{r.pp_kloc:.2f}",
+                         f"{paper[0]}/{paper[1]}/{paper[2]}"])
+        rows.append(["Total", sum(r.files for r in self.rows),
+                     f"{sum(r.kloc for r in self.rows):.2f}",
+                     f"{sum(r.pp_kloc for r in self.rows):.2f}",
+                     "170/318.2/1739.0"])
+        return render_table(headers, rows, "Table IV — Test programs")
+
+
+def compute_table4() -> Table4Result:
+    result = Table4Result()
+    for name, program in build_all().items():
+        preprocessed = program.preprocess()
+        result.rows.append(Table4Row(
+            program=name,
+            files=program.file_count,
+            kloc=program.kloc(),
+            pp_kloc=preprocessed.kloc()))
+    return result
+
+
+def main(argv: list[str] | None = None) -> None:
+    print(compute_table4().render())
+
+
+if __name__ == "__main__":
+    main()

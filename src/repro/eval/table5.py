@@ -1,0 +1,90 @@
+"""Table V: running SLR on the corpus programs (RQ2).
+
+Also checks the paper's correctness claims: every transformed file still
+parses ("no compilation errors") and every program's test suite produces
+identical output before and after ("make test" passes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.batch import apply_batch
+from ..corpus import build_all
+from ..vm.interp import run_program_files
+from .common import PAPER_TABLE5_TOTAL, pct, render_table
+
+
+@dataclass
+class Table5Row:
+    program: str
+    sites: int
+    transformed: int
+    parses: bool
+    tests_pass: bool
+    failure_reasons: dict[str, int]
+
+
+@dataclass
+class Table5Result:
+    rows: list[Table5Row] = field(default_factory=list)
+    by_function: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def total_sites(self) -> int:
+        return sum(r.sites for r in self.rows)
+
+    @property
+    def total_transformed(self) -> int:
+        return sum(r.transformed for r in self.rows)
+
+    def render(self) -> str:
+        headers = ["Software", "# Unsafe Functions", "# Transformed",
+                   "% Transformed", "Reparses", "Tests Pass"]
+        rows = [[r.program, r.sites, r.transformed,
+                 pct(r.transformed, r.sites),
+                 "yes" if r.parses else "NO",
+                 "yes" if r.tests_pass else "NO"] for r in self.rows]
+        paper_sites, paper_done, paper_pct = PAPER_TABLE5_TOTAL
+        rows.append(["Total", self.total_sites, self.total_transformed,
+                     pct(self.total_transformed, self.total_sites),
+                     "", f"(paper: {paper_done}/{paper_sites} = "
+                         f"{paper_pct}%)"])
+        return render_table(headers, rows,
+                            "Table V — Running SLR on test programs")
+
+
+def compute_table5(*, execute: bool = True) -> Table5Result:
+    result = Table5Result()
+    for name, program in build_all().items():
+        batch = apply_batch(program, run_slr=True, run_str=False)
+        tests_pass = True
+        if execute:
+            before = run_program_files(program.preprocess().files)
+            after = run_program_files(batch.transformed_program.files)
+            tests_pass = (before.ok and after.ok
+                          and before.stdout == after.stdout)
+        result.rows.append(Table5Row(
+            program=name,
+            sites=batch.candidates("SLR"),
+            transformed=batch.transformed("SLR"),
+            parses=batch.all_parse,
+            tests_pass=tests_pass,
+            failure_reasons=batch.failures_by_reason("SLR")))
+        for fn, (done, total) in batch.by_target("SLR").items():
+            prev_done, prev_total = result.by_function.get(fn, (0, 0))
+            result.by_function[fn] = (prev_done + done, prev_total + total)
+    return result
+
+
+def main(argv: list[str] | None = None) -> None:
+    result = compute_table5()
+    print(result.render())
+    print("\nPer-site failure reasons:")
+    for row in result.rows:
+        if row.failure_reasons:
+            print(f"  {row.program}: {row.failure_reasons}")
+
+
+if __name__ == "__main__":
+    main()

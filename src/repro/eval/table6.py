@@ -1,0 +1,111 @@
+"""Table VI: running STR on the corpus programs (RQ2).
+
+Candidate accounting follows the paper: "buffers identified" (C1) are the
+local char buffers passing the *static* preconditions (type, locality,
+supported library usage); the interprocedural write check then rejects C3
+of them, and 100% of the remainder (C2) are replaced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.batch import apply_batch
+from ..corpus import build_all
+from ..vm.interp import run_program_files
+from .common import (
+    PAPER_TABLE6_TOTAL, STR_INTERPROC_FAIL_REASONS,
+    STR_STATIC_FAIL_REASONS, pct, render_table,
+)
+
+
+@dataclass
+class Table6Row:
+    program: str
+    identified: int             # C1
+    replaced: int               # C2
+    failed_precondition: int    # C3
+    tests_pass: bool
+
+    @property
+    def pct_replaced(self) -> str:
+        return pct(self.replaced, self.identified)
+
+    @property
+    def pct_of_passed(self) -> str:
+        passed = self.identified - self.failed_precondition
+        return pct(self.replaced, passed)
+
+
+@dataclass
+class Table6Result:
+    rows: list[Table6Row] = field(default_factory=list)
+
+    @property
+    def totals(self) -> tuple[int, int, int]:
+        return (sum(r.identified for r in self.rows),
+                sum(r.replaced for r in self.rows),
+                sum(r.failed_precondition for r in self.rows))
+
+    def render(self) -> str:
+        headers = ["Software", "Buffers Identified [C1]",
+                   "Buffers Replaced [C2]", "Did Not Pass [C3]",
+                   "% Replaced [C2/C1]", "% of Passed [C2/(C1-C3)]",
+                   "Tests Pass"]
+        rows = [[r.program, r.identified, r.replaced,
+                 r.failed_precondition, r.pct_replaced, r.pct_of_passed,
+                 "yes" if r.tests_pass else "NO"] for r in self.rows]
+        c1, c2, c3 = self.totals
+        paper_c1, paper_c2, paper_c3 = PAPER_TABLE6_TOTAL
+        rows.append(["Total", c1, c2, c3, pct(c2, c1), pct(c2, c1 - c3),
+                     f"(paper: {paper_c1}/{paper_c2}/{paper_c3})"])
+        return render_table(headers, rows,
+                            "Table VI — Running STR on test programs")
+
+
+def classify_outcomes(outcomes) -> tuple[int, int, int]:
+    """(identified, replaced, failed-interprocedural) per the paper's
+    candidate definition."""
+    identified = 0
+    replaced = 0
+    failed = 0
+    for outcome in outcomes:
+        if outcome.transformed:
+            identified += 1
+            replaced += 1
+        elif outcome.reason in STR_INTERPROC_FAIL_REASONS:
+            identified += 1
+            failed += 1
+        elif outcome.reason in STR_STATIC_FAIL_REASONS:
+            continue            # never a candidate (static precondition)
+        else:
+            identified += 1
+            failed += 1
+    return identified, replaced, failed
+
+
+def compute_table6(*, execute: bool = True) -> Table6Result:
+    result = Table6Result()
+    for name, program in build_all().items():
+        batch = apply_batch(program, run_slr=False, run_str=True)
+        outcomes = [o for report in batch.reports if report.str_
+                    for o in report.str_.outcomes]
+        identified, replaced, failed = classify_outcomes(outcomes)
+        tests_pass = True
+        if execute:
+            before = run_program_files(program.preprocess().files)
+            after = run_program_files(batch.transformed_program.files)
+            tests_pass = (before.ok and after.ok
+                          and before.stdout == after.stdout)
+        result.rows.append(Table6Row(
+            program=name, identified=identified, replaced=replaced,
+            failed_precondition=failed, tests_pass=tests_pass))
+    return result
+
+
+def main(argv: list[str] | None = None) -> None:
+    print(compute_table6().render())
+
+
+if __name__ == "__main__":
+    main()

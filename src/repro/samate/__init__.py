@@ -1,0 +1,15 @@
+"""SAMATE/Juliet-style benchmark generator (paper §IV-A, Table III)."""
+
+from .flows import FLOW_VARIANTS, FlowVariant
+from .generator import (
+    CWE_TITLES, DEFAULT_STDIN, PAPER_COUNTS, TestProgram, generate_cwe,
+    generate_suite, render_program, suite_size,
+)
+from .variants import FunctionalVariant
+
+__all__ = [
+    "FLOW_VARIANTS", "FlowVariant",
+    "CWE_TITLES", "DEFAULT_STDIN", "PAPER_COUNTS", "TestProgram",
+    "generate_cwe", "generate_suite", "render_program", "suite_size",
+    "FunctionalVariant",
+]

@@ -1,0 +1,47 @@
+"""CLI: ``python -m repro.samate dump`` — write the generated SAMATE-style
+benchmark programs to disk as plain .c files (one per program, grouped by
+CWE), for inspection or compilation outside the VM."""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+
+from .generator import generate_suite
+
+
+def dump(out_dir: pathlib.Path, scale: float) -> int:
+    suite = generate_suite(scale=scale)
+    written = 0
+    for cwe, programs in suite.items():
+        cwe_dir = out_dir / f"CWE{cwe}"
+        cwe_dir.mkdir(parents=True, exist_ok=True)
+        for program in programs:
+            (cwe_dir / f"{program.name}.c").write_text(program.source,
+                                                       encoding="utf-8")
+            written += 1
+    manifest = out_dir / "MANIFEST.txt"
+    lines = [f"{cwe}: {len(programs)} programs"
+             for cwe, programs in suite.items()]
+    manifest.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return written
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.samate",
+        description="Dump the generated benchmark population to disk")
+    sub = parser.add_subparsers(dest="command", required=True)
+    dump_cmd = sub.add_parser("dump")
+    dump_cmd.add_argument("--out", required=True,
+                          help="output directory")
+    dump_cmd.add_argument("--scale", type=float, default=0.01,
+                          help="population scale (1.0 = all 4,505)")
+    args = parser.parse_args(argv)
+    written = dump(pathlib.Path(args.out), args.scale)
+    print(f"wrote {written} programs to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

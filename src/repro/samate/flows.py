@@ -1,0 +1,159 @@
+"""Juliet-style control/data-flow variants.
+
+The Juliet test suite multiplies each functional defect by a set of flow
+variants: the flawed statements are wrapped in always-true (or
+always-reached) control flow of increasing indirection.  We implement 18
+variants matching Juliet's classic set in spirit — constants, static and
+global flags, helper predicates, switch/while/for/goto wrappers — which is
+what gives the generated population its size and its structural variety.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+def _indent(body: str, by: str = "    ") -> str:
+    return "\n".join(by + line if line.strip() else line
+                     for line in body.splitlines())
+
+
+@dataclass(frozen=True)
+class FlowVariant:
+    """One control-flow wrapping of a flawed statement block."""
+
+    vid: int
+    name: str
+    helpers: str            # file-scope declarations this variant needs
+    wrap: Callable[[str], str]
+
+    def apply(self, body: str) -> str:
+        return self.wrap(body)
+
+
+def _plain(body: str) -> str:
+    return body
+
+
+def _if_1(body: str) -> str:
+    return f"if (1) {{\n{_indent(body)}\n}}"
+
+
+def _if_5_eq_5(body: str) -> str:
+    return f"if (5 == 5) {{\n{_indent(body)}\n}}"
+
+
+def _if_static_const(body: str) -> str:
+    return f"if (STATIC_CONST_TRUE) {{\n{_indent(body)}\n}}"
+
+
+def _if_static_var(body: str) -> str:
+    return f"if (static_true) {{\n{_indent(body)}\n}}"
+
+
+def _if_static_five(body: str) -> str:
+    return f"if (STATIC_CONST_FIVE == 5) {{\n{_indent(body)}\n}}"
+
+
+def _if_static_five_var(body: str) -> str:
+    return f"if (static_five == 5) {{\n{_indent(body)}\n}}"
+
+
+def _if_static_fn(body: str) -> str:
+    return f"if (static_returns_true()) {{\n{_indent(body)}\n}}"
+
+
+def _if_global_const(body: str) -> str:
+    return f"if (GLOBAL_CONST_TRUE) {{\n{_indent(body)}\n}}"
+
+
+def _if_global_var(body: str) -> str:
+    return f"if (global_true) {{\n{_indent(body)}\n}}"
+
+
+def _if_global_fn(body: str) -> str:
+    return f"if (global_returns_true()) {{\n{_indent(body)}\n}}"
+
+
+def _if_else_dead(body: str) -> str:
+    return (f"if (global_true) {{\n{_indent(body)}\n}}\n"
+            f"else {{\n    printf(\"dead branch\\n\");\n}}")
+
+
+def _if_global_five_const(body: str) -> str:
+    return f"if (GLOBAL_CONST_FIVE == 5) {{\n{_indent(body)}\n}}"
+
+
+def _if_global_five_var(body: str) -> str:
+    return f"if (global_five == 5) {{\n{_indent(body)}\n}}"
+
+
+def _switch_6(body: str) -> str:
+    return ("switch (6) {\n"
+            "case 6:\n"
+            f"{_indent(body)}\n"
+            "    break;\n"
+            "default:\n"
+            "    printf(\"dead case\\n\");\n"
+            "    break;\n"
+            "}")
+
+
+def _while_1_break(body: str) -> str:
+    return f"while (1) {{\n{_indent(body)}\n    break;\n}}"
+
+
+def _for_once(body: str) -> str:
+    return ("{\n    int flow_j;\n"
+            "    for (flow_j = 0; flow_j < 1; flow_j++) {\n"
+            f"{_indent(body, '        ')}\n"
+            "    }\n}")
+
+
+def _goto_forward(body: str) -> str:
+    return ("goto flow_sink;\n"
+            "flow_sink:\n"
+            f"{body}")
+
+
+_STATIC_HELPERS = """\
+#define STATIC_CONST_TRUE 1
+#define STATIC_CONST_FIVE 5
+static int static_true = 1;
+static int static_five = 5;
+static int static_returns_true(void) { return 1; }
+"""
+
+_GLOBAL_HELPERS = """\
+#define GLOBAL_CONST_TRUE 1
+#define GLOBAL_CONST_FIVE 5
+int global_true = 1;
+int global_five = 5;
+int global_returns_true(void) { return 1; }
+"""
+
+FLOW_VARIANTS: tuple[FlowVariant, ...] = (
+    FlowVariant(1, "baseline", "", _plain),
+    FlowVariant(2, "if_1", "", _if_1),
+    FlowVariant(3, "if_5_eq_5", "", _if_5_eq_5),
+    FlowVariant(4, "if_static_const", _STATIC_HELPERS, _if_static_const),
+    FlowVariant(5, "if_static_var", _STATIC_HELPERS, _if_static_var),
+    FlowVariant(6, "if_static_five_const", _STATIC_HELPERS,
+                _if_static_five),
+    FlowVariant(7, "if_static_five_var", _STATIC_HELPERS,
+                _if_static_five_var),
+    FlowVariant(8, "if_static_fn", _STATIC_HELPERS, _if_static_fn),
+    FlowVariant(9, "if_global_const", _GLOBAL_HELPERS, _if_global_const),
+    FlowVariant(10, "if_global_var", _GLOBAL_HELPERS, _if_global_var),
+    FlowVariant(11, "if_global_fn", _GLOBAL_HELPERS, _if_global_fn),
+    FlowVariant(12, "if_else_dead", _GLOBAL_HELPERS, _if_else_dead),
+    FlowVariant(13, "if_global_five_const", _GLOBAL_HELPERS,
+                _if_global_five_const),
+    FlowVariant(14, "if_global_five_var", _GLOBAL_HELPERS,
+                _if_global_five_var),
+    FlowVariant(15, "switch_6", "", _switch_6),
+    FlowVariant(16, "while_1_break", "", _while_1_break),
+    FlowVariant(17, "for_once", "", _for_once),
+    FlowVariant(18, "goto_forward", "", _goto_forward),
+)

@@ -1,0 +1,199 @@
+"""SAMATE/Juliet-style test-program generator.
+
+Builds the benchmark population of paper Table III: good/bad-function C
+programs for the six buffer-overflow CWEs, as the cross product of
+functional defect variants (what overflows and how), flow variants (the
+control flow wrapping the flaw), and buffer-size parameters — truncated
+deterministically to the paper's per-CWE counts:
+
+======= ========= =============== ===============
+CWE     programs  SLR applicable  STR applicable
+======= ========= =============== ===============
+121     1,877     1,096           1,877
+122       890       644             890
+124       680         —             680
+126       416         —             416
+127       624         —             624
+242        18        18               —
+======= ========= =============== ===============
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from .flows import FLOW_VARIANTS, FlowVariant, _indent
+from .variants import (
+    CWE121_PTR_VARIANTS, CWE121_SLR_VARIANTS, CWE122_PTR_VARIANTS,
+    CWE122_SLR_VARIANTS, CWE124_VARIANTS, CWE126_VARIANTS, CWE127_VARIANTS,
+    CWE242_VARIANTS, FunctionalVariant,
+)
+
+#: Table III sizing: cwe -> (total, slr_applicable).
+PAPER_COUNTS: dict[int, tuple[int, int]] = {
+    121: (1877, 1096),
+    122: (890, 644),
+    124: (680, 0),
+    126: (416, 0),
+    127: (624, 0),
+    242: (18, 18),
+}
+
+CWE_TITLES = {
+    121: "Stack Based Overflow",
+    122: "Heap Based Overflow",
+    124: "Buffer Underwrite",
+    126: "Buffer Overread",
+    127: "Buffer Underread",
+    242: "Use of Inherently Dangerous Function",
+}
+
+#: stdin given to every program run (long enough to overflow every gets
+#: buffer in the suite).
+DEFAULT_STDIN = b"A" * 64 + b"\n"
+
+_HEADERS = "#include <stdio.h>\n#include <string.h>\n#include <stdlib.h>\n"
+
+
+@dataclass
+class TestProgram:
+    """One generated good/bad benchmark program."""
+
+    name: str
+    cwe: int
+    variant: str
+    flow: str
+    sizes: tuple[int, int]
+    source: str
+    slr_applicable: bool
+    str_applicable: bool
+    uses_stdin: bool
+
+    @property
+    def stdin(self) -> bytes:
+        return DEFAULT_STDIN
+
+
+def render_program(variant: FunctionalVariant, flow: FlowVariant,
+                   sizes: tuple[int, int]) -> TestProgram:
+    """Assemble one test program source."""
+    d, s = sizes
+    bad = variant.make_bad(d, s)
+    good_body = variant.make_good(d, s)
+    name = f"CWE{variant.cwe}_{variant.name}_f{flow.vid:02d}_d{d}_s{s}"
+
+    parts = [_HEADERS]
+    parts.append(f"/* {name}\n"
+                 f" * CWE-{variant.cwe}: {CWE_TITLES[variant.cwe]}\n"
+                 f" * Functional variant: {variant.name}; "
+                 f"flow variant {flow.vid} ({flow.name}).\n"
+                 f" * The good function performs the operation safely; the\n"
+                 f" * bad function contains the flaw.\n"
+                 f" */\n")
+    if flow.helpers:
+        parts.append(flow.helpers)
+
+    parts.append("static void good_case(void)\n{\n"
+                 + _indent(good_body) + "\n}\n")
+
+    bad_lines = []
+    if bad.decls:
+        bad_lines.append(bad.decls)
+    bad_lines.append(flow.apply(bad.flawed))
+    if bad.tail:
+        bad_lines.append(bad.tail)
+    parts.append("static void bad_case(void)\n{\n"
+                 + _indent("\n".join(bad_lines)) + "\n}\n")
+
+    parts.append("int main(void)\n"
+                 "{\n"
+                 '    printf("good:\\n");\n'
+                 "    good_case();\n"
+                 '    printf("bad:\\n");\n'
+                 "    bad_case();\n"
+                 '    printf("end\\n");\n'
+                 "    return 0;\n"
+                 "}\n")
+
+    return TestProgram(
+        name=name, cwe=variant.cwe, variant=variant.name,
+        flow=flow.name, sizes=sizes, source="\n".join(parts),
+        slr_applicable=variant.slr,
+        str_applicable=variant.cwe != 242,
+        uses_stdin=variant.uses_stdin)
+
+
+def _segment(variants: tuple[FunctionalVariant, ...],
+             target: int) -> list[TestProgram]:
+    """Deterministically enumerate variant x sizes x flow combinations and
+    truncate to ``target`` programs (flow varies fastest for diversity)."""
+    programs: list[TestProgram] = []
+    combos = itertools.product(
+        variants,
+        range(max(len(v.sizes) for v in variants)),
+        FLOW_VARIANTS,
+    )
+    for variant, size_index, flow in combos:
+        if len(programs) >= target:
+            break
+        if size_index >= len(variant.sizes):
+            continue
+        programs.append(render_program(variant, flow,
+                                       variant.sizes[size_index]))
+    if len(programs) < target:
+        raise ValueError(
+            f"variant space too small: wanted {target}, "
+            f"got {len(programs)}")
+    return programs
+
+
+_CWE_SEGMENTS: dict[int, tuple[tuple[FunctionalVariant, ...],
+                               tuple[FunctionalVariant, ...]]] = {
+    121: (CWE121_SLR_VARIANTS, CWE121_PTR_VARIANTS),
+    122: (CWE122_SLR_VARIANTS, CWE122_PTR_VARIANTS),
+    124: ((), CWE124_VARIANTS),
+    126: ((), CWE126_VARIANTS),
+    127: ((), CWE127_VARIANTS),
+    242: (CWE242_VARIANTS, ()),
+}
+
+
+def generate_cwe(cwe: int, total: int | None = None,
+                 slr_count: int | None = None) -> list[TestProgram]:
+    """Generate the programs of one CWE, sized to the paper by default."""
+    paper_total, paper_slr = PAPER_COUNTS[cwe]
+    total = paper_total if total is None else total
+    slr_count = (min(paper_slr, total) if slr_count is None
+                 else slr_count)
+    slr_variants, ptr_variants = _CWE_SEGMENTS[cwe]
+    programs: list[TestProgram] = []
+    if slr_count and slr_variants:
+        programs.extend(_segment(slr_variants, slr_count))
+    remaining = total - len(programs)
+    if remaining and ptr_variants:
+        programs.extend(_segment(ptr_variants, remaining))
+    if len(programs) != total:
+        raise ValueError(f"CWE {cwe}: generated {len(programs)}, "
+                         f"wanted {total}")
+    return programs
+
+
+def generate_suite(scale: float = 1.0) -> dict[int, list[TestProgram]]:
+    """Generate the whole Table III population.
+
+    ``scale`` < 1 produces a proportionally smaller population with the
+    same SLR/STR applicability ratios (used by the sampled benchmarks);
+    ``scale=1`` reproduces the paper's 4,505 programs.
+    """
+    suite: dict[int, list[TestProgram]] = {}
+    for cwe, (total, slr_count) in PAPER_COUNTS.items():
+        scaled_total = max(1, round(total * scale))
+        scaled_slr = min(scaled_total, max(1 if slr_count else 0,
+                                           round(slr_count * scale)))
+        suite[cwe] = generate_cwe(cwe, scaled_total, scaled_slr)
+    return suite
+
+
+def suite_size(suite: dict[int, list[TestProgram]]) -> int:
+    return sum(len(programs) for programs in suite.values())

@@ -1,0 +1,518 @@
+"""Functional defect variants for each buffer-overflow CWE.
+
+Each variant describes, for a (destination size, source size) pair, the
+*bad* function body (which overflows) and the *good* function body (which
+performs the equivalent operation safely) — mirroring the good/bad pair
+structure of NIST SAMATE Juliet programs (paper §IV-A1).
+
+Variants are tagged ``slr`` when the flaw comes from one of the six unsafe
+library functions SLR replaces; the untagged ones are bad-pointer-operation
+flaws that only STR addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class BodyParts:
+    decls: str          # declarations + setup, before the flawed block
+    flawed: str         # the statements the flow variant wraps
+    tail: str           # sink statements after the flawed block
+
+
+@dataclass(frozen=True)
+class FunctionalVariant:
+    name: str
+    cwe: int
+    slr: bool                           # uses an SLR-replaceable function
+    uses_stdin: bool
+    make_bad: Callable[[int, int], BodyParts]
+    make_good: Callable[[int, int], str]
+    sizes: tuple[tuple[int, int], ...]
+
+
+def _fill_src(s: int) -> str:
+    return (f"char src[{s}];\n"
+            f"memset(src, 'A', {s - 1});\n"
+            f"src[{s - 1}] = '\\0';")
+
+
+# --------------------------------------------------------------- CWE 121
+# Stack-based buffer overflow.
+
+_STACK_SIZES = tuple((d, d * 2 + 2) for d in
+                     (8, 10, 12, 16, 20, 24, 32, 40, 48, 64, 80, 96,
+                      100, 128, 160, 200, 256, 320, 400, 512, 640, 768,
+                      800, 1024))
+
+
+def _bad_strcpy_stack(d: int, s: int) -> BodyParts:
+    return BodyParts(
+        decls=f"char dst[{d}];\n{_fill_src(s)}",
+        flawed="strcpy(dst, src);",
+        tail='printf("%s\\n", dst);')
+
+
+def _good_strcpy_stack(d: int, s: int) -> str:
+    return (f"char dst[{s}];\n{_fill_src(s)}\n"
+            "strcpy(dst, src);\n"
+            'printf("%s\\n", dst);')
+
+
+def _bad_strcat_stack(d: int, s: int) -> BodyParts:
+    return BodyParts(
+        decls=f"char dst[{d}];\ndst[0] = '\\0';\n{_fill_src(s)}",
+        flawed="strcat(dst, src);",
+        tail='printf("%s\\n", dst);')
+
+
+def _good_strcat_stack(d: int, s: int) -> str:
+    return (f"char dst[{s}];\ndst[0] = '\\0';\n{_fill_src(s)}\n"
+            "strcat(dst, src);\n"
+            'printf("%s\\n", dst);')
+
+
+def _bad_sprintf_stack(d: int, s: int) -> BodyParts:
+    return BodyParts(
+        decls=f"char dst[{d}];\n{_fill_src(s)}",
+        flawed='sprintf(dst, "%s", src);',
+        tail='printf("%s\\n", dst);')
+
+
+def _good_sprintf_stack(d: int, s: int) -> str:
+    return (f"char dst[{s}];\n{_fill_src(s)}\n"
+            'sprintf(dst, "%s", src);\n'
+            'printf("%s\\n", dst);')
+
+
+def _bad_memcpy_stack(d: int, s: int) -> BodyParts:
+    return BodyParts(
+        decls=f"char dst[{d}];\n{_fill_src(s)}",
+        flawed=f"memcpy(dst, src, {s});",
+        tail='printf("%c\\n", dst[0]);')
+
+
+def _good_memcpy_stack(d: int, s: int) -> str:
+    return (f"char dst[{d}];\n{_fill_src(s)}\n"
+            f"memcpy(dst, src, {d});\n"
+            'printf("%c\\n", dst[0]);')
+
+
+def _bad_loop_stack(d: int, s: int) -> BodyParts:
+    return BodyParts(
+        decls=f"char dst[{d}];\nint i;",
+        flawed=(f"for (i = 0; i <= {d}; i++) {{\n"
+                "    dst[i] = 'A';\n"
+                "}"),
+        tail='printf("%c\\n", dst[0]);')
+
+
+def _good_loop_stack(d: int, s: int) -> str:
+    return (f"char dst[{d}];\nint i;\n"
+            f"for (i = 0; i < {d}; i++) {{\n"
+            "    dst[i] = 'A';\n"
+            "}\n"
+            'printf("%c\\n", dst[0]);')
+
+
+def _bad_index_stack(d: int, s: int) -> BodyParts:
+    return BodyParts(
+        decls=f"char dst[{d}];\ndst[0] = 'B';",
+        flawed=f"dst[{d}] = 'X';",
+        tail='printf("%c\\n", dst[0]);')
+
+
+def _good_index_stack(d: int, s: int) -> str:
+    return (f"char dst[{d}];\ndst[0] = 'B';\n"
+            f"dst[{d - 1}] = 'X';\n"
+            'printf("%c\\n", dst[0]);')
+
+
+def _bad_ptr_stack(d: int, s: int) -> BodyParts:
+    return BodyParts(
+        decls=f"char dst[{d}];\nchar *p;\ndst[0] = 'B';\np = dst;",
+        flawed=f"p += {d};\n*p = 'X';",
+        tail='printf("%c\\n", dst[0]);')
+
+
+def _good_ptr_stack(d: int, s: int) -> str:
+    return (f"char dst[{d}];\nchar *p;\ndst[0] = 'B';\np = dst;\n"
+            f"p += {d - 1};\n*p = 'X';\n"
+            'printf("%c\\n", dst[0]);')
+
+
+# --------------------------------------------------------------- CWE 122
+# Heap-based buffer overflow.  Heap sizes are multiples of 8 so that
+# malloc_usable_size == requested and the overflowing byte really faults.
+
+_HEAP_SIZES = tuple((d, d * 2 + 16) for d in
+                    (8, 16, 24, 32, 40, 48, 64, 80, 96, 128))
+_HEAP_PTR_SIZES = tuple((d, 0) for d in
+                        (8, 16, 24, 32, 40, 48, 64, 80, 96, 128))
+
+
+def _bad_strcpy_heap(d: int, s: int) -> BodyParts:
+    return BodyParts(
+        decls=f"char *dst = malloc({d});\n{_fill_src(s)}",
+        flawed="strcpy(dst, src);",
+        tail='printf("%s\\n", dst);')
+
+
+def _good_strcpy_heap(d: int, s: int) -> str:
+    return (f"char *dst = malloc({s});\n{_fill_src(s)}\n"
+            "strcpy(dst, src);\n"
+            'printf("%s\\n", dst);')
+
+
+def _bad_strcat_heap(d: int, s: int) -> BodyParts:
+    return BodyParts(
+        decls=(f"char *dst = malloc({d});\ndst[0] = '\\0';\n"
+               f"{_fill_src(s)}"),
+        flawed="strcat(dst, src);",
+        tail='printf("%s\\n", dst);')
+
+
+def _good_strcat_heap(d: int, s: int) -> str:
+    return (f"char *dst = malloc({s});\ndst[0] = '\\0';\n{_fill_src(s)}\n"
+            "strcat(dst, src);\n"
+            'printf("%s\\n", dst);')
+
+
+def _bad_sprintf_heap(d: int, s: int) -> BodyParts:
+    return BodyParts(
+        decls=f"char *dst = malloc({d});\n{_fill_src(s)}",
+        flawed='sprintf(dst, "%s", src);',
+        tail='printf("%s\\n", dst);')
+
+
+def _good_sprintf_heap(d: int, s: int) -> str:
+    return (f"char *dst = malloc({s});\n{_fill_src(s)}\n"
+            'sprintf(dst, "%s", src);\n'
+            'printf("%s\\n", dst);')
+
+
+def _bad_memcpy_heap(d: int, s: int) -> BodyParts:
+    return BodyParts(
+        decls=f"char *dst = malloc({d});\n{_fill_src(s)}",
+        flawed=f"memcpy(dst, src, {s});",
+        tail='printf("%c\\n", dst[0]);')
+
+
+def _good_memcpy_heap(d: int, s: int) -> str:
+    return (f"char *dst = malloc({d});\n{_fill_src(s)}\n"
+            f"memcpy(dst, src, {d});\n"
+            'printf("%c\\n", dst[0]);')
+
+
+def _bad_loop_heap(d: int, s: int) -> BodyParts:
+    return BodyParts(
+        decls=f"char *dst = malloc({d});\nint i;",
+        flawed=(f"for (i = 0; i <= {d}; i++) {{\n"
+                "    dst[i] = 'A';\n"
+                "}"),
+        tail='printf("%c\\n", dst[0]);')
+
+
+def _good_loop_heap(d: int, s: int) -> str:
+    return (f"char *dst = malloc({d});\nint i;\n"
+            f"for (i = 0; i < {d}; i++) {{\n"
+            "    dst[i] = 'A';\n"
+            "}\n"
+            'printf("%c\\n", dst[0]);')
+
+
+def _bad_index_heap(d: int, s: int) -> BodyParts:
+    return BodyParts(
+        decls=f"char *dst = malloc({d});\ndst[0] = 'B';",
+        flawed=f"dst[{d}] = 'X';",
+        tail='printf("%c\\n", dst[0]);')
+
+
+def _good_index_heap(d: int, s: int) -> str:
+    return (f"char *dst = malloc({d});\ndst[0] = 'B';\n"
+            f"dst[{d - 1}] = 'X';\n"
+            'printf("%c\\n", dst[0]);')
+
+
+def _bad_ptr_heap(d: int, s: int) -> BodyParts:
+    return BodyParts(
+        decls=(f"char *dst = malloc({d});\nchar *p;\ndst[0] = 'B';\n"
+               "p = dst;"),
+        flawed=f"p += {d};\n*p = 'X';",
+        tail='printf("%c\\n", dst[0]);')
+
+
+def _good_ptr_heap(d: int, s: int) -> str:
+    return (f"char *dst = malloc({d});\nchar *p;\ndst[0] = 'B';\n"
+            "p = dst;\n"
+            f"p += {d - 1};\n*p = 'X';\n"
+            'printf("%c\\n", dst[0]);')
+
+
+# --------------------------------------------------------------- CWE 124
+# Buffer underwrite.
+
+_UNDER_SIZES = tuple((d, k) for d in (8, 16, 32, 64, 128) for k in
+                     (1, 2, 4))
+
+
+def _bad_under_ptr(d: int, k: int) -> BodyParts:
+    return BodyParts(
+        decls=f"char buf[{d}];\nchar *p;\nbuf[0] = 'B';\np = buf;",
+        flawed=f"p -= {k};\n*p = 'X';",
+        tail='printf("%c\\n", buf[0]);')
+
+
+def _good_under_ptr(d: int, k: int) -> str:
+    return (f"char buf[{d}];\nchar *p;\nbuf[0] = 'B';\np = buf;\n"
+            "*p = 'X';\n"
+            'printf("%c\\n", buf[0]);')
+
+
+def _bad_under_index(d: int, k: int) -> BodyParts:
+    return BodyParts(
+        decls=f"char buf[{d}];\nint i;\nbuf[0] = 'B';\ni = -{k};",
+        flawed="buf[i] = 'X';",
+        tail='printf("%c\\n", buf[0]);')
+
+
+def _good_under_index(d: int, k: int) -> str:
+    return (f"char buf[{d}];\nint i;\nbuf[0] = 'B';\ni = 0;\n"
+            "buf[i] = 'X';\n"
+            'printf("%c\\n", buf[0]);')
+
+
+def _bad_under_loop(d: int, k: int) -> BodyParts:
+    return BodyParts(
+        decls=f"char buf[{d}];\nint i;\nbuf[0] = 'B';",
+        flawed=(f"for (i = -{k}; i < 0; i++) {{\n"
+                "    buf[i] = 'U';\n"
+                "}"),
+        tail='printf("%c\\n", buf[0]);')
+
+
+def _good_under_loop(d: int, k: int) -> str:
+    return (f"char buf[{d}];\nint i;\nbuf[0] = 'B';\n"
+            f"for (i = 0; i < {min(k, d)}; i++) {{\n"
+            "    buf[i] = 'U';\n"
+            "}\n"
+            'printf("%c\\n", buf[0]);')
+
+
+# --------------------------------------------------------------- CWE 126
+# Buffer over-read.
+
+_OVERREAD_SIZES = tuple((d, d + d // 2) for d in
+                        (8, 16, 24, 32, 48, 64, 96, 128))
+
+
+def _bad_read_index(d: int, s: int) -> BodyParts:
+    return BodyParts(
+        decls=(f"char buf[{d}];\nchar c;\n"
+               f"memset(buf, 'C', {d - 1});\nbuf[{d - 1}] = '\\0';"),
+        flawed=f"c = buf[{d}];",
+        tail='printf("%d\\n", c);')
+
+
+def _good_read_index(d: int, s: int) -> str:
+    return (f"char buf[{d}];\nchar c;\n"
+            f"memset(buf, 'C', {d - 1});\nbuf[{d - 1}] = '\\0';\n"
+            f"c = buf[{d - 2}];\n"
+            'printf("%d\\n", c);')
+
+
+def _bad_read_strlen(d: int, s: int) -> BodyParts:
+    return BodyParts(
+        decls=f"char buf[{d}];\nint n;\nmemset(buf, 'A', {d});",
+        flawed="n = (int)strlen(buf);",
+        tail='printf("%d\\n", n);')
+
+
+def _good_read_strlen(d: int, s: int) -> str:
+    return (f"char buf[{d}];\nint n;\n"
+            f"memset(buf, 'A', {d - 1});\nbuf[{d - 1}] = '\\0';\n"
+            "n = (int)strlen(buf);\n"
+            'printf("%d\\n", n);')
+
+
+def _bad_read_loop(d: int, s: int) -> BodyParts:
+    return BodyParts(
+        decls=(f"char buf[{d}];\nint i;\nint total;\n"
+               f"memset(buf, 'V', {d});\ntotal = 0;"),
+        flawed=(f"for (i = 0; i <= {d}; i++) {{\n"
+                "    total = total + buf[i];\n"
+                "}"),
+        tail='printf("%d\\n", total);')
+
+
+def _good_read_loop(d: int, s: int) -> str:
+    return (f"char buf[{d}];\nint i;\nint total;\n"
+            f"memset(buf, 'V', {d});\ntotal = 0;\n"
+            f"for (i = 0; i < {d}; i++) {{\n"
+            "    total = total + buf[i];\n"
+            "}\n"
+            'printf("%d\\n", total);')
+
+
+# --------------------------------------------------------------- CWE 127
+# Buffer under-read.
+
+_UNDERREAD_SIZES = tuple((d, k) for d in (8, 16, 32, 64) for k in
+                         (1, 2, 3))
+
+
+def _bad_underread_index(d: int, k: int) -> BodyParts:
+    return BodyParts(
+        decls=(f"char buf[{d}];\nchar c;\nint i;\n"
+               f"memset(buf, 'R', {d - 1});\nbuf[{d - 1}] = '\\0';\n"
+               f"i = -{k};"),
+        flawed="c = buf[i];",
+        tail='printf("%d\\n", c);')
+
+
+def _good_underread_index(d: int, k: int) -> str:
+    return (f"char buf[{d}];\nchar c;\nint i;\n"
+            f"memset(buf, 'R', {d - 1});\nbuf[{d - 1}] = '\\0';\n"
+            "i = 0;\n"
+            "c = buf[i];\n"
+            'printf("%d\\n", c);')
+
+
+def _bad_underread_ptr(d: int, k: int) -> BodyParts:
+    return BodyParts(
+        decls=(f"char buf[{d}];\nchar *p;\nchar c;\n"
+               f"memset(buf, 'R', {d - 1});\nbuf[{d - 1}] = '\\0';\n"
+               "p = buf;"),
+        flawed=f"p -= {k};\nc = *p;",
+        tail='printf("%d\\n", c);')
+
+
+def _good_underread_ptr(d: int, k: int) -> str:
+    return (f"char buf[{d}];\nchar *p;\nchar c;\n"
+            f"memset(buf, 'R', {d - 1});\nbuf[{d - 1}] = '\\0';\n"
+            "p = buf;\n"
+            "c = *p;\n"
+            'printf("%d\\n", c);')
+
+
+def _bad_underread_loop(d: int, k: int) -> BodyParts:
+    return BodyParts(
+        decls=(f"char buf[{d}];\nint i;\nint total;\n"
+               f"memset(buf, 'R', {d - 1});\nbuf[{d - 1}] = '\\0';\n"
+               "total = 0;"),
+        flawed=(f"for (i = -{k}; i < {d - 1}; i++) {{\n"
+                "    total = total + buf[i];\n"
+                "}"),
+        tail='printf("%d\\n", total);')
+
+
+def _good_underread_loop(d: int, k: int) -> str:
+    return (f"char buf[{d}];\nint i;\nint total;\n"
+            f"memset(buf, 'R', {d - 1});\nbuf[{d - 1}] = '\\0';\n"
+            "total = 0;\n"
+            f"for (i = 0; i < {d - 1}; i++) {{\n"
+            "    total = total + buf[i];\n"
+            "}\n"
+            'printf("%d\\n", total);')
+
+
+# --------------------------------------------------------------- CWE 242
+# Use of inherently dangerous function: gets.
+
+_GETS_SIZES = ((16, 0),)
+
+
+def _bad_gets(d: int, s: int) -> BodyParts:
+    return BodyParts(
+        decls=f"char buf[{d}];",
+        flawed="gets(buf);",
+        tail='printf("%s\\n", buf);')
+
+
+def _good_gets(d: int, s: int) -> str:
+    return (f"char buf[{d}];\n"
+            "fgets(buf, sizeof(buf), stdin);\n"
+            'printf("%s", buf);')
+
+
+# ------------------------------------------------------------- registries
+
+CWE121_SLR_VARIANTS = (
+    FunctionalVariant("strcpy_stack", 121, True, False,
+                      _bad_strcpy_stack, _good_strcpy_stack, _STACK_SIZES),
+    FunctionalVariant("strcat_stack", 121, True, False,
+                      _bad_strcat_stack, _good_strcat_stack, _STACK_SIZES),
+    FunctionalVariant("sprintf_stack", 121, True, False,
+                      _bad_sprintf_stack, _good_sprintf_stack,
+                      _STACK_SIZES),
+    FunctionalVariant("memcpy_stack", 121, True, False,
+                      _bad_memcpy_stack, _good_memcpy_stack, _STACK_SIZES),
+)
+
+CWE121_PTR_VARIANTS = (
+    FunctionalVariant("loop_stack", 121, False, False,
+                      _bad_loop_stack, _good_loop_stack, _STACK_SIZES),
+    FunctionalVariant("index_stack", 121, False, False,
+                      _bad_index_stack, _good_index_stack, _STACK_SIZES),
+    FunctionalVariant("ptr_stack", 121, False, False,
+                      _bad_ptr_stack, _good_ptr_stack, _STACK_SIZES),
+)
+
+CWE122_SLR_VARIANTS = (
+    FunctionalVariant("strcpy_heap", 122, True, False,
+                      _bad_strcpy_heap, _good_strcpy_heap, _HEAP_SIZES),
+    FunctionalVariant("strcat_heap", 122, True, False,
+                      _bad_strcat_heap, _good_strcat_heap, _HEAP_SIZES),
+    FunctionalVariant("sprintf_heap", 122, True, False,
+                      _bad_sprintf_heap, _good_sprintf_heap, _HEAP_SIZES),
+    FunctionalVariant("memcpy_heap", 122, True, False,
+                      _bad_memcpy_heap, _good_memcpy_heap, _HEAP_SIZES),
+)
+
+CWE122_PTR_VARIANTS = (
+    FunctionalVariant("loop_heap", 122, False, False,
+                      _bad_loop_heap, _good_loop_heap, _HEAP_PTR_SIZES),
+    FunctionalVariant("index_heap", 122, False, False,
+                      _bad_index_heap, _good_index_heap, _HEAP_PTR_SIZES),
+    FunctionalVariant("ptr_heap", 122, False, False,
+                      _bad_ptr_heap, _good_ptr_heap, _HEAP_PTR_SIZES),
+)
+
+CWE124_VARIANTS = (
+    FunctionalVariant("under_ptr", 124, False, False,
+                      _bad_under_ptr, _good_under_ptr, _UNDER_SIZES),
+    FunctionalVariant("under_index", 124, False, False,
+                      _bad_under_index, _good_under_index, _UNDER_SIZES),
+    FunctionalVariant("under_loop", 124, False, False,
+                      _bad_under_loop, _good_under_loop, _UNDER_SIZES),
+)
+
+CWE126_VARIANTS = (
+    FunctionalVariant("read_index", 126, False, False,
+                      _bad_read_index, _good_read_index, _OVERREAD_SIZES),
+    FunctionalVariant("read_strlen", 126, False, False,
+                      _bad_read_strlen, _good_read_strlen,
+                      _OVERREAD_SIZES),
+    FunctionalVariant("read_loop", 126, False, False,
+                      _bad_read_loop, _good_read_loop, _OVERREAD_SIZES),
+)
+
+CWE127_VARIANTS = (
+    FunctionalVariant("underread_index", 127, False, False,
+                      _bad_underread_index, _good_underread_index,
+                      _UNDERREAD_SIZES),
+    FunctionalVariant("underread_ptr", 127, False, False,
+                      _bad_underread_ptr, _good_underread_ptr,
+                      _UNDERREAD_SIZES),
+    FunctionalVariant("underread_loop", 127, False, False,
+                      _bad_underread_loop, _good_underread_loop,
+                      _UNDERREAD_SIZES),
+)
+
+CWE242_VARIANTS = (
+    FunctionalVariant("gets_stdin", 242, True, True,
+                      _bad_gets, _good_gets, _GETS_SIZES),
+)

@@ -1,0 +1,17 @@
+"""C interpreter with bounds-checked memory (the evaluation substrate).
+
+The paper compiles and runs programs natively; our substitute executes them
+in a VM whose memory model detects every out-of-bounds access, which makes
+"the bad function overflows before the transformation and not after"
+directly observable.
+"""
+
+from .interp import (
+    ExecutionResult, Interpreter, run_program_files, run_source,
+)
+from .memory import Memory, MemoryFault, NULL, Pointer, VMError, usable_size
+
+__all__ = [
+    "ExecutionResult", "Interpreter", "run_program_files", "run_source",
+    "Memory", "MemoryFault", "NULL", "Pointer", "VMError", "usable_size",
+]

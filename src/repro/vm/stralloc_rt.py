@@ -1,0 +1,370 @@
+"""Native VM implementations of the 18 stralloc library functions.
+
+The struct layout is fixed by STR's injected typedef::
+
+    struct stralloc { char *s; char *f; unsigned int len; unsigned int a; }
+
+offsets: s@0 (8B), f@8 (8B), len@16 (4B), a@20 (4B), size 24.
+
+These functions bounds-check every operation against the tracked
+allocation, which is precisely the protection STR introduces: pointer
+arithmetic and indexed access become checked library calls.  Capacity is
+allocated lazily — STR initializes ``{0,0,0}`` and records a declared
+array's size in ``a`` before the first use (paper's ``buf->a = 1024``).
+"""
+
+from __future__ import annotations
+
+from .memory import MemoryFault, NULL, Pointer, VMError, decode_pointer, \
+    encode_pointer
+
+_OFF_S = 0
+_OFF_F = 8
+_OFF_LEN = 16
+_OFF_A = 20
+STRALLOC_SIZE = 24
+_MIN_CAPACITY = 16
+
+
+def _ptr_arg(value) -> Pointer:
+    if isinstance(value, Pointer):
+        return value
+    if value == 0:
+        return NULL
+    raise VMError(f"stralloc function expected a pointer, got {value!r}")
+
+
+class _SA:
+    """Accessor for a stralloc struct living in VM memory."""
+
+    def __init__(self, interp, sa_ptr: Pointer):
+        self.interp = interp
+        self.mem = interp.memory
+        self.base = _ptr_arg(sa_ptr)
+        if self.base.is_null:
+            raise MemoryFault("null-dereference",
+                              "stralloc operation on NULL")
+
+    # field accessors
+
+    def _read_ptr(self, offset: int) -> Pointer:
+        raw = self.mem.read_int(self.base.moved(offset), 8, signed=False)
+        decoded = decode_pointer(raw)
+        return decoded if decoded is not None else NULL
+
+    def _write_ptr(self, offset: int, ptr: Pointer) -> None:
+        self.mem.write_int(self.base.moved(offset), encode_pointer(ptr), 8)
+
+    @property
+    def s(self) -> Pointer:
+        return self._read_ptr(_OFF_S)
+
+    @s.setter
+    def s(self, ptr: Pointer) -> None:
+        self._write_ptr(_OFF_S, ptr)
+
+    @property
+    def f(self) -> Pointer:
+        return self._read_ptr(_OFF_F)
+
+    @f.setter
+    def f(self, ptr: Pointer) -> None:
+        self._write_ptr(_OFF_F, ptr)
+
+    @property
+    def len(self) -> int:
+        return self.mem.read_int(self.base.moved(_OFF_LEN), 4, signed=False)
+
+    @len.setter
+    def len(self, value: int) -> None:
+        self.mem.write_int(self.base.moved(_OFF_LEN), max(value, 0), 4)
+
+    @property
+    def a(self) -> int:
+        return self.mem.read_int(self.base.moved(_OFF_A), 4, signed=False)
+
+    @a.setter
+    def a(self, value: int) -> None:
+        self.mem.write_int(self.base.moved(_OFF_A), max(value, 0), 4)
+
+    # derived state
+
+    @property
+    def offset(self) -> int:
+        """How far s has been advanced past the base pointer f."""
+        s, f = self.s, self.f
+        if s.is_null or f.is_null:
+            return 0
+        return s.offset - f.offset
+
+    def ready(self, n: int) -> None:
+        """Ensure n bytes are available at s (grow/allocate as needed).
+
+        Capacity accounting (`a`) follows the reference C implementation
+        exactly — `a` is the requested capacity, not the allocator's
+        rounded block size — so VM and natively compiled stralloc behave
+        identically.
+        """
+        f = self.f
+        if f.is_null:
+            want = max(n, self.a, _MIN_CAPACITY)
+            new = self.mem.alloc_heap(want, "stralloc")
+            self.f = new
+            self.s = new
+            self.a = want
+            self.len = 0
+            return
+        if self.offset + n > self.a:
+            want = self.offset + n
+            grown = want + (want >> 3) + _MIN_CAPACITY
+            new = self.mem.alloc_heap(grown, "stralloc-grow")
+            old_data = self.mem.read_bytes(f, self.a)
+            self.mem.write_bytes(new, old_data)
+            offset = self.offset
+            self.mem.free(f)
+            self.f = new
+            self.s = new.moved(offset)
+            self.a = grown
+
+    def write_at(self, index: int, data: bytes) -> None:
+        self.ready(index + len(data))
+        self.mem.write_bytes(self.s.moved(index), data)
+
+    def recompute_len_from(self, start: int) -> int:
+        """First NUL at or after ``start`` (what strlen would see), or the
+        allocation size when unterminated."""
+        if self.f.is_null:
+            return 0
+        limit = self.a - self.offset
+        if start >= limit:
+            return limit
+        data = self.mem.read_bytes(self.s.moved(start), limit - start)
+        pos = data.find(b"\x00")
+        return start + pos if pos != -1 else limit
+
+    def read_at(self, index: int, size: int) -> bytes:
+        if self.f.is_null or self.offset + index + size > self.a or \
+                self.offset + index < 0:
+            raise MemoryFault(
+                "stralloc-bounds",
+                f"checked access at index {index} outside stralloc "
+                f"capacity {self.a}")
+        return self.mem.read_bytes(self.s.moved(index), size)
+
+
+# -------------------------------------------------------------- the library
+
+def sa_init(interp, args):
+    sa = _SA(interp, args[0])
+    sa.s = NULL
+    sa.f = NULL
+    sa.len = 0
+    sa.a = 0
+    return 1
+
+
+def sa_ready(interp, args):
+    sa = _SA(interp, args[0])
+    sa.ready(int(args[1]))
+    return 1
+
+
+def sa_free(interp, args):
+    sa = _SA(interp, args[0])
+    if not sa.f.is_null:
+        interp.memory.free(sa.f)
+    sa.s = NULL
+    sa.f = NULL
+    sa.len = 0
+    sa.a = 0
+    return 0
+
+
+def sa_copybuf(interp, args):
+    sa = _SA(interp, args[0])
+    n = int(args[2])
+    data = interp.memory.read_bytes(_ptr_arg(args[1]), n)
+    sa.write_at(0, data + b"\x00")
+    sa.len = n
+    return 1
+
+
+def sa_copys(interp, args):
+    sa = _SA(interp, args[0])
+    data = interp.memory.read_cstring(_ptr_arg(args[1]))
+    sa.write_at(0, data + b"\x00")
+    sa.len = len(data)
+    return 1
+
+
+def sa_catbuf(interp, args):
+    sa = _SA(interp, args[0])
+    n = int(args[2])
+    data = interp.memory.read_bytes(_ptr_arg(args[1]), n)
+    start = sa.len
+    sa.write_at(start, data + b"\x00")
+    sa.len = start + n
+    return 1
+
+
+def sa_cats(interp, args):
+    sa = _SA(interp, args[0])
+    data = interp.memory.read_cstring(_ptr_arg(args[1]))
+    start = sa.len
+    sa.write_at(start, data + b"\x00")
+    sa.len = start + len(data)
+    return 1
+
+
+def sa_append(interp, args):
+    sa = _SA(interp, args[0])
+    start = sa.len
+    sa.write_at(start, bytes([int(args[1]) & 0xFF, 0]))
+    sa.len = start + 1
+    return 1
+
+
+def sa_memset(interp, args):
+    """memset analog: set exactly n bytes (no NUL appended — C's memset
+    never terminates), tracking the logical length like strlen would."""
+    sa = _SA(interp, args[0])
+    value = int(args[1]) & 0xFF
+    n = int(args[2])
+    if n > 0:
+        sa.write_at(0, bytes([value]) * n)
+        if value == 0:
+            sa.len = 0
+        elif n >= sa.len:
+            # The old terminator may have been overwritten: rescan.
+            sa.len = sa.recompute_len_from(n)
+    return 1
+
+
+def sa_increment_by(interp, args):
+    """buf++ analog: advance s, never past the allocation.
+
+    A move that would leave the allocation is *refused* (clamped to the
+    end, returning 0) rather than performed: the transformed program keeps
+    running and the overflow never happens.
+    """
+    sa = _SA(interp, args[0])
+    n = int(args[1])
+    sa.ready(1)
+    ok = 1
+    if sa.offset + n > sa.a:
+        n = sa.a - sa.offset
+        ok = 0
+    sa.s = sa.s.moved(n)
+    sa.len = sa.len - n if sa.len >= n else 0
+    return ok
+
+
+def sa_decrement_by(interp, args):
+    """buf-- analog: move s back toward f, never before it.
+
+    A move before the base is refused (clamped to the base, returning 0):
+    the buffer underwrite is prevented and execution continues.
+    """
+    sa = _SA(interp, args[0])
+    n = int(args[1])
+    ok = 1
+    if n > sa.offset:
+        n = sa.offset
+        ok = 0
+    sa.s = sa.s.moved(-n)
+    sa.len = sa.len + n
+    return ok
+
+
+def sa_get_char_at(interp, args):
+    """buf[i] read analog: bounds-checked; out of range yields 0 rather
+    than an out-of-bounds read (checked-and-clamped semantics)."""
+    sa = _SA(interp, args[0])
+    index = int(args[1])
+    if sa.f.is_null or index < 0 or sa.offset + index >= sa.a:
+        return 0
+    return sa.read_at(index, 1)[0]
+
+
+def sa_replace_by(interp, args):
+    """buf[i] = c analog: grows the allocation so the write is in bounds.
+
+    A negative index (buffer underwrite) is refused — the store does not
+    happen and 0 is returned, so execution continues safely.  ``len``
+    tracks exactly what strlen would return: a stored NUL truncates the
+    logical string; overwriting the terminator re-scans for the next one
+    (the bytes beyond may be stale content, as in real C).
+    """
+    sa = _SA(interp, args[0])
+    index = int(args[1])
+    value = int(args[2]) & 0xFF
+    if index < 0:
+        return 0
+    sa.write_at(index, bytes([value]))
+    if value == 0:
+        if index < sa.len:
+            sa.len = index
+    elif index == sa.len:
+        # The terminator was overwritten: the string now runs to the next
+        # NUL (freshly grown regions are zeroed, so this is well-defined).
+        sa.len = sa.recompute_len_from(index + 1)
+    # index < len or index > len: the terminator at len is untouched.
+    return 1
+
+
+def sa_compare(interp, args):
+    a = _SA(interp, args[0])
+    b = _SA(interp, args[1])
+    data_a = a.read_at(0, a.len) if a.len and not a.f.is_null else b""
+    data_b = b.read_at(0, b.len) if b.len and not b.f.is_null else b""
+    return 0 if data_a == data_b else (-1 if data_a < data_b else 1)
+
+
+def sa_equals(interp, args):
+    return 1 if sa_compare(interp, args) == 0 else 0
+
+
+def sa_find_char(interp, args):
+    sa = _SA(interp, args[0])
+    if sa.f.is_null or sa.len == 0:
+        return -1
+    data = sa.read_at(0, sa.len)
+    idx = data.find(bytes([int(args[1]) & 0xFF]))
+    return idx
+
+
+def sa_substring_at(interp, args):
+    sa = _SA(interp, args[0])
+    needle = _SA(interp, args[1])
+    hay = sa.read_at(0, sa.len) if sa.len and not sa.f.is_null else b""
+    sub = needle.read_at(0, needle.len) \
+        if needle.len and not needle.f.is_null else b""
+    if not sub:
+        return 0
+    return hay.find(sub)
+
+
+def sa_length(interp, args):
+    return _SA(interp, args[0]).len
+
+
+STRALLOC_NATIVES = {
+    "stralloc_init": sa_init,
+    "stralloc_ready": sa_ready,
+    "stralloc_free": sa_free,
+    "stralloc_copys": sa_copys,
+    "stralloc_copybuf": sa_copybuf,
+    "stralloc_cats": sa_cats,
+    "stralloc_catbuf": sa_catbuf,
+    "stralloc_append": sa_append,
+    "stralloc_memset": sa_memset,
+    "stralloc_increment_by": sa_increment_by,
+    "stralloc_decrement_by": sa_decrement_by,
+    "stralloc_get_dereferenced_char_at": sa_get_char_at,
+    "stralloc_dereference_replace_by": sa_replace_by,
+    "stralloc_compare": sa_compare,
+    "stralloc_equals": sa_equals,
+    "stralloc_find_char": sa_find_char,
+    "stralloc_substring_at": sa_substring_at,
+    "stralloc_length": sa_length,
+}

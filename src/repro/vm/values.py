@@ -1,0 +1,46 @@
+"""Runtime value kinds that are not plain Python ints/floats/Pointers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cfront.ctypes_model import CType
+
+
+@dataclass
+class StructValue:
+    """A struct rvalue: a byte image plus its type."""
+
+    data: bytes
+    ctype: CType
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class FuncRef:
+    """A function designator (or function pointer target)."""
+
+    name: str
+
+
+class VaListState:
+    """State behind a ``va_list``: the trailing call arguments."""
+
+    def __init__(self, args: list):
+        self.args = args
+        self.index = 0
+
+    def next(self):
+        if self.index >= len(self.args):
+            from .memory import VMError
+            raise VMError("va_arg past the end of the argument list")
+        value = self.args[self.index]
+        self.index += 1
+        return value
+
+    def copy(self) -> "VaListState":
+        clone = VaListState(self.args)
+        clone.index = self.index
+        return clone

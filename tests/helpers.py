@@ -1,0 +1,42 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+from repro.analysis import ProgramAnalysis, analyze, bind, typecheck
+from repro.cfront import astnodes as ast
+from repro.cfront.parser import parse_translation_unit
+from repro.cfront.preprocessor import Preprocessor
+from repro.vm import run_source
+
+
+def pp(source: str, filename: str = "test.c") -> str:
+    """Preprocess C source with the builtin headers."""
+    return Preprocessor().preprocess(source, filename).text
+
+
+def parse(source: str, *, preprocess: bool = True) -> ast.TranslationUnit:
+    text = pp(source) if preprocess else source
+    return parse_translation_unit(text, "test.c")
+
+
+def parse_and_analyze(source: str) -> tuple[ast.TranslationUnit, str,
+                                            ProgramAnalysis]:
+    text = pp(source)
+    unit = parse_translation_unit(text, "test.c")
+    return unit, text, analyze(unit)
+
+
+def run(source: str, *, stdin: bytes = b"", preprocess: bool = True,
+        step_limit: int = 5_000_000):
+    """Preprocess (optionally) and execute C source in the VM."""
+    text = pp(source) if preprocess else source
+    return run_source(text, stdin=stdin, step_limit=step_limit)
+
+
+def find_calls(unit: ast.TranslationUnit, name: str) -> list[ast.Call]:
+    return [node for node in unit.walk()
+            if isinstance(node, ast.Call) and node.callee_name == name]
+
+
+def local_symbols(analysis: ProgramAnalysis, function: str) -> dict:
+    return {s.name: s for s in analysis.symbols.locals_of.get(function, [])}

@@ -1,0 +1,189 @@
+"""Tests for name binding (symtab) and type analysis (typecheck)."""
+
+from repro.cfront import astnodes as ast
+from repro.cfront.ctypes_model import (
+    ArrayType, IntType, PointerType, LONG, ULONG,
+)
+
+from .helpers import local_symbols, parse_and_analyze
+
+
+class TestBinding:
+    def test_local_bound_to_declaration(self):
+        unit, _, pa = parse_and_analyze(
+            "int main(void) { int x = 1; return x; }")
+        ret = unit.function("main").body.items[1]
+        assert ret.value.symbol is not None
+        assert ret.value.symbol.name == "x"
+        assert ret.value.symbol.is_local
+
+    def test_global_vs_local(self):
+        unit, _, pa = parse_and_analyze(
+            "int g;\nint main(void) { int l; return g + l; }")
+        ret = unit.function("main").body.items[1]
+        g_use, l_use = ret.value.lhs, ret.value.rhs
+        assert g_use.symbol.is_global
+        assert l_use.symbol.is_local
+
+    def test_shadowing(self):
+        src = """
+        int x = 1;
+        int main(void) {
+            int x = 2;
+            { int x = 3; x = 4; }
+            return x;
+        }
+        """
+        unit, _, pa = parse_and_analyze(src)
+        main = unit.function("main")
+        inner_assign = next(n for n in main.walk()
+                            if isinstance(n, ast.Assignment))
+        ret = main.body.items[-1]
+        assert inner_assign.lhs.symbol is not ret.value.symbol
+
+    def test_parameter_binding(self):
+        unit, _, pa = parse_and_analyze("int f(int a) { return a; }")
+        fn = unit.function("f")
+        ret = fn.body.items[0]
+        assert ret.value.symbol.is_param
+        assert ret.value.symbol is fn.params[0].symbol
+
+    def test_function_symbol(self):
+        unit, _, pa = parse_and_analyze(
+            "int helper(void) { return 1; }\n"
+            "int main(void) { return helper(); }")
+        call = next(n for n in unit.walk() if isinstance(n, ast.Call))
+        assert call.func.symbol.is_function
+
+    def test_locals_of_registry(self):
+        unit, _, pa = parse_and_analyze(
+            "void f(void) { int a; char b[4]; }")
+        names = {s.name for s in pa.symbols.locals_of["f"]}
+        assert names == {"a", "b"}
+
+    def test_member_name_not_bound_as_variable(self):
+        src = """
+        struct p { int len; };
+        int main(void) { struct p v; v.len = 3; return v.len; }
+        """
+        unit, _, pa = parse_and_analyze(src)
+        accesses = [n for n in unit.walk()
+                    if isinstance(n, ast.FieldAccess)]
+        assert all(a.base.symbol is not None for a in accesses)
+
+    def test_for_loop_scope(self):
+        src = """
+        int main(void) {
+            for (int i = 0; i < 2; i++) { }
+            for (int i = 5; i > 0; i--) { }
+            return 0;
+        }
+        """
+        unit, _, pa = parse_and_analyze(src)
+        loops = [n for n in unit.walk() if isinstance(n, ast.ForStmt)]
+        sym0 = loops[0].init.declarators[0].symbol
+        sym1 = loops[1].init.declarators[0].symbol
+        assert sym0 is not sym1
+
+
+class TestTypecheck:
+    def get_expr_types(self, src: str) -> dict:
+        unit, _, pa = parse_and_analyze(src)
+        out = {}
+        for node in unit.walk():
+            if isinstance(node, ast.Identifier) and node.ctype is not None:
+                out[node.name] = node.ctype
+        return out
+
+    def test_identifier_types(self):
+        src = "int main(void){ char *p; char a[3]; long n; " \
+              "p = a; n = (long)p; return (int)n; }"
+        types = self.get_expr_types(src)
+        assert isinstance(types["p"], PointerType)
+        assert isinstance(types["a"], ArrayType)
+
+    def test_array_access_type(self):
+        unit, _, pa = parse_and_analyze(
+            "int main(void){ char b[4]; b[0] = 'x'; return 0; }")
+        access = next(n for n in unit.walk()
+                      if isinstance(n, ast.ArrayAccess))
+        assert access.ctype.is_char
+
+    def test_deref_type(self):
+        unit, _, pa = parse_and_analyze(
+            "int main(void){ int v; int *p = &v; return *p; }")
+        deref = next(n for n in unit.walk()
+                     if isinstance(n, ast.Unary) and n.op == "*")
+        assert deref.ctype == IntType("int")
+
+    def test_address_of_type(self):
+        unit, _, pa = parse_and_analyze(
+            "int main(void){ int v; int *p = &v; return 0; }")
+        addr = next(n for n in unit.walk()
+                    if isinstance(n, ast.Unary) and n.op == "&")
+        assert isinstance(addr.ctype, PointerType)
+
+    def test_pointer_plus_int_is_pointer(self):
+        unit, _, pa = parse_and_analyze(
+            "int main(void){ char b[8]; char *p = b + 2; return 0; }")
+        plus = next(n for n in unit.walk()
+                    if isinstance(n, ast.Binary) and n.op == "+")
+        assert isinstance(plus.ctype, PointerType)
+
+    def test_pointer_difference_is_long(self):
+        unit, _, pa = parse_and_analyze(
+            "int main(void){ char b[8]; long d = (b+4) - b; return 0; }")
+        minus = next(n for n in unit.walk()
+                     if isinstance(n, ast.Binary) and n.op == "-")
+        assert minus.ctype == LONG
+
+    def test_sizeof_is_size_t(self):
+        unit, _, pa = parse_and_analyze(
+            "int main(void){ char b[4]; return (int)sizeof(b); }")
+        szof = next(n for n in unit.walk()
+                    if isinstance(n, ast.SizeofExpr))
+        assert szof.ctype == ULONG
+
+    def test_comparison_is_int(self):
+        unit, _, pa = parse_and_analyze(
+            "int main(void){ long a = 1; return a < 2; }")
+        cmp_node = next(n for n in unit.walk()
+                        if isinstance(n, ast.Binary) and n.op == "<")
+        assert cmp_node.ctype == IntType("int")
+
+    def test_call_return_type(self):
+        unit, _, pa = parse_and_analyze(
+            "char *dup(void);\nint main(void){ char *p = dup(); return 0; }")
+        call = next(n for n in unit.walk() if isinstance(n, ast.Call))
+        assert isinstance(call.ctype, PointerType)
+
+    def test_struct_member_type(self):
+        src = """
+        struct s { char name[8]; int id; };
+        int main(void){ struct s v; v.id = 1; return v.id; }
+        """
+        unit, _, pa = parse_and_analyze(src)
+        member = next(n for n in unit.walk()
+                      if isinstance(n, ast.FieldAccess) and n.member == "id")
+        assert member.ctype == IntType("int")
+
+    def test_arrow_member_type(self):
+        src = """
+        struct s { char *data; };
+        int main(void){ struct s v; struct s *p = &v; p->data = 0;
+                        return 0; }
+        """
+        unit, _, pa = parse_and_analyze(src)
+        member = next(n for n in unit.walk()
+                      if isinstance(n, ast.FieldAccess) and n.arrow)
+        assert isinstance(member.ctype, PointerType)
+
+    def test_clean_program_no_diagnostics(self):
+        _, _, pa = parse_and_analyze(
+            "int main(void){ int a = 1; return a + 2; }")
+        assert pa.type_diagnostics == []
+
+    def test_unbound_identifier_diagnosed(self):
+        _, _, pa = parse_and_analyze(
+            "int main(void){ return mystery; }")
+        assert any("mystery" in d.message for d in pa.type_diagnostics)

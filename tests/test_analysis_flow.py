@@ -1,0 +1,294 @@
+"""Tests for CFG construction, reaching definitions, and dependence."""
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dependence import DependenceAnalysis
+from repro.analysis.reaching import ReachingDefinitions
+from repro.cfront import astnodes as ast
+
+from .helpers import find_calls, local_symbols, parse_and_analyze
+
+
+def cfg_for(src: str, fn: str = "main"):
+    unit, text, pa = parse_and_analyze(src)
+    return unit, text, pa, pa.cfg_of(fn)
+
+
+class TestCFGConstruction:
+    def test_straight_line(self):
+        _, _, _, cfg = cfg_for(
+            "int main(void){ int a = 1; a = 2; return a; }")
+        # entry -> decl -> stmt -> return -> exit
+        stmt_nodes = [n for n in cfg.nodes if n.stmt is not None]
+        assert len(stmt_nodes) == 3
+        assert cfg.entry.succs
+        assert cfg.exit.preds
+
+    def test_if_both_branches_reach_join(self):
+        src = """int main(void){
+            int a = 0;
+            if (a) { a = 1; } else { a = 2; }
+            return a; }"""
+        _, _, _, cfg = cfg_for(src)
+        cond = next(n for n in cfg.nodes if n.kind == "cond")
+        assert len(cond.succs) == 2
+
+    def test_if_without_else_falls_through(self):
+        src = "int main(void){ int a=0; if (a) a = 1; return a; }"
+        _, _, _, cfg = cfg_for(src)
+        cond = next(n for n in cfg.nodes if n.kind == "cond")
+        ret = next(n for n in cfg.nodes
+                   if isinstance(n.stmt, ast.ReturnStmt))
+        # cond reaches return both via the then-branch and directly.
+        assert cfg._reaches(cond, ret)
+
+    def test_while_back_edge(self):
+        src = "int main(void){ int i=0; while (i<3) { i++; } return i; }"
+        _, _, _, cfg = cfg_for(src)
+        cond = next(n for n in cfg.nodes if n.kind == "cond")
+        body = next(n for n in cfg.nodes
+                    if n.stmt is not None and
+                    isinstance(n.stmt, ast.ExprStmt))
+        assert cond in body.succs       # back edge
+
+    def test_for_loop_structure(self):
+        src = "int main(void){ for (int i=0;i<2;i++) {} return 0; }"
+        _, _, _, cfg = cfg_for(src)
+        conds = [n for n in cfg.nodes if n.kind == "cond"]
+        assert len(conds) == 1
+
+    def test_break_exits_loop(self):
+        src = """int main(void){
+            while (1) { break; }
+            return 0; }"""
+        _, _, _, cfg = cfg_for(src)
+        ret = next(n for n in cfg.nodes
+                   if isinstance(n.stmt, ast.ReturnStmt))
+        brk = next(n for n in cfg.nodes
+                   if isinstance(n.stmt, ast.BreakStmt))
+        assert ret in brk.succs
+
+    def test_continue_loops_back(self):
+        src = """int main(void){
+            int i = 0;
+            while (i < 3) { i++; continue; }
+            return 0; }"""
+        _, _, _, cfg = cfg_for(src)
+        cont = next(n for n in cfg.nodes
+                    if isinstance(n.stmt, ast.ContinueStmt))
+        cond = next(n for n in cfg.nodes if n.kind == "cond")
+        assert cond in cont.succs
+
+    def test_return_goes_to_exit(self):
+        src = "int main(void){ return 0; int dead; }"
+        _, _, _, cfg = cfg_for(src)
+        ret = next(n for n in cfg.nodes
+                   if isinstance(n.stmt, ast.ReturnStmt))
+        assert cfg.exit in ret.succs
+
+    def test_switch_cases_from_cond(self):
+        src = """int main(void){
+            int x = 1;
+            switch (x) { case 1: x = 10; break;
+                         case 2: x = 20; break;
+                         default: x = 0; }
+            return x; }"""
+        _, _, _, cfg = cfg_for(src)
+        cond = next(n for n in cfg.nodes if n.kind == "cond")
+        assert len(cond.succs) == 3     # three labelled entries
+
+    def test_goto_edges(self):
+        src = """int main(void){
+            int x = 0;
+            goto skip;
+            x = 99;
+            skip: return x; }"""
+        _, _, _, cfg = cfg_for(src)
+        goto = next(n for n in cfg.nodes
+                    if isinstance(n.stmt, ast.GotoStmt))
+        label = next(n for n in cfg.nodes
+                     if isinstance(n.stmt, ast.LabelStmt))
+        assert label in goto.succs
+
+    def test_node_for_nested_expression(self):
+        src = "int main(void){ int a = 1; a = a + 2; return a; }"
+        unit, _, _, cfg = cfg_for(src)
+        assign = next(n for n in unit.walk()
+                      if isinstance(n, ast.Assignment))
+        node = cfg.node_for(assign)
+        assert node is not None
+        assert isinstance(node.stmt, ast.ExprStmt)
+
+
+class TestReachingDefinitions:
+    def test_unique_def_reaches_use(self):
+        src = """
+        #include <string.h>
+        int main(void){
+            char buf[8];
+            char *p = buf;
+            strcpy(p, "x");
+            return 0; }"""
+        unit, _, pa = parse_and_analyze(src)
+        rd = pa.reaching_of("main")
+        call = find_calls(unit, "strcpy")[0]
+        p = local_symbols(pa, "main")["p"]
+        definition = rd.unique_strong_def(call, p)
+        assert definition is not None
+        assert definition.kind == "decl"
+
+    def test_two_defs_both_reach_after_branch(self):
+        src = """
+        int main(void){
+            int cond = 1;
+            char *p = 0;
+            if (cond) { p = (char*)1; } else { p = (char*)2; }
+            return (int)(long)p; }"""
+        unit, _, pa = parse_and_analyze(src)
+        rd = pa.reaching_of("main")
+        ret = unit.function("main").body.items[-1]
+        p = local_symbols(pa, "main")["p"]
+        defs = rd.defs_reaching(ret, p)
+        assigns = [d for d in defs if d.kind == "direct"]
+        assert len(assigns) == 2
+        assert rd.unique_strong_def(ret, p) is None
+
+    def test_redefinition_kills_previous(self):
+        src = """
+        int main(void){
+            char *p = (char*)1;
+            p = (char*)2;
+            return (int)(long)p; }"""
+        unit, _, pa = parse_and_analyze(src)
+        rd = pa.reaching_of("main")
+        ret = unit.function("main").body.items[-1]
+        p = local_symbols(pa, "main")["p"]
+        definition = rd.unique_strong_def(ret, p)
+        assert definition is not None
+        assert definition.kind == "direct"
+
+    def test_loop_defs_merge(self):
+        src = """
+        int main(void){
+            int x = 0;
+            while (x < 3) { x = x + 1; }
+            return x; }"""
+        unit, _, pa = parse_and_analyze(src)
+        rd = pa.reaching_of("main")
+        ret = unit.function("main").body.items[-1]
+        x = local_symbols(pa, "main")["x"]
+        defs = rd.defs_reaching(ret, x)
+        assert len(defs) == 2       # initial decl and loop assignment
+
+    def test_param_definition(self):
+        src = "int f(char *p){ return (int)(long)p; }"
+        unit, _, pa = parse_and_analyze(src)
+        rd = pa.reaching_of("f")
+        ret = unit.function("f").body.items[0]
+        p = unit.function("f").params[0].symbol
+        defs = rd.defs_reaching(ret, p)
+        assert len(defs) == 1
+        assert defs[0].kind == "param"
+        # Param defs are not "unique strong defs" for Algorithm 1.
+        assert rd.unique_strong_def(ret, p) is None
+
+    def test_struct_member_defs(self):
+        src = """
+        struct holder { char *buf; int n; };
+        int main(void){
+            struct holder h;
+            h.buf = (char*)1;
+            h.n = 5;
+            return h.n; }"""
+        unit, _, pa = parse_and_analyze(src)
+        rd = pa.reaching_of("main")
+        ret = unit.function("main").body.items[-1]
+        h = local_symbols(pa, "main")["h"]
+        buf_defs = rd.defs_reaching(ret, h, member="buf")
+        assert any(d.member == "buf" for d in buf_defs)
+
+    def test_whole_struct_def_kills_member(self):
+        src = """
+        struct holder { char *buf; };
+        int main(void){
+            struct holder h, other;
+            h.buf = (char*)1;
+            h = other;
+            return 0; }"""
+        unit, _, pa = parse_and_analyze(src)
+        rd = pa.reaching_of("main")
+        ret = unit.function("main").body.items[-1]
+        h = local_symbols(pa, "main")["h"]
+        member_defs = rd.defs_reaching(ret, h, member="buf")
+        # The whole-struct assignment supersedes (kills) the member def.
+        assert all(d.member is None for d in member_defs)
+
+    def test_address_taken_weak_def(self):
+        src = """
+        void fill(char **out);
+        int main(void){
+            char *p = (char*)1;
+            fill(&p);
+            return (int)(long)p; }"""
+        unit, _, pa = parse_and_analyze(src)
+        rd = pa.reaching_of("main")
+        ret = unit.function("main").body.items[-1]
+        p = local_symbols(pa, "main")["p"]
+        # The weak def through &p spoils uniqueness.
+        assert rd.unique_strong_def(ret, p) is None
+
+
+class TestDependence:
+    def test_data_dependence(self):
+        src = """
+        int main(void){
+            int a = 1;
+            int b = a + 2;
+            return b; }"""
+        unit, _, pa = parse_and_analyze(src)
+        dep = pa.dependence_of("main")
+        cfg = pa.cfg_of("main")
+        b_decl = next(n for n in cfg.nodes
+                      if n.stmt is not None and
+                      isinstance(n.stmt, ast.Declaration) and
+                      n.stmt.declarators[0].name == "b")
+        deps = dep.data_dependences(b_decl)
+        assert any(d.symbol.name == "a" for d in deps)
+
+    def test_control_dependence_on_if(self):
+        src = """
+        int main(void){
+            int c = 1;
+            int x = 0;
+            if (c) { x = 1; }
+            return x; }"""
+        unit, _, pa = parse_and_analyze(src)
+        dep = pa.dependence_of("main")
+        cfg = pa.cfg_of("main")
+        cond = next(n for n in cfg.nodes if n.kind == "cond")
+        then_stmt = next(n for n in cfg.nodes
+                         if n.stmt is not None and
+                         isinstance(n.stmt, ast.ExprStmt))
+        assert dep.is_control_dependent(then_stmt, cond)
+
+    def test_no_control_dependence_for_straight_line(self):
+        src = "int main(void){ int a = 1; return a; }"
+        unit, _, pa = parse_and_analyze(src)
+        dep = pa.dependence_of("main")
+        cfg = pa.cfg_of("main")
+        for node in cfg.nodes:
+            if node.stmt is not None:
+                assert not dep.control_dependencies(node)
+
+    def test_def_use_chains(self):
+        src = """
+        int main(void){
+            int a = 5;
+            int b = a;
+            int c = a;
+            return b + c; }"""
+        unit, _, pa = parse_and_analyze(src)
+        dep = pa.dependence_of("main")
+        chains = dep.def_use_chains()
+        a_def = next(d for d in pa.reaching_of("main").definitions
+                     if d.symbol.name == "a")
+        assert len(chains[a_def]) >= 2

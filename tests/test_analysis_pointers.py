@@ -1,0 +1,287 @@
+"""Tests for points-to, alias, call graph, and interprocedural analyses."""
+
+from repro.cfront import astnodes as ast
+
+from .helpers import local_symbols, parse_and_analyze
+
+
+class TestPointsTo:
+    def test_pointer_to_stack_array(self):
+        src = "int main(void){ char buf[8]; char *p = buf; return 0; }"
+        _, _, pa = parse_and_analyze(src)
+        p = local_symbols(pa, "main")["p"]
+        labels = {n.label for n in pa.pointsto.points_to(p)}
+        assert labels == {"obj:buf"}
+
+    def test_address_of_scalar(self):
+        # Scalar storage unifies with the variable node (Andersen-style).
+        src = "int main(void){ int v; int *p = &v; return 0; }"
+        _, _, pa = parse_and_analyze(src)
+        syms = local_symbols(pa, "main")
+        targets = pa.pointsto.points_to(syms["p"])
+        assert len(targets) == 1
+        assert next(iter(targets)).symbol is syms["v"]
+
+    def test_heap_allocation_site(self):
+        src = """#include <stdlib.h>
+        int main(void){ char *p = malloc(8); return 0; }"""
+        _, _, pa = parse_and_analyze(src)
+        p = local_symbols(pa, "main")["p"]
+        nodes = pa.pointsto.points_to(p)
+        assert len(nodes) == 1
+        assert next(iter(nodes)).kind == "heap"
+
+    def test_copy_propagation(self):
+        src = """int main(void){
+            char buf[8]; char *a = buf; char *b = a; return 0; }"""
+        _, _, pa = parse_and_analyze(src)
+        syms = local_symbols(pa, "main")
+        a_pts = {n.label for n in pa.pointsto.points_to(syms["a"])}
+        b_pts = {n.label for n in pa.pointsto.points_to(syms["b"])}
+        assert a_pts == b_pts == {"obj:buf"}
+
+    def test_conditional_flow_joins(self):
+        src = """int main(void){
+            char x[4], y[4];
+            int c = 1;
+            char *p = c ? x : y;
+            return 0; }"""
+        _, _, pa = parse_and_analyze(src)
+        p = local_symbols(pa, "main")["p"]
+        labels = {n.label for n in pa.pointsto.points_to(p)}
+        assert labels == {"obj:x", "obj:y"}
+
+    def test_pointer_arithmetic_stays_in_object(self):
+        src = """int main(void){
+            char buf[8]; char *p = buf + 3; return 0; }"""
+        _, _, pa = parse_and_analyze(src)
+        p = local_symbols(pa, "main")["p"]
+        labels = {n.label for n in pa.pointsto.points_to(p)}
+        assert labels == {"obj:buf"}
+
+    def test_separate_heap_sites_distinct(self):
+        src = """#include <stdlib.h>
+        int main(void){
+            char *a = malloc(4);
+            char *b = malloc(4);
+            return 0; }"""
+        _, _, pa = parse_and_analyze(src)
+        syms = local_symbols(pa, "main")
+        a_pts = {n.index for n in pa.pointsto.points_to(syms["a"])}
+        b_pts = {n.index for n in pa.pointsto.points_to(syms["b"])}
+        assert not (a_pts & b_pts)
+
+    def test_store_through_pointer(self):
+        # **pp = q propagation: p = &x; pp = &p; *pp = y;
+        src = """int main(void){
+            char x[4], y[4];
+            char *p = x;
+            char **pp = &p;
+            *pp = y;
+            return 0; }"""
+        _, _, pa = parse_and_analyze(src)
+        p = local_symbols(pa, "main")["p"]
+        labels = {n.label for n in pa.pointsto.points_to(p)}
+        assert "obj:y" in labels
+
+    def test_cycle_collapsing_terminates(self):
+        src = """int main(void){
+            char buf[4];
+            char *a = buf; char *b; char *c;
+            b = a; c = b; a = c;
+            return 0; }"""
+        _, _, pa = parse_and_analyze(src)
+        a = local_symbols(pa, "main")["a"]
+        labels = {n.label for n in pa.pointsto.points_to(a)}
+        assert labels == {"obj:buf"}
+
+
+class TestAlias:
+    def test_single_pointer_not_aliased(self):
+        src = "int main(void){ char buf[8]; char *p = buf; return 0; }"
+        _, _, pa = parse_and_analyze(src)
+        p = local_symbols(pa, "main")["p"]
+        assert not pa.aliases.is_aliased(p)
+
+    def test_two_pointers_same_target_aliased(self):
+        src = """int main(void){
+            char buf[8];
+            char *p = buf;
+            char *q = buf;
+            return 0; }"""
+        _, _, pa = parse_and_analyze(src)
+        syms = local_symbols(pa, "main")
+        assert pa.aliases.is_aliased(syms["p"])
+        assert pa.aliases.is_aliased(syms["q"])
+        assert syms["q"] in pa.aliases.aliases_of(syms["p"])
+
+    def test_pointers_to_different_objects_not_aliased(self):
+        src = """int main(void){
+            char a[4], b[4];
+            char *p = a;
+            char *q = b;
+            return 0; }"""
+        _, _, pa = parse_and_analyze(src)
+        syms = local_symbols(pa, "main")
+        assert not pa.aliases.is_aliased(syms["p"])
+        assert not pa.aliases.is_aliased(syms["q"])
+
+    def test_alias_sets_partition(self):
+        src = """int main(void){
+            char buf[8], other[8];
+            char *a = buf; char *b = buf;
+            char *c = other;
+            return 0; }"""
+        _, _, pa = parse_and_analyze(src)
+        groups = pa.aliases.alias_sets()
+        assert len(groups) == 1
+        names = {s.name for s in groups[0]}
+        assert names == {"a", "b"}
+
+    def test_struct_aliased_when_pointed_to(self):
+        src = """
+        struct s { char *buf; };
+        int main(void){
+            struct s v;
+            struct s *p = &v;
+            return 0; }"""
+        _, _, pa = parse_and_analyze(src)
+        v = local_symbols(pa, "main")["v"]
+        assert pa.aliases.struct_is_aliased(v)
+
+    def test_struct_not_aliased_without_pointers(self):
+        src = """
+        struct s { char *buf; };
+        int main(void){ struct s v; v.buf = 0; return 0; }"""
+        _, _, pa = parse_and_analyze(src)
+        v = local_symbols(pa, "main")["v"]
+        assert not pa.aliases.struct_is_aliased(v)
+
+
+class TestCallGraph:
+    SRC = """
+    int leaf(int x) { return x; }
+    int mid(int x) { return leaf(x) + leaf(x + 1); }
+    int main(void) { return mid(2); }
+    """
+
+    def test_direct_edges(self):
+        _, _, pa = parse_and_analyze(self.SRC)
+        assert pa.callgraph.callees("main") == {"mid"}
+        assert pa.callgraph.callees("mid") == {"leaf"}
+
+    def test_callers(self):
+        _, _, pa = parse_and_analyze(self.SRC)
+        assert pa.callgraph.callers("leaf") == {"mid"}
+
+    def test_transitive(self):
+        _, _, pa = parse_and_analyze(self.SRC)
+        assert pa.callgraph.transitive_callees("main") == {"mid", "leaf"}
+
+    def test_recursion_detected(self):
+        src = "int fact(int n){ return n <= 1 ? 1 : n * fact(n - 1); }"
+        _, _, pa = parse_and_analyze(src)
+        assert pa.callgraph.is_recursive("fact")
+
+    def test_indirect_call_recorded(self):
+        src = """
+        int f(void) { return 1; }
+        int main(void){ int (*fp)(void) = f; return fp(); }
+        """
+        _, _, pa = parse_and_analyze(src)
+        assert "<indirect>" in pa.callgraph.callees("main")
+
+
+class TestInterprocWriteCheck:
+    def test_pure_reader(self):
+        src = """
+        int reader(const char *p) { return p[0] + p[1]; }
+        int main(void){ return 0; }
+        """
+        _, _, pa = parse_and_analyze(src)
+        assert not pa.interproc.function_may_write_param("reader", 0)
+
+    def test_index_store(self):
+        src = "void w(char *p) { p[0] = 'x'; }"
+        _, _, pa = parse_and_analyze(src)
+        assert pa.interproc.function_may_write_param("w", 0)
+
+    def test_deref_store(self):
+        src = "void w(char *p) { *p = 'x'; }"
+        _, _, pa = parse_and_analyze(src)
+        assert pa.interproc.function_may_write_param("w", 0)
+
+    def test_deref_increment(self):
+        src = "void w(char *p) { (*p)++; }"
+        _, _, pa = parse_and_analyze(src)
+        assert pa.interproc.function_may_write_param("w", 0)
+
+    def test_write_through_local_alias(self):
+        src = """
+        void w(char *p) {
+            char *q = p;
+            q[1] = 'y';
+        }"""
+        _, _, pa = parse_and_analyze(src)
+        assert pa.interproc.function_may_write_param("w", 0)
+
+    def test_pass_to_writing_libc(self):
+        src = """
+        #include <string.h>
+        void w(char *p) { strcpy(p, "data"); }
+        """
+        _, _, pa = parse_and_analyze(src)
+        assert pa.interproc.function_may_write_param("w", 0)
+
+    def test_pass_to_readonly_libc(self):
+        src = """
+        #include <string.h>
+        int r(const char *p) { return (int)strlen(p); }
+        """
+        _, _, pa = parse_and_analyze(src)
+        assert not pa.interproc.function_may_write_param("r", 0)
+
+    def test_transitive_through_user_function(self):
+        src = """
+        void inner(char *q) { q[0] = 'z'; }
+        void outer(char *p) { inner(p); }
+        """
+        _, _, pa = parse_and_analyze(src)
+        assert pa.interproc.function_may_write_param("outer", 0)
+
+    def test_transitive_reader_chain(self):
+        src = """
+        int inner(const char *q) { return q[0]; }
+        int outer(const char *p) { return inner(p); }
+        """
+        _, _, pa = parse_and_analyze(src)
+        assert not pa.interproc.function_may_write_param("outer", 0)
+
+    def test_recursive_cycle_conservative(self):
+        src = """
+        int spin(char *p, int n) {
+            if (n == 0) return 0;
+            return spin(p, n - 1);
+        }"""
+        _, _, pa = parse_and_analyze(src)
+        # Cycle seeds True; the analysis may stay conservative here.
+        result = pa.interproc.function_may_write_param("spin", 0)
+        assert result in (True, False)      # must terminate either way
+
+    def test_undefined_callee_assumed_writing(self):
+        _, _, pa = parse_and_analyze("int main(void){ return 0; }")
+        assert pa.interproc.function_may_write_param("mystery", 0)
+
+    def test_only_named_param_flagged(self):
+        src = "void w(char *a, char *b) { b[0] = 'x'; }"
+        _, _, pa = parse_and_analyze(src)
+        assert not pa.interproc.function_may_write_param("w", 0)
+        assert pa.interproc.function_may_write_param("w", 1)
+
+    def test_escape_to_global(self):
+        src = """
+        char *sink;
+        void w(char *p) { sink = p; }
+        """
+        _, _, pa = parse_and_analyze(src)
+        assert pa.interproc.function_may_write_param("w", 0)

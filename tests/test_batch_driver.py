@@ -1,0 +1,186 @@
+"""Tests for the batch driver (SourceProgram / apply_batch) and the
+literal/headers plumbing they rest on."""
+
+import pytest
+
+from repro.cfront.headers import BUILTIN_HEADERS
+from repro.cfront.literals import (
+    LiteralError, decode_escapes, parse_char_constant, parse_number,
+    parse_string_literal,
+)
+from repro.core.batch import SourceProgram, apply_batch
+from repro.core.transform import SiteOutcome, TransformResult
+
+
+class TestSourceProgram:
+    def test_kloc_excludes_blank_lines(self):
+        program = SourceProgram("p", {"a.c": "int x;\n\n\nint y;\n"})
+        assert program.kloc() == 0.002
+
+    def test_preprocess_uses_private_headers(self):
+        program = SourceProgram(
+            "p", {"a.c": '#include "mine.h"\nint v = MINE;\n'},
+            headers={"mine.h": "#define MINE 9\n"})
+        pp = program.preprocess()
+        assert "int v = 9;" in pp.files["a.c"]
+        assert pp.preprocessed
+
+    def test_preprocess_idempotent(self):
+        program = SourceProgram("p", {"a.c": "int x;\n"},
+                                preprocessed=True)
+        assert program.preprocess() is program
+
+    def test_predefined_macros(self):
+        program = SourceProgram(
+            "p", {"a.c": "#ifdef FEATURE\nint on;\n#endif\n"},
+            predefined={"FEATURE": "1"})
+        assert "int on;" in program.preprocess().files["a.c"]
+
+    def test_pp_kloc_larger_with_includes(self):
+        program = SourceProgram(
+            "p", {"a.c": "#include <stdio.h>\nint x;\n"})
+        assert program.pp_kloc() > program.kloc()
+
+
+class TestApplyBatch:
+    PROGRAM = SourceProgram("demo", {
+        "lib.c": "#include <string.h>\n#include <stdio.h>\n"
+                 "void greet(void) {\n"
+                 "    char msg[32];\n"
+                 "    strcpy(msg, \"hello\");\n"
+                 "    strcat(msg, \" world\");\n"
+                 "    printf(\"%s\\n\", msg);\n"
+                 "}\n",
+        "main.c": "void greet(void);\n"
+                  "int main(void) { greet(); return 0; }\n",
+    })
+
+    def test_slr_only(self):
+        batch = apply_batch(self.PROGRAM, run_slr=True, run_str=False)
+        assert batch.candidates("SLR") == 2
+        assert batch.transformed("SLR") == 2
+        assert batch.candidates("STR") == 0
+
+    def test_str_only(self):
+        batch = apply_batch(self.PROGRAM, run_slr=False, run_str=True)
+        assert batch.candidates("SLR") == 0
+        assert batch.candidates("STR") == 1     # msg
+
+    def test_transformed_program_round_trips(self):
+        from repro.vm.interp import run_program_files
+        batch = apply_batch(self.PROGRAM)
+        result = run_program_files(batch.transformed_program.files)
+        assert result.ok
+        assert result.stdout_text == "hello world\n"
+
+    def test_percent_and_reasons(self):
+        batch = apply_batch(self.PROGRAM, run_str=False)
+        assert batch.percent("SLR") == 100.0
+        assert batch.failures_by_reason("SLR") == {}
+
+    def test_by_target(self):
+        batch = apply_batch(self.PROGRAM, run_str=False)
+        assert batch.by_target("SLR") == {"strcpy": (1, 1),
+                                          "strcat": (1, 1)}
+
+    def test_transformed_program_is_marked_preprocessed(self):
+        batch = apply_batch(self.PROGRAM)
+        assert batch.transformed_program.preprocessed
+        assert batch.transformed_program.name == "demo+fixed"
+
+
+class TestTransformResultAccounting:
+    def _result(self, outcomes):
+        return TransformResult("SLR", "orig", "new", outcomes)
+
+    def _outcome(self, target, ok, reason=""):
+        return SiteOutcome("SLR", target, "f", 1,
+                           "transformed" if ok else "precondition-failed",
+                           reason)
+
+    def test_counts(self):
+        result = self._result([self._outcome("strcpy", True),
+                               self._outcome("strcpy", False, "aliased")])
+        assert result.candidates == 2
+        assert result.transformed_count == 1
+        assert result.failed_count == 1
+        assert result.percent_transformed == 50.0
+
+    def test_empty(self):
+        result = self._result([])
+        assert result.percent_transformed == 0.0
+        assert result.failures_by_reason() == {}
+
+    def test_changed_flag(self):
+        assert self._result([]).changed      # orig != new
+        same = TransformResult("SLR", "t", "t", [])
+        assert not same.changed
+
+
+class TestLiterals:
+    def test_decode_simple_escapes(self):
+        assert decode_escapes(r"a\nb\t") == b"a\nb\t"
+
+    def test_decode_hex_and_octal(self):
+        assert decode_escapes(r"\x41\102\0") == b"AB\x00"
+
+    def test_char_constants(self):
+        assert parse_char_constant("'A'") == 65
+        assert parse_char_constant(r"'\n'") == 10
+        assert parse_char_constant(r"'\xff'") == 255
+        assert parse_char_constant("L'a'") == 97
+
+    def test_multichar_constant_folds(self):
+        assert parse_char_constant("'ab'") == (ord("a") << 8) | ord("b")
+
+    def test_bad_char_constant(self):
+        with pytest.raises(LiteralError):
+            parse_char_constant("''")
+
+    def test_string_literal(self):
+        assert parse_string_literal('"hi\\n"') == b"hi\n"
+
+    def test_parse_number_integers(self):
+        assert parse_number("42") == (42, False, False, 0)
+        assert parse_number("0x1F") == (31, False, False, 0)
+        assert parse_number("0755") == (493, False, False, 0)
+        assert parse_number("7U")[2] is True
+        assert parse_number("7UL")[3] == 1
+        assert parse_number("7LL")[3] == 2
+
+    def test_parse_number_hex_f_digits(self):
+        # 'f' is a digit here, not a float suffix.
+        assert parse_number("0xffffffffUL")[0] == 0xFFFFFFFF
+
+    def test_parse_number_floats(self):
+        value, is_float, _, _ = parse_number("3.5")
+        assert is_float and value == 3.5
+        assert parse_number("1e3")[0] == 1000.0
+        assert parse_number("2.5f")[1] is True
+
+    def test_parse_number_octal_zero(self):
+        assert parse_number("0")[0] == 0
+
+
+class TestBuiltinHeaders:
+    def test_core_headers_present(self):
+        for name in ("stdio.h", "stdlib.h", "string.h", "stddef.h",
+                     "stdarg.h", "glib.h", "stralloc.h", "assert.h",
+                     "limits.h", "ctype.h"):
+            assert name in BUILTIN_HEADERS
+
+    def test_all_headers_preprocess_and_parse(self):
+        from repro.cfront.parser import preprocess_and_parse
+        for name in BUILTIN_HEADERS:
+            unit, _ = preprocess_and_parse(f"#include <{name}>\nint x;\n")
+            assert unit.items      # at least the trailing declaration
+
+    def test_stralloc_header_matches_runtime_layout(self):
+        from repro.cfront.parser import preprocess_and_parse
+        from repro.vm.stralloc_rt import STRALLOC_SIZE
+        unit, _ = preprocess_and_parse(
+            "#include <stralloc.h>\nstralloc sa;\n")
+        decl = [i for i in unit.items
+                if hasattr(i, "declarators") and i.declarators
+                and i.declarators[0].name == "sa"][0]
+        assert decl.declarators[0].ctype.sizeof() == STRALLOC_SIZE

@@ -1,0 +1,268 @@
+"""Tests for Algorithm 1 (GetBufferLength)."""
+
+from repro.core.bufferlen import (
+    BufferLength, BufferLengthAnalyzer, LengthFailure,
+)
+
+from .helpers import find_calls, parse_and_analyze
+
+
+def length_of_dest(src: str, callee: str = "strcpy", arg: int = 0):
+    unit, text, pa = parse_and_analyze(src)
+    call = find_calls(unit, callee)[0]
+    analyzer = BufferLengthAnalyzer(pa, text)
+    return analyzer.get_buffer_length(call.args[arg])
+
+
+PRELUDE = "#include <string.h>\n#include <stdlib.h>\n"
+
+
+class TestStaticBuffers:
+    def test_array_identifier(self):
+        result = length_of_dest(PRELUDE + """
+        int main(void){ char buf[10]; strcpy(buf, "x"); return 0; }""")
+        assert isinstance(result, BufferLength)
+        assert result.render() == "sizeof(buf)"
+        assert result.kind == "static"
+
+    def test_pointer_to_array(self):
+        # The paper's running example: dst = buf; strcpy(dst, src).
+        result = length_of_dest(PRELUDE + """
+        int main(void){
+            char buf[10]; char *dst = buf;
+            strcpy(dst, "x"); return 0; }""")
+        assert result.render() == "sizeof(buf)"
+
+    def test_pointer_chain(self):
+        result = length_of_dest(PRELUDE + """
+        int main(void){
+            char buf[10];
+            char *a = buf;
+            char *dst = a;
+            strcpy(dst, "x"); return 0; }""")
+        # a and dst alias the same object -> conservative bail, OR the
+        # chain resolves; either is sound.  Our alias rule treats shared
+        # targets as aliasing, so this must fail with 'aliased'.
+        assert isinstance(result, LengthFailure)
+        assert result.reason == "aliased"
+
+    def test_string_literal(self):
+        result = length_of_dest(PRELUDE + """
+        int main(void){ strcpy((char*)"abc", "x"); return 0; }""")
+        assert isinstance(result, BufferLength)
+        assert result.render() == "4"
+
+
+class TestPointerArithmetic:
+    def test_plus_constant(self):
+        result = length_of_dest(PRELUDE + """
+        int main(void){ char buf[10]; strcpy(buf + 4, "x"); return 0; }""")
+        assert result.render() == "sizeof(buf) - 4"
+
+    def test_minus_constant(self):
+        result = length_of_dest(PRELUDE + """
+        int main(void){ char buf[10]; char *p = buf;
+            strcpy(p - 2, "x"); return 0; }""")
+        assert result.render() == "sizeof(buf) + 2"
+
+    def test_constant_on_left(self):
+        result = length_of_dest(PRELUDE + """
+        int main(void){ char buf[10]; strcpy(4 + buf, "x"); return 0; }""")
+        assert result.render() == "sizeof(buf) - 4"
+
+    def test_non_constant_offset_fails(self):
+        result = length_of_dest(PRELUDE + """
+        int main(void){ char buf[10]; int i = 1;
+            strcpy(buf + i, "x"); return 0; }""")
+        assert isinstance(result, LengthFailure)
+        assert result.reason == "unsupported-expr"
+
+    def test_prefix_increment(self):
+        result = length_of_dest(PRELUDE + """
+        int main(void){ char buf[10]; char *p = buf;
+            strcpy(++p, "x"); return 0; }""")
+        assert isinstance(result, BufferLength)
+        assert result.render() == "sizeof(buf) - 1"
+
+    def test_prefix_decrement(self):
+        result = length_of_dest(PRELUDE + """
+        int main(void){ char buf[10]; char *p = buf;
+            strcpy(--p, "x"); return 0; }""")
+        assert result.render() == "sizeof(buf) + 1"
+
+    def test_nested_arithmetic(self):
+        result = length_of_dest(PRELUDE + """
+        int main(void){ char buf[16]; strcpy((buf + 2) + 3, "x");
+            return 0; }""")
+        assert result.render() == "sizeof(buf) - 5"
+
+
+class TestHeapBuffers:
+    def test_malloc(self):
+        result = length_of_dest(PRELUDE + """
+        int main(void){ char *p = malloc(32); strcpy(p, "x");
+            return 0; }""")
+        assert isinstance(result, BufferLength)
+        assert result.render() == "malloc_usable_size(p)"
+        assert result.kind == "heap"
+
+    def test_malloc_behind_cast(self):
+        result = length_of_dest(PRELUDE + """
+        int main(void){ char *p = (char *)malloc(32); strcpy(p, "x");
+            return 0; }""")
+        assert result.render() == "malloc_usable_size(p)"
+
+    def test_calloc(self):
+        result = length_of_dest(PRELUDE + """
+        int main(void){ char *p = calloc(4, 8); strcpy(p, "x");
+            return 0; }""")
+        assert result.render() == "malloc_usable_size(p)"
+
+    def test_assignment_after_declaration(self):
+        result = length_of_dest(PRELUDE + """
+        int main(void){ char *p; p = malloc(16); strcpy(p, "x");
+            return 0; }""")
+        assert result.render() == "malloc_usable_size(p)"
+
+
+class TestFailures:
+    def test_parameter_buffer(self):
+        # Paper failure 1: buffer passed as a parameter.
+        result = length_of_dest(PRELUDE + """
+        void f(char *dst) { strcpy(dst, "x"); }""")
+        assert isinstance(result, LengthFailure)
+        assert result.reason in ("no-unique-def", "no-heap-alloc")
+
+    def test_buffer_from_unknown_function(self):
+        result = length_of_dest(PRELUDE + """
+        char *provide(void);
+        int main(void){ char *p = provide(); strcpy(p, "x"); return 0; }""")
+        assert isinstance(result, LengthFailure)
+        assert result.reason in ("no-heap-alloc", "unsupported-expr")
+
+    def test_aliased_pointer(self):
+        # Paper line 27: aliased pointers bail out.
+        result = length_of_dest(PRELUDE + """
+        int main(void){
+            char *p = malloc(8);
+            char *q = p;
+            strcpy(p, "x");
+            return 0; }""")
+        assert isinstance(result, LengthFailure)
+        assert result.reason == "aliased"
+
+    def test_array_of_buffers(self):
+        # Paper failure 3: no shape analysis on arrays of pointers.
+        result = length_of_dest(PRELUDE + """
+        int main(void){
+            char *bufs[4];
+            bufs[0] = malloc(8);
+            strcpy(bufs[0], "x");
+            return 0; }""")
+        assert isinstance(result, LengthFailure)
+        assert result.reason == "array-of-buffers"
+
+    def test_ternary_allocation(self):
+        # Paper failure 4: definition via a ternary of allocations.
+        result = length_of_dest(PRELUDE + """
+        int main(void){
+            int big = 1;
+            char *p = big ? malloc(64) : malloc(8);
+            strcpy(p, "x");
+            return 0; }""")
+        assert isinstance(result, LengthFailure)
+        assert result.reason == "ternary-alloc"
+
+    def test_multiple_reaching_defs(self):
+        result = length_of_dest(PRELUDE + """
+        int main(void){
+            int c = 1;
+            char a[4], b[8];
+            char *p;
+            if (c) { p = a; } else { p = b; }
+            strcpy(p, "x");
+            return 0; }""")
+        assert isinstance(result, LengthFailure)
+
+
+class TestStructMembers:
+    def test_member_array(self):
+        result = length_of_dest(PRELUDE + """
+        struct s { char name[12]; };
+        int main(void){ struct s v; strcpy(v.name, "x"); return 0; }""")
+        assert isinstance(result, BufferLength)
+        assert result.render() == "sizeof(v.name)"
+
+    def test_member_heap_pointer(self):
+        result = length_of_dest(PRELUDE + """
+        struct s { char *data; };
+        int main(void){
+            struct s v;
+            v.data = malloc(24);
+            strcpy(v.data, "x");
+            return 0; }""")
+        assert isinstance(result, BufferLength)
+        assert result.render() == "malloc_usable_size(v.data)"
+
+    def test_aliased_struct_member_fails(self):
+        # Paper failure 2: struct treated as aggregate; aliasing bails.
+        result = length_of_dest(PRELUDE + """
+        struct s { char *data; };
+        int main(void){
+            struct s v;
+            struct s *alias = &v;
+            v.data = malloc(24);
+            strcpy(v.data, "x");
+            return 0; }""")
+        assert isinstance(result, LengthFailure)
+        assert result.reason == "aliased-struct"
+
+    def test_struct_redefined_between_fails(self):
+        result = length_of_dest(PRELUDE + """
+        struct s { char *data; };
+        int main(void){
+            struct s v, w;
+            v.data = malloc(24);
+            v = w;
+            strcpy(v.data, "x");
+            return 0; }""")
+        assert isinstance(result, LengthFailure)
+        # The whole-struct assignment kills the member definition; the
+        # recursion lands on the struct rvalue, which is not a buffer.
+        # Any of these reasons is a sound bail-out.
+        assert result.reason in ("struct-redefined", "no-unique-def",
+                                 "no-heap-alloc", "unsupported-expr")
+
+
+class TestArrayAccessForms:
+    def test_2d_array_row(self):
+        result = length_of_dest(PRELUDE + """
+        int main(void){
+            char grid[4][16];
+            strcpy(grid[2], "x");
+            return 0; }""")
+        assert isinstance(result, BufferLength)
+        assert result.render() == "sizeof(grid[2])"
+
+    def test_address_of_element(self):
+        result = length_of_dest(PRELUDE + """
+        int main(void){ char buf[10]; strcpy(&buf[3], "x"); return 0; }""")
+        assert isinstance(result, BufferLength)
+        assert result.render() == "sizeof(buf) - 3"
+
+
+class TestRenderAdjustments:
+    def test_positive_adjustment_renders_minus(self):
+        length = BufferLength("sizeof(b)", "static", adjustment=2)
+        assert length.render() == "sizeof(b) - 2"
+
+    def test_negative_adjustment_renders_plus(self):
+        length = BufferLength("sizeof(b)", "static", adjustment=-3)
+        assert length.render() == "sizeof(b) + 3"
+
+    def test_zero_adjustment(self):
+        length = BufferLength("sizeof(b)", "static")
+        assert length.render() == "sizeof(b)"
+
+    def test_failure_is_falsy(self):
+        assert not LengthFailure("aliased")

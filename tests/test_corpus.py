@@ -1,0 +1,132 @@
+"""Tests for the corpus programs and the batch driver over them."""
+
+import pytest
+
+from repro.core.batch import apply_batch
+from repro.corpus import build_all
+from repro.eval.table6 import classify_outcomes
+from repro.vm.interp import run_program_files
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_all()
+
+
+@pytest.fixture(scope="module")
+def batches(corpus):
+    return {name: apply_batch(program)
+            for name, program in corpus.items()}
+
+
+class TestCorpusPrograms:
+    def test_four_programs(self, corpus):
+        assert set(corpus) == {"zlib", "libpng", "GMP", "libtiff"}
+
+    def test_all_test_suites_pass(self, corpus):
+        for name, program in corpus.items():
+            result = run_program_files(program.preprocess().files)
+            assert result.ok, (name, result.fault_detail)
+            assert b"ALL TESTS PASSED" in result.stdout, name
+
+    def test_programs_have_multiple_files(self, corpus):
+        for program in corpus.values():
+            assert program.file_count >= 4
+
+    def test_deterministic_output(self, corpus):
+        program = corpus["GMP"]
+        first = run_program_files(program.preprocess().files)
+        second = run_program_files(program.preprocess().files)
+        assert first.stdout == second.stdout
+
+    def test_zlib_roundtrip_correct(self, corpus):
+        result = run_program_files(corpus["zlib"].preprocess().files)
+        assert b"same=1" in result.stdout
+        assert b"gzname=archive.gz" in result.stdout
+
+    def test_gmp_arithmetic_correct(self, corpus):
+        result = run_program_files(corpus["GMP"].preprocess().files)
+        assert b"sum=1000000000 prod=7000000000" in result.stdout
+        assert b"parsed=123456789123 consumed=12" in result.stdout
+
+    def test_png_filters_roundtrip(self, corpus):
+        result = run_program_files(corpus["libpng"].preprocess().files)
+        assert b"filters ok=1" in result.stdout
+
+    def test_tiff_byteorder(self, corpus):
+        result = run_program_files(corpus["libtiff"].preprocess().files)
+        assert b"u16be=1234 u16le=3412 u32be=12345678" in result.stdout
+
+
+class TestBatchTransformation:
+    def test_behaviour_preserved_after_both_transforms(self, corpus,
+                                                       batches):
+        for name, batch in batches.items():
+            before = run_program_files(corpus[name].preprocess().files)
+            after = run_program_files(batch.transformed_program.files)
+            assert after.ok, (name, after.fault_detail)
+            assert before.stdout == after.stdout, name
+
+    def test_all_files_reparse(self, batches):
+        for name, batch in batches.items():
+            assert batch.all_parse, name
+
+    def test_paper_slr_totals(self, corpus):
+        total_sites = 0
+        total_done = 0
+        for program in corpus.values():
+            batch = apply_batch(program, run_slr=True, run_str=False)
+            total_sites += batch.candidates("SLR")
+            total_done += batch.transformed("SLR")
+        assert total_sites == 317
+        assert total_done == 259
+
+    def test_paper_str_totals(self, corpus):
+        identified = replaced = failed = 0
+        for program in corpus.values():
+            batch = apply_batch(program, run_slr=False, run_str=True)
+            outcomes = [o for r in batch.reports if r.str_
+                        for o in r.str_.outcomes]
+            c1, c2, c3 = classify_outcomes(outcomes)
+            identified += c1
+            replaced += c2
+            failed += c3
+        assert (identified, replaced, failed) == (296, 237, 59)
+
+    def test_gmp_set_str_gets_option1_clamp(self, corpus):
+        """The paper's own GMP memcpy example receives the Option-1
+        rewrite (length variable assigned before the call)."""
+        batch = apply_batch(corpus["GMP"], run_slr=True, run_str=False)
+        set_str = next(r for r in batch.reports
+                       if r.filename == "set_str.c")
+        assert ("numlen = malloc_usable_size(num) > numlen ? numlen : "
+                "malloc_usable_size(num);") in set_str.final_text
+        assert "memcpy(num, str, numlen);" in set_str.final_text
+
+
+class TestSitePlanIntegrity:
+    def test_slr_failure_singletons(self, corpus):
+        """§IV-B: aliased-struct, array-of-buffers, and ternary-alloc
+        failures each occur exactly once across the corpus."""
+        reasons: dict[str, int] = {}
+        for program in corpus.values():
+            batch = apply_batch(program, run_slr=True, run_str=False)
+            for reason, count in batch.failures_by_reason("SLR").items():
+                reasons[reason] = reasons.get(reason, 0) + count
+        assert reasons["aliased-struct"] == 1
+        assert reasons["array-of-buffers"] == 1
+        assert reasons["ternary-alloc"] == 1
+
+    def test_str_failures_all_interprocedural(self, corpus):
+        from repro.eval.common import STR_INTERPROC_FAIL_REASONS, \
+            STR_STATIC_FAIL_REASONS
+        for program in corpus.values():
+            batch = apply_batch(program, run_slr=False, run_str=True)
+            for report in batch.reports:
+                if report.str_ is None:
+                    continue
+                for outcome in report.str_.outcomes:
+                    if outcome.transformed:
+                        continue
+                    assert outcome.reason in (STR_STATIC_FAIL_REASONS
+                                              | STR_INTERPROC_FAIL_REASONS)

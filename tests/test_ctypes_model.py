@@ -1,0 +1,184 @@
+"""Unit tests for the C type model."""
+
+import pytest
+
+from repro.cfront.ctypes_model import (
+    ArrayType, BOOL, BoolType, CHAR, DOUBLE, EnumType, FLOAT, FloatType,
+    FunctionType, INT, IntType, LONG, PointerType, SHORT, StructType,
+    UCHAR, UINT, ULONG, VOID, VoidType, integer_promote,
+    usual_arithmetic_conversions,
+)
+
+
+class TestSizes:
+    def test_integer_sizes_lp64(self):
+        assert CHAR.sizeof() == 1
+        assert SHORT.sizeof() == 2
+        assert INT.sizeof() == 4
+        assert LONG.sizeof() == 8
+        assert IntType("long long").sizeof() == 8
+
+    def test_float_sizes(self):
+        assert FLOAT.sizeof() == 4
+        assert DOUBLE.sizeof() == 8
+
+    def test_pointer_size(self):
+        assert PointerType(VOID).sizeof() == 8
+        assert PointerType(CHAR).sizeof() == 8
+
+    def test_array_size(self):
+        assert ArrayType(CHAR, 10).sizeof() == 10
+        assert ArrayType(INT, 4).sizeof() == 16
+
+    def test_incomplete_array_has_no_size(self):
+        with pytest.raises(TypeError):
+            ArrayType(CHAR, None).sizeof()
+
+    def test_void_has_no_size(self):
+        with pytest.raises(TypeError):
+            VOID.sizeof()
+
+    def test_function_has_no_size(self):
+        with pytest.raises(TypeError):
+            FunctionType(INT, []).sizeof()
+
+
+class TestIntBehaviour:
+    def test_ranges(self):
+        assert CHAR.min_value() == -128
+        assert CHAR.max_value() == 127
+        assert UCHAR.min_value() == 0
+        assert UCHAR.max_value() == 255
+        assert INT.max_value() == 2**31 - 1
+        assert UINT.max_value() == 2**32 - 1
+
+    def test_wrap_signed(self):
+        assert CHAR.wrap(128) == -128
+        assert CHAR.wrap(-129) == 127
+        assert INT.wrap(2**31) == -(2**31)
+
+    def test_wrap_unsigned(self):
+        assert UCHAR.wrap(256) == 0
+        assert UCHAR.wrap(-1) == 255
+        assert UINT.wrap(2**32 + 5) == 5
+
+    def test_bool_wrap(self):
+        assert BOOL.wrap(42) == 1
+        assert BOOL.wrap(0) == 0
+
+
+class TestStructLayout:
+    def test_packed_chars(self):
+        s = StructType("s")
+        s.define([("a", CHAR), ("b", CHAR)])
+        assert s.sizeof() == 2
+
+    def test_alignment_padding(self):
+        s = StructType("s")
+        s.define([("c", CHAR), ("i", INT)])
+        assert s.member_offset("i")[0] == 4
+        assert s.sizeof() == 8
+
+    def test_tail_padding(self):
+        s = StructType("s")
+        s.define([("i", INT), ("c", CHAR)])
+        assert s.sizeof() == 8
+
+    def test_stralloc_layout(self):
+        # The layout the STR runtime depends on.
+        s = StructType("stralloc")
+        s.define([("s", PointerType(CHAR)), ("f", PointerType(CHAR)),
+                  ("len", UINT), ("a", UINT)])
+        assert s.member_offset("s")[0] == 0
+        assert s.member_offset("f")[0] == 8
+        assert s.member_offset("len")[0] == 16
+        assert s.member_offset("a")[0] == 20
+        assert s.sizeof() == 24
+
+    def test_union_size_is_max(self):
+        u = StructType("u", is_union=True)
+        u.define([("i", INT), ("buf", ArrayType(CHAR, 13))])
+        assert u.sizeof() >= 13
+        assert u.member_offset("buf")[0] == 0
+
+    def test_incomplete_struct(self):
+        s = StructType("fwd")
+        assert not s.is_complete
+        with pytest.raises(TypeError):
+            s.sizeof()
+
+    def test_unknown_member(self):
+        s = StructType("s")
+        s.define([("a", INT)])
+        with pytest.raises(KeyError):
+            s.member_offset("nope")
+
+
+class TestClassification:
+    def test_char_pointer(self):
+        assert PointerType(CHAR).is_char_pointer
+        assert not PointerType(INT).is_char_pointer
+
+    def test_char_array(self):
+        assert ArrayType(CHAR, 4).is_char_array
+        assert not ArrayType(INT, 4).is_char_array
+
+    def test_scalar(self):
+        assert INT.is_scalar
+        assert PointerType(VOID).is_scalar
+        assert not ArrayType(CHAR, 2).is_scalar
+
+    def test_decay(self):
+        decayed = ArrayType(CHAR, 10).decay()
+        assert isinstance(decayed, PointerType)
+        assert decayed.pointee.is_char
+        fn = FunctionType(INT, [])
+        assert isinstance(fn.decay(), PointerType)
+        assert INT.decay() is INT
+
+
+class TestConversions:
+    def test_promote_small_ints(self):
+        assert integer_promote(CHAR) == INT
+        assert integer_promote(SHORT) == INT
+        assert integer_promote(BOOL) == INT
+        assert integer_promote(LONG) == LONG
+
+    def test_usual_conversions_float_wins(self):
+        assert usual_arithmetic_conversions(INT, DOUBLE) == DOUBLE
+        assert usual_arithmetic_conversions(FLOAT, INT) == FLOAT
+
+    def test_usual_conversions_rank(self):
+        assert usual_arithmetic_conversions(INT, LONG) == LONG
+        assert usual_arithmetic_conversions(CHAR, CHAR) == INT
+
+    def test_usual_conversions_unsigned(self):
+        assert usual_arithmetic_conversions(UINT, INT) == UINT
+        assert usual_arithmetic_conversions(ULONG, LONG) == ULONG
+        # unsigned int + long -> long (long can represent all uint values)
+        assert usual_arithmetic_conversions(UINT, LONG) == LONG
+
+
+class TestEquality:
+    def test_int_types(self):
+        assert IntType("int") == IntType("int")
+        assert IntType("int") != IntType("int", signed=False)
+        assert IntType("int") != IntType("long")
+
+    def test_pointer_types(self):
+        assert PointerType(CHAR) == PointerType(CHAR)
+        assert PointerType(CHAR) != PointerType(INT)
+
+    def test_array_types(self):
+        assert ArrayType(CHAR, 3) == ArrayType(CHAR, 3)
+        assert ArrayType(CHAR, 3) != ArrayType(CHAR, 4)
+
+    def test_qualifiers_dont_break_identity(self):
+        qualified = INT.with_qualifiers({"const"})
+        assert qualified == INT         # equality ignores qualifiers
+        assert "const" in qualified.qualifiers
+
+    def test_enum_wraps_like_int(self):
+        e = EnumType("color")
+        assert e.sizeof() == 4
+        assert e.wrap(2**31) == -(2**31)

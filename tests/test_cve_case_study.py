@@ -1,0 +1,66 @@
+"""The LibTIFF tiff2pdf case study (paper §IV-A2), end to end."""
+
+from repro.cfront.preprocessor import Preprocessor
+from repro.core.slr import SafeLibraryReplacement
+from repro.corpus.minitiff import cve_attack_program
+from repro.vm import run_source
+
+
+def _preprocessed() -> str:
+    return Preprocessor().preprocess(cve_attack_program(), "t2p.c").text
+
+
+class TestVulnerability:
+    def test_attack_input_overflows(self):
+        result = run_source(_preprocessed())
+        assert result.fault == "buffer-overflow"
+        assert "buffer" in result.fault_detail
+
+    def test_benign_input_is_fine(self):
+        source = cve_attack_program().replace("(char)0xC3", "'e'")
+        pp = Preprocessor().preprocess(source, "t2p.c").text
+        result = run_source(pp)
+        assert result.ok
+        assert result.stdout_text == "escaped=cafe\n"
+
+    def test_control_chars_exactly_fill_buffer(self):
+        # '\t' -> "\011": 4 chars + NUL exactly fills char buffer[5].
+        source = cve_attack_program().replace("(char)0xC3", "'\\t'")
+        pp = Preprocessor().preprocess(source, "t2p.c").text
+        result = run_source(pp)
+        assert result.ok
+        assert result.stdout_text == "escaped=caf\\011\n"
+
+    def test_sign_extension_is_the_root_cause(self):
+        # The same byte as unsigned would only need 3 octal digits; the
+        # fault happens because char sign-extends to a negative int.
+        result = run_source(_preprocessed())
+        assert result.fault == "buffer-overflow"
+
+
+class TestFix:
+    def test_slr_replaces_the_sprintf(self):
+        result = SafeLibraryReplacement(_preprocessed(), "t2p.c").run()
+        sprintf_outcomes = [o for o in result.outcomes
+                            if o.target == "sprintf"]
+        assert len(sprintf_outcomes) == 1
+        assert sprintf_outcomes[0].transformed
+        assert 'g_snprintf(buffer, sizeof(buffer), "\\\\%.3o", ' \
+               "pdfstr[i])" in result.new_text
+
+    def test_attack_no_longer_crashes(self):
+        result = SafeLibraryReplacement(_preprocessed(), "t2p.c").run()
+        after = run_source(result.new_text)
+        assert after.ok
+        # The escape text is truncated — behaviour intentionally changed
+        # for the attack input, exactly as the paper describes.
+        assert after.stdout_text.startswith("escaped=caf")
+
+    def test_benign_behaviour_unchanged_by_fix(self):
+        source = cve_attack_program().replace("(char)0xC3", "'\\t'")
+        pp = Preprocessor().preprocess(source, "t2p.c").text
+        before = run_source(pp)
+        fixed = SafeLibraryReplacement(pp, "t2p.c").run()
+        after = run_source(fixed.new_text)
+        assert before.ok and after.ok
+        assert before.stdout == after.stdout

@@ -1,0 +1,146 @@
+"""Differential testing of STR: for generated in-bounds programs, the
+transformed program must produce byte-identical output.
+
+This is the strongest correctness property the paper claims ("preserve
+expected behavior"): we generate random straight-line programs over char
+buffers using only Table II-shaped operations with in-bounds indices, run
+them, transform them, and run them again.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.strtransform import SafeTypeReplacement
+from repro.samate.generator import PAPER_COUNTS, generate_suite
+
+from .helpers import pp, run
+
+_BUF = 12       # capacity of each generated buffer
+
+
+@st.composite
+def _programs(draw):
+    """A straight-line program over two buffers, all accesses in bounds."""
+    lines = [
+        f"char a[{_BUF}];",
+        f"char b[{_BUF}];",
+        "int i;",
+        f'memset(a, \'x\', {_BUF - 1});',
+        f"a[{_BUF - 1}] = '\\0';",
+        f'memset(b, \'y\', {_BUF - 1});',
+        f"b[{_BUF - 1}] = '\\0';",
+    ]
+    count = draw(st.integers(1, 10))
+    for _ in range(count):
+        kind = draw(st.integers(0, 6))
+        idx = draw(st.integers(0, _BUF - 2))
+        ch = draw(st.sampled_from("mnpq"))
+        if kind == 0:
+            lines.append(f"a[{idx}] = '{ch}';")
+        elif kind == 1:
+            lines.append(f"b[{idx}] = a[{idx}];")
+        elif kind == 2:
+            lines.append(f"*(a + {idx}) = '{ch}';")
+        elif kind == 3:
+            src = draw(st.sampled_from(["abc", "hello", "zz"]))
+            lines.append(f'strcpy(a, "{src}");')
+        elif kind == 4:
+            suffix = draw(st.sampled_from(["!", "xy"]))
+            # keep total length within capacity: reset first
+            lines.append(f'strcpy(b, "s");')
+            lines.append(f'strcat(b, "{suffix}");')
+        elif kind == 5:
+            n = draw(st.integers(1, _BUF - 1))
+            lines.append(f"memset(a, '{ch}', {n});")
+            lines.append(f"a[{_BUF - 1}] = '\\0';")
+        else:
+            lines.append(
+                f"if (a[{idx}] == '{ch}') {{ b[0] = 'H'; }}")
+    lines.append('printf("%s|%s|%d|%d\\n", a, b, (int)strlen(a), '
+                 "(int)strlen(b));")
+    body = "\n    ".join(lines)
+    return ("#include <stdio.h>\n#include <string.h>\n"
+            f"int main(void) {{\n    {body}\n    return 0;\n}}\n")
+
+
+class TestDifferentialSTR:
+    @settings(deadline=None, max_examples=40)
+    @given(_programs())
+    def test_transformed_program_behaves_identically(self, source):
+        text = pp(source)
+        before = run(text, preprocess=False)
+        assert before.ok, before.fault_detail
+
+        result = SafeTypeReplacement(text, "gen.c").run()
+        # Both buffers use only supported patterns: must transform.
+        assert result.transformed_count == 2, \
+            [(o.target, o.reason) for o in result.outcomes]
+        after = run(result.new_text, preprocess=False)
+        assert after.ok, after.fault_detail
+        assert after.stdout == before.stdout
+
+
+class TestSuiteScalingProperty:
+    @settings(deadline=None, max_examples=10)
+    @given(st.floats(0.01, 0.25))
+    def test_scaled_suites_consistent(self, scale):
+        suite = generate_suite(scale=scale)
+        for cwe, programs in suite.items():
+            total, slr = PAPER_COUNTS[cwe]
+            assert len(programs) == max(1, round(total * scale))
+            slr_count = sum(p.slr_applicable for p in programs)
+            expected = min(len(programs),
+                           max(1 if slr else 0, round(slr * scale)))
+            assert slr_count == expected
+            names = {p.name for p in programs}
+            assert len(names) == len(programs)
+
+
+@st.composite
+def _safe_slr_programs(draw):
+    """Programs whose unsafe calls all *fit* — SLR must not change
+    observable behaviour on them."""
+    dst = draw(st.integers(8, 32))
+    text = draw(st.text(alphabet="abcz", min_size=0, max_size=dst - 2))
+    fmt_value = draw(st.integers(-999, 999))
+    lines = [
+        f"char dst[{dst}];",
+        f'strcpy(dst, "{text}");',
+    ]
+    if draw(st.booleans()):
+        extra = draw(st.text(alphabet="xy", min_size=0,
+                             max_size=dst - 2 - len(text)))
+        lines.append(f'strcat(dst, "{extra}");')
+    lines.append(f"char num[{max(dst, 12)}];")
+    lines.append(f'sprintf(num, "%d", {fmt_value});')
+    lines.append('printf("%s/%s\\n", dst, num);')
+    body = "\n    ".join(lines)
+    return ("#include <stdio.h>\n#include <string.h>\n"
+            f"int main(void) {{\n    {body}\n    return 0;\n}}\n")
+
+
+class TestDifferentialSLR:
+    @settings(deadline=None, max_examples=40)
+    @given(_safe_slr_programs())
+    def test_fitting_operations_unchanged_by_slr(self, source):
+        from repro.core.slr import SafeLibraryReplacement
+        text = pp(source)
+        before = run(text, preprocess=False)
+        assert before.ok, before.fault_detail
+        result = SafeLibraryReplacement(text, "gen.c").run()
+        assert result.transformed_count == result.candidates
+        after = run(result.new_text, preprocess=False)
+        assert after.ok, after.fault_detail
+        assert after.stdout == before.stdout
+
+    @settings(deadline=None, max_examples=25)
+    @given(_safe_slr_programs())
+    def test_c11_profile_also_behaviour_preserving_when_fitting(
+            self, source):
+        from repro.core.slr import SafeLibraryReplacement
+        text = pp(source)
+        before = run(text, preprocess=False)
+        result = SafeLibraryReplacement(text, "gen.c",
+                                        profile="c11").run()
+        after = run(result.new_text, preprocess=False)
+        assert after.ok, after.fault_detail
+        assert after.stdout == before.stdout

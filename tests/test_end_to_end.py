@@ -1,0 +1,165 @@
+"""Integration tests across the whole pipeline, plus the public API."""
+
+import repro
+from repro.core.batch import SourceProgram, apply_batch
+from repro.vm.interp import run_program_files
+
+from .helpers import run
+
+
+class TestPublicAPI:
+    def test_fix_buffer_overflows_one_call(self):
+        result = repro.fix_buffer_overflows("""
+            #include <string.h>
+            int main(void) {
+                char b[4];
+                strcpy(b, "much too long");
+                return 0;
+            }
+        """)
+        assert any(o.transformed for o in result.outcomes)
+        assert repro.run_c(result.new_text).ok
+
+    def test_slr_only(self):
+        result = repro.fix_buffer_overflows(
+            "#include <string.h>\n"
+            "int main(void){ char b[4]; strcpy(b, \"xyzzy!\"); return 0; }",
+            str_transform=False)
+        assert all(o.transformation == "SLR" for o in result.outcomes)
+
+    def test_str_only(self):
+        result = repro.fix_buffer_overflows(
+            "int main(void){ char b[4]; b[9] = 'x'; return 0; }",
+            slr=False)
+        assert all(o.transformation == "STR" for o in result.outcomes)
+        assert repro.run_c(result.new_text).ok
+
+    def test_preprocess_helper(self):
+        text = repro.preprocess("#define N 4\nint arr[N];")
+        assert "int arr[4];" in text
+
+    def test_version(self):
+        assert repro.__version__
+
+
+class TestMultiFilePrograms:
+    def test_cross_file_calls(self):
+        program = SourceProgram(
+            name="two-files",
+            files={
+                "lib.c": '#include "lib.h"\n'
+                         "int triple(int x) { return 3 * x; }\n",
+                "main.c": '#include <stdio.h>\n#include "lib.h"\n'
+                          "int main(void) { "
+                          'printf("%d\\n", triple(14)); return 0; }\n',
+            },
+            headers={"lib.h": "int triple(int x);\n"},
+        )
+        result = run_program_files(program.preprocess().files)
+        assert result.stdout_text == "42\n"
+
+    def test_batch_on_multifile_program(self):
+        program = SourceProgram(
+            name="multi",
+            files={
+                "a.c": "#include <string.h>\n#include <stdio.h>\n"
+                       "void f(void) { char b[8]; strcpy(b, \"hi\"); "
+                       'printf("%s\\n", b); }\n',
+                "main.c": "void f(void);\n"
+                          "int main(void) { f(); return 0; }\n",
+            },
+        )
+        batch = apply_batch(program)
+        assert batch.all_parse
+        assert batch.transformed("SLR") == 1
+        after = run_program_files(batch.transformed_program.files)
+        assert after.stdout_text == "hi\n"
+
+
+class TestCombinedTransformations:
+    def test_slr_then_str_compose(self):
+        source = """
+        #include <stdio.h>
+        #include <string.h>
+        int main(void) {
+            char big[32];
+            char small[4];
+            strcpy(big, "start");      /* SLR site */
+            big[1] = 'T';              /* STR pattern 12 */
+            strcpy(small, "overflowing input");  /* SLR fixes this */
+            printf("%s\\n", big);
+            return 0;
+        }
+        """
+        before = run(source)
+        assert before.fault == "buffer-overflow"
+        result = repro.fix_buffer_overflows(source)
+        after = repro.run_c(result.new_text)
+        assert after.ok
+        assert after.stdout_text == "sTart\n"
+
+    def test_double_slr_is_stable(self):
+        source = ("#include <string.h>\n"
+                  "void f(void){ char b[8]; strcpy(b, \"x\"); }")
+        first = repro.fix_buffer_overflows(source, str_transform=False)
+        second = repro.apply_slr(first.new_text)
+        # g_strlcpy is not an unsafe function: nothing left to transform.
+        assert second.candidates == 0
+        assert second.new_text == first.new_text
+
+    def test_transformed_output_always_reparses(self):
+        from repro.cfront.parser import parse_translation_unit
+        source = """
+        #include <stdio.h>
+        #include <string.h>
+        #include <stdlib.h>
+        int main(void) {
+            char stack[16];
+            char *heap = malloc(10);
+            char *walk = stack;
+            strcpy(stack, "abc");
+            strcat(stack, "def");
+            sprintf(heap, "%d", 5);
+            walk++;
+            *walk = 'Z';
+            printf("%s %s\\n", stack, heap);
+            return 0;
+        }
+        """
+        result = repro.fix_buffer_overflows(source)
+        parse_translation_unit(result.new_text)
+
+
+class TestFaultTaxonomy:
+    """Every CWE category produces its distinctive fault kind in the VM."""
+
+    def test_stack_overflow_kind(self):
+        result = run("#include <string.h>\nint main(void){ char b[4]; "
+                     "strcpy(b, \"overflow\"); return 0; }")
+        assert result.fault == "buffer-overflow"
+
+    def test_heap_overflow_kind(self):
+        result = run("#include <string.h>\n#include <stdlib.h>\n"
+                     "int main(void){ char *b = malloc(8); "
+                     "b[8] = 'x'; return 0; }")
+        assert result.fault == "buffer-overflow"
+
+    def test_underwrite_kind(self):
+        result = run("int main(void){ char b[4]; int i = -1; "
+                     "b[i] = 'x'; return 0; }")
+        assert result.fault == "buffer-underwrite"
+
+    def test_overread_kind(self):
+        result = run("int main(void){ char b[4]; char c = b[4]; "
+                     "return c; }")
+        assert result.fault == "buffer-overread"
+
+    def test_underread_kind(self):
+        result = run("int main(void){ char b[4]; int i = -2; "
+                     "char c = b[i]; return c; }")
+        assert result.fault == "buffer-underread"
+
+    def test_dangerous_function_kind(self):
+        result = run("#include <stdio.h>\nint main(void){ char b[4]; "
+                     "gets(b); return 0; }", stdin=b"looooooong\n")
+        assert result.fault == "buffer-overflow"

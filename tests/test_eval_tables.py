@@ -1,0 +1,131 @@
+"""Tests for the evaluation harness (tables and figure)."""
+
+import pytest
+
+from repro.eval.common import (
+    PAPER_FIGURE2, PAPER_TABLE3, pct, render_table,
+)
+from repro.eval.figure2 import compute_figure2
+from repro.eval.perf import compute_perf
+from repro.eval.table3 import compute_table3
+from repro.eval.table4 import compute_table4
+from repro.eval.table5 import compute_table5
+from repro.eval.table6 import compute_table6
+
+
+class TestRendering:
+    def test_render_table_shape(self):
+        text = render_table(["A", "Bee"], [[1, 22], [333, 4]], "Title")
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "| A " in text and "| Bee |" in text
+        assert "333" in text
+
+    def test_pct(self):
+        assert pct(1, 2) == "50.00%"
+        assert pct(0, 0) == "-"
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return compute_table3(scale=0.02, execute_limit=3)
+
+    def test_all_cwes_present(self, result):
+        assert {r.cwe for r in result.rows} == set(PAPER_TABLE3)
+
+    def test_executed_programs_all_fixed(self, result):
+        assert result.all_fixed
+        assert result.all_preserved
+
+    def test_slr_only_on_applicable_cwes(self, result):
+        by_cwe = {r.cwe: r for r in result.rows}
+        assert by_cwe[124].slr_applied == 0
+        assert by_cwe[126].slr_applied == 0
+        assert by_cwe[127].slr_applied == 0
+        assert by_cwe[121].slr_applied > 0
+        assert by_cwe[242].slr_applied > 0
+
+    def test_str_not_applied_to_cwe242(self, result):
+        by_cwe = {r.cwe: r for r in result.rows}
+        assert by_cwe[242].str_applied == 0
+
+    def test_kloc_positive(self, result):
+        for row in result.rows:
+            assert row.pp_kloc > row.kloc > 0
+
+    def test_render_mentions_paper(self, result):
+        text = result.render()
+        assert "4505/1758/4487" in text
+
+
+class TestTable4:
+    def test_rows_and_render(self):
+        result = compute_table4()
+        assert len(result.rows) == 4
+        text = result.render()
+        assert "Table IV" in text
+        assert "zlib" in text
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return compute_table5(execute=False)
+
+    def test_paper_totals(self, result):
+        assert result.total_sites == 317
+        assert result.total_transformed == 259
+
+    def test_percentage_matches_paper(self, result):
+        rate = 100.0 * result.total_transformed / result.total_sites
+        assert abs(rate - 81.7) < 0.1
+
+    def test_by_function_matches_figure2(self, result):
+        for fn, expected in PAPER_FIGURE2.items():
+            done, total = result.by_function[fn]
+            assert (done, total) == expected, fn
+
+    def test_no_parse_failures(self, result):
+        assert all(r.parses for r in result.rows)
+
+
+class TestTable6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return compute_table6(execute=False)
+
+    def test_paper_totals(self, result):
+        assert result.totals == (296, 237, 59)
+
+    def test_hundred_percent_of_passed(self, result):
+        for row in result.rows:
+            assert row.replaced == row.identified - row.failed_precondition
+
+    def test_render(self, result):
+        assert "296" in result.render()
+
+
+class TestFigure2:
+    def test_exact_series(self):
+        result = compute_figure2()
+        assert result.by_function["strcpy"] == (28, 39)
+        assert result.by_function["memcpy"] == (72, 115)
+
+    def test_gets_absent(self):
+        result = compute_figure2()
+        assert result.by_function.get("gets", (0, 0))[1] == 0
+
+    def test_render_has_bars(self):
+        text = compute_figure2().render()
+        assert "#" in text
+        assert "Figure 2" in text
+
+
+class TestPerf:
+    def test_output_identical_and_overhead_small(self):
+        result = compute_perf(("zlib",), repeat=1)
+        row = result.rows[0]
+        assert row.output_identical
+        assert 0 <= row.step_overhead_pct < 50
+        assert row.steps_after >= row.steps_before

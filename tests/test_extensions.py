@@ -1,0 +1,98 @@
+"""Tests for the optional extensions beyond the paper's baseline."""
+
+from repro.core.bufferlen import BufferLength, BufferLengthAnalyzer, \
+    LengthFailure
+from repro.core.slr import SafeLibraryReplacement
+
+from .helpers import find_calls, parse_and_analyze, pp, run
+
+PRELUDE = ("#include <stdio.h>\n#include <string.h>\n"
+           "#include <stdlib.h>\n")
+
+TERNARY_PROGRAM = PRELUDE + """
+int main(void) {
+    int big = 0;
+    char *buf = big ? malloc(128) : malloc(8);
+    strcpy(buf, "longer than the small branch");
+    printf("%s\\n", buf);
+    free(buf);
+    return 0;
+}
+"""
+
+
+class TestTernaryAllocFix:
+    """Paper §IV-B failure 4: "This is an easy structural fix. We ignored
+    it because it happened only once" — implemented behind a flag."""
+
+    def _length(self, fix: bool):
+        unit, text, pa = parse_and_analyze(TERNARY_PROGRAM)
+        call = find_calls(unit, "strcpy")[0]
+        analyzer = BufferLengthAnalyzer(pa, text,
+                                        fix_ternary_alloc=fix)
+        return analyzer.get_buffer_length(call.args[0])
+
+    def test_default_still_fails_like_the_paper(self):
+        result = self._length(fix=False)
+        assert isinstance(result, LengthFailure)
+        assert result.reason == "ternary-alloc"
+
+    def test_flag_computes_heap_length(self):
+        result = self._length(fix=True)
+        assert isinstance(result, BufferLength)
+        assert result.render() == "malloc_usable_size(buf)"
+
+    def test_end_to_end_fixes_the_overflow(self):
+        text = pp(TERNARY_PROGRAM)
+        before = run(text, preprocess=False)
+        assert before.fault == "buffer-overflow"
+        result = SafeLibraryReplacement(text, "t.c",
+                                        fix_ternary_alloc=True).run()
+        assert result.transformed_count == 1
+        after = run(result.new_text, preprocess=False)
+        assert after.ok
+
+    def test_mixed_ternary_still_rejected(self):
+        # Only one branch allocates: size genuinely unknowable.
+        source = PRELUDE + """
+        int main(void) {
+            char fallback[4];
+            int big = 0;
+            char *buf = big ? malloc(128) : fallback;
+            strcpy(buf, "data");
+            return 0;
+        }
+        """
+        unit, text, pa = parse_and_analyze(source)
+        call = find_calls(unit, "strcpy")[0]
+        analyzer = BufferLengthAnalyzer(pa, text,
+                                        fix_ternary_alloc=True)
+        result = analyzer.get_buffer_length(call.args[0])
+        assert isinstance(result, LengthFailure)
+
+    def test_casted_branches_accepted(self):
+        source = PRELUDE + """
+        int main(void) {
+            int big = 1;
+            char *buf = big ? (char *)malloc(64) : (char *)malloc(16);
+            strcpy(buf, "fits in either after the check");
+            printf("%s\\n", buf);
+            return 0;
+        }
+        """
+        text = pp(source)
+        result = SafeLibraryReplacement(text, "t.c",
+                                        fix_ternary_alloc=True).run()
+        assert result.transformed_count == 1
+        assert "malloc_usable_size(buf)" in result.new_text
+
+    def test_corpus_totals_unaffected_by_default(self):
+        """The flag is off by default, so Table V keeps the paper's exact
+        ternary-alloc failure."""
+        from repro.eval.table5 import compute_table5
+        result = compute_table5(execute=False)
+        reasons: dict[str, int] = {}
+        for row in result.rows:
+            for reason, count in row.failure_reasons.items():
+                reasons[reason] = reasons.get(reason, 0) + count
+        assert reasons.get("ternary-alloc") == 1

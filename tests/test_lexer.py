@@ -1,0 +1,186 @@
+"""Unit tests for the C lexer."""
+
+import pytest
+
+from repro.cfront.lexer import Lexer, splice_lines, tokenize
+from repro.cfront.source import LexError, SourceFile
+from repro.cfront.tokens import (
+    CHAR_CONST, EOF, HASH, ID, KEYWORD, NEWLINE, NUMBER, PUNCT, STRING,
+    Token, tokens_to_text,
+)
+
+
+def kinds(text, **kwargs):
+    return [(t.kind, t.text) for t in tokenize(text, **kwargs)
+            if t.kind != EOF]
+
+
+class TestBasicTokens:
+    def test_identifiers_and_keywords(self):
+        toks = kinds("int foo _bar x123")
+        assert toks == [(KEYWORD, "int"), (ID, "foo"), (ID, "_bar"),
+                        (ID, "x123")]
+
+    def test_all_c99_keywords_recognized(self):
+        for kw in ("auto", "break", "case", "char", "const", "continue",
+                   "default", "do", "double", "else", "enum", "extern",
+                   "float", "for", "goto", "if", "inline", "int", "long",
+                   "register", "restrict", "return", "short", "signed",
+                   "sizeof", "static", "struct", "switch", "typedef",
+                   "union", "unsigned", "void", "volatile", "while"):
+            assert kinds(kw) == [(KEYWORD, kw)]
+
+    def test_decimal_hex_octal_numbers(self):
+        toks = kinds("42 0x1F 0755 0")
+        assert [t[1] for t in toks] == ["42", "0x1F", "0755", "0"]
+        assert all(t[0] == NUMBER for t in toks)
+
+    def test_float_numbers(self):
+        toks = kinds("3.14 1e10 2.5e-3 1.f .5")
+        assert all(t[0] == NUMBER for t in toks)
+
+    def test_integer_suffixes(self):
+        toks = kinds("1U 2L 3UL 4LL 5ull")
+        assert all(t[0] == NUMBER for t in toks)
+
+    def test_char_constants(self):
+        toks = kinds(r"'a' '\n' '\0' '\x41' '\\'")
+        assert all(t[0] == CHAR_CONST for t in toks)
+
+    def test_string_literals(self):
+        toks = kinds(r'"hello" "with \"escape\"" ""')
+        assert all(t[0] == STRING for t in toks)
+        assert toks[0][1] == '"hello"'
+
+    def test_multibyte_punctuators_win(self):
+        toks = kinds("a <<= b >>= c ... -> ++ -- << >>")
+        texts = [t[1] for t in toks if t[0] == PUNCT]
+        assert texts == ["<<=", ">>=", "...", "->", "++", "--", "<<", ">>"]
+
+    def test_adjacent_operators_do_not_merge(self):
+        toks = kinds("a+++b")      # a ++ + b, maximal munch
+        texts = [t[1] for t in toks]
+        assert texts == ["a", "++", "+", "b"]
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_skipped(self):
+        assert kinds("a // comment\nb") == [(ID, "a"), (ID, "b")]
+
+    def test_block_comment_skipped(self):
+        assert kinds("a /* x */ b") == [(ID, "a"), (ID, "b")]
+
+    def test_multiline_block_comment(self):
+        assert kinds("a /* 1\n2\n3 */ b") == [(ID, "a"), (ID, "b")]
+
+    def test_unterminated_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_space_before_flag(self):
+        toks = tokenize("a b")
+        assert not toks[0].space_before
+        assert toks[1].space_before
+
+    def test_comment_sets_space_before(self):
+        toks = tokenize("a/*x*/b")
+        assert toks[1].space_before
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        toks = tokenize("ab\n  cd")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+    def test_offsets_roundtrip(self):
+        text = "int x = 42;"
+        for tok in tokenize(text):
+            if tok.kind != EOF:
+                assert text[tok.offset:tok.end] == tok.text
+
+    def test_extent(self):
+        tok = tokenize("hello")[0]
+        assert tok.extent.start == 0
+        assert tok.extent.end == 5
+
+
+class TestPreprocessorMode:
+    def test_newlines_kept(self):
+        toks = tokenize("a\nb\n", preprocessor_mode=True)
+        assert [t.kind for t in toks] == [ID, NEWLINE, ID, NEWLINE, EOF]
+
+    def test_hash_at_line_start(self):
+        toks = tokenize("#define X\n", preprocessor_mode=True)
+        assert toks[0].kind == HASH
+
+    def test_hash_mid_line_is_punct(self):
+        toks = tokenize("a # b\n", preprocessor_mode=True)
+        assert toks[1].kind == PUNCT
+
+    def test_final_newline_synthesized(self):
+        toks = tokenize("a", preprocessor_mode=True)
+        assert toks[-2].kind == NEWLINE
+
+
+class TestLineSplicing:
+    def test_backslash_newline_removed(self):
+        assert splice_lines("a\\\nb") == "ab"
+
+    def test_windows_line_endings(self):
+        assert splice_lines("a\\\r\nb") == "ab"
+
+    def test_spliced_macro_lexes_as_one_line(self):
+        toks = tokenize("#define X 1 + \\\n 2\n", preprocessor_mode=True)
+        newlines = [t for t in toks if t.kind == NEWLINE]
+        assert len(newlines) == 1
+
+
+class TestTokensToText:
+    def test_roundtrip_simple(self):
+        toks = [t for t in tokenize("a + b") if t.kind != EOF]
+        assert tokens_to_text(toks).strip() == "a + b"
+
+    def test_separator_between_words(self):
+        toks = [Token(ID, "int"), Token(ID, "x")]
+        assert tokens_to_text(toks) == "int x"
+
+    def test_separator_prevents_pasting_punct(self):
+        toks = [Token(PUNCT, "+"), Token(PUNCT, "+")]
+        assert tokens_to_text(toks) == "+ +"
+
+    def test_no_spurious_separator(self):
+        toks = [Token(ID, "f"), Token(PUNCT, "("), Token(PUNCT, ")")]
+        assert tokens_to_text(toks) == "f()"
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("int $x;")
+
+    def test_error_carries_location(self):
+        try:
+            tokenize("a\n  $")
+        except LexError as exc:
+            assert exc.line == 2
+            assert exc.col == 3
+        else:
+            pytest.fail("expected LexError")
+
+
+class TestSourceFile:
+    def test_line_col_mapping(self):
+        src = SourceFile("t.c", "ab\ncd\nef")
+        assert src.line_col(0) == (1, 1)
+        assert src.line_col(3) == (2, 1)
+        assert src.line_col(7) == (3, 2)
+
+    def test_line_text(self):
+        src = SourceFile("t.c", "ab\ncd")
+        assert src.line_text(1) == "ab"
+        assert src.line_text(2) == "cd"
+        assert src.line_text(99) == ""
+
+    def test_line_count(self):
+        assert SourceFile("t.c", "a\nb\nc").line_count == 3

@@ -1,0 +1,238 @@
+"""Native differential validation: the VM against a real C compiler.
+
+When a host C compiler is available, the corpus programs — and their
+STR-transformed versions linked against the reference stralloc.c — are
+compiled natively and executed; their output must match the VM
+byte-for-byte.  This pins the whole substitution chain (VM semantics,
+transformation output, stralloc runtime) to ground truth.
+"""
+
+import pathlib
+import shutil
+import subprocess
+
+import pytest
+
+from repro.core.batch import apply_batch
+from repro.core.stralloc import STRALLOC_C_SOURCE, STRALLOC_DECLARATIONS
+from repro.corpus import build_all
+from repro.vm.interp import run_program_files
+
+CC = shutil.which("cc") or shutil.which("gcc")
+
+pytestmark = pytest.mark.skipif(CC is None,
+                                reason="no native C compiler available")
+
+
+def _compile_and_run(workdir: pathlib.Path, sources: dict[str, str],
+                     extra_sources: dict[str, str] | None = None) -> bytes:
+    workdir.mkdir(parents=True, exist_ok=True)
+    all_sources = dict(sources)
+    all_sources.update(extra_sources or {})
+    paths = []
+    for name, text in all_sources.items():
+        path = workdir / name
+        path.write_text(text, encoding="utf-8")
+        if name.endswith(".c"):
+            paths.append(str(path))
+    binary = workdir / "prog"
+    compile_result = subprocess.run(
+        [CC, "-O0", "-w", "-o", str(binary), *paths],
+        capture_output=True, text=True, timeout=120)
+    assert compile_result.returncode == 0, compile_result.stderr[-3000:]
+    run_result = subprocess.run([str(binary)], capture_output=True,
+                                timeout=120)
+    assert run_result.returncode == 0, run_result.stderr[-1000:]
+    return run_result.stdout
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_all()
+
+
+class TestOriginalCorpusNative:
+    """As-authored corpus sources: native output == VM output."""
+
+    @pytest.mark.parametrize("name", ["zlib", "libpng", "GMP", "libtiff"])
+    def test_native_matches_vm(self, name, corpus, tmp_path):
+        program = corpus[name]
+        vm = run_program_files(program.preprocess().files)
+        assert vm.ok, vm.fault_detail
+        sources = dict(program.files)
+        sources.update(program.headers)
+        native = _compile_and_run(tmp_path / name, sources)
+        assert native == vm.stdout
+
+
+class TestTransformedCorpusNative:
+    """STR-transformed corpus, linked against the reference stralloc.c,
+    must also run natively with identical output."""
+
+    @pytest.mark.parametrize("name", ["zlib", "libpng", "GMP", "libtiff"])
+    def test_str_transformed_native_matches_vm(self, name, corpus,
+                                               tmp_path):
+        program = corpus[name]
+        batch = apply_batch(program, run_slr=False, run_str=True)
+        transformed = batch.transformed_program
+        vm = run_program_files(transformed.files)
+        assert vm.ok, vm.fault_detail
+
+        stralloc_c = STRALLOC_C_SOURCE.replace(
+            '#include "stralloc.h"',
+            STRALLOC_DECLARATIONS)
+        native = _compile_and_run(
+            tmp_path / name, transformed.files,
+            extra_sources={"stralloc_impl.c": stralloc_c})
+        assert native == vm.stdout
+
+
+class TestSLRTransformedNative:
+    """SLR-transformed corpus, linked against the glib shim, compiles
+    natively and matches the VM."""
+
+    @pytest.mark.parametrize("name", ["zlib", "libpng", "GMP", "libtiff"])
+    def test_slr_transformed_native_matches_vm(self, name, corpus,
+                                               tmp_path):
+        from repro.core.glib_shim import GLIB_SHIM_C_SOURCE
+        program = corpus[name]
+        batch = apply_batch(program, run_slr=True, run_str=False)
+        transformed = batch.transformed_program
+        vm = run_program_files(transformed.files)
+        assert vm.ok, vm.fault_detail
+        native = _compile_and_run(
+            tmp_path / name, transformed.files,
+            extra_sources={"glib_shim.c": GLIB_SHIM_C_SOURCE})
+        assert native == vm.stdout
+
+
+class TestFullyTransformedNative:
+    """SLR + STR combined, with both support libraries linked."""
+
+    @pytest.mark.parametrize("name", ["zlib", "GMP"])
+    def test_combined_native_matches_vm(self, name, corpus, tmp_path):
+        from repro.core.glib_shim import GLIB_SHIM_C_SOURCE
+        program = corpus[name]
+        batch = apply_batch(program)
+        transformed = batch.transformed_program
+        vm = run_program_files(transformed.files)
+        assert vm.ok, vm.fault_detail
+        stralloc_c = STRALLOC_C_SOURCE.replace(
+            '#include "stralloc.h"', STRALLOC_DECLARATIONS)
+        native = _compile_and_run(
+            tmp_path / name, transformed.files,
+            extra_sources={"glib_shim.c": GLIB_SHIM_C_SOURCE,
+                           "stralloc_impl.c": stralloc_c})
+        assert native == vm.stdout
+
+
+# ---------------------------------------------------------------- SAMATE
+
+_GETS_SHIM = r"""
+#include <stdio.h>
+/* glibc removed gets from its headers; provide the classic unbounded
+ * semantics so AddressSanitizer can observe the overflow. */
+char *gets(char *dst)
+{
+    int c = getchar();
+    unsigned long i = 0;
+    if (c == EOF) {
+        return 0;
+    }
+    while (c != EOF && c != '\n') {
+        dst[i] = (char)c;
+        i = i + 1;
+        c = getchar();
+    }
+    dst[i] = 0;
+    return dst;
+}
+"""
+
+
+def _asan_available() -> bool:
+    if CC is None:
+        return False
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        probe = pathlib.Path(tmp) / "probe.c"
+        probe.write_text("int main(void){return 0;}\n")
+        result = subprocess.run(
+            [CC, "-fsanitize=address", "-o", str(pathlib.Path(tmp) / "p"),
+             str(probe)], capture_output=True)
+        return result.returncode == 0
+
+
+_HAS_ASAN = _asan_available()
+
+
+def _compile_asan(workdir: pathlib.Path, sources: dict[str, str]) -> \
+        pathlib.Path:
+    workdir.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for name, text in sources.items():
+        path = workdir / name
+        path.write_text(text, encoding="utf-8")
+        if name.endswith(".c"):
+            paths.append(str(path))
+    binary = workdir / "prog"
+    result = subprocess.run(
+        [CC, "-fsanitize=address", "-O0", "-w", "-o", str(binary),
+         *paths],
+        capture_output=True, text=True, timeout=120)
+    assert result.returncode == 0, result.stderr[-3000:]
+    return binary
+
+
+@pytest.mark.skipif(not _HAS_ASAN, reason="AddressSanitizer unavailable")
+class TestSamateNative:
+    """Sampled SAMATE programs under AddressSanitizer: the bad function
+    overflows natively before the transformations and not after —
+    ground-truth confirmation of RQ1 outside our own VM."""
+
+    @pytest.mark.parametrize("cwe", [121, 122, 124, 126, 127, 242])
+    def test_native_asan_before_and_after(self, cwe, tmp_path):
+        from repro.cfront.preprocessor import Preprocessor
+        from repro.core.glib_shim import GLIB_SHIM_C_SOURCE
+        from repro.core.slr import SafeLibraryReplacement
+        from repro.core.strtransform import SafeTypeReplacement
+        from repro.eval.samate_runner import stratified_sample
+        from repro.samate import generate_cwe
+
+        programs = stratified_sample(generate_cwe(cwe), 2)
+        for program in programs:
+            pp_text = Preprocessor().preprocess(program.source,
+                                                program.name).text
+            # Original under ASan: the bad function must be flagged.
+            original = _compile_asan(
+                tmp_path / f"{program.name}_orig",
+                {"prog.c": pp_text, "gets_shim.c": _GETS_SHIM})
+            env = {"ASAN_OPTIONS": "detect_leaks=0", "PATH": "/usr/bin"}
+            before = subprocess.run([str(original)],
+                                    input=program.stdin, env=env,
+                                    capture_output=True, timeout=120)
+            assert before.returncode != 0, program.name
+            assert b"AddressSanitizer" in before.stderr, program.name
+
+            # Transformed under ASan: clean exit, no sanitizer report.
+            text = pp_text
+            if program.slr_applicable:
+                text = SafeLibraryReplacement(text, program.name) \
+                    .run().new_text
+            if program.str_applicable:
+                text = SafeTypeReplacement(text, program.name) \
+                    .run().new_text
+            stralloc_c = STRALLOC_C_SOURCE.replace(
+                '#include "stralloc.h"', STRALLOC_DECLARATIONS)
+            fixed = _compile_asan(
+                tmp_path / f"{program.name}_fixed",
+                {"prog.c": text, "gets_shim.c": _GETS_SHIM,
+                 "glib_shim.c": GLIB_SHIM_C_SOURCE,
+                 "stralloc_impl.c": stralloc_c})
+            after = subprocess.run([str(fixed)], input=program.stdin,
+                                   env=env,
+                                   capture_output=True, timeout=120)
+            assert after.returncode == 0, \
+                (program.name, after.stderr[-1500:])
+            assert b"AddressSanitizer" not in after.stderr
+            assert after.stdout.startswith(before.stdout), program.name

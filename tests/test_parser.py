@@ -1,0 +1,416 @@
+"""Unit tests for the C parser."""
+
+import pytest
+
+from repro.cfront import astnodes as ast
+from repro.cfront.ctypes_model import (
+    ArrayType, FunctionType, IntType, PointerType, StructType,
+)
+from repro.cfront.parser import parse_translation_unit
+from repro.cfront.source import ParseError
+
+from .helpers import parse
+
+
+def first_decl(src: str) -> ast.Declarator:
+    unit = parse_translation_unit(src)
+    for item in unit.items:
+        if isinstance(item, ast.Declaration) and item.declarators:
+            return item.declarators[0]
+    raise AssertionError("no declaration found")
+
+
+def main_body(src: str) -> list[ast.Node]:
+    unit = parse(src)
+    return unit.function("main").body.items
+
+
+class TestDeclarations:
+    def test_simple_int(self):
+        decl = first_decl("int x;")
+        assert decl.name == "x"
+        assert decl.ctype == IntType("int")
+
+    def test_pointer(self):
+        decl = first_decl("char *p;")
+        assert isinstance(decl.ctype, PointerType)
+        assert decl.ctype.pointee.is_char
+
+    def test_pointer_to_pointer(self):
+        decl = first_decl("char **pp;")
+        assert isinstance(decl.ctype.pointee, PointerType)
+
+    def test_array(self):
+        decl = first_decl("char buf[10];")
+        assert isinstance(decl.ctype, ArrayType)
+        assert decl.ctype.length == 10
+
+    def test_2d_array(self):
+        decl = first_decl("int grid[2][3];")
+        assert decl.ctype.length == 2
+        assert decl.ctype.element.length == 3
+
+    def test_array_size_constant_expression(self):
+        decl = first_decl("char buf[4 * 8 + 1];")
+        assert decl.ctype.length == 33
+
+    def test_array_size_from_enum(self):
+        decl = first_decl("enum { N = 7 }; char buf[N];")
+        assert decl.ctype.length == 7
+
+    def test_unsigned_long(self):
+        decl = first_decl("unsigned long n;")
+        assert decl.ctype == IntType("long", signed=False)
+
+    def test_long_long(self):
+        decl = first_decl("long long n;")
+        assert decl.ctype == IntType("long long")
+
+    def test_function_pointer(self):
+        decl = first_decl("int (*fp)(char, int);")
+        assert isinstance(decl.ctype, PointerType)
+        assert isinstance(decl.ctype.pointee, FunctionType)
+        assert len(decl.ctype.pointee.params) == 2
+
+    def test_array_of_pointers(self):
+        decl = first_decl("char *names[4];")
+        assert isinstance(decl.ctype, ArrayType)
+        assert isinstance(decl.ctype.element, PointerType)
+
+    def test_multiple_declarators(self):
+        unit = parse_translation_unit("int a, *b, c[3];")
+        decls = unit.items[0].declarators
+        assert [d.name for d in decls] == ["a", "b", "c"]
+        assert isinstance(decls[1].ctype, PointerType)
+        assert isinstance(decls[2].ctype, ArrayType)
+
+    def test_initializer(self):
+        decl = first_decl("int x = 1 + 2;")
+        assert isinstance(decl.init, ast.Binary)
+
+    def test_initializer_list(self):
+        decl = first_decl("int a[3] = {1, 2, 3};")
+        assert isinstance(decl.init, ast.InitList)
+        assert len(decl.init.items) == 3
+
+    def test_string_initializer(self):
+        decl = first_decl('char s[] = "hi";')
+        assert isinstance(decl.init, ast.StringLiteral)
+        assert decl.init.value == b"hi"
+
+    def test_static_storage_class(self):
+        unit = parse_translation_unit("static int x;")
+        assert unit.items[0].storage_class == "static"
+
+
+class TestTypedefsAndStructs:
+    def test_typedef_resolves(self):
+        decl = first_decl("typedef unsigned long size_t; size_t n;")
+        assert decl.ctype == IntType("long", signed=False)
+
+    def test_typedef_pointer(self):
+        unit = parse_translation_unit("typedef char *str; str s;")
+        decl = unit.items[1].declarators[0]
+        assert isinstance(decl.ctype, PointerType)
+
+    def test_struct_definition(self):
+        decl = first_decl("struct point { int x; int y; } p;")
+        assert isinstance(decl.ctype, StructType)
+        assert decl.ctype.has_member("x")
+        assert decl.ctype.sizeof() == 8
+
+    def test_struct_with_tag_reference(self):
+        src = "struct node { int v; struct node *next; }; struct node n;"
+        unit = parse_translation_unit(src)
+        decl = unit.items[1].declarators[0]
+        assert decl.ctype.has_member("next")
+
+    def test_union(self):
+        decl = first_decl("union u { int i; char c[8]; } x;")
+        assert decl.ctype.is_union
+        assert decl.ctype.sizeof() == 8
+
+    def test_typedef_struct_idiom(self):
+        src = "typedef struct { char *s; unsigned int len; } stralloc;\n" \
+              "stralloc sa;"
+        unit = parse_translation_unit(src)
+        decl = unit.items[1].declarators[0]
+        assert isinstance(decl.ctype, StructType)
+        assert decl.ctype.member_offset("len") == (8, IntType("int",
+                                                              signed=False))
+
+    def test_enum_constants(self):
+        decl = first_decl("enum color { RED, GREEN = 5, BLUE }; "
+                          "char buf[BLUE];")
+        assert decl.ctype.length == 6
+
+    def test_bitfields_parsed(self):
+        decl = first_decl("struct flags { int a : 1; int b : 2; } f;")
+        assert decl.ctype.has_member("a")
+
+
+class TestFunctions:
+    def test_function_definition(self):
+        unit = parse_translation_unit("int f(int a, char *b) { return a; }")
+        fn = unit.items[0]
+        assert isinstance(fn, ast.FunctionDef)
+        assert fn.name == "f"
+        assert [p.name for p in fn.params] == ["a", "b"]
+
+    def test_void_params(self):
+        unit = parse_translation_unit("int f(void) { return 0; }")
+        assert unit.items[0].params == []
+
+    def test_variadic(self):
+        unit = parse_translation_unit("int f(char *fmt, ...);")
+        decl = unit.items[0].declarators[0]
+        assert decl.ctype.variadic
+
+    def test_array_param_decays(self):
+        unit = parse_translation_unit("int f(char buf[10]) { return 0; }")
+        assert isinstance(unit.items[0].params[0].ctype, PointerType)
+
+    def test_prototype_then_definition(self):
+        unit = parse_translation_unit(
+            "int f(int);\nint f(int x) { return x; }")
+        assert len(unit.functions()) == 1
+
+
+class TestStatements:
+    def test_if_else(self):
+        items = main_body("int main(void){ if (1) { } else { } return 0; }")
+        assert isinstance(items[0], ast.IfStmt)
+        assert items[0].else_stmt is not None
+
+    def test_while(self):
+        items = main_body("int main(void){ while (0) ; return 0; }")
+        assert isinstance(items[0], ast.WhileStmt)
+
+    def test_do_while(self):
+        items = main_body("int main(void){ int i=0; do { i++; } "
+                          "while (i < 3); return 0; }")
+        assert isinstance(items[1], ast.DoWhileStmt)
+
+    def test_for_with_declaration(self):
+        items = main_body("int main(void){ for (int i = 0; i < 3; i++) ; "
+                          "return 0; }")
+        stmt = items[0]
+        assert isinstance(stmt, ast.ForStmt)
+        assert isinstance(stmt.init, ast.Declaration)
+
+    def test_for_empty_clauses(self):
+        items = main_body("int main(void){ for (;;) break; return 0; }")
+        stmt = items[0]
+        assert stmt.init is None and stmt.cond is None and \
+            stmt.advance is None
+
+    def test_switch_case_default(self):
+        src = """int main(void){
+            switch (1) { case 1: break; case 2: break; default: break; }
+            return 0; }"""
+        items = main_body(src)
+        assert isinstance(items[0], ast.SwitchStmt)
+
+    def test_goto_and_label(self):
+        src = "int main(void){ goto end; end: return 0; }"
+        items = main_body(src)
+        assert isinstance(items[0], ast.GotoStmt)
+        assert isinstance(items[1], ast.LabelStmt)
+
+    def test_nested_blocks(self):
+        items = main_body("int main(void){ { { int x; } } return 0; }")
+        assert isinstance(items[0], ast.CompoundStmt)
+
+
+class TestExpressions:
+    def expr(self, text: str) -> ast.Expression:
+        unit = parse_translation_unit(
+            f"int main(void) {{ (void)({text}); return 0; }}")
+        stmt = unit.function("main").body.items[0]
+        return stmt.expr.operand
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("1 + 2 * 3")
+        assert e.op == "+"
+        assert e.rhs.op == "*"
+
+    def test_precedence_shift_vs_compare(self):
+        e = self.expr("1 << 2 < 3")
+        assert e.op == "<"
+
+    def test_logical_operators(self):
+        e = self.expr("1 && 2 || 3")
+        assert e.op == "||"
+
+    def test_ternary(self):
+        e = self.expr("1 ? 2 : 3")
+        assert isinstance(e, ast.Conditional)
+
+    def test_assignment_right_associative(self):
+        unit = parse_translation_unit(
+            "int main(void) { int a, b; a = b = 1; return 0; }")
+        stmt = unit.function("main").body.items[1]
+        assert isinstance(stmt.expr, ast.Assignment)
+        assert isinstance(stmt.expr.rhs, ast.Assignment)
+
+    def test_compound_assignment(self):
+        unit = parse_translation_unit(
+            "int main(void) { int a = 0; a += 2; return 0; }")
+        stmt = unit.function("main").body.items[1]
+        assert stmt.expr.op == "+="
+
+    def test_cast(self):
+        e = self.expr("(char *)0")
+        assert isinstance(e, ast.Cast)
+        assert isinstance(e.target_type, PointerType)
+
+    def test_sizeof_type(self):
+        e = self.expr("sizeof(int)")
+        assert isinstance(e, ast.SizeofType)
+
+    def test_sizeof_expression(self):
+        unit = parse_translation_unit(
+            "int main(void) { char b[4]; int n = sizeof b; return 0; }")
+        decl = unit.function("main").body.items[1]
+        assert isinstance(decl.declarators[0].init, ast.SizeofExpr)
+
+    def test_sizeof_parenthesized_expr(self):
+        unit = parse_translation_unit(
+            "int main(void) { char b[4]; int n = sizeof(b); return 0; }")
+        decl = unit.function("main").body.items[1]
+        assert isinstance(decl.declarators[0].init, ast.SizeofExpr)
+
+    def test_call_with_args(self):
+        e = self.expr("f(1, 2, 3)")
+        assert isinstance(e, ast.Call)
+        assert len(e.args) == 3
+
+    def test_chained_postfix(self):
+        e = self.expr("a.b[1]")
+        assert isinstance(e, ast.ArrayAccess)
+        assert isinstance(e.base, ast.FieldAccess)
+
+    def test_arrow(self):
+        e = self.expr("p->next")
+        assert isinstance(e, ast.FieldAccess)
+        assert e.arrow
+
+    def test_unary_operators(self):
+        for op in ("-", "+", "!", "~", "&", "*"):
+            e = self.expr(f"{op}x")
+            assert isinstance(e, ast.Unary)
+            assert e.op == op
+
+    def test_prefix_vs_postfix_increment(self):
+        pre = self.expr("++x")
+        post = self.expr("x++")
+        assert not pre.is_postfix
+        assert post.is_postfix
+
+    def test_comma_expression(self):
+        e = self.expr("(1, 2)")
+        assert isinstance(e, ast.Comma)
+
+    def test_adjacent_strings_concatenate(self):
+        e = self.expr('"ab" "cd"')
+        assert isinstance(e, ast.StringLiteral)
+        assert e.value == b"abcd"
+
+    def test_char_literal_value(self):
+        e = self.expr("'A'")
+        assert e.value == 65
+
+    def test_array_index_expression(self):
+        e = self.expr("buf[i + 1]")
+        assert isinstance(e, ast.ArrayAccess)
+        assert isinstance(e.index, ast.Binary)
+
+
+class TestSourceExtents:
+    def test_call_extent_covers_whole_call(self):
+        text = "int main(void) { f(1, 2); return 0; }"
+        unit = parse_translation_unit(text)
+        call = next(n for n in unit.walk() if isinstance(n, ast.Call))
+        assert call.source_text(text) == "f(1, 2)"
+
+    def test_declarator_name_extent(self):
+        text = "int counter = 5;"
+        unit = parse_translation_unit(text)
+        decl = unit.items[0].declarators[0]
+        start, end = decl.name_extent.start, decl.name_extent.end
+        assert text[start:end] == "counter"
+
+    def test_statement_extent(self):
+        text = "int main(void) { return 42; }"
+        unit = parse_translation_unit(text)
+        ret = unit.function("main").body.items[0]
+        assert ret.source_text(text) == "return 42;"
+
+    def test_parenthesized_expr_extent_includes_parens(self):
+        text = "int main(void) { int x = (1 + 2); return x; }"
+        unit = parse_translation_unit(text)
+        init = unit.function("main").body.items[0].declarators[0].init
+        assert init.source_text(text) == "(1 + 2)"
+
+
+class TestParents:
+    def test_parents_assigned(self):
+        unit = parse_translation_unit("int main(void) { return 1 + 2; }")
+        ret = unit.function("main").body.items[0]
+        assert ret.value.parent is ret
+        assert ret.value.lhs.parent is ret.value
+
+    def test_enclosing_function(self):
+        unit = parse_translation_unit("int f(void) { return 0; }")
+        ret = unit.items[0].body.items[0]
+        assert ret.enclosing_function().name == "f"
+
+    def test_enclosing_statement(self):
+        unit = parse_translation_unit(
+            "int main(void) { int x = 1 + 2; return x; }")
+        decl = unit.function("main").body.items[0]
+        init = decl.declarators[0].init
+        assert init.enclosing_statement() is None or True  # Declaration
+        # The binary's enclosing statement walk terminates at a Statement
+        # or Declaration boundary:
+        assert init.find_ancestor(ast.Declaration) is decl
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_translation_unit("int x")
+
+    def test_unbalanced_brace(self):
+        with pytest.raises(ParseError):
+            parse_translation_unit("int main(void) { return 0;")
+
+    def test_bad_expression(self):
+        with pytest.raises(ParseError):
+            parse_translation_unit("int main(void) { return +; }")
+
+    def test_error_location(self):
+        try:
+            parse_translation_unit("int x = ;")
+        except ParseError as exc:
+            assert exc.line == 1
+        else:
+            pytest.fail("expected ParseError")
+
+
+class TestVaArg:
+    def test_va_arg_builtin(self):
+        src = """
+        typedef __builtin_va_list va_list;
+        int sum(int n, ...) {
+            va_list ap;
+            __builtin_va_start(ap, n);
+            int v = __builtin_va_arg(ap, int);
+            __builtin_va_end(ap);
+            return v;
+        }
+        """
+        unit = parse_translation_unit(src)
+        va = [n for n in unit.walk() if isinstance(n, ast.VaArg)]
+        assert len(va) == 1
+        assert va[0].target_type == IntType("int")

@@ -1,0 +1,215 @@
+"""Unit tests for the preprocessor."""
+
+import pytest
+
+from repro.cfront.preprocessor import Preprocessor
+from repro.cfront.source import PreprocessorError
+
+
+def pp_text(source: str, includes: dict[str, str] | None = None,
+            predefined: dict[str, str] | None = None) -> str:
+    return Preprocessor(includes, predefined).preprocess(source, "t.c").text
+
+
+class TestObjectMacros:
+    def test_simple_expansion(self):
+        assert "int x = 10;" in pp_text("#define N 10\nint x = N;")
+
+    def test_chained_expansion(self):
+        out = pp_text("#define A B\n#define B 42\nint x = A;")
+        assert "int x = 42;" in out
+
+    def test_self_reference_does_not_loop(self):
+        out = pp_text("#define X X\nint X;")
+        assert "int X;" in out
+
+    def test_mutual_recursion_blocked(self):
+        out = pp_text("#define A B\n#define B A\nint A;")
+        assert "int" in out     # terminates
+
+    def test_undef(self):
+        out = pp_text("#define N 1\n#undef N\nint N;")
+        assert "int N;" in out
+
+    def test_redefinition_takes_latest(self):
+        out = pp_text("#define N 1\n#define N 2\nint x = N;")
+        assert "int x = 2;" in out
+
+    def test_empty_body(self):
+        out = pp_text("#define EMPTY\nint EMPTY x;")
+        assert "int x;" in out.replace("  ", " ")
+
+
+class TestFunctionMacros:
+    def test_single_parameter(self):
+        out = pp_text("#define SQR(x) ((x)*(x))\nint y = SQR(3);")
+        assert "((3)*(3))" in out
+
+    def test_multi_parameter(self):
+        out = pp_text("#define ADD(a,b) (a+b)\nint y = ADD(1, 2);")
+        assert "(1 +2)" in out or "(1+2)" in out or "(1 + 2)" in out
+
+    def test_argument_with_commas_in_parens(self):
+        out = pp_text("#define ID(x) x\nint y = ID(f(1, 2));")
+        assert "f(1, 2)" in out
+
+    def test_name_without_parens_not_expanded(self):
+        out = pp_text("#define F(x) x\nint F;")
+        assert "int F;" in out
+
+    def test_stringize(self):
+        out = pp_text('#define STR(x) #x\nchar *s = STR(hello world);')
+        assert '"hello world"' in out
+
+    def test_stringize_escapes_quotes(self):
+        out = pp_text('#define STR(x) #x\nchar *s = STR("q");')
+        assert r'"\"q\""' in out
+
+    def test_token_paste(self):
+        out = pp_text("#define CAT(a,b) a##b\nint CAT(foo, bar) = 1;")
+        assert "foobar" in out
+
+    def test_paste_forms_number(self):
+        out = pp_text("#define N(a,b) a##b\nint x = N(1, 2);")
+        assert "12" in out
+
+    def test_variadic_macro(self):
+        out = pp_text("#define LOG(fmt, ...) printf(fmt, __VA_ARGS__)\n"
+                      "void f(void) { LOG(\"%d %d\", 1, 2); }")
+        assert 'printf("%d %d", 1, 2)' in out.replace(" ,", ",")
+
+    def test_nested_calls(self):
+        out = pp_text("#define TWICE(x) ((x)+(x))\n"
+                      "int y = TWICE(TWICE(2));")
+        assert out.count("2") >= 4
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(PreprocessorError):
+            pp_text("#define TWO(a,b) a\nint x = TWO(1);")
+
+
+class TestConditionals:
+    def test_ifdef_taken(self):
+        out = pp_text("#define X\n#ifdef X\nint yes;\n#endif")
+        assert "int yes;" in out
+
+    def test_ifdef_not_taken(self):
+        out = pp_text("#ifdef X\nint no;\n#endif")
+        assert "int no;" not in out
+
+    def test_ifndef(self):
+        out = pp_text("#ifndef X\nint yes;\n#endif")
+        assert "int yes;" in out
+
+    def test_if_arithmetic(self):
+        out = pp_text("#if 2 + 2 == 4\nint yes;\n#endif")
+        assert "int yes;" in out
+
+    def test_if_defined_operator(self):
+        out = pp_text("#define A 1\n#if defined(A) && !defined(B)\n"
+                      "int yes;\n#endif")
+        assert "int yes;" in out
+
+    def test_else_branch(self):
+        out = pp_text("#if 0\nint no;\n#else\nint yes;\n#endif")
+        assert "int yes;" in out and "int no;" not in out
+
+    def test_elif_chain(self):
+        out = pp_text("#define V 2\n#if V == 1\nint a;\n#elif V == 2\n"
+                      "int b;\n#elif V == 3\nint c;\n#endif")
+        assert "int b;" in out
+        assert "int a;" not in out and "int c;" not in out
+
+    def test_nested_conditionals(self):
+        out = pp_text("#if 1\n#if 0\nint no;\n#endif\nint yes;\n#endif")
+        assert "int yes;" in out and "int no;" not in out
+
+    def test_inactive_branch_directives_ignored(self):
+        out = pp_text("#if 0\n#error should not fire\n#endif\nint x;")
+        assert "int x;" in out
+
+    def test_unknown_identifier_is_zero(self):
+        out = pp_text("#if UNDEFINED_THING\nint no;\n#endif\nint x;")
+        assert "int no;" not in out
+
+    def test_ternary_in_condition(self):
+        out = pp_text("#if 1 ? 1 : 0\nint yes;\n#endif")
+        assert "int yes;" in out
+
+    def test_unterminated_if_raises(self):
+        with pytest.raises(PreprocessorError):
+            pp_text("#if 1\nint x;")
+
+    def test_endif_without_if_raises(self):
+        with pytest.raises(PreprocessorError):
+            pp_text("#endif")
+
+    def test_error_directive(self):
+        with pytest.raises(PreprocessorError):
+            pp_text("#error boom")
+
+    def test_char_constant_in_condition(self):
+        out = pp_text("#if 'A' == 65\nint yes;\n#endif")
+        assert "int yes;" in out
+
+
+class TestIncludes:
+    def test_quoted_include(self):
+        out = pp_text('#include "my.h"\nint x = MYVAL;',
+                      includes={"my.h": "#define MYVAL 7\n"})
+        assert "int x = 7;" in out
+
+    def test_angle_include_builtin(self):
+        out = pp_text("#include <stddef.h>\nsize_t n;")
+        assert "typedef unsigned long size_t;" in out
+
+    def test_missing_header_raises(self):
+        with pytest.raises(PreprocessorError):
+            pp_text('#include "nope.h"')
+
+    def test_include_guard_via_ifndef(self):
+        header = "#ifndef H\n#define H\nint once;\n#endif\n"
+        out = pp_text('#include "h.h"\n#include "h.h"\n',
+                      includes={"h.h": header})
+        assert out.count("int once;") == 1
+
+    def test_nested_includes(self):
+        out = pp_text('#include "a.h"\nint x = BOTH;',
+                      includes={"a.h": '#include "b.h"\n#define BOTH B\n',
+                                "b.h": "#define B 3\n"})
+        assert "int x = 3;" in out
+
+    def test_self_include_cycle_terminates(self):
+        out = pp_text('#include "loop.h"\nint x;',
+                      includes={"loop.h": '#include "loop.h"\nint y;\n'})
+        assert "int x;" in out
+
+    def test_included_files_recorded(self):
+        pp = Preprocessor({"my.h": "int v;\n"})
+        result = pp.preprocess('#include "my.h"\n', "t.c")
+        assert "my.h" in result.included
+
+
+class TestPredefined:
+    def test_predefined_macros(self):
+        out = pp_text("int x = FOO;", predefined={"FOO": "99"})
+        assert "int x = 99;" in out
+
+
+class TestOutputShape:
+    def test_blank_lines_squeezed(self):
+        out = pp_text("int a;\n\n\n\nint b;")
+        assert "\n\n\n" not in out
+
+    def test_indentation_preserved(self):
+        out = pp_text("void f(void) {\n    int deep;\n}")
+        assert "    int deep;" in out
+
+    def test_line_count_counts_nonblank(self):
+        pp = Preprocessor()
+        result = pp.preprocess("int a;\n\nint b;\n", "t.c")
+        assert result.line_count == 2
+
+    def test_pragma_and_line_ignored(self):
+        out = pp_text("#pragma once\n#line 100\nint x;")
+        assert "int x;" in out

@@ -1,0 +1,305 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cfront.lexer import tokenize
+from repro.cfront.preprocessor import Preprocessor
+from repro.cfront.rewriter import Rewriter
+from repro.cfront.source import SourceExtent, SourceFile
+from repro.cfront.tokens import EOF
+from repro.cfront.ctypes_model import IntType
+from repro.vm.memory import (
+    Memory, MemoryFault, Pointer, decode_pointer, encode_pointer,
+    usable_size,
+)
+
+import pytest
+
+
+# --------------------------------------------------------------- lexer
+
+_ident = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,8}", fullmatch=True)
+_number = st.integers(min_value=0, max_value=10**9).map(str)
+_punct = st.sampled_from(["+", "-", "*", "/", "(", ")", "{", "}", ";",
+                          ",", "==", "<=", "->", "<<", "&&"])
+_token_text = st.one_of(_ident, _number, _punct)
+
+
+@given(st.lists(_token_text, min_size=1, max_size=30))
+def test_lexer_roundtrip_with_spaces(texts):
+    """Tokens joined by single spaces tokenize back to the same texts."""
+    source = " ".join(texts)
+    tokens = [t for t in tokenize(source) if t.kind != EOF]
+    assert [t.text for t in tokens] == texts
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126,
+                                      exclude_characters='"\\'),
+               max_size=20))
+def test_string_literals_tokenize_whole(body):
+    tokens = [t for t in tokenize(f'"{body}"') if t.kind != EOF]
+    assert len(tokens) == 1
+    assert tokens[0].text == f'"{body}"'
+
+
+@given(st.text(alphabet="abc \n\t;(){}", max_size=200))
+def test_line_col_mapping_total(text):
+    """Every offset maps to a valid 1-based (line, col)."""
+    source = SourceFile("t.c", text)
+    for offset in range(len(text) + 1):
+        line, col = source.line_col(offset)
+        assert line >= 1 and col >= 1
+        assert line <= source.line_count + 1
+
+
+# ------------------------------------------------------------ integers
+
+_int_kinds = st.sampled_from(["char", "short", "int", "long"])
+
+
+@given(_int_kinds, st.booleans(), st.integers(-2**70, 2**70))
+def test_int_wrap_in_range(kind, signed, value):
+    ctype = IntType(kind, signed=signed)
+    wrapped = ctype.wrap(value)
+    assert ctype.min_value() <= wrapped <= ctype.max_value()
+
+
+@given(_int_kinds, st.booleans(), st.integers(-2**70, 2**70))
+def test_int_wrap_idempotent(kind, signed, value):
+    ctype = IntType(kind, signed=signed)
+    assert ctype.wrap(ctype.wrap(value)) == ctype.wrap(value)
+
+
+@given(_int_kinds, st.booleans(), st.integers(-2**70, 2**70),
+       st.integers(-2**70, 2**70))
+def test_int_wrap_is_congruent_mod_2n(kind, signed, a, b):
+    ctype = IntType(kind, signed=signed)
+    modulus = 1 << (8 * ctype.sizeof())
+    if (a - b) % modulus == 0:
+        assert ctype.wrap(a) == ctype.wrap(b)
+
+
+# -------------------------------------------------------------- memory
+
+@given(st.integers(1, 4096))
+def test_usable_size_bounds(requested):
+    usable = usable_size(requested)
+    assert usable >= requested
+    assert usable % 8 == 0
+    assert usable - requested < 8
+
+
+@given(st.integers(1, 256), st.binary(min_size=0, max_size=256))
+def test_memory_write_read_roundtrip(size, data):
+    mem = Memory()
+    ptr = mem.alloc(size, "stack", "b")
+    payload = data[:size]
+    mem.write_bytes(ptr, payload)
+    assert mem.read_bytes(ptr, len(payload)) == payload
+
+
+@given(st.integers(1, 64), st.integers(0, 200))
+def test_memory_oob_always_faults(size, past):
+    mem = Memory()
+    ptr = mem.alloc(size, "stack", "b")
+    with pytest.raises(MemoryFault):
+        mem.read_bytes(ptr.moved(size + past), 1)
+    with pytest.raises(MemoryFault):
+        mem.write_bytes(ptr.moved(-1 - past), b"x")
+
+
+@given(st.integers(1, 2**20), st.integers(-2**26, 2**26))
+def test_pointer_encoding_roundtrip(block, offset):
+    ptr = Pointer(block, offset)
+    assert decode_pointer(encode_pointer(ptr)) == ptr
+
+
+@given(st.integers(0, 2**53))
+def test_plain_ints_never_decode_as_pointers(value):
+    decoded = decode_pointer(value)
+    assert decoded is None or decoded.is_null
+
+
+# ------------------------------------------------------------ rewriter
+
+@given(st.text(alphabet="abcdef", min_size=2, max_size=40),
+       st.data())
+def test_rewriter_disjoint_edits_apply_in_order(text, data):
+    n = len(text)
+    cut_a = data.draw(st.integers(0, n - 2))
+    end_a = data.draw(st.integers(cut_a, n - 2))
+    cut_b = data.draw(st.integers(end_a + 1, n))
+    end_b = data.draw(st.integers(cut_b, n))
+    r = Rewriter(text)
+    r.replace(SourceExtent(cut_a, end_a), "X")
+    r.replace(SourceExtent(cut_b, end_b), "Y")
+    expected = text[:cut_a] + "X" + text[end_a:cut_b] + "Y" + text[end_b:]
+    assert r.apply() == expected
+
+
+# --------------------------------------------------------- preprocessor
+
+@given(st.integers(-1000, 1000), st.integers(-1000, 1000),
+       st.sampled_from(["+", "-", "*", "<", ">", "==", "!=", "&&", "||"]))
+def test_pp_conditional_matches_python(a, b, op):
+    src = f"#if ({a}) {op} ({b})\nint yes;\n#endif\nint always;\n"
+    out = Preprocessor().preprocess(src, "t.c").text
+    python_ops = {
+        "+": lambda x, y: x + y, "-": lambda x, y: x - y,
+        "*": lambda x, y: x * y,
+        "<": lambda x, y: x < y, ">": lambda x, y: x > y,
+        "==": lambda x, y: x == y, "!=": lambda x, y: x != y,
+        "&&": lambda x, y: bool(x) and bool(y),
+        "||": lambda x, y: bool(x) or bool(y),
+    }
+    expected = bool(python_ops[op](a, b))
+    assert ("int yes;" in out) == expected
+    assert "int always;" in out
+
+
+@given(st.lists(st.sampled_from(["#define A 1", "#define B 2",
+                                 "#undef A", "#undef B"]),
+                max_size=8))
+def test_pp_define_undef_sequences_never_crash(directives):
+    src = "\n".join(directives) + "\nint x;\n"
+    out = Preprocessor().preprocess(src, "t.c").text
+    assert "int x;" in out
+
+
+# -------------------------------------------------- stralloc vs a model
+
+_SA_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("copys"),
+                  st.text(alphabet="xyz", max_size=8)),
+        st.tuples(st.just("cats"),
+                  st.text(alphabet="pq", max_size=8)),
+        st.tuples(st.just("append"),
+                  st.sampled_from("abc")),
+        st.tuples(st.just("replace"), st.integers(0, 30),
+                  st.sampled_from("mn")),
+    ),
+    min_size=1, max_size=12)
+
+
+@settings(deadline=None, max_examples=40)
+@given(_SA_OPS)
+def test_stralloc_matches_string_model(ops):
+    """Drive the stralloc runtime through generated C and compare with a
+    byte-level model implementing C strlen semantics (len is the offset
+    of the first NUL in the backing storage)."""
+    lines = []
+    backing = bytearray()       # zero-filled growth, like fresh heap
+
+    def ensure(size: int) -> None:
+        if len(backing) < size:
+            backing.extend(b"\x00" * (size - len(backing)))
+
+    def model_len() -> int:
+        pos = backing.find(b"\x00")
+        return pos if pos != -1 else len(backing)
+
+    for op in ops:
+        if op[0] == "copys":
+            lines.append(f'stralloc_copys(&sa, "{op[1]}");')
+            data = op[1].encode()
+            ensure(len(data) + 1)
+            backing[:len(data)] = data
+            backing[len(data)] = 0
+        elif op[0] == "cats":
+            lines.append(f'stralloc_cats(&sa, "{op[1]}");')
+            data = op[1].encode()
+            start = model_len()
+            ensure(start + len(data) + 1)
+            backing[start:start + len(data)] = data
+            backing[start + len(data)] = 0
+        elif op[0] == "append":
+            lines.append(f"stralloc_append(&sa, '{op[1]}');")
+            start = model_len()
+            ensure(start + 2)
+            backing[start] = ord(op[1])
+            backing[start + 1] = 0
+        else:
+            _, index, char = op
+            lines.append(
+                f"stralloc_dereference_replace_by(&sa, {index}, "
+                f"'{char}');")
+            ensure(index + 1)
+            backing[index] = ord(char)
+    model = backing[:model_len()]
+    source = (
+        "#include <stdio.h>\n#include <stralloc.h>\n"
+        "int main(void) {\n"
+        "    stralloc sa = {0,0,0,0};\n"
+        + "\n".join("    " + line for line in lines)
+        + '\n    printf("%u", sa.len);\n'
+        "    return 0;\n}"
+    )
+    from .helpers import run
+    result = run(source)
+    assert result.ok, result.fault_detail
+    assert result.stdout_text == str(len(model))
+
+
+# ------------------------------------------- VM arithmetic vs C model
+
+@settings(deadline=None, max_examples=50)
+@given(st.integers(-10**9, 10**9), st.integers(-10**9, 10**9),
+       st.sampled_from(["+", "-", "*", "/", "%", "&", "|", "^"]))
+def test_vm_int_arithmetic_matches_c(a, b, op):
+    if op in ("/", "%") and b == 0:
+        return
+    source = (
+        "#include <stdio.h>\n"
+        "int main(void) {\n"
+        f"    long x = {a}L;\n"
+        f"    long y = {b}L;\n"
+        f'    printf("%ld", x {op} y);\n'
+        "    return 0;\n}"
+    )
+    from .helpers import run
+    result = run(source)
+    assert result.ok
+    if op == "/":
+        quotient = abs(a) // abs(b)
+        expected = quotient if (a >= 0) == (b >= 0) else -quotient
+    elif op == "%":
+        quotient = abs(a) // abs(b)
+        signed_q = quotient if (a >= 0) == (b >= 0) else -quotient
+        expected = a - signed_q * b
+    else:
+        expected = {"+": a + b, "-": a - b, "*": a * b,
+                    "&": a & b, "|": a | b, "^": a ^ b}[op]
+    expected = IntType("long").wrap(expected)
+    assert result.stdout_text == str(expected)
+
+
+# ------------------------------------ transformation safety invariants
+
+@settings(deadline=None, max_examples=25)
+@given(st.integers(2, 64), st.integers(1, 128))
+def test_slr_fix_never_overflows(dst, extra):
+    """For any buffer size and any source length, the SLR-fixed copy
+    neither faults nor loses NUL-termination."""
+    src_len = dst + extra
+    source = (
+        "#include <stdio.h>\n#include <string.h>\n"
+        "int main(void) {\n"
+        f"    char dst[{dst}];\n"
+        f"    char src[{src_len + 1}];\n"
+        f"    memset(src, 'A', {src_len});\n"
+        f"    src[{src_len}] = '\\0';\n"
+        "    strcpy(dst, src);\n"
+        '    printf("%d", (int)strlen(dst));\n'
+        "    return 0;\n}"
+    )
+    from .helpers import pp, run
+    from repro.core.slr import SafeLibraryReplacement
+    text = pp(source)
+    before = run(text, preprocess=False)
+    assert before.fault == "buffer-overflow"
+    fixed = SafeLibraryReplacement(text, "t.c").run()
+    after = run(fixed.new_text, preprocess=False)
+    assert after.ok
+    assert after.stdout_text == str(dst - 1)    # truncated to capacity

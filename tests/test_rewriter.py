@@ -1,0 +1,134 @@
+"""Unit tests for the extent-based source rewriter."""
+
+import pytest
+
+from repro.cfront.rewriter import (
+    Rewriter, RewriteConflict, end_of_line, line_indent,
+    statement_line_start,
+)
+from repro.cfront.source import SourceExtent
+
+
+class TestBasicEdits:
+    def test_replace(self):
+        r = Rewriter("strcpy(dst, src);")
+        r.replace(SourceExtent(0, 6), "g_strlcpy")
+        assert r.apply() == "g_strlcpy(dst, src);"
+
+    def test_insert_before(self):
+        r = Rewriter("abc")
+        r.insert_before(1, "X")
+        assert r.apply() == "aXbc"
+
+    def test_insert_after_extent(self):
+        r = Rewriter("f(a)")
+        r.insert_after(SourceExtent(2, 3), ", b")
+        assert r.apply() == "f(a, b)"
+
+    def test_delete(self):
+        r = Rewriter("hello world")
+        r.delete(SourceExtent(5, 11))
+        assert r.apply() == "hello"
+
+    def test_no_edits_identity(self):
+        r = Rewriter("unchanged")
+        assert not r.has_edits
+        assert r.apply() == "unchanged"
+
+    def test_multiple_disjoint_edits(self):
+        r = Rewriter("aaa bbb ccc")
+        r.replace(SourceExtent(0, 3), "XX")
+        r.replace(SourceExtent(8, 11), "YY")
+        assert r.apply() == "XX bbb YY"
+
+    def test_edits_applied_in_position_order(self):
+        r = Rewriter("0123456789")
+        r.replace(SourceExtent(8, 9), "B")
+        r.replace(SourceExtent(1, 2), "A")
+        assert r.apply() == "0A234567B9"
+
+
+class TestInsertionOrdering:
+    def test_same_point_insertions_keep_queue_order(self):
+        r = Rewriter("X")
+        r.insert_before(0, "a")
+        r.insert_before(0, "b")
+        assert r.apply() == "abX"
+
+    def test_insert_at_both_ends(self):
+        r = Rewriter("mid")
+        r.insert_before(0, "pre-")
+        r.insert_before(3, "-post")
+        assert r.apply() == "pre-mid-post"
+
+
+class TestConflicts:
+    def test_overlapping_replacements_rejected(self):
+        r = Rewriter("0123456789")
+        r.replace(SourceExtent(2, 6), "X")
+        with pytest.raises(RewriteConflict):
+            r.replace(SourceExtent(4, 8), "Y")
+
+    def test_nested_replacement_rejected(self):
+        r = Rewriter("0123456789")
+        r.replace(SourceExtent(2, 8), "X")
+        with pytest.raises(RewriteConflict):
+            r.replace(SourceExtent(4, 5), "Y")
+
+    def test_insertion_inside_replacement_rejected(self):
+        r = Rewriter("0123456789")
+        r.replace(SourceExtent(2, 8), "X")
+        with pytest.raises(RewriteConflict):
+            r.insert_before(5, "Y")
+
+    def test_insertion_at_replacement_boundary_ok(self):
+        r = Rewriter("0123456789")
+        r.replace(SourceExtent(2, 5), "X")
+        r.insert_before(2, "Y")     # at the left boundary: allowed
+        assert r.apply() == "01YX56789"
+
+    def test_adjacent_replacements_ok(self):
+        r = Rewriter("0123456789")
+        r.replace(SourceExtent(2, 5), "A")
+        r.replace(SourceExtent(5, 7), "B")
+        assert r.apply() == "01AB789"
+
+    def test_out_of_bounds_rejected(self):
+        r = Rewriter("abc")
+        with pytest.raises(ValueError):
+            r.replace_range(2, 99, "X")
+
+
+class TestPreview:
+    def test_preview_pairs(self):
+        r = Rewriter("strcpy(d, s);")
+        r.replace(SourceExtent(0, 6), "g_strlcpy")
+        assert r.preview() == [("strcpy", "g_strlcpy")]
+
+    def test_edit_count(self):
+        r = Rewriter("ab")
+        r.insert_before(0, "x")
+        r.insert_before(2, "y")
+        assert r.edit_count == 2
+
+
+class TestLineHelpers:
+    TEXT = "line one\n    indented line\nlast"
+
+    def test_line_indent(self):
+        offset = self.TEXT.index("indented")
+        assert line_indent(self.TEXT, offset) == "    "
+
+    def test_line_indent_none(self):
+        assert line_indent(self.TEXT, 2) == ""
+
+    def test_statement_line_start(self):
+        offset = self.TEXT.index("indented")
+        assert statement_line_start(self.TEXT, offset) == 9
+
+    def test_end_of_line(self):
+        assert end_of_line(self.TEXT, 0) == 9
+
+    def test_end_of_line_last_line(self):
+        offset = self.TEXT.index("last")
+        assert end_of_line(self.TEXT, offset) == len(self.TEXT)

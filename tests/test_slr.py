@@ -1,0 +1,240 @@
+"""Tests for the SAFE LIBRARY REPLACEMENT transformation."""
+
+from repro.cfront.parser import parse_translation_unit
+from repro.core.slr import (
+    SAFE_ALTERNATIVES, SafeLibraryReplacement, UNSAFE_FUNCTIONS,
+)
+
+from .helpers import pp, run
+
+
+def slr(src: str):
+    return SafeLibraryReplacement(pp(src), "test.c").run()
+
+
+PRELUDE = ("#include <stdio.h>\n#include <string.h>\n"
+           "#include <stdlib.h>\n")
+
+
+class TestCatalogue:
+    def test_six_unsafe_functions(self):
+        assert UNSAFE_FUNCTIONS == {"strcpy", "strcat", "sprintf",
+                                    "vsprintf", "memcpy", "gets"}
+
+    def test_alternatives_match_table1(self):
+        assert SAFE_ALTERNATIVES["strcpy"] == "g_strlcpy"
+        assert SAFE_ALTERNATIVES["strcat"] == "g_strlcat"
+        assert SAFE_ALTERNATIVES["sprintf"] == "g_snprintf"
+        assert SAFE_ALTERNATIVES["vsprintf"] == "g_vsnprintf"
+        assert SAFE_ALTERNATIVES["gets"] == "fgets"
+
+
+class TestStrcpyStrcat:
+    def test_paper_example(self):
+        result = slr(PRELUDE + """
+        int main(void) {
+            char buf[10];
+            char src[100];
+            memset(src, 'c', 50);
+            src[50] = '\\0';
+            char *dst = buf;
+            strcpy(dst, src);
+            return 0;
+        }""")
+        assert "g_strlcpy(dst, src, sizeof(buf))" in result.new_text
+        assert "strcpy(dst, src)" not in result.new_text
+
+    def test_strcat_minigzip_example(self):
+        result = slr(PRELUDE + """
+        void f(char *name) {
+            char outfile[64];
+            strcpy(outfile, name);
+            strcat(outfile, ".gz");
+        }""")
+        assert 'g_strlcat(outfile, ".gz", sizeof(outfile))' in \
+            result.new_text
+
+    def test_precondition_failure_leaves_site_untouched(self):
+        result = slr(PRELUDE + """
+        void f(char *dst, const char *src) { strcpy(dst, src); }""")
+        assert "strcpy(dst, src)" in result.new_text
+        outcome = result.outcomes[0]
+        assert not outcome.transformed
+        assert outcome.reason in ("no-unique-def", "no-heap-alloc")
+
+    def test_outcome_records_site_info(self):
+        result = slr(PRELUDE + """
+        void g(void) { char b[4]; strcpy(b, "x"); }""")
+        outcome = result.outcomes[0]
+        assert outcome.target == "strcpy"
+        assert outcome.function == "g"
+        assert outcome.transformed
+
+    def test_declarations_injected(self):
+        result = slr(PRELUDE + """
+        void g(void) { char b[4]; strcpy(b, "x"); }""")
+        assert "g_strlcpy(char *dest" in result.new_text
+
+    def test_heap_buffer_uses_malloc_usable_size(self):
+        result = slr(PRELUDE + """
+        void g(void) { char *p = malloc(16); strcpy(p, "data"); }""")
+        assert "g_strlcpy(p, \"data\", malloc_usable_size(p))" in \
+            result.new_text
+
+
+class TestSprintf:
+    def test_size_param_after_destination(self):
+        result = slr(PRELUDE + """
+        void g(int n) { char b[32]; sprintf(b, "%d", n); }""")
+        assert 'g_snprintf(b, sizeof(b), "%d", n)' in result.new_text
+
+    def test_vsprintf(self):
+        result = slr(PRELUDE + """
+        #include <stdarg.h>
+        void logmsg(const char *fmt, ...) {
+            char line[128];
+            va_list ap;
+            va_start(ap, fmt);
+            vsprintf(line, fmt, ap);
+            va_end(ap);
+            puts(line);
+        }""")
+        assert "g_vsnprintf(line, sizeof(line), fmt, ap)" in result.new_text
+
+
+class TestGets:
+    SRC = PRELUDE + """
+    void readit(void) {
+        char dest[32];
+        char *result;
+        result = gets(dest);
+        printf("%s\\n", dest);
+    }"""
+
+    def test_fgets_with_stdin(self):
+        result = slr(self.SRC)
+        assert "fgets(dest, sizeof(dest), stdin)" in result.new_text
+
+    def test_newline_strip_epilogue(self):
+        result = slr(self.SRC)
+        assert "strchr(dest, '\\n')" in result.new_text
+        assert "*check = '\\0';" in result.new_text
+
+    def test_epilogue_placed_after_statement(self):
+        result = slr(self.SRC)
+        gets_pos = result.new_text.index("fgets(dest")
+        strchr_pos = result.new_text.index("strchr(dest")
+        printf_pos = result.new_text.index('printf("%s')
+        assert gets_pos < strchr_pos < printf_pos
+
+    def test_behavioural_equivalence_without_overflow(self):
+        before = run(self.SRC + "\nint main(void){ readit(); return 0; }",
+                     stdin=b"hello\n")
+        result = slr(self.SRC + "\nint main(void){ readit(); return 0; }")
+        after = run(result.new_text, stdin=b"hello\n", preprocess=False)
+        assert before.ok and after.ok
+        assert before.stdout == after.stdout
+
+    def test_overflow_fixed(self):
+        long_line = b"A" * 100 + b"\n"
+        before = run(self.SRC + "\nint main(void){ readit(); return 0; }",
+                     stdin=long_line)
+        assert before.fault == "buffer-overflow"
+        result = slr(self.SRC + "\nint main(void){ readit(); return 0; }")
+        after = run(result.new_text, stdin=long_line, preprocess=False)
+        assert after.ok
+        assert after.stdout == b"A" * 31 + b"\n"
+
+
+class TestMemcpy:
+    def test_option2_inline_ternary(self):
+        result = slr(PRELUDE + """
+        void g(const char *s, unsigned long n) {
+            char local[16];
+            memcpy(local, s, n);
+        }""")
+        assert "sizeof(local) > n ? n : sizeof(local)" in result.new_text
+
+    def test_option1_when_length_used_later(self):
+        result = slr(PRELUDE + """
+        void g(const char *s) {
+            unsigned long len = strlen(s);
+            char *num = malloc(len + 1);
+            memcpy(num, s, len);
+            num[len] = '\\0';
+            puts(num);
+        }""")
+        assert "len = malloc_usable_size(num) > len ? len : " \
+               "malloc_usable_size(num);" in result.new_text
+        # The call itself keeps its original argument.
+        assert "memcpy(num, s, len);" in result.new_text
+
+    def test_non_char_destination_skipped(self):
+        result = slr(PRELUDE + """
+        void g(const int *src) {
+            int values[4];
+            memcpy(values, src, 8 * sizeof(int));
+        }""")
+        outcome = result.outcomes[0]
+        assert not outcome.transformed
+        assert outcome.reason == "non-char-buffer"
+
+    def test_memcpy_overflow_fixed_at_runtime(self):
+        src = PRELUDE + """
+        int main(void) {
+            char small[8];
+            char big[64];
+            memset(big, 'B', 63);
+            big[63] = '\\0';
+            memcpy(small, big, 64);
+            return 0;
+        }"""
+        before = run(src)
+        assert before.fault == "buffer-overflow"
+        result = slr(src)
+        after = run(result.new_text, preprocess=False)
+        assert after.ok
+
+
+class TestBatchBehaviour:
+    def test_all_sites_visited(self):
+        result = slr(PRELUDE + """
+        void a(void){ char b[4]; strcpy(b, "x"); }
+        void b_(void){ char b[4]; strcat(b, "y"); }
+        void c(void){ char b[4]; sprintf(b, "z"); }
+        """)
+        assert result.candidates == 3
+        assert result.transformed_count == 3
+
+    def test_output_reparses(self):
+        result = slr(PRELUDE + """
+        void a(void){ char b[4]; strcpy(b, "x"); }
+        """)
+        parse_translation_unit(result.new_text)    # must not raise
+
+    def test_by_target_stats(self):
+        result = slr(PRELUDE + """
+        void a(void){ char b[4]; strcpy(b, "x"); strcpy(b, "y"); }
+        void c(char *p){ strcpy(p, "z"); }
+        """)
+        done, total = result.by_target()["strcpy"]
+        assert (done, total) == (2, 3)
+
+    def test_failures_by_reason(self):
+        result = slr(PRELUDE + """
+        void c(char *p, char *q){ strcpy(p, "z"); strcpy(q, "w"); }
+        """)
+        reasons = result.failures_by_reason()
+        assert sum(reasons.values()) == 2
+
+    def test_unchanged_when_no_targets(self):
+        result = slr(PRELUDE + "int main(void){ return 0; }")
+        assert not result.changed
+        assert result.candidates == 0
+
+    def test_percent_transformed(self):
+        result = slr(PRELUDE + """
+        void a(void){ char b[4]; strcpy(b, "x"); }
+        void c(char *p){ strcpy(p, "z"); }
+        """)
+        assert result.percent_transformed == 50.0

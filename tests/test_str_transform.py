@@ -1,0 +1,405 @@
+"""Tests for the SAFE TYPE REPLACEMENT transformation (Table II patterns)."""
+
+from repro.cfront.parser import parse_translation_unit
+from repro.core.strtransform import (
+    REPLACEMENT_PATTERNS, SafeTypeReplacement,
+)
+
+from .helpers import pp, run
+
+
+def strx(src: str):
+    return SafeTypeReplacement(pp(src), "test.c").run()
+
+
+PRELUDE = ("#include <stdio.h>\n#include <string.h>\n"
+           "#include <stdlib.h>\n")
+
+
+class TestPreconditions:
+    def test_global_not_candidate(self):
+        result = strx(PRELUDE + """
+        char global_buf[64];
+        int main(void){ global_buf[0] = 'x'; return 0; }""")
+        assert all(o.target != "global_buf" for o in result.outcomes)
+
+    def test_parameter_not_candidate(self):
+        result = strx(PRELUDE + """
+        void f(char *param){ param[0] = 'x'; }""")
+        assert all(o.target != "param" for o in result.outcomes)
+
+    def test_local_pointer_is_candidate(self):
+        result = strx(PRELUDE + """
+        int main(void){ char *p = "abc"; return 0; }""")
+        assert any(o.target == "p" for o in result.outcomes)
+
+    def test_local_array_is_candidate(self):
+        result = strx(PRELUDE + """
+        int main(void){ char buf[16]; buf[0] = 'x'; return 0; }""")
+        assert any(o.target == "buf" and o.transformed
+                   for o in result.outcomes)
+
+    def test_non_char_pointer_not_candidate(self):
+        result = strx(PRELUDE + """
+        int main(void){ int *ip = 0; return 0; }""")
+        assert all(o.target != "ip" for o in result.outcomes)
+
+    def test_unsupported_libfn_fails(self):
+        result = strx(PRELUDE + """
+        int main(void){
+            char buf[16];
+            fgets(buf, 16, stdin);
+            return 0; }""")
+        outcome = next(o for o in result.outcomes if o.target == "buf")
+        assert not outcome.transformed
+        assert outcome.reason == "unsupported-libfn"
+
+    def test_callee_may_write_fails(self):
+        result = strx(PRELUDE + """
+        void fill(char *p){ p[0] = 'x'; }
+        int main(void){
+            char buf[16];
+            fill(buf);
+            return 0; }""")
+        outcome = next(o for o in result.outcomes if o.target == "buf")
+        assert outcome.reason == "callee-may-write"
+
+    def test_readonly_callee_passes(self):
+        result = strx(PRELUDE + """
+        int peek(const char *p){ return p[0]; }
+        int main(void){
+            char buf[16];
+            buf[0] = 'q';
+            peek(buf);
+            return 0; }""")
+        outcome = next(o for o in result.outcomes if o.target == "buf")
+        assert outcome.transformed
+        assert "peek(buf->s)" in result.new_text
+
+    def test_address_taken_fails(self):
+        result = strx(PRELUDE + """
+        int main(void){
+            char buf[16];
+            char **pp = &buf;
+            return 0; }""")
+        outcome = next(o for o in result.outcomes if o.target == "buf")
+        assert outcome.reason == "address-taken"
+
+    def test_returned_buffer_fails(self):
+        result = strx(PRELUDE + """
+        char *make(void){
+            char *p = malloc(8);
+            return p; }""")
+        outcome = next(o for o in result.outcomes if o.target == "p")
+        assert outcome.reason == "returned"
+
+    def test_group_fails_together(self):
+        # q is fine alone, but is assigned from p which escapes.
+        result = strx(PRELUDE + """
+        void writeit(char *x) { x[0] = 'w'; }
+        int main(void){
+            char *p = malloc(8);
+            char *q;
+            q = p;
+            writeit(p);
+            return 0; }""")
+        p_out = next(o for o in result.outcomes if o.target == "p")
+        q_out = next(o for o in result.outcomes if o.target == "q")
+        assert p_out.reason == "callee-may-write"
+        assert q_out.reason in ("group-member-failed", "callee-may-write")
+
+
+class TestDeclarationRewrite:
+    def test_pattern2_simple_pointer(self):
+        result = strx(PRELUDE + """
+        int main(void){ char *data; data = "x"; return 0; }""")
+        assert "stralloc *data;" in result.new_text
+        assert "stralloc ssss_data = {0,0,0};" in result.new_text
+        assert "data = &ssss_data;" in result.new_text
+
+    def test_array_capacity_recorded(self):
+        result = strx(PRELUDE + """
+        int main(void){ char buf[1024]; buf[0] = 'a'; return 0; }""")
+        assert "buf->a = 1024;" in result.new_text
+
+    def test_multi_declarator_zlib_example(self):
+        result = strx(PRELUDE + """
+        int main(void){
+            char buf[1024];
+            char *infile;
+            infile = buf;
+            strcat(infile, ".gz");
+            printf("%s\\n", infile->s ? "" : "");
+            return 0; }""")
+        # both declared as stralloc pointers, assignment unchanged
+        assert "infile = buf;" in result.new_text
+        assert 'stralloc_cats(infile, ".gz")' in result.new_text
+
+    def test_string_initializer(self):
+        result = strx(PRELUDE + """
+        int main(void){ char *s = "hello"; return 0; }""")
+        assert 'stralloc_copybuf(s, "hello", strlen("hello"));' in \
+            result.new_text
+
+    def test_malloc_initializer(self):
+        result = strx(PRELUDE + """
+        int main(void){ char *p = malloc(64); p[0] = 'a'; return 0; }""")
+        assert "p->s = malloc(64);" in result.new_text
+        assert "p->f = p->s;" in result.new_text
+        assert "p->a = 64;" in result.new_text
+
+
+class TestUsePatterns:
+    def test_pattern3_allocation_statement(self):
+        result = strx(PRELUDE + """
+        int main(void){ char *p; p = malloc(128); p[0] = 'x';
+            return 0; }""")
+        assert "p->s = malloc(128)" in result.new_text
+
+    def test_pattern4_null_assignment_unchanged(self):
+        result = strx(PRELUDE + """
+        int main(void){ char *p; p = NULL; return 0; }""")
+        assert "p = ((void*)0)" in result.new_text or \
+            "p = NULL" in result.new_text
+
+    def test_pattern8_increment(self):
+        result = strx(PRELUDE + """
+        int main(void){ char *p = "ab"; p++; return 0; }""")
+        assert "stralloc_increment_by(p, 1)" in result.new_text
+
+    def test_pattern9_decrement_compound(self):
+        result = strx(PRELUDE + """
+        int main(void){ char *p = "abcd"; p += 2; p -= 1; return 0; }""")
+        assert "stralloc_increment_by(p, 2)" in result.new_text
+        assert "stralloc_decrement_by(p, 1)" in result.new_text
+
+    def test_pattern10_sizeof(self):
+        result = strx(PRELUDE + """
+        int main(void){
+            char buf[8];
+            buf[0] = 'x';
+            if (sizeof(buf) < 3) return 1;
+            return 0; }""")
+        assert "buf->a < 3" in result.new_text
+
+    def test_pattern11_array_read(self):
+        result = strx(PRELUDE + """
+        int main(void){ char *p = "abc"; char c; c = p[1]; return c; }""")
+        assert "stralloc_get_dereferenced_char_at(p, 1)" in result.new_text
+
+    def test_pattern12_array_write(self):
+        result = strx(PRELUDE + """
+        int main(void){ char buf[4]; buf[1] = 'b'; return 0; }""")
+        assert "stralloc_dereference_replace_by(buf, 1, 'b')" in \
+            result.new_text
+
+    def test_pattern13_element_to_element(self):
+        result = strx(PRELUDE + """
+        int main(void){
+            char a[4], b[4];
+            b[0] = 'q';
+            a[0] = b[0];
+            return 0; }""")
+        assert "stralloc_dereference_replace_by(a, 0, " \
+               "stralloc_get_dereferenced_char_at(b, 0))" in result.new_text
+
+    def test_pattern14_deref_write(self):
+        result = strx(PRELUDE + """
+        int main(void){ char buf[8]; *(buf+4) = 'a'; return 0; }""")
+        assert "stralloc_dereference_replace_by(buf, 4, 'a')" in \
+            result.new_text
+
+    def test_pattern15_deref_write_binary_rhs(self):
+        result = strx(PRELUDE + """
+        int main(void){
+            char buf[8];
+            int a = 1, b = 2;
+            *(buf+1) = a + b;
+            return 0; }""")
+        assert "stralloc_dereference_replace_by(buf, 1, a + b)" in \
+            result.new_text
+
+    def test_pattern16_strlen(self):
+        result = strx(PRELUDE + """
+        int main(void){
+            char *s = "abc";
+            return (int)strlen(s); }""")
+        assert "s->len" in result.new_text
+
+    def test_pattern16_memset(self):
+        result = strx(PRELUDE + """
+        int main(void){ char d[100]; memset(d, 'C', 100); return 0; }""")
+        assert "stralloc_memset(d, 'C', 100)" in result.new_text
+
+    def test_pattern17_user_function(self):
+        result = strx(PRELUDE + """
+        int use(const char *p){ return p[0]; }
+        int main(void){ char *s = "abc"; return use(s); }""")
+        assert "use(s->s)" in result.new_text
+
+    def test_pattern18_condition(self):
+        result = strx(PRELUDE + """
+        int main(void){
+            char buf[4];
+            buf[0] = 'a';
+            if (buf[0] == 'a') return 1;
+            return 0; }""")
+        assert "if (stralloc_get_dereferenced_char_at(buf, 0) == 'a')" in \
+            result.new_text
+
+    def test_deref_read(self):
+        result = strx(PRELUDE + """
+        int main(void){ char *p = "xy"; return *p; }""")
+        assert "stralloc_get_dereferenced_char_at(p, 0)" in result.new_text
+
+    def test_strcpy_between_candidates(self):
+        result = strx(PRELUDE + """
+        int main(void){
+            char a[8], b[8];
+            b[0] = 'k'; b[1] = '\\0';
+            strcpy(a, b);
+            return 0; }""")
+        assert "stralloc_copybuf(a, b->s, b->len)" in result.new_text
+
+    def test_printf_passes_data_pointer(self):
+        result = strx(PRELUDE + """
+        int main(void){
+            char *msg = "hi";
+            printf("%s\\n", msg);
+            return 0; }""")
+        assert 'printf("%s\\n", msg->s)' in result.new_text
+
+
+class TestBehaviour:
+    def test_output_reparses(self):
+        result = strx(PRELUDE + """
+        int main(void){
+            char buf[16];
+            char *p = "seed";
+            strcpy(buf, p);
+            buf[2] = 'X';
+            printf("%s\\n", buf);
+            return 0; }""")
+        parse_translation_unit(result.new_text)
+
+    def test_normal_behaviour_preserved(self):
+        src = PRELUDE + """
+        int main(void){
+            char buf[16];
+            strcpy(buf, "hello");
+            buf[0] = 'H';
+            printf("%s %d\\n", buf, (int)strlen(buf));
+            return 0; }"""
+        before = run(src)
+        result = strx(src)
+        after = run(result.new_text, preprocess=False)
+        assert before.ok and after.ok
+        assert before.stdout == after.stdout == b"Hello 5\n"
+
+    def test_overread_fixed(self):
+        src = PRELUDE + """
+        int main(void){
+            char data[50];
+            char dest[100];
+            memset(dest, 'C', 100);
+            data[0] = dest[100];
+            printf("ok\\n");
+            return 0; }"""
+        before = run(src)
+        assert before.fault == "buffer-overread"
+        result = strx(src)
+        after = run(result.new_text, preprocess=False)
+        assert after.ok
+        assert after.stdout == b"ok\n"
+
+    def test_overwrite_fixed(self):
+        src = PRELUDE + """
+        int main(void){
+            char small[4];
+            int i;
+            for (i = 0; i < 10; i++) {
+                small[i] = 'A';
+            }
+            printf("done\\n");
+            return 0; }"""
+        before = run(src)
+        assert before.fault == "buffer-overflow"
+        result = strx(src)
+        after = run(result.new_text, preprocess=False)
+        assert after.ok
+
+    def test_underwrite_fixed(self):
+        src = PRELUDE + """
+        int main(void){
+            char buf[8];
+            char *p = buf;
+            p--;
+            *p = 'x';
+            printf("done\\n");
+            return 0; }"""
+        before = run(src)
+        assert before.fault in ("buffer-underwrite", "buffer-underread")
+        result = strx(src)
+        after = run(result.new_text, preprocess=False)
+        # The checked decrement refuses to move before the base: the
+        # overflow is gone (the operation reports failure instead).
+        assert after.fault in (None, "stralloc-bounds")
+
+    def test_table2_has_18_patterns(self):
+        assert len(REPLACEMENT_PATTERNS) == 18
+
+
+class TestSiteAccounting:
+    def test_percent_of_passed_preconditions_is_100(self):
+        # Paper Table VI: 100% of buffers that pass preconditions are
+        # replaced (transformation either fully applies or fully declines).
+        result = strx(PRELUDE + """
+        void writer(char *w){ w[0] = 'w'; }
+        int main(void){
+            char good[8];
+            char *bad = malloc(4);
+            good[0] = 'g';
+            writer(bad);
+            return 0; }""")
+        passed = [o for o in result.outcomes if o.transformed]
+        failed = [o for o in result.outcomes if not o.transformed]
+        assert len(passed) == 1 and passed[0].target == "good"
+        assert len(failed) == 1 and failed[0].target == "bad"
+
+
+class TestPattern7Casts:
+    def test_assignment_from_cast_string_literal(self):
+        result = strx(PRELUDE + """
+        int main(void){
+            char *p;
+            p = (char *)"cast text";
+            printf("%s\\n", p);
+            return 0; }""")
+        outcome = next(o for o in result.outcomes if o.target == "p")
+        assert outcome.transformed
+        assert 'stralloc_copybuf(p, "cast text", strlen("cast text"))' in \
+            result.new_text
+
+    def test_declaration_with_cast_malloc(self):
+        result = strx(PRELUDE + """
+        int main(void){
+            char *p = (char *)malloc(48);
+            p[0] = 'k';
+            printf("%c\\n", p[0]);
+            return 0; }""")
+        outcome = next(o for o in result.outcomes if o.target == "p")
+        assert outcome.transformed
+        assert "p->s = malloc(48);" in result.new_text
+
+    def test_cast_behaviour_preserved(self):
+        src = PRELUDE + """
+        int main(void){
+            char *p;
+            p = (char *)"hello";
+            printf("%s %d\\n", p, (int)strlen(p));
+            return 0; }"""
+        before = run(src)
+        result = strx(src)
+        after = run(result.new_text, preprocess=False)
+        assert before.ok and after.ok
+        assert before.stdout == after.stdout

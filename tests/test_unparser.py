@@ -1,0 +1,194 @@
+"""Tests for the AST unparser: shape-preserving round trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cfront import astnodes as ast
+from repro.cfront.ctypes_model import (
+    ArrayType, CHAR, FunctionType, INT, PointerType,
+)
+from repro.cfront.parser import parse_translation_unit
+from repro.cfront.unparser import type_text, unparse
+
+from .helpers import pp, run
+
+
+def roundtrip(source: str) -> tuple[ast.TranslationUnit,
+                                    ast.TranslationUnit, str]:
+    first = parse_translation_unit(source)
+    text = unparse(first)
+    second = parse_translation_unit(text)
+    return first, second, text
+
+
+def shapes(unit: ast.TranslationUnit) -> list[str]:
+    out = []
+    for node in unit.walk():
+        entry = type(node).__name__
+        for attr in ("name", "op", "value", "member", "label"):
+            extra = getattr(node, attr, None)
+            if extra is not None and not isinstance(extra, ast.Node):
+                entry += f":{extra}"
+                break
+        out.append(entry)
+    return out
+
+
+class TestTypeText:
+    def test_simple(self):
+        assert type_text(INT, "x") == "int x"
+        assert type_text(CHAR) == "char"
+
+    def test_pointer(self):
+        assert type_text(PointerType(CHAR), "p") == "char *p"
+
+    def test_array(self):
+        assert type_text(ArrayType(CHAR, 10), "b") == "char b[10]"
+
+    def test_array_of_pointers(self):
+        assert type_text(ArrayType(PointerType(CHAR), 4),
+                         "names") == "char *names[4]"
+
+    def test_pointer_to_array(self):
+        assert type_text(PointerType(ArrayType(INT, 3)),
+                         "row") == "int (*row)[3]"
+
+    def test_function_pointer(self):
+        fn = FunctionType(INT, [("a", INT), (None, PointerType(CHAR))])
+        assert type_text(PointerType(fn), "fp") == \
+            "int (*fp)(int a, char *)"
+
+    def test_function_no_params(self):
+        fn = FunctionType(INT, [])
+        assert type_text(fn, "f") == "int f(void)"
+
+    def test_variadic(self):
+        fn = FunctionType(INT, [(None, PointerType(CHAR))],
+                          variadic=True)
+        assert type_text(fn, "printf_like") == \
+            "int printf_like(char *, ...)"
+
+
+class TestStatementRoundTrip:
+    CASES = [
+        "int main(void) { return 0; }",
+        "int main(void) { int a = 1; int b = a + 2; return a * b; }",
+        "int f(int n) { if (n > 0) { return 1; } else { return -1; } }",
+        "int f(void) { int i; for (i = 0; i < 4; i++) { } return i; }",
+        "int f(void) { int i = 0; while (i < 3) i++; return i; }",
+        "int f(void) { int i = 0; do { i++; } while (i < 3); return i; }",
+        "int f(int x) { switch (x) { case 1: return 1; default: break; } "
+        "return 0; }",
+        "int f(void) { goto end; end: return 0; }",
+        "struct p { int x; int y; }; int g(void) { struct p v; v.x = 1; "
+        "return v.x; }",
+        "int f(char *s) { return s[0] == 'a' ? 1 : 0; }",
+        "int f(void) { char b[4] = {1, 2, 3, 4}; return b[2]; }",
+        "void f(void) { ; }",
+        "int f(int a, int b) { a += b; a <<= 2; return a; }",
+    ]
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_shape_preserved(self, source):
+        first, second, _ = roundtrip(source)
+        assert shapes(first) == shapes(second)
+
+    def test_precedence_forced_parens(self):
+        source = "int f(int a, int b) { return (a + b) * 2; }"
+        first, second, text = roundtrip(source)
+        assert shapes(first) == shapes(second)
+        assert "(a + b) * 2" in text
+
+    def test_nested_conditional(self):
+        source = "int f(int a) { return a ? a : (a ? 1 : 2); }"
+        first, second, _ = roundtrip(source)
+        assert shapes(first) == shapes(second)
+
+    def test_pointer_declarations_roundtrip(self):
+        source = ("int main(void) { char *p; char **pp = &p; "
+                  "int (*fp)(void); return 0; }")
+        first, second, _ = roundtrip(source)
+        assert shapes(first) == shapes(second)
+
+
+class TestBehaviouralRoundTrip:
+    """Unparsed programs must *run* identically, not just parse."""
+
+    PROGRAMS = [
+        """
+        #include <stdio.h>
+        int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+        int main(void) { printf("%d\\n", fib(12)); return 0; }
+        """,
+        """
+        #include <stdio.h>
+        #include <string.h>
+        int main(void) {
+            char buf[32];
+            strcpy(buf, "round");
+            strcat(buf, "trip");
+            printf("%s %d\\n", buf, (int)strlen(buf));
+            return 0;
+        }
+        """,
+        """
+        #include <stdio.h>
+        int main(void) {
+            int total = 0;
+            for (int i = 0; i < 10; i++) {
+                if (i % 3 == 0) continue;
+                if (i == 8) break;
+                total += i;
+            }
+            printf("%d\\n", total);
+            return 0;
+        }
+        """,
+    ]
+
+    @pytest.mark.parametrize("source", PROGRAMS)
+    def test_same_output(self, source):
+        text = pp(source)
+        original = run(text, preprocess=False)
+        regenerated = unparse(parse_translation_unit(text))
+        rerun = run(regenerated, preprocess=False)
+        assert original.ok and rerun.ok
+        assert original.stdout == rerun.stdout
+
+
+_EXPR_LEAVES = st.sampled_from(["a", "b", "c", "1", "2", "40"])
+_BIN_OPS = st.sampled_from(["+", "-", "*", "/", "%", "<<", ">>",
+                            "<", ">", "==", "!=", "&", "^", "|",
+                            "&&", "||"])
+
+
+@st.composite
+def _expressions(draw, depth=0):
+    if depth > 3 or draw(st.booleans()):
+        return draw(_EXPR_LEAVES)
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        lhs = draw(_expressions(depth + 1))
+        rhs = draw(_expressions(depth + 1))
+        op = draw(_BIN_OPS)
+        return f"({lhs}) {op} ({rhs})"
+    if kind == 1:
+        inner = draw(_expressions(depth + 1))
+        op = draw(st.sampled_from(["-", "!", "~"]))
+        return f"{op}({inner})"
+    if kind == 2:
+        cond = draw(_expressions(depth + 1))
+        then = draw(_expressions(depth + 1))
+        other = draw(_expressions(depth + 1))
+        return f"({cond}) ? ({then}) : ({other})"
+    inner = draw(_expressions(depth + 1))
+    return f"({inner})"
+
+
+class TestPropertyRoundTrip:
+    @settings(deadline=None, max_examples=60)
+    @given(_expressions())
+    def test_random_expression_shapes_survive(self, expr_text):
+        source = f"int f(int a, int b, int c) {{ return {expr_text}; }}"
+        first, second, _ = roundtrip(source)
+        assert shapes(first) == shapes(second)

@@ -1,0 +1,355 @@
+"""Deeper VM semantics: aggregates, function pointers, scoping, and the
+corner cases legacy C leans on."""
+
+from .helpers import run
+
+P = "#include <stdio.h>\n#include <string.h>\n#include <stdlib.h>\n"
+
+
+def out(src: str, **kwargs) -> str:
+    result = run(P + src, **kwargs)
+    assert result.ok, f"unexpected fault: {result.fault_detail}"
+    return result.stdout_text
+
+
+class TestAggregates:
+    def test_nested_structs(self):
+        assert out("""
+        struct inner { int v; };
+        struct outer { struct inner first; struct inner second; };
+        int main(void){
+            struct outer o;
+            o.first.v = 10;
+            o.second.v = 32;
+            printf("%d\\n", o.first.v + o.second.v);
+            return 0; }""") == "42\n"
+
+    def test_array_of_structs(self):
+        assert out("""
+        struct point { int x; int y; };
+        int main(void){
+            struct point pts[3];
+            int i;
+            for (i = 0; i < 3; i++) { pts[i].x = i; pts[i].y = i * i; }
+            printf("%d %d\\n", pts[2].x, pts[2].y);
+            return 0; }""") == "2 4\n"
+
+    def test_struct_with_embedded_array(self):
+        assert out("""
+        struct record { char name[8]; int id; };
+        int main(void){
+            struct record r;
+            strcpy(r.name, "bob");
+            r.id = 7;
+            printf("%s=%d\\n", r.name, r.id);
+            return 0; }""") == "bob=7\n"
+
+    def test_struct_embedded_array_overflow_detected(self):
+        result = run(P + """
+        struct record { char name[4]; int id; };
+        int main(void){
+            struct record r;
+            r.id = 99;
+            strcpy(r.name, "overlong");
+            return 0; }""")
+        # Writing past name[] inside the struct tramples id — but our
+        # byte-accurate model allows in-struct overflow like real C;
+        # the write stays inside the struct block here.
+        assert result.ok or result.fault == "buffer-overflow"
+
+    def test_pointer_to_struct_member(self):
+        assert out("""
+        struct holder { int value; };
+        int main(void){
+            struct holder h;
+            int *p = &h.value;
+            *p = 55;
+            printf("%d\\n", h.value);
+            return 0; }""") == "55\n"
+
+    def test_linked_list(self):
+        assert out("""
+        struct node { int v; struct node *next; };
+        int main(void){
+            struct node *head = 0;
+            int i;
+            for (i = 0; i < 5; i++) {
+                struct node *fresh = malloc(sizeof(struct node));
+                fresh->v = i;
+                fresh->next = head;
+                head = fresh;
+            }
+            int total = 0;
+            while (head != 0) {
+                total += head->v;
+                head = head->next;
+            }
+            printf("%d\\n", total);
+            return 0; }""") == "10\n"
+
+    def test_struct_passed_by_value(self):
+        assert out("""
+        struct pair { int a; int b; };
+        int sum(struct pair p) { p.a = 99; return p.a + p.b; }
+        int main(void){
+            struct pair v;
+            v.a = 1;
+            v.b = 2;
+            int s = sum(v);
+            printf("%d %d\\n", s, v.a);
+            return 0; }""") == "101 1\n"
+
+    def test_struct_returned_by_value(self):
+        assert out("""
+        struct pair { int a; int b; };
+        struct pair make(int x) {
+            struct pair p;
+            p.a = x;
+            p.b = x * 2;
+            return p;
+        }
+        int main(void){
+            struct pair v = make(21);
+            printf("%d\\n", v.a + v.b);
+            return 0; }""") == "63\n"
+
+
+class TestFunctionPointers:
+    def test_table_dispatch(self):
+        assert out("""
+        int add(int a, int b) { return a + b; }
+        int mul(int a, int b) { return a * b; }
+        int main(void){
+            int (*ops[2])(int, int);
+            ops[0] = add;
+            ops[1] = mul;
+            printf("%d %d\\n", ops[0](3, 4), ops[1](3, 4));
+            return 0; }""") == "7 12\n"
+
+    def test_callback_argument(self):
+        assert out("""
+        int twice(int x) { return 2 * x; }
+        int apply(int (*fn)(int), int v) { return fn(v); }
+        int main(void){
+            printf("%d\\n", apply(twice, 21));
+            return 0; }""") == "42\n"
+
+    def test_function_pointer_in_struct(self):
+        assert out("""
+        struct vtable { int (*op)(int); };
+        int neg(int x) { return -x; }
+        int main(void){
+            struct vtable v;
+            v.op = neg;
+            printf("%d\\n", v.op(5));
+            return 0; }""") == "-5\n"
+
+    def test_address_of_function(self):
+        assert out("""
+        int one(void) { return 1; }
+        int main(void){
+            int (*fp)(void) = &one;
+            printf("%d\\n", fp());
+            return 0; }""") == "1\n"
+
+
+class TestScoping:
+    def test_block_shadowing(self):
+        assert out("""
+        int main(void){
+            int x = 1;
+            { int x = 2; printf("%d", x); }
+            printf("%d\\n", x);
+            return 0; }""") == "21\n"
+
+    def test_loop_variable_scoping(self):
+        assert out("""
+        int main(void){
+            int total = 0;
+            for (int i = 0; i < 2; i++) {
+                for (int i = 0; i < 3; i++) total++;
+            }
+            printf("%d\\n", total);
+            return 0; }""") == "6\n"
+
+    def test_global_shadowed_by_local(self):
+        assert out("""
+        int v = 100;
+        int main(void){
+            int v = 5;
+            printf("%d\\n", v);
+            return 0; }""") == "5\n"
+
+
+class TestCornerCases:
+    def test_comma_in_for(self):
+        assert out("""
+        int main(void){
+            int i, j;
+            for (i = 0, j = 10; i < j; i++, j--) { }
+            printf("%d %d\\n", i, j);
+            return 0; }""") == "5 5\n"
+
+    def test_negative_modulo(self):
+        assert out("""
+        int main(void){
+            printf("%d %d\\n", -10 % 3, 10 % -3);
+            return 0; }""") == "-1 1\n"
+
+    def test_chars_are_small_ints(self):
+        assert out("""
+        int main(void){
+            char c = 'A';
+            int promoted = c + 1;
+            printf("%d %c\\n", promoted, promoted);
+            return 0; }""") == "66 B\n"
+
+    def test_index_commutativity(self):
+        assert out("""
+        int main(void){
+            char buf[4] = "abc";
+            printf("%c%c\\n", buf[1], 1[buf]);
+            return 0; }""") == "bb\n"
+
+    def test_void_cast_discards(self):
+        assert out("""
+        int main(void){
+            (void)printf("side");
+            printf("\\n");
+            return 0; }""") == "side\n"
+
+    def test_string_literal_is_shared(self):
+        assert out("""
+        int main(void){
+            const char *a = "shared";
+            const char *b = "shared";
+            printf("%d\\n", a == b);
+            return 0; }""") == "1\n"
+
+    def test_sizeof_struct_with_padding(self):
+        assert out("""
+        struct padded { char c; long l; };
+        int main(void){
+            printf("%lu\\n", sizeof(struct padded));
+            return 0; }""") == "16\n"
+
+    def test_ternary_lvalue_free_semantics(self):
+        assert out("""
+        int main(void){
+            int a = 3, b = 4;
+            int larger = a > b ? a : b;
+            printf("%d\\n", larger);
+            return 0; }""") == "4\n"
+
+    def test_deep_recursion_within_budget(self):
+        assert out("""
+        int depth(int n) { return n == 0 ? 0 : 1 + depth(n - 1); }
+        int main(void){
+            printf("%d\\n", depth(200));
+            return 0; }""") == "200\n"
+
+    def test_do_while_with_continue(self):
+        assert out("""
+        int main(void){
+            int i = 0, hits = 0;
+            do {
+                i++;
+                if (i % 2) continue;
+                hits++;
+            } while (i < 6);
+            printf("%d\\n", hits);
+            return 0; }""") == "3\n"
+
+    def test_switch_inside_loop(self):
+        assert out("""
+        int main(void){
+            int total = 0;
+            for (int i = 0; i < 5; i++) {
+                switch (i % 2) {
+                    case 0: total += 10; break;
+                    case 1: total += 1; break;
+                }
+            }
+            printf("%d\\n", total);
+            return 0; }""") == "32\n"
+
+    def test_goto_out_of_nested_loop(self):
+        assert out("""
+        int main(void){
+            int i, j, found = -1;
+            for (i = 0; i < 4; i++) {
+                for (j = 0; j < 4; j++) {
+                    if (i * j == 6) goto done;
+                }
+            }
+            done:
+            printf("%d %d\\n", i, j);
+            return 0; }""") == "2 3\n"
+
+    def test_unsigned_comparison_semantics(self):
+        assert out("""
+        int main(void){
+            unsigned int big = 0;
+            big = big - 1;
+            printf("%d\\n", big > 1000u);
+            return 0; }""") == "1\n"
+
+    def test_null_function_pointer_call_is_error(self):
+        result = run(P + """
+        int main(void){
+            int (*fp)(void) = 0;
+            return fp();
+        }""")
+        assert result.fault is not None
+
+
+class TestVarargsAdvanced:
+    def test_va_copy(self):
+        assert out("""
+        #include <stdarg.h>
+        int sum_twice(int n, ...) {
+            va_list ap, aq;
+            int total = 0;
+            int i;
+            va_start(ap, n);
+            va_copy(aq, ap);
+            for (i = 0; i < n; i++) total += va_arg(ap, int);
+            for (i = 0; i < n; i++) total += va_arg(aq, int);
+            va_end(ap);
+            va_end(aq);
+            return total;
+        }
+        int main(void){
+            printf("%d\\n", sum_twice(2, 10, 11));
+            return 0; }""") == "42\n"
+
+    def test_varargs_forwarding_to_vsprintf(self):
+        assert out("""
+        #include <stdarg.h>
+        void logfmt(char *out, const char *fmt, ...) {
+            va_list ap;
+            va_start(ap, fmt);
+            vsprintf(out, fmt, ap);
+            va_end(ap);
+        }
+        int main(void){
+            char line[64];
+            logfmt(line, "%s=%d", "answer", 42);
+            printf("%s\\n", line);
+            return 0; }""") == "answer=42\n"
+
+    def test_mixed_type_va_args(self):
+        assert out("""
+        #include <stdarg.h>
+        void show(const char *fmt, ...) {
+            va_list ap;
+            va_start(ap, fmt);
+            int i = va_arg(ap, int);
+            char *s = va_arg(ap, char *);
+            long l = va_arg(ap, long);
+            va_end(ap);
+            printf("%d %s %ld\\n", i, s, l);
+        }
+        int main(void){
+            show("", 7, "mid", 99L);
+            return 0; }""") == "7 mid 99\n"

@@ -1,0 +1,370 @@
+"""Tests for the C interpreter: language semantics."""
+
+from .helpers import run
+
+P = "#include <stdio.h>\n#include <string.h>\n#include <stdlib.h>\n"
+
+
+def out(src: str, **kwargs) -> str:
+    result = run(P + src, **kwargs)
+    assert result.ok, f"unexpected fault: {result.fault_detail}"
+    return result.stdout_text
+
+
+class TestArithmetic:
+    def test_integer_ops(self):
+        text = out("""int main(void){
+            printf("%d %d %d %d %d\\n", 7+3, 7-3, 7*3, 7/3, 7%3);
+            return 0; }""")
+        assert text == "10 4 21 2 1\n"
+
+    def test_c_division_truncates_toward_zero(self):
+        text = out("""int main(void){
+            printf("%d %d\\n", -7 / 2, -7 %% 2);
+            return 0; }""".replace("%%", "%"))
+        assert text == "-3 -1\n"
+
+    def test_unsigned_wraparound(self):
+        text = out("""int main(void){
+            unsigned int x = 0;
+            x = x - 1;
+            printf("%u\\n", x);
+            return 0; }""")
+        assert text == "4294967295\n"
+
+    def test_signed_char_overflow_wraps(self):
+        text = out("""int main(void){
+            char c = 127;
+            c = c + 1;
+            printf("%d\\n", c);
+            return 0; }""")
+        assert text == "-128\n"
+
+    def test_bitwise(self):
+        text = out("""int main(void){
+            printf("%d %d %d %d %d\\n", 6 & 3, 6 | 3, 6 ^ 3, 1 << 4,
+                   32 >> 2);
+            return 0; }""")
+        assert text == "2 7 5 16 8\n"
+
+    def test_division_by_zero_faults(self):
+        result = run(P + "int main(void){ int z = 0; return 1 / z; }")
+        assert result.fault == "divide-by-zero"
+
+    def test_float_arithmetic(self):
+        text = out("""int main(void){
+            double d = 1.5 * 4.0;
+            printf("%.1f\\n", d);
+            return 0; }""")
+        assert text == "6.0\n"
+
+    def test_ternary_and_logical(self):
+        text = out("""int main(void){
+            int a = 5;
+            printf("%d %d %d\\n", a > 3 ? 1 : 2, a && 0, a || 0);
+            return 0; }""")
+        assert text == "1 0 1\n"
+
+    def test_short_circuit_no_side_effect(self):
+        text = out("""int main(void){
+            int calls = 0;
+            int r = 0 && (calls = 1);
+            printf("%d %d\\n", r, calls);
+            return 0; }""")
+        assert text == "0 0\n"
+
+
+class TestControlFlow:
+    def test_if_else_chain(self):
+        text = out("""int main(void){
+            int x = 2;
+            if (x == 1) puts("one");
+            else if (x == 2) puts("two");
+            else puts("other");
+            return 0; }""")
+        assert text == "two\n"
+
+    def test_while_loop(self):
+        text = out("""int main(void){
+            int i = 0, total = 0;
+            while (i < 5) { total += i; i++; }
+            printf("%d\\n", total);
+            return 0; }""")
+        assert text == "10\n"
+
+    def test_do_while_runs_once(self):
+        text = out("""int main(void){
+            int n = 0;
+            do { n++; } while (0);
+            printf("%d\\n", n);
+            return 0; }""")
+        assert text == "1\n"
+
+    def test_for_with_break_continue(self):
+        text = out("""int main(void){
+            int total = 0;
+            for (int i = 0; i < 10; i++) {
+                if (i == 7) break;
+                if (i % 2) continue;
+                total += i;
+            }
+            printf("%d\\n", total);
+            return 0; }""")
+        assert text == "12\n"
+
+    def test_nested_loops(self):
+        text = out("""int main(void){
+            int count = 0;
+            for (int i = 0; i < 3; i++)
+                for (int j = 0; j < 4; j++)
+                    count++;
+            printf("%d\\n", count);
+            return 0; }""")
+        assert text == "12\n"
+
+    def test_switch_with_fallthrough(self):
+        text = out("""int main(void){
+            int x = 1, r = 0;
+            switch (x) {
+                case 0: r += 1;
+                case 1: r += 10;
+                case 2: r += 100; break;
+                case 3: r += 1000;
+            }
+            printf("%d\\n", r);
+            return 0; }""")
+        assert text == "110\n"
+
+    def test_switch_default(self):
+        text = out("""int main(void){
+            switch (42) { case 1: puts("a"); break;
+                          default: puts("dflt"); }
+            return 0; }""")
+        assert text == "dflt\n"
+
+    def test_switch_no_match_no_default(self):
+        text = out("""int main(void){
+            switch (42) { case 1: puts("a"); }
+            puts("after");
+            return 0; }""")
+        assert text == "after\n"
+
+    def test_goto_forward(self):
+        text = out("""int main(void){
+            goto skip;
+            puts("not printed");
+            skip:
+            puts("here");
+            return 0; }""")
+        assert text == "here\n"
+
+    def test_goto_backward_loop(self):
+        text = out("""int main(void){
+            int i = 0;
+            again:
+            i++;
+            if (i < 3) goto again;
+            printf("%d\\n", i);
+            return 0; }""")
+        assert text == "3\n"
+
+    def test_infinite_loop_hits_step_limit(self):
+        result = run(P + "int main(void){ while (1) { } return 0; }",
+                     step_limit=10_000)
+        assert result.fault == "step-limit"
+
+
+class TestFunctions:
+    def test_recursion(self):
+        text = out("""
+        int fib(int n){ return n < 2 ? n : fib(n-1) + fib(n-2); }
+        int main(void){ printf("%d\\n", fib(10)); return 0; }""")
+        assert text == "55\n"
+
+    def test_pass_by_value(self):
+        text = out("""
+        void bump(int x){ x = 99; }
+        int main(void){ int v = 1; bump(v); printf("%d\\n", v);
+            return 0; }""")
+        assert text == "1\n"
+
+    def test_pointer_out_param(self):
+        text = out("""
+        void bump(int *x){ *x = 99; }
+        int main(void){ int v = 1; bump(&v); printf("%d\\n", v);
+            return 0; }""")
+        assert text == "99\n"
+
+    def test_function_pointer_call(self):
+        text = out("""
+        int twice(int x){ return 2 * x; }
+        int main(void){
+            int (*fp)(int) = twice;
+            printf("%d\\n", fp(21));
+            return 0; }""")
+        assert text == "42\n"
+
+    def test_variadic_user_function(self):
+        text = out("""
+        #include <stdarg.h>
+        int sum(int n, ...) {
+            va_list ap;
+            va_start(ap, n);
+            int total = 0;
+            for (int i = 0; i < n; i++) total += va_arg(ap, int);
+            va_end(ap);
+            return total;
+        }
+        int main(void){ printf("%d\\n", sum(3, 10, 20, 12)); return 0; }""")
+        assert text == "42\n"
+
+    def test_exit_stops_program(self):
+        result = run(P + """
+        int main(void){ puts("before"); exit(3); puts("after");
+            return 0; }""")
+        assert result.exit_code == 3
+        assert result.stdout_text == "before\n"
+
+    def test_stack_locals_released_on_return(self):
+        # Returning a pointer to a local and using it is a use-after-free.
+        result = run(P + """
+        char *bad(void){ char local[4]; return local; }
+        int main(void){ char *p = bad(); *p = 'x'; return 0; }""")
+        assert result.fault == "use-after-free"
+
+
+class TestDataStructures:
+    def test_struct_members(self):
+        text = out("""
+        struct point { int x; int y; };
+        int main(void){
+            struct point p;
+            p.x = 3; p.y = 4;
+            printf("%d\\n", p.x * p.x + p.y * p.y);
+            return 0; }""")
+        assert text == "25\n"
+
+    def test_struct_pointer_arrow(self):
+        text = out("""
+        struct node { int v; struct node *next; };
+        int main(void){
+            struct node a, b;
+            a.v = 1; b.v = 2;
+            a.next = &b;
+            printf("%d\\n", a.next->v);
+            return 0; }""")
+        assert text == "2\n"
+
+    def test_struct_assignment_copies(self):
+        text = out("""
+        struct pair { int a; int b; };
+        int main(void){
+            struct pair x; x.a = 1; x.b = 2;
+            struct pair y; y = x;
+            x.a = 99;
+            printf("%d %d\\n", y.a, y.b);
+            return 0; }""")
+        assert text == "1 2\n"
+
+    def test_array_iteration(self):
+        text = out("""int main(void){
+            int arr[5] = {5, 4, 3, 2, 1};
+            int total = 0;
+            for (int i = 0; i < 5; i++) total += arr[i];
+            printf("%d\\n", total);
+            return 0; }""")
+        assert text == "15\n"
+
+    def test_2d_array(self):
+        text = out("""int main(void){
+            int g[2][3] = {{1, 2, 3}, {4, 5, 6}};
+            printf("%d\\n", g[1][2]);
+            return 0; }""")
+        assert text == "6\n"
+
+    def test_pointer_arithmetic_scaled(self):
+        text = out("""int main(void){
+            int arr[4] = {10, 20, 30, 40};
+            int *p = arr;
+            p = p + 2;
+            printf("%d\\n", *p);
+            return 0; }""")
+        assert text == "30\n"
+
+    def test_pointer_difference(self):
+        text = out("""int main(void){
+            int arr[8];
+            int *a = arr + 1;
+            int *b = arr + 6;
+            printf("%d\\n", (int)(b - a));
+            return 0; }""")
+        assert text == "5\n"
+
+    def test_string_literal_access(self):
+        text = out("""int main(void){
+            const char *s = "hello";
+            printf("%c%c\\n", s[0], s[4]);
+            return 0; }""")
+        assert text == "ho\n"
+
+    def test_global_variables(self):
+        text = out("""
+        int counter = 10;
+        char tag[4] = "hi";
+        void bump(void){ counter += 5; }
+        int main(void){
+            bump(); bump();
+            printf("%d %s\\n", counter, tag);
+            return 0; }""")
+        assert text == "20 hi\n"
+
+    def test_static_local_persists(self):
+        text = out("""
+        int next_id(void){ static int id = 0; id++; return id; }
+        int main(void){
+            next_id(); next_id();
+            printf("%d\\n", next_id());
+            return 0; }""")
+        assert text == "3\n"
+
+    def test_increment_decrement_semantics(self):
+        text = out("""int main(void){
+            int i = 5;
+            printf("%d %d %d %d %d\\n", i++, i, ++i, i--, --i);
+            return 0; }""")
+        assert text == "5 6 7 7 5\n"
+
+    def test_compound_assignment_on_pointer(self):
+        text = out("""int main(void){
+            char buf[8] = "abcdefg";
+            char *p = buf;
+            p += 3;
+            printf("%c\\n", *p);
+            return 0; }""")
+        assert text == "d\n"
+
+    def test_casts(self):
+        text = out("""int main(void){
+            double d = 3.99;
+            int i = (int)d;
+            unsigned char c = (unsigned char)300;
+            printf("%d %d\\n", i, c);
+            return 0; }""")
+        assert text == "3 44\n"
+
+    def test_enum_values(self):
+        text = out("""
+        enum level { LOW = 1, MID = 5, HIGH };
+        int main(void){
+            enum level v = HIGH;
+            printf("%d\\n", v);
+            return 0; }""")
+        assert text == "6\n"
+
+    def test_sizeof_at_runtime(self):
+        text = out("""int main(void){
+            char buf[12];
+            long p_size = sizeof(char*);
+            printf("%lu %ld %lu\\n", sizeof(buf), p_size, sizeof(int));
+            return 0; }""")
+        assert text == "12 8 4\n"

@@ -1,0 +1,206 @@
+"""Tests for the VM memory model."""
+
+import pytest
+
+from repro.vm.memory import (
+    Memory, MemoryFault, NULL, Pointer, decode_pointer, encode_pointer,
+    usable_size,
+)
+
+
+@pytest.fixture
+def mem():
+    return Memory()
+
+
+class TestAllocation:
+    def test_alloc_returns_distinct_blocks(self, mem):
+        a = mem.alloc(8, "stack", "a")
+        b = mem.alloc(8, "stack", "b")
+        assert a.block != b.block
+
+    def test_block_zero_reserved_for_null(self, mem):
+        a = mem.alloc(1, "stack", "a")
+        assert a.block != 0
+        assert NULL.is_null
+
+    def test_alloc_bytes(self, mem):
+        p = mem.alloc_bytes(b"hello", "string", "s")
+        assert mem.read_bytes(p, 5) == b"hello"
+
+    def test_heap_rounds_to_usable_size(self, mem):
+        p = mem.alloc_heap(10)
+        assert mem.usable_size_of(p) == 16
+
+    def test_usable_size_function(self):
+        assert usable_size(1) == 8
+        assert usable_size(8) == 8
+        assert usable_size(9) == 16
+        assert usable_size(0) == 8
+
+    def test_negative_size_rejected(self, mem):
+        with pytest.raises(MemoryFault):
+            mem.alloc(-1, "stack", "bad")
+
+    def test_zero_initialized(self, mem):
+        p = mem.alloc(16, "stack", "z")
+        assert mem.read_bytes(p, 16) == bytes(16)
+
+
+class TestBoundsChecking:
+    def test_in_bounds_write_read(self, mem):
+        p = mem.alloc(4, "stack", "b")
+        mem.write_bytes(p.moved(3), b"X")
+        assert mem.read_bytes(p.moved(3), 1) == b"X"
+
+    def test_overflow_write(self, mem):
+        p = mem.alloc(4, "stack", "b")
+        with pytest.raises(MemoryFault) as exc:
+            mem.write_bytes(p.moved(4), b"X")
+        assert exc.value.kind == "buffer-overflow"
+
+    def test_overread(self, mem):
+        p = mem.alloc(4, "stack", "b")
+        with pytest.raises(MemoryFault) as exc:
+            mem.read_bytes(p.moved(4), 1)
+        assert exc.value.kind == "buffer-overread"
+
+    def test_underwrite(self, mem):
+        p = mem.alloc(4, "stack", "b")
+        with pytest.raises(MemoryFault) as exc:
+            mem.write_bytes(p.moved(-1), b"X")
+        assert exc.value.kind == "buffer-underwrite"
+
+    def test_underread(self, mem):
+        p = mem.alloc(4, "stack", "b")
+        with pytest.raises(MemoryFault) as exc:
+            mem.read_bytes(p.moved(-1), 1)
+        assert exc.value.kind == "buffer-underread"
+
+    def test_straddling_write(self, mem):
+        p = mem.alloc(4, "stack", "b")
+        with pytest.raises(MemoryFault):
+            mem.write_bytes(p.moved(2), b"abc")
+
+    def test_null_dereference(self, mem):
+        with pytest.raises(MemoryFault) as exc:
+            mem.read_bytes(NULL, 1)
+        assert exc.value.kind == "null-dereference"
+
+    def test_wild_pointer(self, mem):
+        with pytest.raises(MemoryFault) as exc:
+            mem.read_bytes(Pointer(9999, 0), 1)
+        assert exc.value.kind == "wild-pointer"
+
+
+class TestFree:
+    def test_use_after_free(self, mem):
+        p = mem.alloc_heap(8)
+        mem.free(p)
+        with pytest.raises(MemoryFault) as exc:
+            mem.read_bytes(p, 1)
+        assert exc.value.kind == "use-after-free"
+
+    def test_double_free(self, mem):
+        p = mem.alloc_heap(8)
+        mem.free(p)
+        with pytest.raises(MemoryFault) as exc:
+            mem.free(p)
+        assert exc.value.kind == "double-free"
+
+    def test_free_of_stack_block(self, mem):
+        p = mem.alloc(8, "stack", "s")
+        with pytest.raises(MemoryFault) as exc:
+            mem.free(p)
+        assert exc.value.kind == "invalid-free"
+
+    def test_free_of_interior_pointer(self, mem):
+        p = mem.alloc_heap(8)
+        with pytest.raises(MemoryFault):
+            mem.free(p.moved(2))
+
+    def test_free_null_is_noop(self, mem):
+        mem.free(NULL)
+
+    def test_live_heap_counter(self, mem):
+        a = mem.alloc_heap(8)
+        b = mem.alloc_heap(8)
+        assert mem.live_heap_blocks == 2
+        mem.free(a)
+        assert mem.live_heap_blocks == 1
+
+
+class TestUsableSizeQueries:
+    def test_usable_size_of_heap(self, mem):
+        p = mem.alloc_heap(20)
+        assert mem.usable_size_of(p) == 24
+
+    def test_usable_size_of_stack_faults(self, mem):
+        # The paper: malloc_usable_size on a static buffer segfaults.
+        p = mem.alloc(8, "stack", "s")
+        with pytest.raises(MemoryFault) as exc:
+            mem.usable_size_of(p)
+        assert exc.value.kind == "invalid-usable-size"
+
+
+class TestIntAccess:
+    def test_roundtrip_unsigned(self, mem):
+        p = mem.alloc(8, "stack", "v")
+        mem.write_int(p, 0xDEADBEEF, 4)
+        assert mem.read_int(p, 4, signed=False) == 0xDEADBEEF
+
+    def test_roundtrip_signed(self, mem):
+        p = mem.alloc(4, "stack", "v")
+        mem.write_int(p, -42, 4)
+        assert mem.read_int(p, 4, signed=True) == -42
+
+    def test_truncation_on_store(self, mem):
+        p = mem.alloc(1, "stack", "c")
+        mem.write_int(p, 0x1FF, 1)
+        assert mem.read_int(p, 1, signed=False) == 0xFF
+
+    def test_little_endian(self, mem):
+        p = mem.alloc(4, "stack", "v")
+        mem.write_int(p, 0x01020304, 4)
+        assert mem.read_bytes(p, 4) == b"\x04\x03\x02\x01"
+
+
+class TestCString:
+    def test_read_terminated(self, mem):
+        p = mem.alloc_bytes(b"abc\x00xyz", "string", "s")
+        assert mem.read_cstring(p) == b"abc"
+
+    def test_read_from_offset(self, mem):
+        p = mem.alloc_bytes(b"abc\x00", "string", "s")
+        assert mem.read_cstring(p.moved(1)) == b"bc"
+
+    def test_unterminated_faults(self, mem):
+        p = mem.alloc_bytes(b"abcd", "string", "s")
+        with pytest.raises(MemoryFault) as exc:
+            mem.read_cstring(p)
+        assert exc.value.kind == "buffer-overread"
+
+
+class TestPointerEncoding:
+    def test_roundtrip(self):
+        p = Pointer(42, 17)
+        assert decode_pointer(encode_pointer(p)) == p
+
+    def test_null_roundtrip(self):
+        assert encode_pointer(NULL) == 0
+        assert decode_pointer(0) == NULL
+
+    def test_negative_offset_roundtrip(self):
+        p = Pointer(7, -3)
+        assert decode_pointer(encode_pointer(p)) == p
+
+    def test_plain_int_not_decoded(self):
+        assert decode_pointer(12345) is None
+
+    def test_memcopy_and_memset(self, mem):
+        a = mem.alloc_bytes(b"12345678", "stack", "a")
+        b = mem.alloc(8, "stack", "b")
+        mem.memcopy(b, a, 8)
+        assert mem.read_bytes(b, 8) == b"12345678"
+        mem.memset(b, ord("z"), 4)
+        assert mem.read_bytes(b, 8) == b"zzzz5678"

@@ -1,0 +1,106 @@
+"""Union semantics and byte-level type punning in the VM."""
+
+from .helpers import run
+
+P = "#include <stdio.h>\n#include <string.h>\n"
+
+
+def out(src: str, **kwargs) -> str:
+    result = run(P + src, **kwargs)
+    assert result.ok, f"unexpected fault: {result.fault_detail}"
+    return result.stdout_text
+
+
+class TestUnions:
+    def test_members_share_storage(self):
+        assert out("""
+        union box { int i; unsigned char bytes[4]; };
+        int main(void){
+            union box b;
+            b.i = 0x01020304;
+            printf("%d %d %d %d\\n", b.bytes[0], b.bytes[1],
+                   b.bytes[2], b.bytes[3]);
+            return 0; }""") == "4 3 2 1\n"     # little-endian
+
+    def test_write_byte_read_int(self):
+        assert out("""
+        union box { unsigned int u; unsigned char bytes[4]; };
+        int main(void){
+            union box b;
+            b.u = 0;
+            b.bytes[1] = 1;
+            printf("%u\\n", b.u);
+            return 0; }""") == "256\n"
+
+    def test_union_size_is_largest_member(self):
+        assert out("""
+        union mixed { char c; long l; char buf[13]; };
+        int main(void){
+            printf("%d\\n", (int)sizeof(union mixed) >= 13);
+            return 0; }""") == "1\n"
+
+    def test_union_in_struct(self):
+        assert out("""
+        struct tagged {
+            int kind;
+            union { int number; char text[8]; } payload;
+        };
+        int main(void){
+            struct tagged v;
+            v.kind = 1;
+            strcpy(v.payload.text, "seven");
+            printf("%d %s\\n", v.kind, v.payload.text);
+            v.kind = 0;
+            v.payload.number = 7;
+            printf("%d %d\\n", v.kind, v.payload.number);
+            return 0; }""") == "1 seven\n0 7\n"
+
+    def test_union_overflow_still_detected(self):
+        result = run(P + """
+        union box { char small[4]; long wide; };
+        int main(void){
+            union box b;
+            /* The union is 8 bytes (long); writing 9 must fault. */
+            memset(&b, 'x', 9);
+            return 0; }""")
+        assert result.fault == "buffer-overflow"
+
+
+class TestTypePunning:
+    def test_int_bytes_via_char_pointer(self):
+        assert out("""
+        int main(void){
+            unsigned int v = 0xAABBCCDD;
+            unsigned char *p = (unsigned char *)&v;
+            printf("%x %x %x %x\\n", p[0], p[1], p[2], p[3]);
+            return 0; }""") == "dd cc bb aa\n"
+
+    def test_memcpy_between_types(self):
+        assert out("""
+        int main(void){
+            int src = 1234567;
+            int dst = 0;
+            memcpy(&dst, &src, sizeof(int));
+            printf("%d\\n", dst);
+            return 0; }""") == "1234567\n"
+
+    def test_pointer_roundtrip_through_memory(self):
+        assert out("""
+        int main(void){
+            char buf[8] = "target";
+            char *p = buf;
+            char **holder = &p;
+            char *back = *holder;
+            printf("%s\\n", back);
+            return 0; }""") == "target\n"
+
+    def test_struct_bytes_zeroing(self):
+        assert out("""
+        struct pair { int a; int b; };
+        int main(void){
+            struct pair v;
+            v.a = 5;
+            v.b = 6;
+            memset(&v, 0, sizeof(v));
+            printf("%d %d\\n", v.a, v.b);
+            return 0; }""") == "0 0\n"
