@@ -28,8 +28,9 @@ from __future__ import annotations
 __version__ = "1.0.0"
 
 from .core import (
-    SafeLibraryReplacement, SafeTypeReplacement, SourceProgram,
-    TransformResult, apply_batch, apply_slr, apply_str,
+    AnalysisSession, SafeLibraryReplacement, SafeTypeReplacement,
+    SourceProgram, TransformResult, apply_batch, apply_slr, apply_str,
+    get_session,
 )
 from .cfront import Preprocessor, preprocess_and_parse
 from .vm import ExecutionResult, run_source
@@ -37,8 +38,9 @@ from .vm import ExecutionResult, run_source
 
 def preprocess(text: str, filename: str = "<source>") -> str:
     """Preprocess C source with the builtin headers; returns the text the
-    transformations operate on."""
-    return Preprocessor().preprocess(text, filename).text
+    transformations operate on.  Served from the shared session's
+    content-keyed cache."""
+    return get_session().preprocess(text, filename).text
 
 
 def fix_buffer_overflows(text: str, filename: str = "<source>",
@@ -74,6 +76,7 @@ def run_c(text: str, *, stdin: bytes = b"",
 
 __all__ = [
     "__version__",
+    "AnalysisSession", "get_session",
     "SafeLibraryReplacement", "SafeTypeReplacement", "SourceProgram",
     "TransformResult", "apply_batch", "apply_slr", "apply_str",
     "Preprocessor", "preprocess_and_parse",

@@ -1,9 +1,13 @@
 """Program analyses over the C AST.
 
-:class:`ProgramAnalysis` is the facade the transformations consume: it runs
-name binding, type analysis, CFG construction, reaching definitions,
-points-to/alias analysis, call-graph construction, and exposes the
-dependence and interprocedural write analyses lazily.
+:class:`ProgramAnalysis` is the facade the transformations consume: name
+binding, type analysis, CFG construction, reaching definitions,
+points-to/alias analysis, call-graph construction, and the dependence and
+interprocedural write analyses.  Every pass is built lazily on first
+query — an SLR run never pays for the interprocedural write analysis it
+does not consult, and STR never pays for reaching definitions — and the
+per-function passes can be invalidated selectively so a caller editing
+one function does not rebuild the world.
 """
 
 from __future__ import annotations
@@ -19,21 +23,91 @@ from .reaching import Definition, ReachingDefinitions
 from .symtab import Binder, Symbol, SymbolTable, bind
 from .typecheck import TypeChecker, typecheck
 
+_UNSET = None
+
 
 class ProgramAnalysis:
-    """All analyses for one translation unit, built once, queried often."""
+    """All analyses for one translation unit, built on demand.
 
-    def __init__(self, unit: ast.TranslationUnit):
+    Whole-unit passes (binding, typing, points-to, aliases, call graph,
+    interprocedural writes, CFGs) are memoized on first access;
+    per-function passes (reaching definitions, dependence) are memoized
+    per function name.  Binding and typing annotate the AST in place
+    (``node.symbol`` / ``node.ctype``) and therefore also run implicitly
+    before any pass that reads those annotations.
+    """
+
+    def __init__(self, unit: ast.TranslationUnit,
+                 symbols: SymbolTable | None = None):
         self.unit = unit
-        self.symbols: SymbolTable = bind(unit)
-        self.type_diagnostics = typecheck(unit)
-        self.cfgs: dict[str, CFG] = build_all_cfgs(unit)
-        self.pointsto = PointsToAnalysis(unit, self.symbols)
-        self.aliases = AliasAnalysis(self.pointsto, self.symbols)
-        self.callgraph = build_call_graph(unit)
-        self.interproc = InterproceduralWriteAnalysis(self.callgraph)
+        self._symbols: SymbolTable | None = symbols
+        self._type_diagnostics = _UNSET
+        self._cfgs: dict[str, CFG] | None = None
+        self._pointsto: PointsToAnalysis | None = None
+        self._aliases: AliasAnalysis | None = None
+        self._callgraph: CallGraph | None = None
+        self._interproc: InterproceduralWriteAnalysis | None = None
         self._reaching: dict[str, ReachingDefinitions] = {}
         self._dependence: dict[str, DependenceAnalysis] = {}
+
+    # ---------------------------------------------------- whole-unit passes
+
+    @property
+    def symbols(self) -> SymbolTable:
+        if self._symbols is None:
+            self._symbols = bind(self.unit)
+        return self._symbols
+
+    @property
+    def type_diagnostics(self):
+        if self._type_diagnostics is _UNSET:
+            self.symbols
+            self._type_diagnostics = typecheck(self.unit)
+        return self._type_diagnostics
+
+    @property
+    def cfgs(self) -> dict[str, CFG]:
+        if self._cfgs is None:
+            self.symbols
+            self._cfgs = build_all_cfgs(self.unit)
+        return self._cfgs
+
+    @property
+    def pointsto(self) -> PointsToAnalysis:
+        if self._pointsto is None:
+            self._pointsto = PointsToAnalysis(self.unit, self.symbols)
+        return self._pointsto
+
+    @property
+    def aliases(self) -> AliasAnalysis:
+        if self._aliases is None:
+            self._aliases = AliasAnalysis(self.pointsto, self.symbols)
+        return self._aliases
+
+    @property
+    def callgraph(self) -> CallGraph:
+        if self._callgraph is None:
+            self.symbols
+            self._callgraph = build_call_graph(self.unit)
+        return self._callgraph
+
+    @property
+    def interproc(self) -> InterproceduralWriteAnalysis:
+        if self._interproc is None:
+            self._interproc = InterproceduralWriteAnalysis(self.callgraph)
+        return self._interproc
+
+    def ensure_types(self) -> "ProgramAnalysis":
+        """Force binding + typing (the AST-annotation passes); returns self.
+
+        Callers that read ``node.ctype`` straight off the AST — the
+        transformations, the VM — must run this before trusting those
+        annotations.
+        """
+        self.type_diagnostics
+        return self
+
+    # -------------------------------------------------- per-function passes
 
     def cfg_of(self, function_name: str) -> CFG | None:
         return self.cfgs.get(function_name)
@@ -55,10 +129,46 @@ class ProgramAnalysis:
                 self.reaching_of(function_name))
         return self._dependence[function_name]
 
+    # --------------------------------------------------------- invalidation
+
+    def invalidate(self, function_name: str | None = None) -> None:
+        """Drop memoized results so the next query recomputes them.
+
+        With a function name, only that function's flow-sensitive passes
+        (CFG, reaching definitions, dependence) are dropped — unchanged
+        functions keep their results.  With no argument every pass is
+        dropped; binding and typing re-annotate the AST on next access.
+        """
+        if function_name is not None:
+            self._reaching.pop(function_name, None)
+            self._dependence.pop(function_name, None)
+            if self._cfgs is not None and function_name in self._cfgs:
+                for fn in self.unit.functions():
+                    if fn.name == function_name:
+                        self._cfgs[function_name] = build_cfg(fn)
+                        break
+                else:
+                    del self._cfgs[function_name]
+            return
+        self._symbols = None
+        self._type_diagnostics = _UNSET
+        self._cfgs = None
+        self._pointsto = None
+        self._aliases = None
+        self._callgraph = None
+        self._interproc = None
+        self._reaching.clear()
+        self._dependence.clear()
+
 
 def analyze(unit: ast.TranslationUnit) -> ProgramAnalysis:
-    """Run the full analysis pipeline over a translation unit."""
-    return ProgramAnalysis(unit)
+    """Build the analysis facade over a translation unit.
+
+    Binding and typing run immediately (callers rely on ``node.symbol``
+    / ``node.ctype`` being annotated); the flow and pointer analyses
+    stay lazy until first query.
+    """
+    return ProgramAnalysis(unit).ensure_types()
 
 
 __all__ = [

@@ -1,0 +1,171 @@
+"""Content-keyed result caches for the C frontend.
+
+The transformation pipeline preprocesses and parses the *same* text many
+times: SLR parses the preprocessed unit, STR parses SLR's output, the
+"still parses" verify re-parses it again, and the VM parses both the
+original and the transformed text before executing them.  All of those
+are pure functions of the input text, so this module provides small LRU
+caches keyed on a content hash; :mod:`repro.core.session` builds the
+parse/analysis cache on top, and :func:`preprocess_cached` below serves
+every preprocessing consumer.
+
+Environment knobs:
+
+* ``REPRO_CACHE=0``      — disable all frontend caches (every call misses);
+* ``REPRO_CACHE_SIZE=N`` — LRU capacity per cache (default 512 entries).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+
+DEFAULT_CACHE_SIZE = 512
+
+
+def caches_enabled() -> bool:
+    return os.environ.get("REPRO_CACHE", "1") != "0"
+
+
+def default_cache_size() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_CACHE_SIZE",
+                                         str(DEFAULT_CACHE_SIZE))))
+    except ValueError:
+        return DEFAULT_CACHE_SIZE
+
+
+def content_key(*parts: str) -> str:
+    """A stable digest of the given text parts (cache key)."""
+    digest = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        digest.update(part.encode("utf-8", errors="surrogateescape"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache (and for merged snapshots)."""
+
+    name: str = ""
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "hits": self.hits,
+                "misses": self.misses, "evictions": self.evictions,
+                "hit_rate": round(self.hit_rate, 4)}
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        return CacheStats(self.name, self.hits - earlier.hits,
+                          self.misses - earlier.misses,
+                          self.evictions - earlier.evictions)
+
+
+class ContentCache:
+    """A bounded LRU map from content keys to computed results.
+
+    Results must be treated as immutable by callers: the same object is
+    handed to every hit.  Build failures are never cached (the exception
+    propagates and nothing is stored), so an entry always corresponds to
+    a successful computation over exactly the keyed content.
+    """
+
+    def __init__(self, name: str, maxsize: int | None = None):
+        self.name = name
+        self.maxsize = maxsize if maxsize is not None \
+            else default_cache_size()
+        self.stats = CacheStats(name)
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+        _REGISTRY[name] = self
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def get_or_build(self, key: str, build):
+        """Return the cached value for ``key``, building it on a miss."""
+        if not caches_enabled():
+            self.stats.misses += 1
+            return build()
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.stats.misses += 1
+        value = build()
+        self._entries[key] = value
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return value
+
+
+#: name -> cache, so stats can be reported across the whole frontend.
+_REGISTRY: dict[str, ContentCache] = {}
+
+
+def all_cache_stats() -> list[CacheStats]:
+    return [cache.stats for cache in _REGISTRY.values()]
+
+
+def snapshot_stats() -> dict[str, CacheStats]:
+    """A point-in-time copy of every cache's counters (for deltas)."""
+    return {name: CacheStats(name, c.stats.hits, c.stats.misses,
+                             c.stats.evictions)
+            for name, c in _REGISTRY.items()}
+
+
+def clear_all_caches() -> None:
+    for cache in _REGISTRY.values():
+        cache.clear()
+
+
+# --------------------------------------------------------- preprocess cache
+
+_PP_CACHE = ContentCache("preprocess")
+
+
+def preprocess_cached(text: str, filename: str = "<string>",
+                      include_paths: dict[str, str] | None = None,
+                      predefined: dict[str, str] | None = None,
+                      *, use_builtin_headers: bool = True):
+    """Preprocess ``text``, reusing the result for identical inputs.
+
+    The key covers the file text, the private header set, the predefined
+    macros, and the builtin-header switch — everything the preprocessor's
+    output depends on — so an edited header or macro is a miss, never a
+    stale hit.
+    """
+    from .preprocessor import Preprocessor
+
+    key_parts = [filename, text]
+    for mapping in (include_paths, predefined):
+        for name in sorted(mapping or ()):
+            key_parts.append(name)
+            key_parts.append((mapping or {})[name])
+        key_parts.append("\x1f")
+    key_parts.append("builtin" if use_builtin_headers else "bare")
+    key = content_key(*key_parts)
+
+    def build():
+        pp = Preprocessor(include_paths, predefined,
+                          use_builtin_headers=use_builtin_headers)
+        return pp.preprocess(text, filename)
+
+    return _PP_CACHE.get_or_build(key, build)

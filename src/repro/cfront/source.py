@@ -24,6 +24,12 @@ class SourceError(Exception):
         self.col = col
         super().__init__(f"{filename}:{line}:{col}: {message}")
 
+    def __reduce__(self):
+        # Rebuild from the structured fields, not the formatted string,
+        # so errors crossing a multiprocessing pool round-trip exactly.
+        return (type(self), (self.message, self.filename,
+                             self.line, self.col))
+
 
 class LexError(SourceError):
     """Raised when the lexer encounters an untokenizable character."""

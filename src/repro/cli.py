@@ -4,6 +4,9 @@ Subcommands mirror how the paper's tool is used:
 
 * ``fix FILE``       — apply SLR and/or STR to a C file, print or write
   the transformed source, and report per-site outcomes;
+* ``batch DIR``      — apply SLR/STR to every .c file in a directory
+  through the parallel batch driver (``--jobs N``), reporting per-file
+  wall time and cache counters;
 * ``run FILE``       — execute a C file in the bounds-checked VM;
 * ``analyze FILE``   — print analysis facts (points-to, aliases, buffer
   lengths at unsafe call sites).
@@ -67,16 +70,16 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    from .analysis import analyze
     from .cfront import astnodes as ast
-    from .cfront.parser import parse_translation_unit
     from .core.bufferlen import BufferLengthAnalyzer, LengthFailure
+    from .core.session import get_session
     from .core.slr import UNSAFE_FUNCTIONS
 
     source = _read(args.file)
-    text = preprocess(source, args.file)
-    unit = parse_translation_unit(text, args.file)
-    pa = analyze(unit)
+    session = get_session()
+    text = session.preprocess(source, args.file).text
+    parsed = session.parse(text, args.file)
+    unit, pa = parsed.unit, parsed.analysis
     lengths = BufferLengthAnalyzer(pa, text)
 
     print("== functions ==")
@@ -104,6 +107,79 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_batch(args: argparse.Namespace) -> int:
+    import os
+
+    from .cfront.source import SourceError
+    from .core.batch import SourceProgram, apply_batch
+    from .core.report import render_batch_stats, render_cache_stats
+
+    try:
+        entries = sorted(os.listdir(args.directory))
+    except OSError as exc:
+        print(f"cannot read {args.directory}: {exc.strerror}",
+              file=sys.stderr)
+        return 2
+
+    files: dict[str, str] = {}
+    headers: dict[str, str] = {}
+    for entry in entries:
+        path = os.path.join(args.directory, entry)
+        if not os.path.isfile(path):
+            continue
+        if entry.endswith(".c"):
+            files[entry] = _read(path)
+        elif entry.endswith(".h"):
+            headers[entry] = _read(path)
+    if not files:
+        print(f"no .c files in {args.directory}", file=sys.stderr)
+        return 2
+
+    program = SourceProgram(os.path.basename(
+        os.path.abspath(args.directory)) or "program", files, headers)
+    try:
+        batch = apply_batch(program, run_slr=not args.no_slr,
+                            run_str=not args.no_str, profile=args.profile,
+                            jobs=args.jobs)
+    except SourceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    for report in batch.reports:
+        for result in (report.slr, report.str_):
+            if result is None:
+                continue
+            for outcome in result.outcomes:
+                marker = "FIXED" if outcome.transformed else "SKIP "
+                reason = f" ({outcome.reason})" if outcome.reason else ""
+                print(f"[{marker}] {outcome.transformation} "
+                      f"{report.filename}:{outcome.line} "
+                      f"{outcome.function} {outcome.target}{reason}",
+                      file=sys.stderr)
+
+    if args.output:
+        os.makedirs(args.output, exist_ok=True)
+        for report in batch.reports:
+            out_path = os.path.join(args.output, report.filename)
+            with open(out_path, "w", encoding="utf-8") as handle:
+                handle.write(report.final_text)
+        print(f"wrote {len(batch.reports)} files to {args.output}",
+              file=sys.stderr)
+
+    print(render_batch_stats(batch))
+    if args.stats:
+        print()
+        print(render_cache_stats())
+    slr_done = batch.transformed("SLR")
+    slr_all = batch.candidates("SLR")
+    str_done = batch.transformed("STR")
+    str_all = batch.candidates("STR")
+    print(f"SLR {slr_done}/{slr_all} sites, STR {str_done}/{str_all} "
+          f"buffers; all files parse: "
+          f"{'yes' if batch.all_parse else 'NO'}", file=sys.stderr)
+    return 0 if batch.all_parse else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -120,6 +196,22 @@ def build_parser() -> argparse.ArgumentParser:
                      default="glib",
                      help="safe-function family for SLR (Table I)")
     fix.set_defaults(func=cmd_fix)
+
+    batch = sub.add_parser(
+        "batch", help="apply SLR/STR to every .c file in a directory")
+    batch.add_argument("directory")
+    batch.add_argument("-o", "--output",
+                       help="write transformed files to this directory")
+    batch.add_argument("-j", "--jobs", type=int, default=None,
+                       help="worker processes (default: REPRO_JOBS or 1)")
+    batch.add_argument("--no-slr", action="store_true")
+    batch.add_argument("--no-str", action="store_true")
+    batch.add_argument("--profile", choices=("glib", "c11"),
+                       default="glib",
+                       help="safe-function family for SLR (Table I)")
+    batch.add_argument("--stats", action="store_true",
+                       help="also print frontend cache counters")
+    batch.set_defaults(func=cmd_batch)
 
     run = sub.add_parser("run", help="run a C file in the checked VM")
     run.add_argument("file")

@@ -7,23 +7,31 @@
 * :func:`apply_batch` — batch both transformations over a whole program.
 """
 
-from .batch import BatchResult, SourceProgram, apply_batch
+from .batch import (
+    BatchResult, BatchStats, FileTask, FileTransformReport,
+    ProcessPoolExecutor, SerialExecutor, SourceProgram, apply_batch,
+    make_executor, transform_file,
+)
 from .bufferlen import BufferLength, BufferLengthAnalyzer, LengthFailure
+from .session import AnalysisSession, ParsedUnit, get_session, reset_session
 from .slr import SAFE_ALTERNATIVES, SafeLibraryReplacement, UNSAFE_FUNCTIONS, apply_slr
 from .stralloc import STRALLOC_DECLARATIONS, STRALLOC_FUNCTIONS
 from .strtransform import REPLACEMENT_PATTERNS, SafeTypeReplacement, apply_str
 from .transform import (
     PRECONDITION_FAILED, SiteOutcome, TRANSFORMED, TransformResult,
-    Transformation, verify_output_parses,
+    Transformation, sort_outcomes, verify_output_parses,
 )
 
 __all__ = [
-    "BatchResult", "SourceProgram", "apply_batch",
+    "BatchResult", "BatchStats", "FileTask", "FileTransformReport",
+    "ProcessPoolExecutor", "SerialExecutor", "SourceProgram",
+    "apply_batch", "make_executor", "transform_file",
     "BufferLength", "BufferLengthAnalyzer", "LengthFailure",
+    "AnalysisSession", "ParsedUnit", "get_session", "reset_session",
     "SAFE_ALTERNATIVES", "SafeLibraryReplacement", "UNSAFE_FUNCTIONS",
     "apply_slr",
     "STRALLOC_DECLARATIONS", "STRALLOC_FUNCTIONS",
     "REPLACEMENT_PATTERNS", "SafeTypeReplacement", "apply_str",
     "PRECONDITION_FAILED", "SiteOutcome", "TRANSFORMED", "TransformResult",
-    "Transformation", "verify_output_parses",
+    "Transformation", "sort_outcomes", "verify_output_parses",
 ]

@@ -1,23 +1,42 @@
 """Batch application of the transformations to whole programs.
 
 The paper evaluates SLR/STR by applying them *on all possible targets* in
-benchmark and open-source programs (§IV).  This module provides the program
-model (a named set of C source files plus headers) and the driver that
-preprocesses every file, runs SLR and/or STR over each, verifies the output
-still parses (the paper's "no compilation errors" check), and aggregates
-per-site outcomes.
+benchmark and open-source programs (§IV).  This module provides the
+program model (a named set of C source files plus headers) and a
+pluggable batch driver: files are preprocessed and parsed through the
+shared :class:`~repro.core.session.AnalysisSession` (content-keyed, so
+no stage re-parses text another stage already processed), transformed by
+SLR and/or STR, verified to still parse (the paper's "no compilation
+errors" check), and aggregated with per-file wall time and cache-hit
+counters.
+
+Execution is pluggable: :class:`SerialExecutor` runs in-process;
+:class:`ProcessPoolExecutor` fans files out over a ``multiprocessing``
+fork pool (``jobs=N`` / ``REPRO_JOBS``).  Both produce byte-identical
+results — tasks are ordered by filename and the pool preserves input
+order — so a parallel run differs from a serial one only in wall clock.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 
-from ..cfront.parser import parse_translation_unit
-from ..cfront.preprocessor import Preprocessor
+from ..cfront.cache import CacheStats, snapshot_stats
 from ..cfront.source import count_source_lines
+from .session import AnalysisSession, get_session
 from .slr import SafeLibraryReplacement
 from .strtransform import SafeTypeReplacement
 from .transform import TransformResult
+
+
+def default_jobs() -> int:
+    """Worker count when the caller does not pass one (``REPRO_JOBS``)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
 
 
 @dataclass
@@ -30,6 +49,8 @@ class SourceProgram:
     predefined: dict[str, str] = field(default_factory=dict)
     main_file: str | None = None
     preprocessed: bool = False                  # files already preprocessed
+    _pp_memo: "SourceProgram | None" = field(
+        default=None, init=False, repr=False, compare=False)
 
     @property
     def file_count(self) -> int:
@@ -40,20 +61,42 @@ class SourceProgram:
         return sum(count_source_lines(text)
                    for text in self.files.values()) / 1000.0
 
-    def preprocess(self) -> "SourceProgram":
-        """Preprocess every file; returns a new, preprocessed program."""
+    def preprocess(self, session: AnalysisSession | None = None
+                   ) -> "SourceProgram":
+        """Preprocess every file; returns a new, preprocessed program.
+
+        Memoized on the instance (Tables III–VI all query it, some more
+        than once) and served from the session's content-keyed cache, so
+        identical file text is only ever preprocessed once per process.
+        """
         if self.preprocessed:
             return self
-        out: dict[str, str] = {}
-        for filename, text in self.files.items():
-            pp = Preprocessor(self.headers, self.predefined)
-            out[filename] = pp.preprocess(text, filename).text
-        return SourceProgram(self.name, out, {}, {}, self.main_file,
-                             preprocessed=True)
+        if self._pp_memo is not None:
+            return self._pp_memo
+        session = session if session is not None else get_session()
+        out = {
+            filename: session.preprocess(text, filename, self.headers,
+                                         self.predefined).text
+            for filename, text in self.files.items()
+        }
+        self._pp_memo = SourceProgram(self.name, out, {}, {},
+                                      self.main_file, preprocessed=True)
+        return self._pp_memo
 
     def pp_kloc(self) -> float:
         """Preprocessed KLOC (the paper's 'PP KLOC' column)."""
         return self.preprocess().kloc()
+
+
+@dataclass(frozen=True)
+class FileTask:
+    """One file's transformation work order (picklable for the pool)."""
+
+    filename: str
+    text: str                                   # preprocessed text
+    run_slr: bool = True
+    run_str: bool = True
+    profile: str = "glib"
 
 
 @dataclass
@@ -63,6 +106,102 @@ class FileTransformReport:
     str_: TransformResult | None
     final_text: str
     parses: bool
+    wall_time: float = 0.0                      # seconds, in the worker
+
+
+def transform_file(task: FileTask,
+                   session: AnalysisSession | None = None
+                   ) -> FileTransformReport:
+    """Run the SLR→STR chain over one preprocessed file.
+
+    When SLR queues no edits, STR's parse of the "new" text is a cache
+    hit on SLR's input unit — the chain only rebuilds what changed.
+    """
+    session = session if session is not None else get_session()
+    start = time.perf_counter()
+    text = task.text
+    slr_result: TransformResult | None = None
+    str_result: TransformResult | None = None
+    if task.run_slr:
+        slr_result = SafeLibraryReplacement(
+            text, task.filename, profile=task.profile,
+            session=session).run()
+        text = slr_result.new_text
+    if task.run_str:
+        str_result = SafeTypeReplacement(
+            text, task.filename, session=session).run()
+        text = str_result.new_text
+    parses = session.check_parses(text, task.filename)
+    return FileTransformReport(task.filename, slr_result, str_result,
+                               text, parses,
+                               time.perf_counter() - start)
+
+
+# ------------------------------------------------------------- executors
+
+class SerialExecutor:
+    """Run every task in the calling process, in task order."""
+
+    jobs = 1
+
+    def map(self, tasks: list[FileTask]) -> list[FileTransformReport]:
+        return [transform_file(task) for task in tasks]
+
+
+class ProcessPoolExecutor:
+    """Fan tasks out over a ``multiprocessing`` fork pool.
+
+    Workers are forked, so they inherit the parent's warmed default
+    session (copy-on-write) — a pre-warmed cache benefits every worker.
+    Result order matches task order, making parallel output
+    byte-identical to serial.  Falls back to serial execution where the
+    fork start method is unavailable.
+    """
+
+    def __init__(self, jobs: int):
+        self.jobs = max(1, jobs)
+
+    def map(self, tasks: list[FileTask]) -> list[FileTransformReport]:
+        if self.jobs == 1 or len(tasks) <= 1:
+            return SerialExecutor().map(tasks)
+        import multiprocessing as mp
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:
+            return SerialExecutor().map(tasks)
+        with ctx.Pool(min(self.jobs, len(tasks))) as pool:
+            return pool.map(transform_file, tasks)
+
+
+def make_executor(jobs: int | None = None):
+    jobs = default_jobs() if jobs is None else jobs
+    return SerialExecutor() if jobs <= 1 else ProcessPoolExecutor(jobs)
+
+
+# ------------------------------------------------------------- aggregation
+
+@dataclass
+class BatchStats:
+    """Where the batch spent its time and how the caches fared.
+
+    Cache counters are deltas over the run as seen by *this* process;
+    a fork pool's in-worker hits show up in per-file wall times instead
+    (worker caches are not merged back).
+    """
+
+    jobs: int
+    wall_time: float
+    file_walls: dict[str, float] = field(default_factory=dict)
+    parse: CacheStats = field(default_factory=CacheStats)
+    preprocess: CacheStats = field(default_factory=CacheStats)
+
+    def as_dict(self) -> dict:
+        return {"jobs": self.jobs,
+                "wall_time_s": round(self.wall_time, 6),
+                "file_walls_s": {name: round(wall, 6)
+                                 for name, wall in self.file_walls.items()},
+                "parse_cache": self.parse.as_dict(),
+                "preprocess_cache": self.preprocess.as_dict()}
 
 
 @dataclass
@@ -71,6 +210,7 @@ class BatchResult:
 
     program: SourceProgram
     reports: list[FileTransformReport]
+    stats: BatchStats | None = None
 
     @property
     def transformed_program(self) -> SourceProgram:
@@ -120,25 +260,31 @@ class BatchResult:
 
 
 def apply_batch(program: SourceProgram, *, run_slr: bool = True,
-                run_str: bool = True) -> BatchResult:
-    """Preprocess and transform every file of ``program``."""
-    preprocessed = program.preprocess()
-    reports: list[FileTransformReport] = []
-    for filename, text in preprocessed.files.items():
-        slr_result: TransformResult | None = None
-        str_result: TransformResult | None = None
-        current = text
-        if run_slr:
-            slr_result = SafeLibraryReplacement(current, filename).run()
-            current = slr_result.new_text
-        if run_str:
-            str_result = SafeTypeReplacement(current, filename).run()
-            current = str_result.new_text
-        parses = True
-        try:
-            parse_translation_unit(current, filename)
-        except Exception:
-            parses = False
-        reports.append(FileTransformReport(filename, slr_result, str_result,
-                                           current, parses))
-    return BatchResult(program, reports)
+                run_str: bool = True, profile: str = "glib",
+                jobs: int | None = None,
+                session: AnalysisSession | None = None) -> BatchResult:
+    """Preprocess and transform every file of ``program``.
+
+    Files are processed in filename order by the executor selected via
+    ``jobs`` (1 = serial, N > 1 = fork pool, default from ``REPRO_JOBS``),
+    so serial and parallel runs produce byte-identical reports.
+    """
+    session = session if session is not None else get_session()
+    before = snapshot_stats()
+    start = time.perf_counter()
+    preprocessed = program.preprocess(session)
+    tasks = [FileTask(filename, preprocessed.files[filename],
+                      run_slr, run_str, profile)
+             for filename in sorted(preprocessed.files)]
+    executor = make_executor(jobs)
+    reports = executor.map(tasks)
+    wall = time.perf_counter() - start
+    after = snapshot_stats()
+    stats = BatchStats(
+        jobs=executor.jobs, wall_time=wall,
+        file_walls={r.filename: r.wall_time for r in reports},
+        parse=after["parse"].delta(before["parse"])
+        if "parse" in before else CacheStats("parse"),
+        preprocess=after["preprocess"].delta(before["preprocess"])
+        if "preprocess" in before else CacheStats("preprocess"))
+    return BatchResult(program, reports, stats)

@@ -1,0 +1,54 @@
+"""Pipeline instrumentation reports.
+
+Renders the batch driver's per-file wall times and the frontend cache
+counters as plain-text tables for the CLI (``repro batch --stats``) and
+the evaluation report.  Kept separate from :mod:`repro.eval.report`
+(which reproduces the paper's tables) — this module reports on the
+*pipeline itself*.
+"""
+
+from __future__ import annotations
+
+from ..cfront.cache import CacheStats, all_cache_stats
+from .batch import BatchResult
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [max(len(str(headers[i])),
+                  *(len(str(row[i])) for row in rows)) if rows
+              else len(str(headers[i])) for i in range(len(headers))]
+    def fmt(cells):
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_batch_stats(result: BatchResult) -> str:
+    """Per-file wall time + site counts for one batch run."""
+    rows = []
+    for report in result.reports:
+        slr = report.slr
+        str_ = report.str_
+        rows.append([
+            report.filename,
+            f"{report.wall_time * 1000.0:8.1f}",
+            f"{slr.transformed_count}/{slr.candidates}" if slr else "-",
+            f"{str_.transformed_count}/{str_.candidates}" if str_ else "-",
+            "yes" if report.parses else "NO",
+        ])
+    table = _table(["file", "wall ms", "SLR", "STR", "parses"], rows)
+    stats = result.stats
+    if stats is not None:
+        table += (f"\n\nbatch: {len(result.reports)} files in "
+                  f"{stats.wall_time:.3f}s with {stats.jobs} job(s)")
+    return table
+
+
+def render_cache_stats(stats: list[CacheStats] | None = None) -> str:
+    """Hit/miss counters for every frontend cache in this process."""
+    stats = all_cache_stats() if stats is None else stats
+    rows = [[s.name, s.hits, s.misses, s.evictions,
+             f"{100.0 * s.hit_rate:.1f}%"] for s in stats]
+    return _table(["cache", "hits", "misses", "evictions", "hit rate"],
+                  rows)

@@ -1,0 +1,131 @@
+"""The shared analysis session behind the whole transformation pipeline.
+
+Every pipeline stage — preprocessing, SLR, STR, the post-transform
+"still parses" verify, and the VM's parse-bind-typecheck prologue —
+consumes C text through one :class:`AnalysisSession`.  The session keys
+parsed units by content hash, so a text that any stage has already
+processed is never parsed, bound, or typechecked again: SLR's input unit
+is reused by the VM's "before" run, STR's output unit by the verify step
+and the "after" run, and repeated evaluation passes over the same corpus
+hit the cache outright.
+
+Cached units are *annotated* (symbols bound, expression types assigned)
+and carry a lazy :class:`~repro.analysis.ProgramAnalysis`, so the heavy
+flow analyses are still only built for the stages that query them.
+
+A module-level default session (:func:`get_session`) serves code that
+does not thread a session explicitly; worker processes forked by the
+batch executor inherit the parent's warmed default session for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import ProgramAnalysis
+from ..cfront.cache import (
+    CacheStats, ContentCache, content_key, preprocess_cached,
+    snapshot_stats,
+)
+from ..cfront.parser import parse_translation_unit
+from ..cfront.preprocessor import PreprocessedSource
+
+
+@dataclass
+class ParsedUnit:
+    """One cached parse: annotated AST + lazy analysis facade."""
+
+    text: str
+    filename: str
+    unit: object                    # ast.TranslationUnit
+    analysis: ProgramAnalysis
+
+
+class AnalysisSession:
+    """Owns the parse/analysis cache and the preprocess entry point.
+
+    ``include_paths`` and ``predefined`` become the session's defaults
+    for :meth:`preprocess`; the parse cache is keyed on text content
+    alone (a unit is a pure function of its preprocessed text — the
+    filename only labels diagnostics, so the first-seen name wins).
+    """
+
+    def __init__(self, include_paths: dict[str, str] | None = None,
+                 predefined: dict[str, str] | None = None,
+                 *, cache_name: str = "parse"):
+        self.include_paths = dict(include_paths or {})
+        self.predefined = dict(predefined or {})
+        self._parse_cache = ContentCache(cache_name)
+
+    # ------------------------------------------------------------ pipeline
+
+    def preprocess(self, text: str, filename: str = "<string>",
+                   include_paths: dict[str, str] | None = None,
+                   predefined: dict[str, str] | None = None,
+                   ) -> PreprocessedSource:
+        """Preprocess ``text`` through the content-keyed frontend cache."""
+        return preprocess_cached(
+            text, filename,
+            include_paths if include_paths is not None
+            else self.include_paths,
+            predefined if predefined is not None else self.predefined)
+
+    def parse(self, text: str, filename: str = "<unit>") -> ParsedUnit:
+        """Parse + bind + typecheck ``text``, cached by content.
+
+        The returned unit is shared between callers and must be treated
+        as read-only; transformations queue edits against the *text* in
+        a separate rewriter, never against the AST.
+        """
+        key = content_key(text)
+
+        def build() -> ParsedUnit:
+            unit = parse_translation_unit(text, filename)
+            analysis = ProgramAnalysis(unit).ensure_types()
+            return ParsedUnit(text, filename, unit, analysis)
+
+        return self._parse_cache.get_or_build(key, build)
+
+    def check_parses(self, text: str, filename: str = "<transformed>") -> bool:
+        """The paper's 'no compilation errors' verify, cache-backed.
+
+        A transformed text that equals its input (no edits queued) is a
+        guaranteed cache hit; a changed text is parsed once and the unit
+        is then reused by any downstream consumer (e.g. the VM run).
+        """
+        try:
+            self.parse(text, filename)
+        except Exception:
+            return False
+        return True
+
+    # ------------------------------------------------------------ counters
+
+    @property
+    def parse_stats(self) -> CacheStats:
+        return self._parse_cache.stats
+
+    def stats_snapshot(self) -> dict[str, CacheStats]:
+        """Counters for every frontend cache plus this session's parses."""
+        return snapshot_stats()
+
+    def clear(self) -> None:
+        self._parse_cache.clear()
+
+
+_DEFAULT_SESSION: AnalysisSession | None = None
+
+
+def get_session() -> AnalysisSession:
+    """The process-wide default session (created on first use)."""
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = AnalysisSession()
+    return _DEFAULT_SESSION
+
+
+def reset_session() -> AnalysisSession:
+    """Replace the default session with a fresh one (tests, tooling)."""
+    global _DEFAULT_SESSION
+    _DEFAULT_SESSION = AnalysisSession()
+    return _DEFAULT_SESSION

@@ -172,9 +172,9 @@ class SafeTypeReplacement(Transformation):
         self.finalize()
         new_text = self.rewriter.apply() if self.rewriter.has_edits \
             else self.text
-        from .transform import TransformResult
+        from .transform import TransformResult, sort_outcomes
         return TransformResult(self.name, self.text, new_text,
-                               list(self.outcomes))
+                               sort_outcomes(self.outcomes))
 
     # ------------------------------------------------------------ use scan
 

@@ -11,11 +11,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..analysis import ProgramAnalysis, analyze
+from ..analysis import ProgramAnalysis
 from ..cfront import astnodes as ast
-from ..cfront.parser import parse_translation_unit
 from ..cfront.rewriter import Rewriter
 from ..cfront.source import SourceFile
+from .session import AnalysisSession, get_session
 
 TRANSFORMED = "transformed"
 PRECONDITION_FAILED = "precondition-failed"
@@ -93,13 +93,19 @@ class Transformation:
 
     def __init__(self, text: str, filename: str = "<unit>",
                  unit: ast.TranslationUnit | None = None,
-                 analysis: ProgramAnalysis | None = None):
+                 analysis: ProgramAnalysis | None = None,
+                 session: AnalysisSession | None = None):
         self.text = text
         self.filename = filename
-        self.unit = unit if unit is not None \
-            else parse_translation_unit(text, filename)
+        self.session = session if session is not None else get_session()
+        if unit is None:
+            parsed = self.session.parse(text, filename)
+            unit = parsed.unit
+            if analysis is None:
+                analysis = parsed.analysis
+        self.unit = unit
         self.analysis = analysis if analysis is not None \
-            else analyze(self.unit)
+            else ProgramAnalysis(unit).ensure_types()
         self.rewriter = Rewriter(text)
         self.source = SourceFile(filename, text)
         self.outcomes: list[SiteOutcome] = []
@@ -127,7 +133,7 @@ class Transformation:
         new_text = self.rewriter.apply() if self.rewriter.has_edits \
             else self.text
         return TransformResult(self.name, self.text, new_text,
-                               list(self.outcomes))
+                               sort_outcomes(self.outcomes))
 
     # -------------------------------------------------------------- helpers
 
@@ -142,8 +148,24 @@ class Transformation:
         return node.source_text(self.text)
 
 
+def sort_outcomes(outcomes: list[SiteOutcome]) -> list[SiteOutcome]:
+    """Source order (line, then target/transformation) — the application
+    order is an implementation detail (SLR edits bottom-up), but reports
+    must be byte-identical however the sites were visited."""
+    return sorted(outcomes,
+                  key=lambda o: (o.line, o.target, o.transformation))
+
+
 def verify_output_parses(result: TransformResult,
-                         filename: str = "<transformed>") -> bool:
-    """The paper's 'no compilation errors' check: re-parse the output."""
-    parse_translation_unit(result.new_text, filename)
+                         filename: str = "<transformed>",
+                         session: AnalysisSession | None = None) -> bool:
+    """The paper's 'no compilation errors' check: re-parse the output.
+
+    Runs through the session's content-keyed cache, so verifying a text
+    that any stage already parsed costs one hash lookup.
+    """
+    session = session if session is not None else get_session()
+    if not session.check_parses(result.new_text, filename):
+        from ..cfront.parser import parse_translation_unit
+        parse_translation_unit(result.new_text, filename)  # raise the error
     return True

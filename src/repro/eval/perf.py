@@ -63,12 +63,13 @@ class PerfResult:
 
 
 def compute_perf(programs: tuple[str, ...] = DEFAULT_PROGRAMS,
-                 *, repeat: int = 3) -> PerfResult:
+                 *, repeat: int = 3,
+                 jobs: int | None = None) -> PerfResult:
     result = PerfResult()
     for name in programs:
         program = PROGRAM_BUILDERS[name]()
         original = program.preprocess()
-        transformed = apply_batch(program).transformed_program
+        transformed = apply_batch(program, jobs=jobs).transformed_program
 
         def timed(files: dict[str, str]) -> tuple[int, float, bytes]:
             best = float("inf")
@@ -99,9 +100,11 @@ def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description="Regenerate RQ3 table")
     parser.add_argument("--all", action="store_true",
                         help="measure all four programs")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: REPRO_JOBS or 1)")
     args = parser.parse_args(argv)
     programs = tuple(PROGRAM_BUILDERS) if args.all else DEFAULT_PROGRAMS
-    print(compute_perf(programs).render())
+    print(compute_perf(programs, jobs=args.jobs).render())
 
 
 if __name__ == "__main__":

@@ -5,13 +5,21 @@ must fault), apply SLR and/or STR, run again (no fault, and the good
 output prefix must be preserved) — the paper's RQ1 check that "the
 vulnerability was fixed in bad functions in all test programs" while
 "normal behavior" is preserved.
+
+Everything flows through the shared
+:class:`~repro.core.session.AnalysisSession`: the preprocessed text is
+parsed once and that unit is shared by SLR, STR's input (when SLR queued
+no edits), and the "before" execution; the transformed text's unit is
+shared by the verify and the "after" execution.  :func:`run_samate_suite`
+fans whole programs out over a fork pool (``jobs=N``) with
+deterministic, input-ordered results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..cfront.preprocessor import Preprocessor
+from ..core.session import AnalysisSession, get_session
 from ..core.slr import SafeLibraryReplacement
 from ..core.strtransform import SafeTypeReplacement
 from ..samate.generator import TestProgram
@@ -40,10 +48,12 @@ class SamateOutcome:
                 and self.good_preserved)
 
 
-def run_samate_program(program: TestProgram,
-                       *, execute: bool = True) -> SamateOutcome:
+def run_samate_program(program: TestProgram, *, execute: bool = True,
+                       session: AnalysisSession | None = None
+                       ) -> SamateOutcome:
     """Transform one SAMATE program and (optionally) execute before/after."""
-    pp = Preprocessor().preprocess(program.source, program.name)
+    session = session if session is not None else get_session()
+    pp = session.preprocess(program.source, program.name)
     source_lines = sum(1 for line in program.source.splitlines()
                       if line.strip())
 
@@ -51,11 +61,13 @@ def run_samate_program(program: TestProgram,
     slr_applied = False
     str_applied = False
     if program.slr_applicable:
-        slr_result = SafeLibraryReplacement(text, program.name).run()
+        slr_result = SafeLibraryReplacement(text, program.name,
+                                            session=session).run()
         slr_applied = slr_result.transformed_count > 0
         text = slr_result.new_text
     if program.str_applicable:
-        str_result = SafeTypeReplacement(text, program.name).run()
+        str_result = SafeTypeReplacement(text, program.name,
+                                         session=session).run()
         str_applied = str_result.transformed_count > 0
         text = str_result.new_text
 
@@ -79,6 +91,42 @@ def run_samate_program(program: TestProgram,
         fault_before=before.fault or "", fault_after=after.fault or "",
         pp_lines=pp.line_count, source_lines=source_lines,
         steps_before=before.steps, steps_after=after.steps)
+
+
+@dataclass(frozen=True)
+class _SuiteTask:
+    program: TestProgram
+    execute: bool
+
+
+def _run_suite_task(task: _SuiteTask) -> SamateOutcome:
+    return run_samate_program(task.program, execute=task.execute)
+
+
+def run_samate_suite(programs: list[TestProgram], *,
+                     execute: set[int] | None = None,
+                     jobs: int | None = None) -> list[SamateOutcome]:
+    """Run many SAMATE programs, optionally over a fork pool.
+
+    ``execute`` holds the ``id()`` of each program to actually run in
+    the VM (None = execute all).  Outcomes come back in input order
+    regardless of worker count, so parallel evaluation tables are
+    byte-identical to serial ones.
+    """
+    from ..core.batch import default_jobs
+    tasks = [_SuiteTask(p, execute is None or id(p) in execute)
+             for p in programs]
+    jobs = default_jobs() if jobs is None else max(1, jobs)
+    if jobs == 1 or len(tasks) <= 1:
+        return [_run_suite_task(task) for task in tasks]
+    import multiprocessing as mp
+    try:
+        ctx = mp.get_context("fork")
+    except ValueError:
+        return [_run_suite_task(task) for task in tasks]
+    chunk = max(1, len(tasks) // (jobs * 4))
+    with ctx.Pool(min(jobs, len(tasks))) as pool:
+        return pool.map(_run_suite_task, tasks, chunksize=chunk)
 
 
 def stratified_sample(programs: list[TestProgram],

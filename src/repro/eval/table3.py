@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 from ..samate.generator import CWE_TITLES, generate_suite
 from .common import PAPER_TABLE3, render_table
-from .samate_runner import run_samate_program, stratified_sample
+from .samate_runner import run_samate_suite, stratified_sample
 
 
 @dataclass
@@ -77,12 +77,14 @@ class Table3Result:
 
 
 def compute_table3(*, scale: float = 1.0,
-                   execute_limit: int | None = 20) -> Table3Result:
+                   execute_limit: int | None = 20,
+                   jobs: int | None = None) -> Table3Result:
     """Build Table III.
 
     ``execute_limit`` caps the per-CWE number of programs actually run in
     the VM (None = run every program); applicability and line counts are
-    always measured on every generated program.
+    always measured on every generated program.  ``jobs`` fans programs
+    out over a fork pool; row counts are identical at any worker count.
     """
     suite = generate_suite(scale)
     result = Table3Result()
@@ -93,9 +95,9 @@ def compute_table3(*, scale: float = 1.0,
                                                    execute_limit)))
         row = Table3Row(cwe=cwe, programs=len(programs), slr_applied=0,
                         str_applied=0, kloc=0.0, pp_kloc=0.0)
-        for program in programs:
-            outcome = run_samate_program(program,
-                                         execute=id(program) in to_execute)
+        outcomes = run_samate_suite(programs, execute=to_execute,
+                                    jobs=jobs)
+        for program, outcome in zip(programs, outcomes):
             if outcome.slr_applied:
                 row.slr_applied += 1
             if outcome.str_applied:
@@ -119,10 +121,13 @@ def main(argv: list[str] | None = None) -> None:
                         help="execute every program (slow)")
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--execute-limit", type=int, default=20)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: REPRO_JOBS or 1)")
     args = parser.parse_args(argv)
     result = compute_table3(
         scale=args.scale,
-        execute_limit=None if args.full else args.execute_limit)
+        execute_limit=None if args.full else args.execute_limit,
+        jobs=args.jobs)
     print(result.render())
     print(f"\nAll executed bad functions fixed: {result.all_fixed}")
     print(f"All executed good functions preserved: {result.all_preserved}")

@@ -54,10 +54,12 @@ class Table5Result:
                             "Table V — Running SLR on test programs")
 
 
-def compute_table5(*, execute: bool = True) -> Table5Result:
+def compute_table5(*, execute: bool = True,
+                   jobs: int | None = None) -> Table5Result:
     result = Table5Result()
     for name, program in build_all().items():
-        batch = apply_batch(program, run_slr=True, run_str=False)
+        batch = apply_batch(program, run_slr=True, run_str=False,
+                            jobs=jobs)
         tests_pass = True
         if execute:
             before = run_program_files(program.preprocess().files)
@@ -78,7 +80,14 @@ def compute_table5(*, execute: bool = True) -> Table5Result:
 
 
 def main(argv: list[str] | None = None) -> None:
-    result = compute_table5()
+    import argparse
+    parser = argparse.ArgumentParser(description="Regenerate Table V")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: REPRO_JOBS or 1)")
+    parser.add_argument("--no-execute", action="store_true",
+                        help="skip the before/after VM runs")
+    args = parser.parse_args(argv)
+    result = compute_table5(execute=not args.no_execute, jobs=args.jobs)
     print(result.render())
     print("\nPer-site failure reasons:")
     for row in result.rows:

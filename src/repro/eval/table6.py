@@ -84,10 +84,12 @@ def classify_outcomes(outcomes) -> tuple[int, int, int]:
     return identified, replaced, failed
 
 
-def compute_table6(*, execute: bool = True) -> Table6Result:
+def compute_table6(*, execute: bool = True,
+                   jobs: int | None = None) -> Table6Result:
     result = Table6Result()
     for name, program in build_all().items():
-        batch = apply_batch(program, run_slr=False, run_str=True)
+        batch = apply_batch(program, run_slr=False, run_str=True,
+                            jobs=jobs)
         outcomes = [o for report in batch.reports if report.str_
                     for o in report.str_.outcomes]
         identified, replaced, failed = classify_outcomes(outcomes)
@@ -104,7 +106,12 @@ def compute_table6(*, execute: bool = True) -> Table6Result:
 
 
 def main(argv: list[str] | None = None) -> None:
-    print(compute_table6().render())
+    import argparse
+    parser = argparse.ArgumentParser(description="Regenerate Table VI")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: REPRO_JOBS or 1)")
+    args = parser.parse_args(argv)
+    print(compute_table6(jobs=args.jobs).render())
 
 
 if __name__ == "__main__":

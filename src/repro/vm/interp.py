@@ -18,7 +18,6 @@ from ..cfront.ctypes_model import (
     INT, IntType, PointerType, StructType, VaListType, VoidType,
     usual_arithmetic_conversions,
 )
-from ..cfront.parser import parse_translation_unit
 from .memory import (
     Memory, MemoryFault, NULL, Pointer, StepLimitExceeded, VMError,
     decode_pointer, encode_pointer,
@@ -1037,12 +1036,17 @@ class _FakeBinary:
 def run_source(text: str, *, stdin: bytes = b"",
                step_limit: int = 5_000_000,
                entry: str = "main") -> ExecutionResult:
-    """Parse preprocessed C text, type it, and run it."""
-    unit = parse_translation_unit(text, "<program>")
-    from ..analysis import bind, typecheck
-    bind(unit)
-    typecheck(unit)
-    interp = Interpreter([unit], stdin=stdin, step_limit=step_limit)
+    """Parse preprocessed C text, type it, and run it.
+
+    The parse/bind/typecheck prologue goes through the shared
+    :class:`~repro.core.session.AnalysisSession` — running a text that a
+    transformation just produced (or verified) reuses its cached unit.
+    The interpreter treats the AST as read-only, so cached units are
+    safe to execute any number of times.
+    """
+    from ..core.session import get_session
+    parsed = get_session().parse(text, "<program>")
+    interp = Interpreter([parsed.unit], stdin=stdin, step_limit=step_limit)
     return interp.run(entry)
 
 
@@ -1050,12 +1054,9 @@ def run_program_files(files: dict[str, str], *, stdin: bytes = b"",
                       step_limit: int = 5_000_000,
                       entry: str = "main") -> ExecutionResult:
     """Parse, link, and run several preprocessed translation units."""
-    from ..analysis import bind, typecheck
-    units = []
-    for name, text in files.items():
-        unit = parse_translation_unit(text, name)
-        bind(unit)
-        typecheck(unit)
-        units.append(unit)
+    from ..core.session import get_session
+    session = get_session()
+    units = [session.parse(text, name).unit
+             for name, text in files.items()]
     interp = Interpreter(units, stdin=stdin, step_limit=step_limit)
     return interp.run(entry)
