@@ -1,0 +1,20 @@
+/* memcpy with an attacker-controlled length: `n` is read from stdin and
+ * can exceed sizeof(dst).  SLR clamps the copy to the destination's
+ * size (Option 1 when `n` is reused afterwards, otherwise an inline
+ * ternary), which the oracle verifies preserves benign behaviour. */
+#include <stdio.h>
+#include <string.h>
+
+int main(void) {
+    char src[64];
+    char dst[16];
+    char line[16];
+    int n = 0;
+    memset(src, 'x', sizeof(src));
+    if (fgets(line, sizeof(line), stdin))
+        n = (int)strlen(line) * 8;
+    memcpy(dst, src, n);
+    dst[sizeof(dst) - 1] = '\0';
+    printf("copied %d\n", n);
+    return 0;
+}

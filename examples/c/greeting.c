@@ -1,0 +1,15 @@
+/* Classic strcpy overflow: the name buffer is far smaller than the
+ * greeting copied into it.  SLR rewrites the strcpy to g_strlcpy and
+ * the differential oracle classifies the change as overflow-prevented:
+ *
+ *     python -m repro validate examples/c/greeting.c
+ */
+#include <stdio.h>
+#include <string.h>
+
+int main(void) {
+    char name[8];
+    strcpy(name, "a name that is much too long for eight bytes");
+    printf("hello, %s\n", name);
+    return 0;
+}

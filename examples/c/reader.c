@@ -1,0 +1,12 @@
+/* gets() can write past the end of `line` on long stdin lines.  SLR
+ * replaces it with fgets plus a newline-stripping epilogue; the oracle's
+ * overflow input (64 bytes of 'A') shows the fault disappearing while
+ * benign short lines keep their exact output. */
+#include <stdio.h>
+
+int main(void) {
+    char line[16];
+    if (gets(line))
+        printf("read: %s\n", line);
+    return 0;
+}

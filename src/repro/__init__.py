@@ -29,8 +29,8 @@ __version__ = "1.0.0"
 
 from .core import (
     AnalysisSession, SafeLibraryReplacement, SafeTypeReplacement,
-    SourceProgram, TransformResult, apply_batch, apply_slr, apply_str,
-    get_session,
+    SourceProgram, TransformResult, ValidationReport, apply_batch,
+    apply_slr, apply_str, get_session, validate_pair, validate_result,
 )
 from .cfront import Preprocessor, preprocess_and_parse
 from .vm import ExecutionResult, run_source
@@ -78,7 +78,8 @@ __all__ = [
     "__version__",
     "AnalysisSession", "get_session",
     "SafeLibraryReplacement", "SafeTypeReplacement", "SourceProgram",
-    "TransformResult", "apply_batch", "apply_slr", "apply_str",
+    "TransformResult", "ValidationReport", "apply_batch", "apply_slr",
+    "apply_str", "validate_pair", "validate_result",
     "Preprocessor", "preprocess_and_parse",
     "ExecutionResult", "run_source",
     "preprocess", "fix_buffer_overflows", "run_c",

@@ -6,7 +6,11 @@ Subcommands mirror how the paper's tool is used:
   the transformed source, and report per-site outcomes;
 * ``batch DIR``      — apply SLR/STR to every .c file in a directory
   through the parallel batch driver (``--jobs N``), reporting per-file
-  wall time and cache counters;
+  wall time and cache counters; ``--validate`` adds the differential
+  oracle;
+* ``validate PATH``  — transform a .c file (or directory) and run the
+  differential oracle: original vs. transformed behaviour on benign,
+  overflow, and seeded fuzz inputs, with per-divergence verdicts;
 * ``run FILE``       — execute a C file in the bounds-checked VM;
 * ``analyze FILE``   — print analysis facts (points-to, aliases, buffer
   lengths at unsafe call sites).
@@ -107,40 +111,55 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_program(path: str):
+    """Build a SourceProgram from a directory of .c/.h files or a single
+    .c file; returns (program, error-message)."""
+    import os
+
+    from .core.batch import SourceProgram
+
+    if os.path.isfile(path):
+        name = os.path.basename(path)
+        return SourceProgram(name, {name: _read(path)}, {}), None
+    try:
+        entries = sorted(os.listdir(path))
+    except OSError as exc:
+        return None, f"cannot read {path}: {exc.strerror}"
+    files: dict[str, str] = {}
+    headers: dict[str, str] = {}
+    for entry in entries:
+        full = os.path.join(path, entry)
+        if not os.path.isfile(full):
+            continue
+        if entry.endswith(".c"):
+            files[entry] = _read(full)
+        elif entry.endswith(".h"):
+            headers[entry] = _read(full)
+    if not files:
+        return None, f"no .c files in {path}"
+    program = SourceProgram(
+        os.path.basename(os.path.abspath(path)) or "program",
+        files, headers)
+    return program, None
+
+
 def cmd_batch(args: argparse.Namespace) -> int:
     import os
 
     from .cfront.source import SourceError
-    from .core.batch import SourceProgram, apply_batch
-    from .core.report import render_batch_stats, render_cache_stats
+    from .core.batch import apply_batch
+    from .core.report import (
+        render_batch_stats, render_cache_stats, render_validation,
+    )
 
-    try:
-        entries = sorted(os.listdir(args.directory))
-    except OSError as exc:
-        print(f"cannot read {args.directory}: {exc.strerror}",
-              file=sys.stderr)
+    program, error = _load_program(args.directory)
+    if program is None:
+        print(error, file=sys.stderr)
         return 2
-
-    files: dict[str, str] = {}
-    headers: dict[str, str] = {}
-    for entry in entries:
-        path = os.path.join(args.directory, entry)
-        if not os.path.isfile(path):
-            continue
-        if entry.endswith(".c"):
-            files[entry] = _read(path)
-        elif entry.endswith(".h"):
-            headers[entry] = _read(path)
-    if not files:
-        print(f"no .c files in {args.directory}", file=sys.stderr)
-        return 2
-
-    program = SourceProgram(os.path.basename(
-        os.path.abspath(args.directory)) or "program", files, headers)
     try:
         batch = apply_batch(program, run_slr=not args.no_slr,
                             run_str=not args.no_str, profile=args.profile,
-                            jobs=args.jobs)
+                            jobs=args.jobs, validate=args.validate)
     except SourceError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -167,6 +186,9 @@ def cmd_batch(args: argparse.Namespace) -> int:
               file=sys.stderr)
 
     print(render_batch_stats(batch))
+    if args.validate:
+        print()
+        print(render_validation(batch))
     if args.stats:
         print()
         print(render_cache_stats())
@@ -177,7 +199,42 @@ def cmd_batch(args: argparse.Namespace) -> int:
     print(f"SLR {slr_done}/{slr_all} sites, STR {str_done}/{str_all} "
           f"buffers; all files parse: "
           f"{'yes' if batch.all_parse else 'NO'}", file=sys.stderr)
-    return 0 if batch.all_parse else 1
+    ok = batch.all_parse and (not args.validate
+                              or batch.semantics_preserved)
+    return 0 if ok else 1
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from .cfront.source import SourceError
+    from .core.batch import apply_batch
+    from .core.report import render_validation
+
+    program, error = _load_program(args.path)
+    if program is None:
+        print(error, file=sys.stderr)
+        return 2
+    try:
+        batch = apply_batch(program, run_slr=not args.no_slr,
+                            run_str=not args.no_str, profile=args.profile,
+                            jobs=args.jobs, validate=True,
+                            fuzz_seed=args.seed)
+    except SourceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    for report in batch.reports:
+        if not report.parses:
+            print(f"[BROKEN] {report.filename}: transformed text does "
+                  f"not parse", file=sys.stderr)
+        if report.validation is None:
+            continue
+        for verdict in report.validation.divergences():
+            print(f"[{verdict.verdict}] {report.filename} "
+                  f"{verdict.input.name}({verdict.input.kind}): "
+                  f"{verdict.detail}", file=sys.stderr)
+
+    print(render_validation(batch))
+    return 0 if batch.all_parse and batch.semantics_preserved else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -211,7 +268,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="safe-function family for SLR (Table I)")
     batch.add_argument("--stats", action="store_true",
                        help="also print frontend cache counters")
+    batch.add_argument("--validate", action="store_true",
+                       help="run the differential oracle on every "
+                            "transformed file")
     batch.set_defaults(func=cmd_batch)
+
+    validate = sub.add_parser(
+        "validate",
+        help="differentially validate SLR/STR over a file or directory")
+    validate.add_argument("path", help=".c file or directory of .c files")
+    validate.add_argument("-j", "--jobs", type=int, default=None,
+                          help="worker processes (default: REPRO_JOBS "
+                               "or 1)")
+    validate.add_argument("--no-slr", action="store_true")
+    validate.add_argument("--no-str", action="store_true")
+    validate.add_argument("--profile", choices=("glib", "c11"),
+                          default="glib",
+                          help="safe-function family for SLR (Table I)")
+    validate.add_argument("--seed", type=int, default=None,
+                          help="fuzz-input seed (default: "
+                               "REPRO_VALIDATE_SEED or 20140623)")
+    validate.set_defaults(func=cmd_validate)
 
     run = sub.add_parser("run", help="run a C file in the checked VM")
     run.add_argument("file")

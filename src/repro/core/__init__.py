@@ -21,6 +21,10 @@ from .transform import (
     PRECONDITION_FAILED, SiteOutcome, TRANSFORMED, TransformResult,
     Transformation, sort_outcomes, verify_output_parses,
 )
+from .validate import (
+    DifferentialInput, InputVerdict, VERDICTS, ValidationReport,
+    classify, default_inputs, fuzz_inputs, validate_pair, validate_result,
+)
 
 __all__ = [
     "BatchResult", "BatchStats", "FileTask", "FileTransformReport",
@@ -34,4 +38,7 @@ __all__ = [
     "REPLACEMENT_PATTERNS", "SafeTypeReplacement", "apply_str",
     "PRECONDITION_FAILED", "SiteOutcome", "TRANSFORMED", "TransformResult",
     "Transformation", "sort_outcomes", "verify_output_parses",
+    "DifferentialInput", "InputVerdict", "VERDICTS", "ValidationReport",
+    "classify", "default_inputs", "fuzz_inputs", "validate_pair",
+    "validate_result",
 ]

@@ -29,6 +29,7 @@ from .session import AnalysisSession, get_session
 from .slr import SafeLibraryReplacement
 from .strtransform import SafeTypeReplacement
 from .transform import TransformResult
+from .validate import ValidationReport, default_inputs, validate_pair
 
 
 def default_jobs() -> int:
@@ -97,6 +98,8 @@ class FileTask:
     run_slr: bool = True
     run_str: bool = True
     profile: str = "glib"
+    validate: bool = False                      # run the diff oracle
+    fuzz_seed: int | None = None                # None = env/default seed
 
 
 @dataclass
@@ -107,6 +110,7 @@ class FileTransformReport:
     final_text: str
     parses: bool
     wall_time: float = 0.0                      # seconds, in the worker
+    validation: "ValidationReport | None" = None
 
 
 def transform_file(task: FileTask,
@@ -116,6 +120,10 @@ def transform_file(task: FileTask,
 
     When SLR queues no edits, STR's parse of the "new" text is a cache
     hit on SLR's input unit — the chain only rebuilds what changed.
+    With ``task.validate`` set, the differential oracle then executes
+    the original vs. transformed text on the standard probe set; the
+    probe inputs depend only on filename and seed, so verdicts are
+    byte-identical at any worker count.
     """
     session = session if session is not None else get_session()
     start = time.perf_counter()
@@ -132,9 +140,14 @@ def transform_file(task: FileTask,
             text, task.filename, session=session).run()
         text = str_result.new_text
     parses = session.check_parses(text, task.filename)
+    validation: ValidationReport | None = None
+    if task.validate and parses:
+        validation = validate_pair(
+            task.text, text, filename=task.filename,
+            inputs=default_inputs(task.filename, seed=task.fuzz_seed))
     return FileTransformReport(task.filename, slr_result, str_result,
                                text, parses,
-                               time.perf_counter() - start)
+                               time.perf_counter() - start, validation)
 
 
 # ------------------------------------------------------------- executors
@@ -258,23 +271,51 @@ class BatchResult:
     def all_parse(self) -> bool:
         return all(r.parses for r in self.reports)
 
+    # ------------------------------------------------ validation rollups
+
+    def validations(self) -> list[ValidationReport]:
+        return [r.validation for r in self.reports
+                if r.validation is not None]
+
+    def validation_counts(self) -> dict[str, int]:
+        """Verdict counters summed over every validated file."""
+        totals: dict[str, int] = {}
+        for report in self.validations():
+            for verdict, n in report.counts().items():
+                totals[verdict] = totals.get(verdict, 0) + n
+        return totals
+
+    @property
+    def semantics_preserved(self) -> bool:
+        """No validated file shows a ``semantics-changed`` divergence."""
+        return all(report.ok for report in self.validations())
+
 
 def apply_batch(program: SourceProgram, *, run_slr: bool = True,
                 run_str: bool = True, profile: str = "glib",
                 jobs: int | None = None,
+                validate: bool | None = None,
+                fuzz_seed: int | None = None,
                 session: AnalysisSession | None = None) -> BatchResult:
     """Preprocess and transform every file of ``program``.
 
     Files are processed in filename order by the executor selected via
     ``jobs`` (1 = serial, N > 1 = fork pool, default from ``REPRO_JOBS``),
     so serial and parallel runs produce byte-identical reports.
+
+    ``validate=True`` runs the differential oracle on every transformed
+    file (``None`` defers to ``session.validate``); verdicts land on
+    each report's ``validation`` and roll up via
+    :meth:`BatchResult.validation_counts`.
     """
     session = session if session is not None else get_session()
+    if validate is None:
+        validate = session.validate
     before = snapshot_stats()
     start = time.perf_counter()
     preprocessed = program.preprocess(session)
     tasks = [FileTask(filename, preprocessed.files[filename],
-                      run_slr, run_str, profile)
+                      run_slr, run_str, profile, validate, fuzz_seed)
              for filename in sorted(preprocessed.files)]
     executor = make_executor(jobs)
     reports = executor.map(tasks)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from ..cfront.cache import CacheStats, all_cache_stats
 from .batch import BatchResult
+from .validate import VERDICTS
 
 
 def _table(headers: list[str], rows: list[list[str]]) -> str:
@@ -26,23 +27,58 @@ def _table(headers: list[str], rows: list[list[str]]) -> str:
 
 def render_batch_stats(result: BatchResult) -> str:
     """Per-file wall time + site counts for one batch run."""
+    validated = any(r.validation is not None for r in result.reports)
     rows = []
     for report in result.reports:
         slr = report.slr
         str_ = report.str_
-        rows.append([
+        row = [
             report.filename,
             f"{report.wall_time * 1000.0:8.1f}",
             f"{slr.transformed_count}/{slr.candidates}" if slr else "-",
             f"{str_.transformed_count}/{str_.candidates}" if str_ else "-",
             "yes" if report.parses else "NO",
-        ])
-    table = _table(["file", "wall ms", "SLR", "STR", "parses"], rows)
+        ]
+        if validated:
+            if report.validation is None:
+                row.append("-")
+            elif report.validation.ok:
+                row.append("ok")
+            else:
+                row.append(
+                    f"CHANGED x{report.validation.semantics_changed}")
+        rows.append(row)
+    headers = ["file", "wall ms", "SLR", "STR", "parses"]
+    if validated:
+        headers.append("oracle")
+    table = _table(headers, rows)
     stats = result.stats
     if stats is not None:
         table += (f"\n\nbatch: {len(result.reports)} files in "
                   f"{stats.wall_time:.3f}s with {stats.jobs} job(s)")
     return table
+
+
+def render_validation(result: BatchResult) -> str:
+    """Per-file differential-oracle verdict counters for one batch run."""
+    rows = []
+    for report in result.validations():
+        counts = report.counts()
+        rows.append([report.filename,
+                     "unchanged" if report.unchanged
+                     else len(report.verdicts),
+                     *(counts[verdict] for verdict in VERDICTS)])
+    totals = result.validation_counts()
+    if rows:
+        rows.append(["Total",
+                     sum(len(r.verdicts) for r in result.validations()),
+                     *(totals.get(verdict, 0) for verdict in VERDICTS)])
+    table = _table(["file", "inputs", *VERDICTS], rows)
+    verdict_line = ("semantics preserved: yes"
+                    if result.semantics_preserved else
+                    f"semantics preserved: NO "
+                    f"({totals.get('semantics-changed', 0)} divergences)")
+    return f"{table}\n\n{verdict_line}"
 
 
 def render_cache_stats(stats: list[CacheStats] | None = None) -> str:

@@ -52,9 +52,13 @@ class AnalysisSession:
 
     def __init__(self, include_paths: dict[str, str] | None = None,
                  predefined: dict[str, str] | None = None,
-                 *, cache_name: str = "parse"):
+                 *, cache_name: str = "parse", validate: bool = False):
         self.include_paths = dict(include_paths or {})
         self.predefined = dict(predefined or {})
+        #: Session-wide default for the differential oracle: batch
+        #: drivers that are not told ``validate=`` explicitly fall back
+        #: to this flag (see :func:`repro.core.batch.apply_batch`).
+        self.validate = validate
         self._parse_cache = ContentCache(cache_name)
 
     # ------------------------------------------------------------ pipeline

@@ -34,6 +34,8 @@ Two *replacement profiles* implement Table I's alternative families:
 
 from __future__ import annotations
 
+import re
+
 from ..cfront import astnodes as ast
 from ..cfront.rewriter import end_of_line, line_indent
 from .bufferlen import BufferLength, BufferLengthAnalyzer, LengthFailure
@@ -82,6 +84,7 @@ _DECLARATIONS: dict[str, str] = {
     "malloc_usable_size":
         "unsigned long malloc_usable_size(void *ptr);",
     "strchr": "char *strchr(const char *s, int c);",
+    "strcspn": "unsigned long strcspn(const char *s, const char *reject);",
     "strcpy_s": "int strcpy_s(char *dest, unsigned long destsz, "
                 "const char *src);",
     "strcat_s": "int strcat_s(char *dest, unsigned long destsz, "
@@ -119,7 +122,7 @@ class SafeLibraryReplacement(Transformation):
         # inline ternary even when the length variable is read later.
         self.memcpy_option1 = memcpy_option1
         self._needed_decls: set[str] = set()
-        self._temp_counter = 0
+        self._used_names: set[str] | None = None
 
     # ------------------------------------------------------------- targets
 
@@ -218,21 +221,60 @@ class SafeLibraryReplacement(Transformation):
             self._note_decls("gets_s", length)
             return self._ok(base)
         dest_text = self.src(call.args[0])
+        value_used = not (isinstance(stmt, ast.ExprStmt)
+                          and stmt.expr is call)
+        if value_used:
+            # The return value is consumed (`if (gets(line)) ...`): a
+            # statement-level epilogue would strip the newline only
+            # after the consumer already ran.  Rewrite the call itself
+            # into an expression that strips before yielding the value:
+            #     (fgets(d, N, stdin)
+            #        ? (d[strcspn(d, "\n")] = '\0', d) : (char *)0)
+            # The destination is evaluated more than once, so only a
+            # plain identifier qualifies.
+            if not isinstance(call.args[0], ast.Identifier):
+                return self._fail(
+                    base, "unsupported-expr",
+                    "gets value consumed and destination is not a "
+                    "simple identifier")
+            self._rename_callee(call, "fgets")
+            self.rewriter.insert_after(call.args[0].extent,
+                                       f", {length.render()}, stdin")
+            self.rewriter.insert_before(call.extent.start, "(")
+            self.rewriter.insert_after(
+                call.extent,
+                f" ? ({dest_text}[strcspn({dest_text}, \"\\n\")] = "
+                f"'\\0', {dest_text}) : (char *)0)")
+            self._needed_decls.add("strcspn")
+            self._note_decls("fgets", length)
+            return self._ok(base)
         self._rename_callee(call, "fgets")
         self.rewriter.insert_after(call.args[0].extent,
                                    f", {length.render()}, stdin")
         # fgets keeps the trailing newline that gets strips: add the
         # newline-removal epilogue after the statement (paper §III-B2).
-        indent = line_indent(self.text, stmt.extent.start)
         check = self._fresh_name("check")
-        epilogue = (
-            f"{indent}char *{check} = strchr({dest_text}, '\\n');\n"
-            f"{indent}if ({check}) {{\n"
-            f"{indent}    *{check} = '\\0';\n"
-            f"{indent}}}\n"
-        )
-        insert_at = end_of_line(self.text, stmt.extent.end - 1)
-        self.rewriter.insert_before(insert_at, epilogue)
+        if self._owns_its_lines(stmt):
+            indent = line_indent(self.text, stmt.extent.start)
+            epilogue = (
+                f"{indent}char *{check} = strchr({dest_text}, '\\n');\n"
+                f"{indent}if ({check}) {{\n"
+                f"{indent}    *{check} = '\\0';\n"
+                f"{indent}}}\n"
+            )
+            insert_at = end_of_line(self.text, stmt.extent.end - 1)
+            self.rewriter.insert_before(insert_at, epilogue)
+        else:
+            # The statement is a brace-less if/else/loop body (or shares
+            # its line with other code): an epilogue inserted after the
+            # line would run even when the body is skipped, and could
+            # steal a dangling `else`.  Wrap statement + epilogue in one
+            # block so they execute (or not) together.
+            self.rewriter.insert_before(stmt.extent.start, "{ ")
+            self.rewriter.insert_before(
+                stmt.extent.end,
+                f" char *{check} = strchr({dest_text}, '\\n'); "
+                f"if ({check}) {{ *{check} = '\\0'; }} }}")
         self._needed_decls.add("strchr")
         self._note_decls("fgets", length)
         return self._ok(base)
@@ -265,15 +307,17 @@ class SafeLibraryReplacement(Transformation):
             return self._ok(base)
         size_arg = call.args[2]
         dst_len = length.render()
+        stmt = call.enclosing_statement()
         used_later = self.memcpy_option1 and \
             self._length_used_later(size_arg, call)
-        if used_later and isinstance(size_arg, ast.Identifier):
+        if used_later and isinstance(size_arg, ast.Identifier) and \
+                stmt is not None and self._owns_its_lines(stmt):
             # Option 1: clamp the length variable before the call, since
-            # later statements (e.g. NUL termination) read it.
-            stmt = call.enclosing_statement()
-            if stmt is None:
-                return self._fail(base, "unsupported-expr",
-                                  "memcpy outside a statement")
+            # later statements (e.g. NUL termination) read it.  Only
+            # valid when the statement sits directly in a compound block
+            # and owns its line — a clamp hoisted above a brace-less
+            # `if (c) memcpy(...)` would mutate the variable even on the
+            # untaken branch (Option 2 below stays conditional).
             name = size_arg.name
             indent = line_indent(self.text, stmt.extent.start)
             clamp = (f"{indent}{name} = {dst_len} > {name} ? "
@@ -324,6 +368,25 @@ class SafeLibraryReplacement(Transformation):
 
     # -------------------------------------------------------------- helpers
 
+    def _owns_its_lines(self, stmt: ast.Statement) -> bool:
+        """Can whole lines be inserted around ``stmt`` without changing
+        control flow?
+
+        True only when the statement sits directly inside a compound
+        block (so an adjacent line executes iff the statement does) and
+        shares its first/last line with nothing else (so line-granular
+        insertion points fall inside the same block).
+        """
+        if not isinstance(stmt.parent, ast.CompoundStmt):
+            return False
+        line_start = self.text.rfind("\n", 0, stmt.extent.start) + 1
+        if self.text[line_start:stmt.extent.start].strip():
+            return False
+        eol = end_of_line(self.text, stmt.extent.end - 1)
+        if self.text[stmt.extent.end:eol].strip():
+            return False
+        return True
+
     def _rename_callee(self, call: ast.Call, new_name: str) -> None:
         self.rewriter.replace(call.func.extent, new_name)
 
@@ -334,9 +397,21 @@ class SafeLibraryReplacement(Transformation):
             self._needed_decls.add("malloc_usable_size")
 
     def _fresh_name(self, base: str) -> str:
-        self._temp_counter += 1
-        suffix = "" if self._temp_counter == 1 else f"_{self._temp_counter}"
-        return f"{base}{suffix}"
+        """A temporary name no declaration (or any other identifier) in
+        the unit already uses — a bare ``check`` would otherwise capture
+        a user variable of the same name in scope."""
+        if self._used_names is None:
+            names = set(_IDENTIFIER.findall(self.text))
+            names.update(s.name
+                         for s in self.analysis.symbols.all_symbols)
+            self._used_names = names
+        candidate = base
+        serial = 1
+        while candidate in self._used_names:
+            serial += 1
+            candidate = f"{base}_{serial}"
+        self._used_names.add(candidate)
+        return candidate
 
     def _ok(self, base: dict) -> SiteOutcome:
         return SiteOutcome(**base, status=TRANSFORMED)
@@ -366,16 +441,37 @@ class SafeLibraryReplacement(Transformation):
                    "char *fgets(char *s, int size, FILE *stream);\n\n")
 
 
-def _already_declared(text: str, name: str) -> bool:
-    """Does the (preprocessed) text already declare ``name``?
+_IDENTIFIER = re.compile(r"[A-Za-z_]\w*")
 
-    A declaration shows up as the name followed by '(' with a type before
-    it — ' name(' or '*name(' — which a bare call site inside a function
-    body also matches, but a false positive only suppresses a redundant
-    redeclaration, never a needed one, because call sites in preprocessed
-    text always follow the header's declaration.
+#: String/char literals and comments, blanked before brace counting so a
+#: lone ``"{"`` in a format string cannot skew the scope depth.
+_LITERAL_OR_COMMENT = re.compile(
+    r'"(?:[^"\\\n]|\\.)*"'
+    r"|'(?:[^'\\\n]|\\.)*'"
+    r"|/\*.*?\*/"
+    r"|//[^\n]*", re.S)
+
+
+def _already_declared(text: str, name: str) -> bool:
+    """Does the (preprocessed) text declare ``name`` at file scope?
+
+    Only a ``name(`` token at brace depth zero counts — a declaration or
+    a definition.  Call sites always sit inside a function body (depth
+    >= 1), so a program that merely *calls* e.g. ``fgets`` through a K&R
+    implicit declaration no longer suppresses the injected prototype.
     """
-    return f" {name}(" in text or f"*{name}(" in text
+    stripped = _LITERAL_OR_COMMENT.sub('""', text)
+    scanner = re.compile(r"[{}]|\b" + re.escape(name) + r"\s*\(")
+    depth = 0
+    for match in scanner.finditer(stripped):
+        token = match.group(0)
+        if token == "{":
+            depth += 1
+        elif token == "}":
+            depth = max(0, depth - 1)
+        elif depth == 0:
+            return True
+    return False
 
 
 def apply_slr(text: str, filename: str = "<unit>",

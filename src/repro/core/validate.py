@@ -1,0 +1,290 @@
+"""Differential transformation oracle.
+
+The paper's core claim is that SLR/STR are *behaviour-preserving except
+at the overflow itself*.  This module checks that claim end-to-end: the
+original and the transformed translation unit are executed under the
+bounds-checked VM on the same inputs, and every observable divergence
+(stdout, exit status, memory-fault traps — see
+:meth:`~repro.vm.interp.ExecutionResult.observable`) is classified:
+
+``identical``
+    Same observable behaviour — the common case on benign inputs.
+``overflow-prevented``
+    The original run died on a memory trap and the transformed run did
+    not: the fix stopped a smash.  This is the *expected* divergence.
+``benign-divergence``
+    Outputs differ only by truncation (every transformed output line is
+    a prefix of the original's), the documented behaviour of the
+    truncating glib family / rejecting Annex K family on over-long but
+    otherwise benign data.
+``semantics-changed``
+    Any other divergence — a transformation bug.  ``repro validate``
+    exits non-zero when one is found.
+
+Each file is probed with three input families (§IV's evaluation inputs,
+made systematic): *benign* inputs that fit every reasonable buffer,
+*overflow* inputs borrowed from the SAMATE generators (long enough to
+smash every buffer in the suite), and *fuzz* inputs drawn from a
+deterministically seeded PRNG — same seed, same bytes, in every process,
+so serial and fork-pool validation verdicts are byte-identical.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from dataclasses import dataclass, field
+from random import Random
+
+from ..vm.interp import ExecutionResult, run_source
+
+VERDICT_IDENTICAL = "identical"
+VERDICT_PREVENTED = "overflow-prevented"
+VERDICT_BENIGN = "benign-divergence"
+VERDICT_CHANGED = "semantics-changed"
+
+#: Verdict taxonomy, ordered from best to worst.
+VERDICTS = (VERDICT_IDENTICAL, VERDICT_PREVENTED, VERDICT_BENIGN,
+            VERDICT_CHANGED)
+
+#: Default seed for the fuzz-input PRNG (``REPRO_VALIDATE_SEED``).
+DEFAULT_FUZZ_SEED = 20140623
+
+#: Default number of fuzz inputs per file.
+DEFAULT_FUZZ_COUNT = 4
+
+#: Step budget per differential run — far above any oracle test program,
+#: far below the default VM limit (a runaway input should not stall a
+#: whole batch).
+DEFAULT_STEP_LIMIT = 2_000_000
+
+
+@dataclass(frozen=True)
+class DifferentialInput:
+    """One stdin the oracle feeds to both program versions."""
+
+    name: str
+    stdin: bytes
+    kind: str                   # 'benign' | 'overflow' | 'fuzz'
+
+
+def benign_inputs() -> list[DifferentialInput]:
+    """Inputs that fit comfortably in every buffer the suite declares."""
+    return [
+        DifferentialInput("empty", b"", "benign"),
+        DifferentialInput("short-line", b"hi\n", "benign"),
+        DifferentialInput("two-lines", b"one\ntwo\n", "benign"),
+    ]
+
+
+def overflow_inputs() -> list[DifferentialInput]:
+    """Overflow-triggering inputs from the SAMATE generators: the suite
+    stdin (sized to smash every ``gets`` buffer the flow/variant
+    generators emit) plus a longer unterminated variant."""
+    from ..samate.generator import DEFAULT_STDIN
+    return [
+        DifferentialInput("samate-overflow", DEFAULT_STDIN, "overflow"),
+        DifferentialInput("long-unterminated", b"B" * 256, "overflow"),
+    ]
+
+
+def fuzz_inputs(seed: int, count: int = DEFAULT_FUZZ_COUNT,
+                max_len: int = 96) -> list[DifferentialInput]:
+    """``count`` pseudo-random inputs from a fixed seed.
+
+    ``random.Random`` is specified to produce the same stream for the
+    same seed on every platform and process, which keeps fuzz verdicts
+    byte-identical across ``--jobs`` settings and cache modes.
+    """
+    rng = Random(seed)
+    inputs = []
+    for i in range(count):
+        length = rng.randrange(0, max_len)
+        body = bytes(rng.randrange(32, 127) for _ in range(length))
+        if rng.random() < 0.75:
+            body += b"\n"
+        inputs.append(DifferentialInput(f"fuzz-{i}", body, "fuzz"))
+    return inputs
+
+
+def file_seed(filename: str, base_seed: int | None = None) -> int:
+    """Per-file fuzz seed: stable across processes and orderings (uses
+    ``zlib.crc32``, not the salted builtin ``hash``)."""
+    if base_seed is None:
+        try:
+            base_seed = int(os.environ.get("REPRO_VALIDATE_SEED",
+                                           str(DEFAULT_FUZZ_SEED)))
+        except ValueError:
+            base_seed = DEFAULT_FUZZ_SEED
+    return base_seed ^ zlib.crc32(filename.encode("utf-8", "replace"))
+
+
+def default_inputs(filename: str = "", *, seed: int | None = None,
+                   fuzz_count: int = DEFAULT_FUZZ_COUNT
+                   ) -> list[DifferentialInput]:
+    """The standard probe set: benign + overflow + seeded fuzz."""
+    return (benign_inputs() + overflow_inputs()
+            + fuzz_inputs(file_seed(filename, seed), fuzz_count))
+
+
+# --------------------------------------------------------- classification
+
+def _is_truncation(original: bytes, transformed: bytes) -> bool:
+    """Is ``transformed`` a line-wise truncation of ``original``?
+
+    True when the transformed run printed no *new* data: it has at most
+    as many lines, and every line is a prefix of the original's
+    corresponding line — the shape g_strlcpy-style truncation (or Annex
+    K rejection, which empties the destination) produces.
+    """
+    if transformed == original:
+        return False
+    o_lines = original.split(b"\n")
+    t_lines = transformed.split(b"\n")
+    if len(t_lines) > len(o_lines):
+        return False
+    return all(o.startswith(t) for o, t in zip(o_lines, t_lines))
+
+
+def classify(before: ExecutionResult, after: ExecutionResult
+             ) -> tuple[str, str]:
+    """Compare two runs on one input; returns ``(verdict, detail)``."""
+    same_stdout = before.stdout == after.stdout
+    if before.fault is None and after.fault is None:
+        if before.exit_code != after.exit_code:
+            return (VERDICT_CHANGED,
+                    f"exit {before.exit_code} -> {after.exit_code}")
+        if same_stdout:
+            return (VERDICT_IDENTICAL, "")
+        if _is_truncation(before.stdout, after.stdout):
+            return (VERDICT_BENIGN,
+                    f"stdout truncated {len(before.stdout)}B -> "
+                    f"{len(after.stdout)}B")
+        return (VERDICT_CHANGED,
+                f"stdout diverged ({len(before.stdout)}B vs "
+                f"{len(after.stdout)}B)")
+    if before.fault is not None and after.fault is None:
+        if before.memory_trapped:
+            return (VERDICT_PREVENTED,
+                    f"{before.fault} no longer triggers")
+        # A step-limit/vm-error that vanished is not a fixed overflow.
+        return (VERDICT_CHANGED,
+                f"non-memory fault {before.fault} disappeared")
+    if before.fault is None and after.fault is not None:
+        return (VERDICT_CHANGED,
+                f"transformation introduced {after.fault}")
+    # Both faulted (e.g. a site SLR's precondition left untouched).
+    if before.fault == after.fault and same_stdout:
+        return (VERDICT_IDENTICAL, f"both trap on {before.fault}")
+    if same_stdout or _is_truncation(before.stdout, after.stdout):
+        return (VERDICT_BENIGN,
+                f"still faults ({before.fault} -> {after.fault}) "
+                f"with truncated output")
+    return (VERDICT_CHANGED,
+            f"faults and output both diverged "
+            f"({before.fault} -> {after.fault})")
+
+
+# --------------------------------------------------------------- reports
+
+@dataclass
+class InputVerdict:
+    """The oracle's ruling for one differential input."""
+
+    input: DifferentialInput
+    verdict: str
+    detail: str
+    fault_before: str           # fault kind, '' if the run was clean
+    fault_after: str
+
+    def as_dict(self) -> dict:
+        return {"input": self.input.name, "kind": self.input.kind,
+                "verdict": self.verdict, "detail": self.detail,
+                "fault_before": self.fault_before,
+                "fault_after": self.fault_after}
+
+
+@dataclass
+class ValidationReport:
+    """All verdicts for one original/transformed file pair."""
+
+    filename: str
+    verdicts: list[InputVerdict] = field(default_factory=list)
+    unchanged: bool = False     # transformation queued no edits
+
+    def counts(self) -> dict[str, int]:
+        out = {verdict: 0 for verdict in VERDICTS}
+        for v in self.verdicts:
+            out[v.verdict] += 1
+        return out
+
+    @property
+    def semantics_changed(self) -> int:
+        return sum(1 for v in self.verdicts
+                   if v.verdict == VERDICT_CHANGED)
+
+    @property
+    def overflows_prevented(self) -> int:
+        return sum(1 for v in self.verdicts
+                   if v.verdict == VERDICT_PREVENTED)
+
+    @property
+    def ok(self) -> bool:
+        """No divergence that points at a transformation bug."""
+        return self.semantics_changed == 0
+
+    def divergences(self) -> list[InputVerdict]:
+        return [v for v in self.verdicts
+                if v.verdict != VERDICT_IDENTICAL]
+
+    def summary(self) -> str:
+        if self.unchanged:
+            return "unchanged"
+        counts = self.counts()
+        return " ".join(f"{name}={counts[name]}" for name in VERDICTS
+                        if counts[name])
+
+    def as_dict(self) -> dict:
+        return {"filename": self.filename, "unchanged": self.unchanged,
+                "counts": self.counts(),
+                "verdicts": [v.as_dict() for v in self.verdicts]}
+
+
+# ---------------------------------------------------------------- oracle
+
+def validate_pair(original: str, transformed: str, *,
+                  filename: str = "<unit>",
+                  inputs: list[DifferentialInput] | None = None,
+                  step_limit: int = DEFAULT_STEP_LIMIT,
+                  entry: str = "main") -> ValidationReport:
+    """Run ``original`` vs ``transformed`` on every input and classify.
+
+    Both texts must be preprocessed and parseable (callers gate on the
+    batch driver's ``parses`` flag).  Texts that are byte-identical skip
+    execution entirely — nothing can have diverged.
+    """
+    if original == transformed:
+        return ValidationReport(filename, [], unchanged=True)
+    if inputs is None:
+        inputs = default_inputs(filename)
+    verdicts = []
+    for probe in inputs:
+        before = run_source(original, stdin=probe.stdin,
+                            step_limit=step_limit, entry=entry)
+        after = run_source(transformed, stdin=probe.stdin,
+                           step_limit=step_limit, entry=entry)
+        verdict, detail = classify(before, after)
+        verdicts.append(InputVerdict(probe, verdict, detail,
+                                     before.fault or "",
+                                     after.fault or ""))
+    return ValidationReport(filename, verdicts)
+
+
+def validate_result(result, *, filename: str = "<unit>",
+                    inputs: list[DifferentialInput] | None = None,
+                    step_limit: int = DEFAULT_STEP_LIMIT
+                    ) -> ValidationReport:
+    """Convenience: validate a :class:`TransformResult` end-to-end."""
+    return validate_pair(result.original_text, result.new_text,
+                         filename=filename, inputs=inputs,
+                         step_limit=step_limit)

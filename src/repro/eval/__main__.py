@@ -1,8 +1,9 @@
-"""CLI: ``python -m repro.eval {table3,table4,table5,table6,figure2,perf,all}``."""
+"""CLI: ``python -m repro.eval
+{table3,table4,table5,table6,figure2,perf,validate,all}``."""
 
 import sys
 
-from . import figure2, perf, report, table3, table4, table5, table6
+from . import figure2, perf, report, table3, table4, table5, table6, validate
 
 _EXPERIMENTS = {
     "table3": table3.main,
@@ -12,6 +13,7 @@ _EXPERIMENTS = {
     "figure2": figure2.main,
     "perf": perf.main,
     "report": report.main,
+    "validate": validate.main,
 }
 
 

@@ -22,7 +22,8 @@ from dataclasses import dataclass
 from ..core.session import AnalysisSession, get_session
 from ..core.slr import SafeLibraryReplacement
 from ..core.strtransform import SafeTypeReplacement
-from ..samate.generator import TestProgram
+from ..core.validate import ValidationReport, validate_pair
+from ..samate.generator import TestProgram, differential_inputs
 from ..vm import run_source
 
 
@@ -41,6 +42,7 @@ class SamateOutcome:
     source_lines: int
     steps_before: int
     steps_after: int
+    validation: ValidationReport | None = None
 
     @property
     def success(self) -> bool:
@@ -49,9 +51,15 @@ class SamateOutcome:
 
 
 def run_samate_program(program: TestProgram, *, execute: bool = True,
+                       validate: bool = False,
                        session: AnalysisSession | None = None
                        ) -> SamateOutcome:
-    """Transform one SAMATE program and (optionally) execute before/after."""
+    """Transform one SAMATE program and (optionally) execute before/after.
+
+    ``validate=True`` additionally runs the differential oracle over the
+    program's own probe set (:func:`repro.samate.differential_inputs`),
+    re-checking every transformed site for semantics-changing rewrites.
+    """
     session = session if session is not None else get_session()
     pp = session.preprocess(program.source, program.name)
     source_lines = sum(1 for line in program.source.splitlines()
@@ -82,6 +90,11 @@ def run_samate_program(program: TestProgram, *, execute: bool = True,
 
     before = run_source(pp.text, stdin=program.stdin)
     after = run_source(text, stdin=program.stdin)
+    validation = None
+    if validate:
+        validation = validate_pair(
+            pp.text, text, filename=program.name,
+            inputs=differential_inputs(program))
     return SamateOutcome(
         program=program.name, cwe=program.cwe,
         slr_applied=slr_applied, str_applied=str_applied,
@@ -90,31 +103,37 @@ def run_samate_program(program: TestProgram, *, execute: bool = True,
         good_preserved=after.stdout.startswith(before.stdout),
         fault_before=before.fault or "", fault_after=after.fault or "",
         pp_lines=pp.line_count, source_lines=source_lines,
-        steps_before=before.steps, steps_after=after.steps)
+        steps_before=before.steps, steps_after=after.steps,
+        validation=validation)
 
 
 @dataclass(frozen=True)
 class _SuiteTask:
     program: TestProgram
     execute: bool
+    validate: bool = False
 
 
 def _run_suite_task(task: _SuiteTask) -> SamateOutcome:
-    return run_samate_program(task.program, execute=task.execute)
+    return run_samate_program(task.program, execute=task.execute,
+                              validate=task.validate)
 
 
 def run_samate_suite(programs: list[TestProgram], *,
                      execute: set[int] | None = None,
+                     validate: bool = False,
                      jobs: int | None = None) -> list[SamateOutcome]:
     """Run many SAMATE programs, optionally over a fork pool.
 
     ``execute`` holds the ``id()`` of each program to actually run in
-    the VM (None = execute all).  Outcomes come back in input order
+    the VM (None = execute all).  ``validate`` adds the differential
+    oracle to every executed program.  Outcomes come back in input order
     regardless of worker count, so parallel evaluation tables are
     byte-identical to serial ones.
     """
     from ..core.batch import default_jobs
-    tasks = [_SuiteTask(p, execute is None or id(p) in execute)
+    tasks = [_SuiteTask(p, execute is None or id(p) in execute,
+                        validate and (execute is None or id(p) in execute))
              for p in programs]
     jobs = default_jobs() if jobs is None else max(1, jobs)
     if jobs == 1 or len(tasks) <= 1:

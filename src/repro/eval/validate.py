@@ -1,0 +1,144 @@
+"""Differential re-validation of every Table III / Table V transformed
+site.
+
+The evaluation tables answer "how many sites were transformed"; this
+experiment answers "did any of those transformations change semantics".
+It replays the Table III population (a SAMATE slice, per-CWE stratified
+sample) and the Table V corpus programs through the differential oracle
+(:mod:`repro.core.validate`) and aggregates verdicts.  A single
+``semantics-changed`` divergence anywhere fails the run — this is the
+standing correctness gate every transformation PR must pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.batch import apply_batch
+from ..core.validate import VERDICT_CHANGED, VERDICTS
+from ..corpus import build_all
+from ..samate.generator import CWE_TITLES, generate_suite
+from .common import render_table
+from .samate_runner import run_samate_suite, stratified_sample
+
+
+@dataclass
+class ValidationRow:
+    name: str                   # 'CWE-121' or a corpus program name
+    programs: int               # validated programs/files
+    inputs: int                 # differential inputs executed
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def semantics_changed(self) -> int:
+        return self.counts.get(VERDICT_CHANGED, 0)
+
+
+@dataclass
+class ValidationEvalResult:
+    samate_rows: list[ValidationRow] = field(default_factory=list)
+    corpus_rows: list[ValidationRow] = field(default_factory=list)
+
+    @property
+    def rows(self) -> list[ValidationRow]:
+        return self.samate_rows + self.corpus_rows
+
+    @property
+    def total_changed(self) -> int:
+        return sum(r.semantics_changed for r in self.rows)
+
+    @property
+    def ok(self) -> bool:
+        return self.total_changed == 0
+
+    def render(self) -> str:
+        headers = ["Suite", "Programs", "Inputs", *VERDICTS]
+        rows = []
+        for r in self.rows:
+            rows.append([r.name, r.programs, r.inputs,
+                         *(r.counts.get(verdict, 0)
+                           for verdict in VERDICTS)])
+        rows.append(["Total",
+                     sum(r.programs for r in self.rows),
+                     sum(r.inputs for r in self.rows),
+                     *(sum(r.counts.get(verdict, 0) for r in self.rows)
+                       for verdict in VERDICTS)])
+        return render_table(
+            headers, rows,
+            "Differential validation — Table III/V transformed sites")
+
+
+def _merge(counts: dict[str, int], report) -> int:
+    """Accumulate one ValidationReport into ``counts``; returns the
+    number of inputs it executed."""
+    for verdict, n in report.counts().items():
+        counts[verdict] = counts.get(verdict, 0) + n
+    return len(report.verdicts)
+
+
+def compute_validation(*, scale: float = 0.02, limit: int = 12,
+                       jobs: int | None = None,
+                       corpus: bool = True) -> ValidationEvalResult:
+    """Run the oracle over a SAMATE slice and the corpus programs.
+
+    ``scale`` sizes the generated Table III population; ``limit`` caps
+    the per-CWE number of programs actually validated (stratified, so
+    variant/flow diversity survives the cap).
+    """
+    result = ValidationEvalResult()
+    suite = generate_suite(scale)
+    for cwe, programs in suite.items():
+        sample = stratified_sample(programs, limit)
+        outcomes = run_samate_suite(sample, validate=True, jobs=jobs)
+        counts: dict[str, int] = {}
+        inputs = 0
+        validated = 0
+        for outcome in outcomes:
+            if outcome.validation is None:
+                continue
+            validated += 1
+            inputs += _merge(counts, outcome.validation)
+        result.samate_rows.append(ValidationRow(
+            f"CWE-{cwe} ({CWE_TITLES[cwe]})", validated, inputs, counts))
+    if corpus:
+        for name, program in build_all().items():
+            batch = apply_batch(program, validate=True, jobs=jobs)
+            counts = {}
+            inputs = 0
+            for report in batch.validations():
+                inputs += _merge(counts, report)
+            result.corpus_rows.append(ValidationRow(
+                name, len(batch.validations()), inputs, counts))
+    return result
+
+
+def main(argv: list[str] | None = None) -> None:
+    import argparse
+    import sys
+    parser = argparse.ArgumentParser(
+        description="Differentially re-validate Table III/V "
+                    "transformed sites")
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="SAMATE population scale (default 0.02)")
+    parser.add_argument("--limit", type=int, default=12,
+                        help="max validated programs per CWE")
+    parser.add_argument("--no-corpus", action="store_true",
+                        help="skip the Table V corpus programs")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: REPRO_JOBS "
+                             "or 1)")
+    args = parser.parse_args(argv)
+    result = compute_validation(scale=args.scale, limit=args.limit,
+                                jobs=args.jobs,
+                                corpus=not args.no_corpus)
+    print(result.render())
+    if result.ok:
+        print("\nNo semantics-changing divergence found.")
+    else:
+        print(f"\nFAIL: {result.total_changed} semantics-changed "
+              f"divergence(s).")
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

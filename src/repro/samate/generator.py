@@ -197,3 +197,24 @@ def generate_suite(scale: float = 1.0) -> dict[int, list[TestProgram]]:
 
 def suite_size(suite: dict[int, list[TestProgram]]) -> int:
     return sum(len(programs) for programs in suite.values())
+
+
+def differential_inputs(program: TestProgram, *, seed: int | None = None,
+                        fuzz_count: int = 4) -> list:
+    """The differential oracle's probe set for one generated program.
+
+    Benign lines that fit the smallest buffer any variant declares, the
+    suite's overflow-triggering stdin (:data:`DEFAULT_STDIN`, sized to
+    smash every ``gets`` buffer the flow/variant generators emit), and
+    fuzz inputs seeded by the program name — deterministic across
+    processes and worker counts.
+    """
+    from ..core.validate import (
+        DifferentialInput, file_seed, fuzz_inputs,
+    )
+    return [
+        DifferentialInput("empty", b"", "benign"),
+        DifferentialInput("benign-line", b"ok\n", "benign"),
+        DifferentialInput("suite-overflow", program.stdin, "overflow"),
+        *fuzz_inputs(file_seed(program.name, seed), fuzz_count),
+    ]

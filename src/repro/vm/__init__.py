@@ -7,11 +7,13 @@ directly observable.
 """
 
 from .interp import (
-    ExecutionResult, Interpreter, run_program_files, run_source,
+    ExecutionResult, Interpreter, MEMORY_TRAP_KINDS, run_program_files,
+    run_source,
 )
 from .memory import Memory, MemoryFault, NULL, Pointer, VMError, usable_size
 
 __all__ = [
-    "ExecutionResult", "Interpreter", "run_program_files", "run_source",
+    "ExecutionResult", "Interpreter", "MEMORY_TRAP_KINDS",
+    "run_program_files", "run_source",
     "Memory", "MemoryFault", "NULL", "Pointer", "VMError", "usable_size",
 ]

@@ -54,6 +54,18 @@ class ExitProgram(Exception):
         self.code = code
 
 
+#: Fault kinds raised by the bounds-checked :class:`Memory` — the traps a
+#: buffer-overflow fix is *supposed* to make disappear.  ``step-limit``
+#: and ``vm-error`` are resource/harness faults, not memory traps: a
+#: transformation that makes one of those vanish changed semantics.
+MEMORY_TRAP_KINDS = frozenset({
+    "buffer-overflow", "buffer-underwrite", "buffer-overread",
+    "buffer-underread", "null-dereference", "wild-pointer",
+    "use-after-free", "double-free", "invalid-free", "bad-alloc",
+    "stack-overflow", "runaway-string", "uninitialized-read",
+})
+
+
 class ExecutionResult:
     """Outcome of one program run."""
 
@@ -68,6 +80,19 @@ class ExecutionResult:
     @property
     def ok(self) -> bool:
         return self.fault is None
+
+    @property
+    def memory_trapped(self) -> bool:
+        """Did the run die on a memory-safety trap (vs. running clean, or
+        hitting a resource/harness fault)?"""
+        return self.fault in MEMORY_TRAP_KINDS
+
+    def observable(self) -> tuple[bytes, int | None, str | None]:
+        """The behaviour the differential oracle compares: everything an
+        external observer of the process could see.  Step counts and
+        fault *details* (offsets, block labels) are deliberately
+        excluded — they differ across equivalent programs."""
+        return (self.stdout, self.exit_code, self.fault)
 
     @property
     def stdout_text(self) -> str:

@@ -591,6 +591,15 @@ def native_strchr(interp, args):
     return NULL if idx == -1 else base.moved(idx)
 
 
+def native_strcspn(interp, args):
+    text = _cstr(interp, args[0])
+    reject = _cstr(interp, args[1])
+    for idx, byte in enumerate(text):
+        if byte in reject:
+            return idx
+    return len(text)
+
+
 def native_strrchr(interp, args):
     base = _ptr(args[0])
     needle = _int(args[1]) & 0xFF
@@ -1016,6 +1025,7 @@ NATIVE_FUNCTIONS = {
     "strcmp": native_strcmp,
     "strncmp": native_strncmp,
     "strchr": native_strchr,
+    "strcspn": native_strcspn,
     "strrchr": native_strrchr,
     "strstr": native_strstr,
     "strdup": native_strdup,

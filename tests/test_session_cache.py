@@ -257,6 +257,41 @@ class TestSerialParallelEquivalence:
         assert set(batch.stats.file_walls) == {"aa.c", "mm.c", "zz.c"}
 
 
+class TestOracleDeterminism:
+    """The differential oracle's verdicts must not depend on worker
+    count or on whether the content-keyed caches are enabled."""
+
+    FILES = {
+        "overflow.c": (
+            "#include <stdio.h>\n#include <string.h>\n"
+            "int main(void) {\n"
+            "    char buf[8];\n"
+            "    char line[8];\n"
+            "    strcpy(buf, \"far far too long for this buffer\");\n"
+            "    gets(line);\n"
+            "    printf(\"%s %s\\n\", buf, line);\n"
+            "    return 0;\n}\n"),
+        "clean.c": (
+            "#include <stdio.h>\n"
+            "int main(void) { printf(\"ok\\n\"); return 0; }\n"),
+    }
+
+    def _verdicts(self, **kwargs):
+        program = SourceProgram("p", dict(self.FILES))
+        batch = apply_batch(program, validate=True, **kwargs)
+        return [v.as_dict() for v in batch.validations()]
+
+    def test_verdicts_identical_serial_vs_parallel(self):
+        assert self._verdicts(jobs=1) == self._verdicts(jobs=4)
+
+    def test_verdicts_identical_with_cache_off(self, monkeypatch):
+        with_cache = self._verdicts(jobs=1)
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        without_cache = self._verdicts(
+            jobs=1, session=AnalysisSession(cache_name="t-oracle-off"))
+        assert with_cache == without_cache
+
+
 class TestDeterministicOutcomeOrdering:
     def test_outcomes_sorted_by_line(self):
         text = get_session().preprocess(

@@ -3,6 +3,7 @@
 from repro.cfront.parser import parse_translation_unit
 from repro.core.slr import (
     SAFE_ALTERNATIVES, SafeLibraryReplacement, UNSAFE_FUNCTIONS,
+    _already_declared,
 )
 
 from .helpers import pp, run
@@ -106,8 +107,7 @@ class TestGets:
     SRC = PRELUDE + """
     void readit(void) {
         char dest[32];
-        char *result;
-        result = gets(dest);
+        gets(dest);
         printf("%s\\n", dest);
     }"""
 
@@ -194,6 +194,196 @@ class TestMemcpy:
         result = slr(src)
         after = run(result.new_text, preprocess=False)
         assert after.ok
+
+
+class TestBracelessContexts:
+    """Regressions: line-level insertions (memcpy Option 1 clamp, the
+    gets newline-strip epilogue) must not escape a brace-less if/else/
+    loop body — that executed the inserted code unconditionally."""
+
+    def test_memcpy_braceless_if_falls_back_to_ternary(self):
+        src = PRELUDE + """
+        int main(void) {
+            char d[8];
+            char s[200];
+            unsigned long n = 100;
+            memset(s, 'A', 199); s[199] = 0;
+            if (0) memcpy(d, s, n);
+            printf("%lu\\n", n);
+            return 0;
+        }"""
+        result = slr(src)
+        assert result.transformed_count == 1
+        # Option 2: the clamp stays inside the untaken branch.
+        assert "if (0) memcpy(d, s, sizeof(d) > n ? n : sizeof(d));" \
+            in result.new_text
+        before = run(src)
+        after = run(result.new_text, preprocess=False)
+        assert before.stdout == after.stdout == b"100\n"
+
+    def test_memcpy_option1_still_used_in_compound_block(self):
+        result = slr(PRELUDE + """
+        void g(const char *s) {
+            unsigned long len = strlen(s);
+            char *num = malloc(len + 1);
+            memcpy(num, s, len);
+            num[len] = '\\0';
+        }""")
+        assert "len = malloc_usable_size(num) > len ?" in result.new_text
+
+    def test_gets_braceless_if_epilogue_stays_conditional(self):
+        src = PRELUDE + """
+        int main(void) {
+            char buf[16] = "a\\nb";
+            if (0) gets(buf);
+            printf("[%s]\\n", buf);
+            return 0;
+        }"""
+        result = slr(src)
+        before = run(src, stdin=b"hi\n")
+        after = run(result.new_text, stdin=b"hi\n", preprocess=False)
+        # Pre-fix, the epilogue ran unconditionally and stripped the
+        # embedded newline of the untouched buffer.
+        assert before.stdout == after.stdout == b"[a\nb]\n"
+
+    def test_gets_braceless_if_with_else_keeps_binding(self):
+        src = PRELUDE + """
+        int main(void) {
+            char buf[16];
+            buf[0] = 0;
+            if (1)
+                gets(buf);
+            else
+                printf("no\\n");
+            printf("[%s]\\n", buf);
+            return 0;
+        }"""
+        result = slr(src)
+        parse_translation_unit(result.new_text)    # must not raise
+        after = run(result.new_text, stdin=b"hello\n", preprocess=False)
+        # Pre-fix, the inserted `if (check)` stole the dangling else.
+        assert after.ok
+        assert after.stdout == b"[hello]\n"
+
+    def test_gets_braceless_while_body(self):
+        src = PRELUDE + """
+        int main(void) {
+            char buf[32];
+            int i = 0;
+            while (i++ < 2)
+                gets(buf);
+            printf("[%s]\\n", buf);
+            return 0;
+        }"""
+        result = slr(src)
+        after = run(result.new_text, stdin=b"one\ntwo\n",
+                    preprocess=False)
+        assert after.ok
+        assert after.stdout == b"[two]\n"
+
+    def test_gets_value_consumed_strips_before_use(self):
+        # `gets` in a condition: the newline must be gone before the
+        # body reads the buffer, and the NULL-on-EOF return value must
+        # survive.  A statement-level epilogue after the `if` ran too
+        # late (printed the newline) — the call becomes an inline
+        # strip-and-yield expression instead.
+        src = PRELUDE + """
+        int main(void) {
+            char line[16];
+            if (gets(line))
+                printf("read: %s\\n", line);
+            else
+                printf("eof\\n");
+            return 0;
+        }"""
+        result = slr(src)
+        assert result.transformed_count == 1
+        assert "strcspn" in result.new_text
+        before = run(src, stdin=b"ok\n")
+        after = run(result.new_text, stdin=b"ok\n", preprocess=False)
+        assert after.ok
+        assert before.stdout == after.stdout == b"read: ok\n"
+        at_eof = run(result.new_text, stdin=b"", preprocess=False)
+        assert at_eof.ok
+        assert at_eof.stdout == b"eof\n"
+
+    def test_gets_value_consumed_complex_dest_fails_closed(self):
+        result = slr(PRELUDE + """
+        void f(void) {
+            char line[16];
+            char *p;
+            p = gets(line + 0) ? line : 0;
+            (void)p;
+        }""")
+        assert result.transformed_count == 0
+        assert result.failures_by_reason().get("unsupported-expr") == 1
+
+
+class TestFreshNames:
+    def test_epilogue_temp_avoids_user_variable(self):
+        src = PRELUDE + """
+        int main(void) {
+            char buf[16];
+            char *check = buf;
+            gets(buf);
+            printf("[%s][%c]\\n", buf, *check ? 'x' : 'y');
+            return 0;
+        }"""
+        result = slr(src)
+        # The temp must not capture (or redeclare) the user's `check`.
+        assert "char *check_2 = strchr(buf, '\\n');" in result.new_text
+        after = run(result.new_text, stdin=b"hey\n", preprocess=False)
+        assert after.ok
+        assert after.stdout == b"[hey][x]\n"
+
+    def test_two_sites_get_distinct_temps(self):
+        result = slr(PRELUDE + """
+        void f(void) { char a[8]; gets(a); }
+        void g(void) { char b[8]; gets(b); }
+        """)
+        # Sites are rewritten bottom-up, so g's site is named first.
+        assert "char *check = strchr(b, '\\n');" in result.new_text
+        assert "char *check_2 = strchr(a, '\\n');" in result.new_text
+
+
+class TestAlreadyDeclared:
+    def test_call_site_does_not_count_as_declaration(self):
+        body = "void f(void){ char b[8]; fgets(b, 8, stdin); }"
+        assert not _already_declared(body, "fgets")
+
+    def test_file_scope_prototype_counts(self):
+        text = "char *fgets(char *s, int size, FILE *stream);\n" \
+               "void f(void){}"
+        assert _already_declared(text, "fgets")
+
+    def test_pointer_return_prototype_counts(self):
+        assert _already_declared(
+            "extern char *fgets(char *, int, FILE *);", "fgets")
+
+    def test_braces_in_strings_do_not_confuse_depth(self):
+        text = ('void f(void){ printf("{"); }\n'
+                "char *fgets(char *, int, FILE *);\n")
+        assert _already_declared(text, "fgets")
+
+    def test_prototype_injected_despite_existing_call(self):
+        # A unit that *calls* strchr (K&R implicit declaration) but never
+        # declares it: the gets epilogue needs strchr, and the injected
+        # prototype must not be suppressed by the call site.
+        text = (
+            "typedef struct _FILE FILE;\nextern FILE *stdin;\n"
+            "char *gets(char *s);\n"
+            "char *fgets(char *s, int size, FILE *stream);\n"
+            "void scan(char *s) {\n"
+            "    strchr(s, 58);\n"
+            "}\n"
+            "void legacy(void) {\n"
+            "    char buf[16];\n"
+            "    gets(buf);\n"
+            "}\n")
+        result = SafeLibraryReplacement(text, "t.c").run()
+        assert result.transformed_count == 1
+        assert "char *strchr(const char *s, int c);" in result.new_text
+        parse_translation_unit(result.new_text)    # must not raise
 
 
 class TestBatchBehaviour:

@@ -141,6 +141,14 @@ class TestUnsafeStringFunctions:
                    strstr(s, "lo w"));
             return 0; }""") == "o world|orld|lo world\n"
 
+    def test_strcspn(self):
+        assert out("""int main(void){
+            printf("%d %d %d\\n",
+                   (int)strcspn("hello\\n", "\\n"),
+                   (int)strcspn("no newline", "\\n"),
+                   (int)strcspn("", "abc"));
+            return 0; }""") == "5 10 0\n"
+
     def test_strdup(self):
         assert out("""int main(void){
             char *d = strdup("copy me");
