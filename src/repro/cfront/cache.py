@@ -9,9 +9,19 @@ caches keyed on a content hash; :mod:`repro.core.session` builds the
 parse/analysis cache on top, and :func:`preprocess_cached` below serves
 every preprocessing consumer.
 
+A cache constructed with a ``family`` is additionally backed by the
+persistent artifact store (:mod:`repro.core.store`): lookups go memory →
+disk → compute, and computed values are published to disk so fork-pool
+workers and later CLI runs share them.  Every key is salted with the
+tool fingerprint (:func:`repro.fingerprint.tool_fingerprint`), so
+entries computed by an older checkout are never reused after a code
+change — on disk *or* in memory.
+
 Environment knobs:
 
-* ``REPRO_CACHE=0``      — disable all frontend caches (every call misses);
+* ``REPRO_CACHE=0``      — disable all frontend caches (every call misses,
+  the disk layer included);
+* ``REPRO_DISK_CACHE=0`` — disable only the disk layer;
 * ``REPRO_CACHE_SIZE=N`` — LRU capacity per cache (default 512 entries).
 """
 
@@ -37,9 +47,31 @@ def default_cache_size() -> int:
         return DEFAULT_CACHE_SIZE
 
 
+_SALT: bytes | None = None
+
+
+def _key_salt() -> bytes:
+    """The tool-fingerprint salt mixed into every content key."""
+    override = os.environ.get("REPRO_FINGERPRINT")
+    if override:
+        return override.encode("utf-8")
+    global _SALT
+    if _SALT is None:
+        from ..fingerprint import tool_fingerprint
+        _SALT = tool_fingerprint().encode("utf-8")
+    return _SALT
+
+
 def content_key(*parts: str) -> str:
-    """A stable digest of the given text parts (cache key)."""
+    """A stable digest of the given text parts (cache key).
+
+    Salted with the tool fingerprint so a key computed by one checkout
+    never addresses an entry computed by another — a rewriter bugfix
+    invalidates every cached transform, parse, and verdict.
+    """
     digest = hashlib.blake2b(digest_size=16)
+    digest.update(_key_salt())
+    digest.update(b"\x00")
     for part in parts:
         digest.update(part.encode("utf-8", errors="surrogateescape"))
         digest.update(b"\x00")
@@ -48,12 +80,22 @@ def content_key(*parts: str) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters for one cache (and for merged snapshots)."""
+    """Hit/miss counters for one cache (and for merged snapshots).
+
+    ``hits``/``misses`` count the in-memory LRU; ``disk_hits`` and
+    ``disk_misses`` count the persistent-store consultations that memory
+    misses fell through to (so ``misses - disk_hits`` values were truly
+    computed), and the byte counters measure store traffic.
+    """
 
     name: str = ""
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
 
     @property
     def lookups(self) -> int:
@@ -66,12 +108,20 @@ class CacheStats:
     def as_dict(self) -> dict:
         return {"name": self.name, "hits": self.hits,
                 "misses": self.misses, "evictions": self.evictions,
-                "hit_rate": round(self.hit_rate, 4)}
+                "hit_rate": round(self.hit_rate, 4),
+                "disk_hits": self.disk_hits,
+                "disk_misses": self.disk_misses,
+                "bytes_read": self.bytes_read,
+                "bytes_written": self.bytes_written}
 
     def delta(self, earlier: "CacheStats") -> "CacheStats":
         return CacheStats(self.name, self.hits - earlier.hits,
                           self.misses - earlier.misses,
-                          self.evictions - earlier.evictions)
+                          self.evictions - earlier.evictions,
+                          self.disk_hits - earlier.disk_hits,
+                          self.disk_misses - earlier.disk_misses,
+                          self.bytes_read - earlier.bytes_read,
+                          self.bytes_written - earlier.bytes_written)
 
 
 class ContentCache:
@@ -81,10 +131,17 @@ class ContentCache:
     handed to every hit.  Build failures are never cached (the exception
     propagates and nothing is stored), so an entry always corresponds to
     a successful computation over exactly the keyed content.
+
+    With a ``family``, memory misses fall through to the persistent
+    artifact store before computing: a disk hit is unpickled, inserted
+    into the LRU, and returned; a disk miss computes and publishes the
+    value for every other worker and future run.
     """
 
-    def __init__(self, name: str, maxsize: int | None = None):
+    def __init__(self, name: str, maxsize: int | None = None,
+                 family: str | None = None):
         self.name = name
+        self.family = family
         self.maxsize = maxsize if maxsize is not None \
             else default_cache_size()
         self.stats = CacheStats(name)
@@ -97,6 +154,12 @@ class ContentCache:
     def clear(self) -> None:
         self._entries.clear()
 
+    def _disk_store(self):
+        if self.family is None:
+            return None
+        from ..core.store import disk_enabled, get_store
+        return get_store() if disk_enabled() else None
+
     def get_or_build(self, key: str, build):
         """Return the cached value for ``key``, building it on a miss."""
         if not caches_enabled():
@@ -108,7 +171,21 @@ class ContentCache:
             self._entries.move_to_end(key)
             return entry
         self.stats.misses += 1
-        value = build()
+        store = self._disk_store()
+        value = None
+        loaded = False
+        if store is not None:
+            loaded, value, nbytes = store.load(self.family, key)
+            if loaded:
+                self.stats.disk_hits += 1
+                self.stats.bytes_read += nbytes
+            else:
+                self.stats.disk_misses += 1
+        if not loaded:
+            value = build()
+            if store is not None:
+                self.stats.bytes_written += store.store(
+                    self.family, key, value)
         self._entries[key] = value
         if len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
@@ -127,7 +204,9 @@ def all_cache_stats() -> list[CacheStats]:
 def snapshot_stats() -> dict[str, CacheStats]:
     """A point-in-time copy of every cache's counters (for deltas)."""
     return {name: CacheStats(name, c.stats.hits, c.stats.misses,
-                             c.stats.evictions)
+                             c.stats.evictions, c.stats.disk_hits,
+                             c.stats.disk_misses, c.stats.bytes_read,
+                             c.stats.bytes_written)
             for name, c in _REGISTRY.items()}
 
 
@@ -138,7 +217,7 @@ def clear_all_caches() -> None:
 
 # --------------------------------------------------------- preprocess cache
 
-_PP_CACHE = ContentCache("preprocess")
+_PP_CACHE = ContentCache("preprocess", family="preprocess")
 
 
 def preprocess_cached(text: str, filename: str = "<string>",

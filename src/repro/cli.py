@@ -13,7 +13,13 @@ Subcommands mirror how the paper's tool is used:
   overflow, and seeded fuzz inputs, with per-divergence verdicts;
 * ``run FILE``       — execute a C file in the bounds-checked VM;
 * ``analyze FILE``   — print analysis facts (points-to, aliases, buffer
-  lengths at unsafe call sites).
+  lengths at unsafe call sites);
+* ``cache ACTION``   — manage the persistent artifact store
+  (``stats`` / ``clear`` / ``gc``).
+
+``batch`` and ``validate`` accept ``--no-disk-cache`` (this run skips
+the persistent store) and ``--profile`` (render the per-stage timing
+breakdown; ``REPRO_PROFILE=1`` does the same).
 """
 
 from __future__ import annotations
@@ -143,22 +149,35 @@ def _load_program(path: str):
     return program, None
 
 
+def _apply_disk_cache_flag(args: argparse.Namespace) -> None:
+    """``--no-disk-cache`` disables the persistent store for this run
+    (and any fork-pool workers, which inherit the environment)."""
+    import os
+
+    if getattr(args, "no_disk_cache", False):
+        os.environ["REPRO_DISK_CACHE"] = "0"
+
+
 def cmd_batch(args: argparse.Namespace) -> int:
     import os
 
     from .cfront.source import SourceError
     from .core.batch import apply_batch
+    from .core.profile import profiling_enabled
     from .core.report import (
-        render_batch_stats, render_cache_stats, render_validation,
+        render_batch_stats, render_cache_stats, render_profile,
+        render_validation,
     )
 
+    _apply_disk_cache_flag(args)
     program, error = _load_program(args.directory)
     if program is None:
         print(error, file=sys.stderr)
         return 2
     try:
         batch = apply_batch(program, run_slr=not args.no_slr,
-                            run_str=not args.no_str, profile=args.profile,
+                            run_str=not args.no_str,
+                            profile=args.slr_profile,
                             jobs=args.jobs, validate=args.validate)
     except SourceError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -189,6 +208,9 @@ def cmd_batch(args: argparse.Namespace) -> int:
     if args.validate:
         print()
         print(render_validation(batch))
+    if args.profile or profiling_enabled():
+        print()
+        print(render_profile(batch))
     if args.stats:
         print()
         print(render_cache_stats())
@@ -209,13 +231,15 @@ def cmd_validate(args: argparse.Namespace) -> int:
     from .core.batch import apply_batch
     from .core.report import render_validation
 
+    _apply_disk_cache_flag(args)
     program, error = _load_program(args.path)
     if program is None:
         print(error, file=sys.stderr)
         return 2
     try:
         batch = apply_batch(program, run_slr=not args.no_slr,
-                            run_str=not args.no_str, profile=args.profile,
+                            run_str=not args.no_str,
+                            profile=args.slr_profile,
                             jobs=args.jobs, validate=True,
                             fuzz_seed=args.seed)
     except SourceError as exc:
@@ -235,6 +259,57 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
     print(render_validation(batch))
     return 0 if batch.all_parse and batch.semantics_preserved else 1
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from .core.store import SCHEMA_VERSION, get_store
+
+    store = get_store()
+    if args.action == "clear":
+        files, nbytes = store.clear()
+        print(f"cleared {files} file(s), {nbytes} bytes from "
+              f"{store.root}")
+        return 0
+    if args.action == "gc":
+        summary = store.gc(max_age_s=args.max_age_days * 86400.0
+                           if args.max_age_days is not None else None)
+        print(f"gc: removed {summary['removed_files']} file(s), "
+              f"freed {summary['freed_bytes']} bytes, "
+              f"dropped {summary['removed_versions']} stale version "
+              f"dir(s) under {store.root}")
+        return 0
+
+    # stats: on-disk usage plus lifetime hit/miss/bytes counters.
+    print(f"store: {store.root}")
+    print(f"version: schema v{SCHEMA_VERSION}, "
+          f"fingerprint {store.fingerprint}")
+    usage = store.usage()
+    counters = store.persisted_counters()
+    families = sorted(set(usage) | set(counters))
+    if not families:
+        print("(store is empty)")
+        return 0
+    rows = []
+    total_entries = total_bytes = 0
+    for family in families:
+        use = usage.get(family, {"entries": 0, "bytes": 0})
+        counter = counters.get(family, {})
+        total_entries += use["entries"]
+        total_bytes += use["bytes"]
+        rows.append(f"  {family:<11} {use['entries']:>7} entries  "
+                    f"{use['bytes']:>10} bytes  "
+                    f"hits={counter.get('hits', 0)} "
+                    f"misses={counter.get('misses', 0)} "
+                    f"read={counter.get('bytes_read', 0)} "
+                    f"written={counter.get('bytes_written', 0)}")
+    print("\n".join(rows))
+    print(f"  {'(total)':<11} {total_entries:>7} entries  "
+          f"{total_bytes:>10} bytes")
+    stale = store.stale_versions()
+    if stale:
+        print(f"  {len(stale)} stale version dir(s) — run "
+              f"'repro cache gc' to reclaim")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -263,14 +338,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes (default: REPRO_JOBS or 1)")
     batch.add_argument("--no-slr", action="store_true")
     batch.add_argument("--no-str", action="store_true")
-    batch.add_argument("--profile", choices=("glib", "c11"),
-                       default="glib",
+    batch.add_argument("--slr-profile", choices=("glib", "c11"),
+                       default="glib", dest="slr_profile",
                        help="safe-function family for SLR (Table I)")
     batch.add_argument("--stats", action="store_true",
                        help="also print frontend cache counters")
     batch.add_argument("--validate", action="store_true",
                        help="run the differential oracle on every "
                             "transformed file")
+    batch.add_argument("--profile", action="store_true",
+                       help="render the per-file, per-stage timing "
+                            "breakdown (also REPRO_PROFILE=1)")
+    batch.add_argument("--no-disk-cache", action="store_true",
+                       help="skip the persistent artifact store for "
+                            "this run (also REPRO_DISK_CACHE=0)")
     batch.set_defaults(func=cmd_batch)
 
     validate = sub.add_parser(
@@ -282,13 +363,28 @@ def build_parser() -> argparse.ArgumentParser:
                                "or 1)")
     validate.add_argument("--no-slr", action="store_true")
     validate.add_argument("--no-str", action="store_true")
-    validate.add_argument("--profile", choices=("glib", "c11"),
-                          default="glib",
+    validate.add_argument("--slr-profile", choices=("glib", "c11"),
+                          default="glib", dest="slr_profile",
                           help="safe-function family for SLR (Table I)")
     validate.add_argument("--seed", type=int, default=None,
                           help="fuzz-input seed (default: "
                                "REPRO_VALIDATE_SEED or 20140623)")
+    validate.add_argument("--no-disk-cache", action="store_true",
+                          help="skip the persistent artifact store for "
+                               "this run (also REPRO_DISK_CACHE=0)")
     validate.set_defaults(func=cmd_validate)
+
+    cache = sub.add_parser(
+        "cache", help="manage the persistent artifact store "
+                      "(REPRO_CACHE_DIR)")
+    cache.add_argument("action", choices=("stats", "clear", "gc"),
+                       help="stats: usage + lifetime hit/miss counters; "
+                            "clear: drop every entry; gc: reclaim stale "
+                            "tool versions, abandoned temp files, and "
+                            "(with --max-age-days) old entries")
+    cache.add_argument("--max-age-days", type=float, default=None,
+                       help="gc entries older than this many days")
+    cache.set_defaults(func=cmd_cache)
 
     run = sub.add_parser("run", help="run a C file in the checked VM")
     run.add_argument("file")

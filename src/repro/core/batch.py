@@ -19,12 +19,15 @@ order — so a parallel run differs from a serial one only in wall clock.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
 from dataclasses import dataclass, field
 
-from ..cfront.cache import CacheStats, snapshot_stats
+from ..cfront.cache import CacheStats, ContentCache, content_key, \
+    snapshot_stats
 from ..cfront.source import count_source_lines
+from . import profile
 from .session import AnalysisSession, get_session
 from .slr import SafeLibraryReplacement
 from .strtransform import SafeTypeReplacement
@@ -62,24 +65,30 @@ class SourceProgram:
         return sum(count_source_lines(text)
                    for text in self.files.values()) / 1000.0
 
-    def preprocess(self, session: AnalysisSession | None = None
+    def preprocess(self, session: AnalysisSession | None = None,
+                   *, timings: dict[str, float] | None = None
                    ) -> "SourceProgram":
         """Preprocess every file; returns a new, preprocessed program.
 
         Memoized on the instance (Tables III–VI all query it, some more
         than once) and served from the session's content-keyed cache, so
         identical file text is only ever preprocessed once per process.
+        ``timings`` (when given) receives per-file wall seconds for the
+        stage profiler.
         """
         if self.preprocessed:
             return self
         if self._pp_memo is not None:
             return self._pp_memo
         session = session if session is not None else get_session()
-        out = {
-            filename: session.preprocess(text, filename, self.headers,
-                                         self.predefined).text
-            for filename, text in self.files.items()
-        }
+        out = {}
+        for filename, text in self.files.items():
+            start = time.perf_counter()
+            out[filename] = session.preprocess(text, filename,
+                                               self.headers,
+                                               self.predefined).text
+            if timings is not None:
+                timings[filename] = time.perf_counter() - start
         self._pp_memo = SourceProgram(self.name, out, {}, {},
                                       self.main_file, preprocessed=True)
         return self._pp_memo
@@ -111,6 +120,33 @@ class FileTransformReport:
     parses: bool
     wall_time: float = 0.0                      # seconds, in the worker
     validation: "ValidationReport | None" = None
+    stage_times: dict[str, float] = field(default_factory=dict)
+
+
+#: Whole-stage transform results, persisted across runs: an SLR/STR pass
+#: is a pure function of (input text, profile, tool version), so a warm
+#: process skips parsing *and* transforming texts any run has seen.
+_SLR_CACHE = ContentCache("slr", family="slr")
+_STR_CACHE = ContentCache("str", family="str")
+
+
+def cached_slr(text: str, filename: str, profile_name: str = "glib",
+               session: AnalysisSession | None = None) -> TransformResult:
+    """Run (or replay) SLR over ``text``; results must be treated as
+    immutable — the same object serves every caller."""
+    key = content_key("slr", profile_name, text)
+    return _SLR_CACHE.get_or_build(
+        key, lambda: SafeLibraryReplacement(
+            text, filename, profile=profile_name, session=session).run())
+
+
+def cached_str(text: str, filename: str,
+               session: AnalysisSession | None = None) -> TransformResult:
+    """Run (or replay) STR over ``text``."""
+    key = content_key("str", text)
+    return _STR_CACHE.get_or_build(
+        key, lambda: SafeTypeReplacement(
+            text, filename, session=session).run())
 
 
 def transform_file(task: FileTask,
@@ -123,31 +159,36 @@ def transform_file(task: FileTask,
     With ``task.validate`` set, the differential oracle then executes
     the original vs. transformed text on the standard probe set; the
     probe inputs depend only on filename and seed, so verdicts are
-    byte-identical at any worker count.
+    byte-identical at any worker count.  Per-stage wall times land on
+    the report's ``stage_times`` (exclusive, so they sum to the file's
+    wall time).
     """
     session = session if session is not None else get_session()
     start = time.perf_counter()
-    text = task.text
-    slr_result: TransformResult | None = None
-    str_result: TransformResult | None = None
-    if task.run_slr:
-        slr_result = SafeLibraryReplacement(
-            text, task.filename, profile=task.profile,
-            session=session).run()
-        text = slr_result.new_text
-    if task.run_str:
-        str_result = SafeTypeReplacement(
-            text, task.filename, session=session).run()
-        text = str_result.new_text
-    parses = session.check_parses(text, task.filename)
-    validation: ValidationReport | None = None
-    if task.validate and parses:
-        validation = validate_pair(
-            task.text, text, filename=task.filename,
-            inputs=default_inputs(task.filename, seed=task.fuzz_seed))
+    with profile.collect(task.filename) as stage_times:
+        text = task.text
+        slr_result: TransformResult | None = None
+        str_result: TransformResult | None = None
+        if task.run_slr:
+            with profile.stage("slr"):
+                slr_result = cached_slr(text, task.filename,
+                                        task.profile, session)
+            text = slr_result.new_text
+        if task.run_str:
+            with profile.stage("str"):
+                str_result = cached_str(text, task.filename, session)
+            text = str_result.new_text
+        with profile.stage("verify"):
+            parses = session.check_parses(text, task.filename)
+        validation: ValidationReport | None = None
+        if task.validate and parses:
+            validation = validate_pair(
+                task.text, text, filename=task.filename,
+                inputs=default_inputs(task.filename, seed=task.fuzz_seed))
     return FileTransformReport(task.filename, slr_result, str_result,
                                text, parses,
-                               time.perf_counter() - start, validation)
+                               time.perf_counter() - start, validation,
+                               dict(stage_times))
 
 
 # ------------------------------------------------------------- executors
@@ -199,7 +240,11 @@ class BatchStats:
 
     Cache counters are deltas over the run as seen by *this* process;
     a fork pool's in-worker hits show up in per-file wall times instead
-    (worker caches are not merged back).
+    (worker caches are not merged back).  ``stage_times`` holds each
+    file's per-stage breakdown (shipped back from workers, so it is
+    complete at any worker count); ``stage_totals`` sums them.
+    ``deduplicated`` counts tasks served by another task's result
+    because their content was identical.
     """
 
     jobs: int
@@ -207,6 +252,15 @@ class BatchStats:
     file_walls: dict[str, float] = field(default_factory=dict)
     parse: CacheStats = field(default_factory=CacheStats)
     preprocess: CacheStats = field(default_factory=CacheStats)
+    slr: CacheStats = field(default_factory=CacheStats)
+    str_: CacheStats = field(default_factory=CacheStats)
+    validate: CacheStats = field(default_factory=CacheStats)
+    stage_times: dict[str, dict[str, float]] = field(default_factory=dict)
+    deduplicated: int = 0
+
+    @property
+    def stage_totals(self) -> dict[str, float]:
+        return profile.merge_totals(self.stage_times)
 
     def as_dict(self) -> dict:
         return {"jobs": self.jobs,
@@ -214,7 +268,14 @@ class BatchStats:
                 "file_walls_s": {name: round(wall, 6)
                                  for name, wall in self.file_walls.items()},
                 "parse_cache": self.parse.as_dict(),
-                "preprocess_cache": self.preprocess.as_dict()}
+                "preprocess_cache": self.preprocess.as_dict(),
+                "slr_cache": self.slr.as_dict(),
+                "str_cache": self.str_.as_dict(),
+                "validate_cache": self.validate.as_dict(),
+                "stage_totals_s": {name: round(seconds, 6)
+                                   for name, seconds
+                                   in sorted(self.stage_totals.items())},
+                "deduplicated": self.deduplicated}
 
 
 @dataclass
@@ -291,6 +352,16 @@ class BatchResult:
         return all(report.ok for report in self.validations())
 
 
+def _task_work_key(task: FileTask) -> str:
+    """What a task's outcome depends on — *not* the filename, except
+    when validating (the oracle's fuzz probes are seeded per file)."""
+    parts = ["task", task.text, str(task.run_slr), str(task.run_str),
+             task.profile]
+    if task.validate:
+        parts += [task.filename, str(task.fuzz_seed)]
+    return content_key(*parts)
+
+
 def apply_batch(program: SourceProgram, *, run_slr: bool = True,
                 run_str: bool = True, profile: str = "glib",
                 jobs: int | None = None,
@@ -303,6 +374,12 @@ def apply_batch(program: SourceProgram, *, run_slr: bool = True,
     ``jobs`` (1 = serial, N > 1 = fork pool, default from ``REPRO_JOBS``),
     so serial and parallel runs produce byte-identical reports.
 
+    Preprocessing runs in the parent — pre-warming the shared caches
+    (and the persistent store) before any worker forks — and tasks with
+    identical work keys are deduplicated, so no two workers ever
+    transform the same content: the representative's report is cloned
+    under each duplicate's filename.
+
     ``validate=True`` runs the differential oracle on every transformed
     file (``None`` defers to ``session.validate``); verdicts land on
     each report's ``validation`` and roll up via
@@ -313,19 +390,45 @@ def apply_batch(program: SourceProgram, *, run_slr: bool = True,
         validate = session.validate
     before = snapshot_stats()
     start = time.perf_counter()
-    preprocessed = program.preprocess(session)
+    pp_timings: dict[str, float] = {}
+    preprocessed = program.preprocess(session, timings=pp_timings)
     tasks = [FileTask(filename, preprocessed.files[filename],
                       run_slr, run_str, profile, validate, fuzz_seed)
              for filename in sorted(preprocessed.files)]
+    unique: dict[str, FileTask] = {}
+    key_of: dict[str, str] = {}
+    for task in tasks:
+        key = _task_work_key(task)
+        key_of[task.filename] = key
+        unique.setdefault(key, task)
     executor = make_executor(jobs)
-    reports = executor.map(tasks)
+    unique_reports = dict(zip(unique,
+                              executor.map(list(unique.values()))))
+    reports = []
+    for task in tasks:
+        report = unique_reports[key_of[task.filename]]
+        if report.filename != task.filename:
+            report = dataclasses.replace(report, filename=task.filename)
+        reports.append(report)
     wall = time.perf_counter() - start
     after = snapshot_stats()
+
+    def delta(name: str) -> CacheStats:
+        return after[name].delta(before[name]) if name in before \
+            else CacheStats(name)
+
+    stage_times = {}
+    for report in reports:
+        times = dict(report.stage_times)
+        if report.filename in pp_timings:
+            times["preprocess"] = times.get("preprocess", 0.0) \
+                + pp_timings[report.filename]
+        stage_times[report.filename] = times
     stats = BatchStats(
         jobs=executor.jobs, wall_time=wall,
         file_walls={r.filename: r.wall_time for r in reports},
-        parse=after["parse"].delta(before["parse"])
-        if "parse" in before else CacheStats("parse"),
-        preprocess=after["preprocess"].delta(before["preprocess"])
-        if "preprocess" in before else CacheStats("preprocess"))
+        parse=delta("parse"), preprocess=delta("preprocess"),
+        slr=delta("slr"), str_=delta("str"), validate=delta("validate"),
+        stage_times=stage_times,
+        deduplicated=len(tasks) - len(unique))
     return BatchResult(program, reports, stats)

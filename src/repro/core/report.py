@@ -10,6 +10,7 @@ the evaluation report.  Kept separate from :mod:`repro.eval.report`
 from __future__ import annotations
 
 from ..cfront.cache import CacheStats, all_cache_stats
+from . import profile
 from .batch import BatchResult
 from .validate import VERDICTS
 
@@ -56,6 +57,9 @@ def render_batch_stats(result: BatchResult) -> str:
     if stats is not None:
         table += (f"\n\nbatch: {len(result.reports)} files in "
                   f"{stats.wall_time:.3f}s with {stats.jobs} job(s)")
+        if stats.deduplicated:
+            table += (f"; {stats.deduplicated} duplicate-content "
+                      f"task(s) shared one result")
     return table
 
 
@@ -82,9 +86,30 @@ def render_validation(result: BatchResult) -> str:
 
 
 def render_cache_stats(stats: list[CacheStats] | None = None) -> str:
-    """Hit/miss counters for every frontend cache in this process."""
+    """Hit/miss counters for every frontend cache in this process,
+    memory LRU and disk layer both."""
     stats = all_cache_stats() if stats is None else stats
     rows = [[s.name, s.hits, s.misses, s.evictions,
-             f"{100.0 * s.hit_rate:.1f}%"] for s in stats]
-    return _table(["cache", "hits", "misses", "evictions", "hit rate"],
+             f"{100.0 * s.hit_rate:.1f}%",
+             s.disk_hits, s.disk_misses,
+             _fmt_bytes(s.bytes_read), _fmt_bytes(s.bytes_written)]
+            for s in stats]
+    return _table(["cache", "hits", "misses", "evictions", "hit rate",
+                   "disk hits", "disk misses", "read", "written"],
                   rows)
+
+
+def render_profile(result: BatchResult) -> str:
+    """The per-stage timing breakdown for one batch run
+    (``repro batch --profile`` / ``REPRO_PROFILE=1``)."""
+    if result.stats is None:
+        return "(no stage timings recorded)"
+    return profile.render_profile(result.stats.stage_times)
+
+
+def _fmt_bytes(n: int) -> str:
+    if n >= 1024 * 1024:
+        return f"{n / (1024 * 1024):.1f}MB"
+    if n >= 1024:
+        return f"{n / 1024:.1f}KB"
+    return str(n)

@@ -29,6 +29,7 @@ from ..cfront.cache import (
 )
 from ..cfront.parser import parse_translation_unit
 from ..cfront.preprocessor import PreprocessedSource
+from . import profile
 
 
 @dataclass
@@ -59,7 +60,7 @@ class AnalysisSession:
         #: drivers that are not told ``validate=`` explicitly fall back
         #: to this flag (see :func:`repro.core.batch.apply_batch`).
         self.validate = validate
-        self._parse_cache = ContentCache(cache_name)
+        self._parse_cache = ContentCache(cache_name, family="parse")
 
     # ------------------------------------------------------------ pipeline
 
@@ -84,8 +85,10 @@ class AnalysisSession:
         key = content_key(text)
 
         def build() -> ParsedUnit:
-            unit = parse_translation_unit(text, filename)
-            analysis = ProgramAnalysis(unit).ensure_types()
+            with profile.stage("parse"):
+                unit = parse_translation_unit(text, filename)
+            with profile.stage("analyze"):
+                analysis = ProgramAnalysis(unit).ensure_types()
             return ParsedUnit(text, filename, unit, analysis)
 
         return self._parse_cache.get_or_build(key, build)

@@ -36,7 +36,9 @@ import zlib
 from dataclasses import dataclass, field
 from random import Random
 
+from ..cfront.cache import ContentCache, content_key
 from ..vm.interp import ExecutionResult, run_source
+from . import profile
 
 VERDICT_IDENTICAL = "identical"
 VERDICT_PREVENTED = "overflow-prevented"
@@ -250,6 +252,38 @@ class ValidationReport:
                 "verdicts": [v.as_dict() for v in self.verdicts]}
 
 
+# ------------------------------------------------------ persistent layer
+
+#: VM execution results, keyed on (text, stdin, limits).  The VM is
+#: deterministic, so a run is a pure function of its key; warm processes
+#: replay table-III executions and oracle probes from disk.
+_EXEC_CACHE = ContentCache("execute", family="execute")
+
+#: Whole per-pair oracle verdicts — the big win: a warm ``--validate``
+#: run re-executes nothing.
+_VALIDATE_CACHE = ContentCache("validate", family="validate")
+
+
+def cached_run_source(text: str, *, stdin: bytes = b"",
+                      step_limit: int = 5_000_000,
+                      entry: str = "main") -> ExecutionResult:
+    """:func:`repro.vm.interp.run_source` through the content-keyed
+    execution cache (memory → disk → interpret)."""
+    key = content_key("execute", text, stdin.hex(), str(step_limit),
+                      entry)
+    return _EXEC_CACHE.get_or_build(
+        key, lambda: run_source(text, stdin=stdin,
+                                step_limit=step_limit, entry=entry))
+
+
+def _inputs_key_parts(inputs: list[DifferentialInput]) -> list[str]:
+    """Key material covering every probe byte-for-byte — a changed
+    ``REPRO_VALIDATE_SEED`` (different fuzz bytes) must miss, never
+    replay a stale verdict."""
+    return [f"{probe.name}|{probe.kind}|{probe.stdin.hex()}"
+            for probe in inputs]
+
+
 # ---------------------------------------------------------------- oracle
 
 def validate_pair(original: str, transformed: str, *,
@@ -261,23 +295,32 @@ def validate_pair(original: str, transformed: str, *,
 
     Both texts must be preprocessed and parseable (callers gate on the
     batch driver's ``parses`` flag).  Texts that are byte-identical skip
-    execution entirely — nothing can have diverged.
+    execution entirely — nothing can have diverged.  Verdicts are served
+    from the persistent store when the same pair was validated on the
+    same probe bytes by any earlier run of this tool version.
     """
     if original == transformed:
         return ValidationReport(filename, [], unchanged=True)
     if inputs is None:
         inputs = default_inputs(filename)
-    verdicts = []
-    for probe in inputs:
-        before = run_source(original, stdin=probe.stdin,
-                            step_limit=step_limit, entry=entry)
-        after = run_source(transformed, stdin=probe.stdin,
-                           step_limit=step_limit, entry=entry)
-        verdict, detail = classify(before, after)
-        verdicts.append(InputVerdict(probe, verdict, detail,
-                                     before.fault or "",
-                                     after.fault or ""))
-    return ValidationReport(filename, verdicts)
+    key = content_key("validate", filename, original, transformed,
+                      str(step_limit), entry, *_inputs_key_parts(inputs))
+
+    def build() -> ValidationReport:
+        verdicts = []
+        for probe in inputs:
+            before = cached_run_source(original, stdin=probe.stdin,
+                                       step_limit=step_limit, entry=entry)
+            after = cached_run_source(transformed, stdin=probe.stdin,
+                                      step_limit=step_limit, entry=entry)
+            verdict, detail = classify(before, after)
+            verdicts.append(InputVerdict(probe, verdict, detail,
+                                         before.fault or "",
+                                         after.fault or ""))
+        return ValidationReport(filename, verdicts)
+
+    with profile.stage("validate"):
+        return _VALIDATE_CACHE.get_or_build(key, build)
 
 
 def validate_result(result, *, filename: str = "<unit>",

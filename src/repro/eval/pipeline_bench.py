@@ -1,0 +1,130 @@
+"""Measurable, subprocess-friendly pipeline benchmark runner.
+
+Runs a stratified sample of the SAMATE suite through
+:func:`repro.core.batch.apply_batch` (with the differential oracle on)
+and prints one JSON record per run: wall seconds, per-file transform
+counts, oracle verdicts, cache counters (memory and disk layers), and
+the per-stage time breakdown.
+
+The benchmark harness (``benchmarks/test_bench_perf_overhead.py``)
+launches this module in fresh interpreters to measure the three legs the
+persistent artifact store distinguishes:
+
+* **cold** — new process, empty ``REPRO_CACHE_DIR``;
+* **warm in-process** — second ``--repeat`` in the same interpreter
+  (memory LRUs hot);
+* **warm cross-process** — new interpreter, same ``REPRO_CACHE_DIR``
+  (memory LRUs empty, disk store hot).
+
+Counts and verdicts are emitted so the harness can assert that every
+leg — any ``--jobs`` value, disk cache on or off — produces identical
+results.
+
+Run by hand::
+
+    python -m repro.eval.pipeline_bench --scale 0.05 --limit 24 \
+        --jobs 4 --repeat 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from ..core.batch import BatchResult, SourceProgram, apply_batch
+from .samate_runner import stratified_sample
+
+
+def sample_program(scale: float = 0.05, limit: int = 24) -> SourceProgram:
+    """A multi-file :class:`SourceProgram` built from a stratified SAMATE
+    sample — one .c file per generated test program."""
+    from ..samate import generate_suite
+    programs = [p for progs in generate_suite(scale).values()
+                for p in progs]
+    sample = stratified_sample(programs, limit)
+    return SourceProgram(
+        name=f"samate-sample-{len(sample)}",
+        files={p.name + ".c": p.source for p in sample})
+
+
+def run_record(result: BatchResult, wall_s: float) -> dict:
+    """One benchmark run as a JSON-ready record."""
+    counts = {r.filename: {
+        "slr": [r.slr.transformed_count, r.slr.candidates]
+               if r.slr else None,
+        "str": [r.str_.transformed_count, r.str_.candidates]
+               if r.str_ else None,
+        "parses": r.parses,
+    } for r in result.reports}
+    verdicts = {r.filename: dict(sorted(r.validation.counts().items()))
+                for r in result.reports if r.validation is not None}
+    stats = result.stats
+    return {
+        "jobs": stats.jobs if stats else None,
+        "wall_s": round(wall_s, 4),
+        "files": len(result.reports),
+        "files_per_s": round(len(result.reports) / wall_s, 2)
+                       if wall_s > 0 else None,
+        "counts": counts,
+        "verdicts": verdicts,
+        "semantics_preserved": result.semantics_preserved,
+        "stats": stats.as_dict() if stats else None,
+    }
+
+
+def run_benchmark(*, scale: float = 0.05, limit: int = 24,
+                  jobs: int = 1, repeat: int = 1,
+                  validate: bool = True,
+                  fuzz_seed: int | None = None) -> list[dict]:
+    """Run the sampled batch ``repeat`` times and record each run.
+
+    Repeats share the process's memory caches, so run 2+ measures the
+    warm-in-process leg.  The program is rebuilt (and its preprocess
+    memo dropped) each time so every run exercises the full pipeline.
+    """
+    records = []
+    for _ in range(max(1, repeat)):
+        program = sample_program(scale, limit)
+        start = time.perf_counter()
+        result = apply_batch(program, jobs=jobs, validate=validate,
+                             fuzz_seed=fuzz_seed)
+        records.append(run_record(result, time.perf_counter() - start))
+    return records
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the transformation pipeline on a sampled "
+                    "SAMATE batch; prints one JSON document")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="SAMATE suite scale factor")
+    parser.add_argument("--limit", type=int, default=24,
+                        help="stratified-sample size (total files)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for apply_batch")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="runs in this process (2nd+ = warm leg)")
+    parser.add_argument("--no-validate", action="store_true",
+                        help="skip the differential oracle")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="fuzz-input seed for the oracle")
+    parser.add_argument("--out", default=None,
+                        help="write JSON here instead of stdout")
+    args = parser.parse_args(argv)
+    runs = run_benchmark(scale=args.scale, limit=args.limit,
+                         jobs=args.jobs, repeat=args.repeat,
+                         validate=not args.no_validate,
+                         fuzz_seed=args.seed)
+    payload = json.dumps({"runs": runs}, indent=2) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+    else:
+        sys.stdout.write(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,7 +10,10 @@ Everything flows through the shared
 :class:`~repro.core.session.AnalysisSession`: the preprocessed text is
 parsed once and that unit is shared by SLR, STR's input (when SLR queued
 no edits), and the "before" execution; the transformed text's unit is
-shared by the verify and the "after" execution.  :func:`run_samate_suite`
+shared by the verify and the "after" execution.  Transform results and
+VM executions additionally go through the persistent artifact store
+(:mod:`repro.core.store`), so re-running the suite — in another worker
+or another process — replays them from disk.  :func:`run_samate_suite`
 fans whole programs out over a fork pool (``jobs=N``) with
 deterministic, input-ordered results.
 """
@@ -19,12 +22,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..core import profile
+from ..core.batch import cached_slr, cached_str
 from ..core.session import AnalysisSession, get_session
-from ..core.slr import SafeLibraryReplacement
-from ..core.strtransform import SafeTypeReplacement
-from ..core.validate import ValidationReport, validate_pair
+from ..core.validate import ValidationReport, cached_run_source, \
+    validate_pair
 from ..samate.generator import TestProgram, differential_inputs
-from ..vm import run_source
 
 
 @dataclass
@@ -61,7 +64,8 @@ def run_samate_program(program: TestProgram, *, execute: bool = True,
     re-checking every transformed site for semantics-changing rewrites.
     """
     session = session if session is not None else get_session()
-    pp = session.preprocess(program.source, program.name)
+    with profile.stage("preprocess"):
+        pp = session.preprocess(program.source, program.name)
     source_lines = sum(1 for line in program.source.splitlines()
                       if line.strip())
 
@@ -69,13 +73,13 @@ def run_samate_program(program: TestProgram, *, execute: bool = True,
     slr_applied = False
     str_applied = False
     if program.slr_applicable:
-        slr_result = SafeLibraryReplacement(text, program.name,
-                                            session=session).run()
+        with profile.stage("slr"):
+            slr_result = cached_slr(text, program.name, session=session)
         slr_applied = slr_result.transformed_count > 0
         text = slr_result.new_text
     if program.str_applicable:
-        str_result = SafeTypeReplacement(text, program.name,
-                                         session=session).run()
+        with profile.stage("str"):
+            str_result = cached_str(text, program.name, session=session)
         str_applied = str_result.transformed_count > 0
         text = str_result.new_text
 
@@ -88,8 +92,9 @@ def run_samate_program(program: TestProgram, *, execute: bool = True,
             pp_lines=pp.line_count, source_lines=source_lines,
             steps_before=0, steps_after=0)
 
-    before = run_source(pp.text, stdin=program.stdin)
-    after = run_source(text, stdin=program.stdin)
+    with profile.stage("execute"):
+        before = cached_run_source(pp.text, stdin=program.stdin)
+        after = cached_run_source(text, stdin=program.stdin)
     validation = None
     if validate:
         validation = validate_pair(

@@ -111,6 +111,78 @@ class TestParser:
             build_parser().parse_args(["fix", "x.c", "--profile", "win"])
 
 
+@pytest.fixture
+def batch_dir(tmp_path, broken_c):
+    """A directory with one transformable .c file for batch commands."""
+    target = tmp_path / "prog"
+    target.mkdir()
+    (target / "broken.c").write_text(broken_c.read_text())
+    return target
+
+
+class TestCacheCommand:
+    def test_stats_on_empty_store(self, fresh_store):
+        code, out, _ = run_cli(["cache", "stats"])
+        assert code == 0
+        assert "(store is empty)" in out
+        assert "schema v" in out
+
+    def test_stats_after_batch_reports_families(self, fresh_store,
+                                                batch_dir):
+        assert run_cli(["batch", batch_dir])[0] == 0
+        code, out, _ = run_cli(["cache", "stats"])
+        assert code == 0
+        assert "preprocess" in out and "slr" in out
+        assert "(total)" in out
+        assert "misses=" in out             # live counters rendered
+
+    def test_clear_empties_store(self, fresh_store, batch_dir):
+        run_cli(["batch", batch_dir])
+        code, out, _ = run_cli(["cache", "clear"])
+        assert code == 0 and "cleared" in out
+        assert fresh_store.usage() == {}
+
+    def test_gc_runs_clean(self, fresh_store, batch_dir):
+        run_cli(["batch", batch_dir])
+        code, out, _ = run_cli(["cache", "gc"])
+        assert code == 0
+        assert "removed 0 file(s)" in out
+        code, out, _ = run_cli(["cache", "gc", "--max-age-days", "0"])
+        assert code == 0
+        assert "removed 0 file(s)" not in out
+
+    def test_no_disk_cache_flag(self, fresh_store, batch_dir,
+                                monkeypatch):
+        monkeypatch.setenv("REPRO_DISK_CACHE", "1")
+        from repro.cfront.cache import clear_all_caches
+        clear_all_caches()
+        code, _, _ = run_cli(["batch", batch_dir, "--no-disk-cache"])
+        assert code == 0
+        assert fresh_store.usage() == {}
+
+
+class TestBatchProfileFlag:
+    def test_profile_renders_stage_table(self, fresh_store, batch_dir):
+        code, out, _ = run_cli(["batch", batch_dir, "--profile"])
+        assert code == 0
+        assert "mean ms/file" in out
+        assert "slr" in out and "verify" in out
+
+    def test_no_profile_no_stage_table(self, fresh_store, batch_dir,
+                                       monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        code, out, _ = run_cli(["batch", batch_dir])
+        assert code == 0
+        assert "mean ms/file" not in out
+
+    def test_repro_profile_env(self, fresh_store, batch_dir,
+                               monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        code, out, _ = run_cli(["batch", batch_dir])
+        assert code == 0
+        assert "mean ms/file" in out
+
+
 class TestEvalCli:
     def test_eval_help(self):
         from repro.eval.__main__ import main as eval_main

@@ -1,0 +1,341 @@
+"""Tests for the persistent artifact store and its cache layering."""
+
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.cfront.cache import ContentCache, _REGISTRY, \
+    clear_all_caches, content_key, snapshot_stats
+from repro.core.store import ArtifactStore, SCHEMA_VERSION, \
+    disk_enabled, get_store, reset_store
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
+
+
+@pytest.fixture
+def scratch_cache():
+    """A uniquely named disk-backed ContentCache, deregistered after."""
+    caches = []
+
+    def make(name, family="slr", maxsize=None):
+        cache = ContentCache(name, maxsize, family=family)
+        caches.append(cache)
+        return cache
+
+    yield make
+    for cache in caches:
+        _REGISTRY.pop(cache.name, None)
+
+
+class TestArtifactStore:
+    def test_roundtrip(self, tmp_path):
+        store = ArtifactStore(str(tmp_path), fingerprint="t1")
+        nbytes = store.store("slr", "abcd", {"x": [1, 2, 3]})
+        assert nbytes > 0
+        hit, value, read = store.load("slr", "abcd")
+        assert hit and value == {"x": [1, 2, 3]} and read == nbytes
+
+    def test_missing_entry_is_miss(self, tmp_path):
+        store = ArtifactStore(str(tmp_path), fingerprint="t1")
+        hit, value, read = store.load("parse", "feed")
+        assert (hit, value, read) == (False, None, 0)
+        assert store.counters["parse"]["misses"] == 1
+
+    def test_corrupt_entry_is_miss_and_unlinked(self, tmp_path):
+        store = ArtifactStore(str(tmp_path), fingerprint="t1")
+        store.store("slr", "abcd", "good")
+        path = store._entry_path("slr", "abcd")
+        with open(path, "wb") as fh:
+            fh.write(b"\x80\x05 definitely not a pickle")
+        hit, value, _ = store.load("slr", "abcd")
+        assert not hit and value is None
+        assert not os.path.exists(path)
+
+    def test_half_written_tmp_is_invisible(self, tmp_path):
+        store = ArtifactStore(str(tmp_path), fingerprint="t1")
+        store.store("slr", "abcd", "value")
+        entry_dir = os.path.dirname(store._entry_path("slr", "abcd"))
+        tmp = os.path.join(entry_dir, ".abcd.9999.deadbeef.tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(pickle.dumps("partial")[:5])
+        # The published entry still loads; the torn write is ignored.
+        hit, value, _ = store.load("slr", "abcd")
+        assert hit and value == "value"
+        # gc reclaims abandoned temp files but keeps live entries.
+        result = store.gc(tmp_max_age_s=0.0)
+        assert result["removed_files"] == 1
+        assert not os.path.exists(tmp)
+        assert store.load("slr", "abcd")[0]
+
+    def test_gc_drops_stale_versions(self, tmp_path):
+        old = ArtifactStore(str(tmp_path), fingerprint="aaaa")
+        old.store("slr", "abcd", "old-entry")
+        new = ArtifactStore(str(tmp_path), fingerprint="bbbb")
+        assert new.stale_versions() == [old.version_dir]
+        result = new.gc()
+        assert result["removed_versions"] == 1
+        assert result["removed_files"] == 1
+        assert not os.path.exists(old.version_dir)
+
+    def test_gc_max_age_removes_old_entries(self, tmp_path):
+        store = ArtifactStore(str(tmp_path), fingerprint="t1")
+        store.store("slr", "abcd", "value")
+        assert store.gc(max_age_s=3600.0)["removed_files"] == 0
+        assert store.gc(max_age_s=0.0)["removed_files"] == 1
+        assert not store.load("slr", "abcd")[0]
+
+    def test_clear_reports_files_and_bytes(self, tmp_path):
+        store = ArtifactStore(str(tmp_path), fingerprint="t1")
+        written = store.store("slr", "abcd", "v1") \
+            + store.store("parse", "efgh", "v2")
+        files, nbytes = store.clear()
+        assert files == 2 and nbytes == written
+        assert store.usage() == {}
+
+    def test_usage_per_family(self, tmp_path):
+        store = ArtifactStore(str(tmp_path), fingerprint="t1")
+        store.store("slr", "aa11", "x")
+        store.store("slr", "bb22", "y")
+        store.store("execute", "cc33", "z")
+        usage = store.usage()
+        assert usage["slr"]["entries"] == 2
+        assert usage["execute"]["entries"] == 1
+        assert "parse" not in usage
+
+    def test_version_dir_tracks_schema_and_fingerprint(self, tmp_path):
+        store = ArtifactStore(str(tmp_path), fingerprint="cafe")
+        assert os.path.basename(store.version_dir) \
+            == f"v{SCHEMA_VERSION}-cafe"
+
+    def test_counters_persist_across_processes(self, tmp_path):
+        writer = ArtifactStore(str(tmp_path), fingerprint="t1")
+        writer.store("slr", "abcd", "value")
+        writer.load("slr", "abcd")
+        writer.flush_counters()
+        later = ArtifactStore(str(tmp_path), fingerprint="t1")
+        merged = later.persisted_counters()
+        assert merged["slr"]["hits"] == 1
+        assert merged["slr"]["bytes_written"] > 0
+
+
+class TestConcurrentWriters:
+    WRITER = (
+        "import pickle, sys\n"
+        "sys.path.insert(0, {src!r})\n"
+        "from repro.core.store import ArtifactStore\n"
+        "store = ArtifactStore({root!r}, fingerprint='race')\n"
+        "for i in range(40):\n"
+        "    key = 'k%03d' % i\n"
+        "    store.store('slr', key, ('value', i, {tag!r}))\n")
+
+    def test_two_processes_racing_same_keys(self, tmp_path):
+        """Both writers publish every key; readers only ever observe
+        complete entries and no temp files survive."""
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c",
+                 self.WRITER.format(src=REPO_SRC, root=str(tmp_path),
+                                    tag=tag)])
+            for tag in ("one", "two")]
+        for proc in procs:
+            assert proc.wait(timeout=120) == 0
+        store = ArtifactStore(str(tmp_path), fingerprint="race")
+        for i in range(40):
+            hit, value, _ = store.load("slr", "k%03d" % i)
+            assert hit, i
+            assert value[:2] == ("value", i)
+            assert value[2] in ("one", "two")
+        leftovers = [name for _, _, names in os.walk(str(tmp_path))
+                     for name in names if name.endswith(".tmp")]
+        assert leftovers == []
+
+
+class TestCacheLayering:
+    def test_memory_then_disk_then_compute(self, fresh_store,
+                                           scratch_cache):
+        cache = scratch_cache("layering-test")
+        builds = []
+
+        def build():
+            builds.append(1)
+            return "computed"
+
+        key = content_key("layering-test", "input-a")
+        assert cache.get_or_build(key, build) == "computed"
+        assert builds == [1]
+        assert cache.stats.disk_misses == 1
+        assert cache.stats.bytes_written > 0
+        # Memory hit: disk untouched.
+        assert cache.get_or_build(key, build) == "computed"
+        assert builds == [1]
+        assert cache.stats.hits == 1
+        # Evict memory: the disk layer answers, nothing is recomputed.
+        cache.clear()
+        assert cache.get_or_build(key, build) == "computed"
+        assert builds == [1]
+        assert cache.stats.disk_hits == 1
+        assert cache.stats.bytes_read > 0
+
+    def test_repro_cache_0_bypasses_disk_entirely(self, fresh_store,
+                                                  scratch_cache,
+                                                  monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert not disk_enabled()
+        cache = scratch_cache("alloff-test")
+        builds = []
+        key = content_key("alloff-test", "input-b")
+        for _ in range(2):
+            cache.get_or_build(key, lambda: builds.append(1) or "v")
+        assert len(builds) == 2                  # nothing cached
+        assert fresh_store.usage() == {}         # nothing on disk
+        assert cache.stats.disk_misses == 0      # disk never consulted
+
+    def test_repro_disk_cache_0_disables_disk_only(self, fresh_store,
+                                                   scratch_cache,
+                                                   monkeypatch):
+        monkeypatch.setenv("REPRO_DISK_CACHE", "0")
+        assert not disk_enabled()
+        cache = scratch_cache("diskoff-test")
+        builds = []
+        key = content_key("diskoff-test", "input-c")
+        for _ in range(2):
+            cache.get_or_build(key, lambda: builds.append(1) or "v")
+        assert len(builds) == 1                  # memory LRU still on
+        assert fresh_store.usage() == {}
+
+
+BROKEN_TMPL = """\
+#include <stdio.h>
+#include <string.h>
+int main(void) {{
+    char buf[8];
+    char line[64];
+    if (fgets(line, 64, stdin)) {{
+        strcpy(buf, line);
+        printf("{tag}:%s", buf);
+    }}
+    return 0;
+}}
+"""
+
+
+class TestBatchIntegration:
+    def test_duplicate_content_deduplicated(self, fresh_store):
+        """Identical-content files share one transform: the batch maps
+        one task and clones its report under each filename."""
+        from repro.core.batch import SourceProgram, apply_batch
+        src = BROKEN_TMPL.format(tag="dedup-test")
+        other = BROKEN_TMPL.format(tag="dedup-test-other")
+        program = SourceProgram(
+            "dup", {"a.c": src, "b.c": src, "c.c": other})
+        result = apply_batch(program, jobs=1, validate=False)
+        stats = result.stats
+        assert stats.deduplicated == 1
+        # Two unique texts -> two SLR builds, no duplicate disk misses.
+        assert stats.slr.misses == 2
+        assert stats.slr.disk_misses == 2
+        assert stats.str_.misses == 2
+        by_name = {r.filename: r for r in result.reports}
+        assert sorted(by_name) == ["a.c", "b.c", "c.c"]
+        assert by_name["a.c"].final_text == by_name["b.c"].final_text
+        assert by_name["a.c"].slr.transformed_count == 1
+
+    def test_parent_prewarms_store_for_workers(self, fresh_store):
+        """Preprocess runs (and persists) in the parent before any task
+        is mapped, so a worker-side lookup can only hit."""
+        from repro.core.batch import SourceProgram, apply_batch
+        src = BROKEN_TMPL.format(tag="prewarm-test")
+        program = SourceProgram("warm", {"a.c": src})
+        apply_batch(program, jobs=1, validate=False)
+        assert fresh_store.usage()["preprocess"]["entries"] >= 1
+        assert fresh_store.usage()["parse"]["entries"] >= 1
+
+    def test_warm_cross_process_replays_from_disk(self, fresh_store):
+        """Simulate a new process (empty memory caches, same store):
+        the rerun is served by disk hits and is byte-identical."""
+        from repro.core.batch import SourceProgram, apply_batch
+        from repro.core.session import reset_session
+        src = BROKEN_TMPL.format(tag="crossproc-test")
+        program = SourceProgram("xp", {"a.c": src})
+        cold = apply_batch(program, jobs=1, validate=True)
+
+        clear_all_caches()
+        reset_session()
+        warm = apply_batch(SourceProgram("xp", {"a.c": src}),
+                           jobs=1, validate=True)
+        stats = warm.stats
+        disk_hits = stats.preprocess.disk_hits + stats.parse.disk_hits \
+            + stats.slr.disk_hits + stats.str_.disk_hits \
+            + stats.validate.disk_hits
+        assert disk_hits > 0
+        assert stats.slr.disk_hits == 1
+        assert warm.reports[0].final_text == cold.reports[0].final_text
+        assert warm.reports[0].validation.counts() \
+            == cold.reports[0].validation.counts()
+
+    def test_validate_seed_changes_miss_cache(self, fresh_store,
+                                              monkeypatch):
+        """A changed REPRO_VALIDATE_SEED draws different fuzz bytes, so
+        a cached verdict must never be replayed for it."""
+        from repro.core.session import get_session
+        from repro.core.validate import _VALIDATE_CACHE, default_inputs, \
+            validate_pair
+        src = BROKEN_TMPL.format(tag="seed-test")
+        session = get_session()
+        original = session.preprocess(src, "seed_test.c").text
+        from repro.core.batch import cached_slr
+        transformed = cached_slr(original, "seed_test.c").new_text
+        assert transformed != original
+
+        def run():
+            return validate_pair(
+                original, transformed, filename="seed_test.c",
+                inputs=default_inputs("seed_test.c"))
+
+        monkeypatch.setenv("REPRO_VALIDATE_SEED", "1")
+        base = _VALIDATE_CACHE.stats
+        run()
+        misses_after_first = base.misses
+        run()                                     # same seed: a hit
+        assert base.misses == misses_after_first
+        monkeypatch.setenv("REPRO_VALIDATE_SEED", "2")
+        run()                                     # new seed: a miss
+        assert base.misses == misses_after_first + 1
+
+    def test_validate_seed_changes_probe_bytes(self, monkeypatch):
+        from repro.core.validate import _inputs_key_parts, default_inputs
+        monkeypatch.setenv("REPRO_VALIDATE_SEED", "1")
+        parts_1 = _inputs_key_parts(default_inputs("f.c"))
+        monkeypatch.setenv("REPRO_VALIDATE_SEED", "2")
+        parts_2 = _inputs_key_parts(default_inputs("f.c"))
+        assert parts_1 != parts_2
+
+
+class TestFingerprintSalt:
+    def test_fingerprint_salts_content_key(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FINGERPRINT", "aaaa")
+        key_a = content_key("slr", "same text")
+        monkeypatch.setenv("REPRO_FINGERPRINT", "bbbb")
+        key_b = content_key("slr", "same text")
+        assert key_a != key_b
+
+    def test_fingerprint_selects_version_dir(self, tmp_path,
+                                             monkeypatch):
+        monkeypatch.setenv("REPRO_FINGERPRINT", "aaaa")
+        dir_a = ArtifactStore(str(tmp_path)).version_dir
+        monkeypatch.setenv("REPRO_FINGERPRINT", "bbbb")
+        dir_b = ArtifactStore(str(tmp_path)).version_dir
+        assert dir_a != dir_b
+
+    def test_reset_store_rereads_environment(self, tmp_path,
+                                             monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "here"))
+        store = reset_store()
+        assert store is get_store()
+        assert store.root == str(tmp_path / "here")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "there"))
+        assert reset_store().root == str(tmp_path / "there")
