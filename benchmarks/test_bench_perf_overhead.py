@@ -141,7 +141,7 @@ def test_bench_pipeline_throughput(benchmark, tmp_path):
         "verdicts_identical": verdicts_identical,
     }
     out = REPO_ROOT / "BENCH_pipeline.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n",
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
                    encoding="utf-8")
 
     # Acceptance target is >=3x cross-process; assert a conservative

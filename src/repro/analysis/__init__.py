@@ -13,6 +13,7 @@ one function does not rebuild the world.
 from __future__ import annotations
 
 from ..cfront import astnodes as ast
+from ..core import profile
 from .alias import AliasAnalysis, analyze_aliases
 from .callgraph import CallGraph, build_call_graph
 from .cfg import CFG, CFGNode, build_all_cfgs, build_cfg
@@ -69,19 +70,24 @@ class ProgramAnalysis:
     def cfgs(self) -> dict[str, CFG]:
         if self._cfgs is None:
             self.symbols
-            self._cfgs = build_all_cfgs(self.unit)
+            with profile.stage("analyze:cfg"):
+                self._cfgs = build_all_cfgs(self.unit)
         return self._cfgs
 
     @property
     def pointsto(self) -> PointsToAnalysis:
         if self._pointsto is None:
-            self._pointsto = PointsToAnalysis(self.unit, self.symbols)
+            symbols = self.symbols
+            with profile.stage("analyze:pointsto"):
+                self._pointsto = PointsToAnalysis(self.unit, symbols)
         return self._pointsto
 
     @property
     def aliases(self) -> AliasAnalysis:
         if self._aliases is None:
-            self._aliases = AliasAnalysis(self.pointsto, self.symbols)
+            pointsto = self.pointsto
+            with profile.stage("analyze:alias"):
+                self._aliases = AliasAnalysis(pointsto, self.symbols)
         return self._aliases
 
     @property
@@ -116,17 +122,20 @@ class ProgramAnalysis:
         if function_name not in self.cfgs:
             return None
         if function_name not in self._reaching:
-            self._reaching[function_name] = ReachingDefinitions(
-                self.cfgs[function_name])
+            cfg = self.cfgs[function_name]
+            with profile.stage("analyze:reaching"):
+                self._reaching[function_name] = ReachingDefinitions(cfg)
         return self._reaching[function_name]
 
     def dependence_of(self, function_name: str) -> DependenceAnalysis | None:
         if function_name not in self.cfgs:
             return None
         if function_name not in self._dependence:
-            self._dependence[function_name] = DependenceAnalysis(
-                self.cfgs[function_name],
-                self.reaching_of(function_name))
+            cfg = self.cfgs[function_name]
+            reaching = self.reaching_of(function_name)
+            with profile.stage("analyze:dependence"):
+                self._dependence[function_name] = DependenceAnalysis(
+                    cfg, reaching)
         return self._dependence[function_name]
 
     # --------------------------------------------------------- invalidation

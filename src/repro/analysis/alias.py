@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from ..cfront import astnodes as ast
 from ..cfront.ctypes_model import StructType
+from .fastpath import fast_enabled
 from .pointsto import PointsToAnalysis
 from .symtab import Symbol, SymbolTable
 
@@ -19,12 +20,18 @@ class AliasAnalysis:
     def __init__(self, pointsto: PointsToAnalysis, table: SymbolTable):
         self.pointsto = pointsto
         self.table = table
-        # symbol uid -> set of symbols it may alias (cached, per paper).
-        self._alias_map: dict[int, set[Symbol]] = {}
+        # symbol uid -> symbols it may alias (cached, per paper), ordered
+        # by first appearance in the points-to node list so iteration is
+        # deterministic under hash-seed randomization.
+        self._alias_map: dict[int, list[Symbol]] = {}
         self._object_pointers: dict[int, set[Symbol]] = {}
-        self._compute()
+        if fast_enabled():
+            self._compute_fast()
+        else:
+            self._compute()
 
     def _compute(self) -> None:
+        """Reference computation: pairwise points-to set intersection."""
         pointers = self.pointsto.pointer_symbols()
         pts_of: dict[int, set[int]] = {}
         for symbol in pointers:
@@ -37,21 +44,56 @@ class AliasAnalysis:
                 self._object_pointers.setdefault(target, set()).add(symbol)
 
         for symbol in pointers:
-            aliases: set[Symbol] = set()
             mine = pts_of[symbol.uid]
+            aliases = []
             if mine:
                 for other in pointers:
                     if other is symbol:
                         continue
                     if mine & pts_of[other.uid]:
-                        aliases.add(other)
+                        aliases.append(other)
             self._alias_map[symbol.uid] = aliases
+
+    def _compute_fast(self) -> None:
+        """Bitset computation via the target -> co-pointer-mask map.
+
+        Two pointers alias exactly when they share a points-to target, so
+        the alias set of ``s`` is the union of co-pointers over its
+        targets — the same relation the pairwise intersections produce,
+        without the O(pointers²) set products.  Pointer identity is one
+        bit (its rank in ``pointer_symbols`` order, i.e. node creation
+        order), co-pointer sets are int masks, and the union is a
+        handful of big-int ORs per pointer; decoding masks lowest bit
+        first keeps every result list deterministic regardless of hash
+        seed.
+        """
+        from .fastpath import iter_bits
+        pointers = self.pointsto.pointer_symbols()
+        co_mask: dict[int, int] = {}
+        pts_of: list[list[int]] = []
+        for rank, symbol in enumerate(pointers):
+            bit = 1 << rank
+            pts = [node.index for node in self.pointsto.points_to(symbol)
+                   if node.symbol is not symbol]
+            pts_of.append(pts)
+            for target in pts:
+                co_mask[target] = co_mask.get(target, 0) | bit
+                self._object_pointers.setdefault(target, set()).add(symbol)
+
+        for rank, symbol in enumerate(pointers):
+            mask = 0
+            for target in pts_of[rank]:
+                mask |= co_mask[target]
+            mask &= ~(1 << rank)
+            self._alias_map[symbol.uid] = [pointers[i]
+                                           for i in iter_bits(mask)]
 
     # ------------------------------------------------------------------ API
 
-    def aliases_of(self, symbol: Symbol) -> set[Symbol]:
-        """Other pointer variables whose targets intersect this one's."""
-        return self._alias_map.get(symbol.uid, set())
+    def aliases_of(self, symbol: Symbol) -> list[Symbol]:
+        """Other pointer variables whose targets intersect this one's,
+        in deterministic pointer-node creation order."""
+        return self._alias_map.get(symbol.uid, [])
 
     def is_aliased(self, symbol: Symbol) -> bool:
         """ISALIASED(B) of Algorithm 1.
@@ -93,21 +135,27 @@ class AliasAnalysis:
         pointing = self._object_pointers.get(obj.index, set())
         return bool(pointing) or obj.index in self.pointsto.escaped
 
-    def alias_sets(self) -> list[set[Symbol]]:
-        """Partition pointer symbols into maximal alias groups."""
+    def alias_sets(self) -> list[list[Symbol]]:
+        """Partition pointer symbols into maximal alias groups.
+
+        Groups appear in pointer-node creation order, and each group is
+        ordered the same way, so rendering the partition never leaks set
+        iteration order.
+        """
         seen: set[int] = set()
-        groups: list[set[Symbol]] = []
+        groups: list[list[Symbol]] = []
         for symbol in self.pointsto.pointer_symbols():
             if symbol.uid in seen:
                 continue
-            group = {symbol}
+            seen.add(symbol.uid)
+            group = [symbol]
             frontier = [symbol]
             while frontier:
                 current = frontier.pop()
-                seen.add(current.uid)
                 for other in self.aliases_of(current):
                     if other.uid not in seen:
-                        group.add(other)
+                        seen.add(other.uid)
+                        group.append(other)
                         frontier.append(other)
             if len(group) > 1:
                 groups.append(group)

@@ -51,6 +51,13 @@ class CFG:
         self.entry = self._new("entry")
         self.exit = self._new("exit")
         self._stmt_map: dict[int, CFGNode] = {}
+        # Derived arrays, built once on first use (the graph is immutable
+        # after CFGBuilder.build returns): integer successor/predecessor
+        # adjacency and a reverse postorder, which the bitset dataflow
+        # solvers iterate instead of chasing node objects.
+        self._succ_ids: list[list[int]] | None = None
+        self._pred_ids: list[list[int]] | None = None
+        self._rpo: list[int] | None = None
 
     def _new(self, kind: str, stmt: ast.Node | None = None) -> CFGNode:
         node = CFGNode(len(self.nodes), kind, stmt)
@@ -59,6 +66,50 @@ class CFG:
         if stmt is not None:
             self._stmt_map[id(stmt)] = node
         return node
+
+    # ------------------------------------------------- derived fast arrays
+
+    def succ_ids(self) -> list[list[int]]:
+        """Successor node ids, indexed by ``nid`` (built once, cached)."""
+        if self._succ_ids is None:
+            self._succ_ids = [[s.nid for s in n.succs] for n in self.nodes]
+        return self._succ_ids
+
+    def pred_ids(self) -> list[list[int]]:
+        """Predecessor node ids, indexed by ``nid`` (built once, cached)."""
+        if self._pred_ids is None:
+            self._pred_ids = [[p.nid for p in n.preds] for n in self.nodes]
+        return self._pred_ids
+
+    def rpo(self) -> list[int]:
+        """Reverse postorder over ``succ_ids`` from the entry node.
+
+        Nodes unreachable from entry (dead code) are appended in id order
+        so dataflow passes iterating this order still visit every node.
+        """
+        if self._rpo is not None:
+            return self._rpo
+        succs = self.succ_ids()
+        seen = bytearray(len(self.nodes))
+        seen[self.entry.nid] = 1
+        order: list[int] = []
+        frames = [(self.entry.nid, iter(succs[self.entry.nid]))]
+        while frames:
+            nid, it = frames[-1]
+            advanced = False
+            for nxt in it:
+                if not seen[nxt]:
+                    seen[nxt] = 1
+                    frames.append((nxt, iter(succs[nxt])))
+                    advanced = True
+                    break
+            if not advanced:
+                frames.pop()
+                order.append(nid)
+        order.reverse()
+        order.extend(nid for nid in range(len(self.nodes)) if not seen[nid])
+        self._rpo = order
+        return order
 
     def node_for(self, stmt: ast.Node) -> CFGNode | None:
         """CFG node of a statement (or of the statement enclosing a node)."""
@@ -80,16 +131,20 @@ class CFG:
         return self._reaches(src, through) and self._reaches(through, dst)
 
     def _reaches(self, src: CFGNode, dst: CFGNode) -> bool:
-        seen = {src}
-        stack = [src]
+        if src is dst:
+            return True
+        succs = self.succ_ids()
+        target = dst.nid
+        seen = bytearray(len(self.nodes))
+        seen[src.nid] = 1
+        stack = [src.nid]
         while stack:
-            node = stack.pop()
-            if node is dst:
-                return True
-            for succ in node.succs:
-                if succ not in seen:
-                    seen.add(succ)
-                    stack.append(succ)
+            for nxt in succs[stack.pop()]:
+                if nxt == target:
+                    return True
+                if not seen[nxt]:
+                    seen[nxt] = 1
+                    stack.append(nxt)
         return False
 
     def statements(self) -> Iterator[CFGNode]:

@@ -9,10 +9,9 @@ computation on the reversed CFG.
 
 from __future__ import annotations
 
-import networkx as nx
-
 from ..cfront import astnodes as ast
 from .cfg import CFG, CFGNode
+from .fastpath import fast_enabled, immediate_dominators
 from .reaching import Definition, ReachingDefinitions
 from .symtab import Symbol
 
@@ -22,6 +21,7 @@ class DependenceAnalysis:
         self.cfg = cfg
         self.reaching = reaching or ReachingDefinitions(cfg)
         self._control_deps: dict[int, set[int]] = {}
+        self._used_cache: dict[int, set[Symbol]] = {}
         self._compute_control_dependence()
 
     # ---------------------------------------------------------------- data
@@ -30,7 +30,7 @@ class DependenceAnalysis:
         """Definitions that this node's uses depend on."""
         if node.stmt is None:
             return []
-        used = self._used_symbols(node.stmt)
+        used = self._used_symbols_of(node)
         out: list[Definition] = []
         for definition in self.reaching.reaching_in(node):
             if definition.symbol in used:
@@ -44,11 +44,20 @@ class DependenceAnalysis:
         for node in self.cfg.nodes:
             if node.stmt is None:
                 continue
-            used = self._used_symbols(node.stmt)
+            used = self._used_symbols_of(node)
             for definition in self.reaching.reaching_in(node):
                 if definition.symbol in used:
                     chains[definition].append(node)
         return chains
+
+    def _used_symbols_of(self, node: CFGNode) -> set[Symbol]:
+        """Symbols mentioned at a CFG node (memoized — statements are
+        immutable for the lifetime of this analysis)."""
+        found = self._used_cache.get(node.nid)
+        if found is None:
+            found = self._used_symbols(node.stmt)
+            self._used_cache[node.nid] = found
+        return found
 
     @staticmethod
     def _used_symbols(stmt: ast.Node) -> set[Symbol]:
@@ -61,24 +70,8 @@ class DependenceAnalysis:
     # ------------------------------------------------------------- control
 
     def _compute_control_dependence(self) -> None:
-        graph = nx.DiGraph()
-        for node in self.cfg.nodes:
-            graph.add_node(node.nid)
-        for node in self.cfg.nodes:
-            for succ in node.succs:
-                graph.add_edge(node.nid, succ.nid)
-        # Postdominators = dominators of the reversed graph from exit.
-        reverse = graph.reverse(copy=True)
-        exit_id = self.cfg.exit.nid
-        if exit_id not in reverse or \
-                not nx.has_path(reverse, exit_id, self.cfg.entry.nid):
-            # Pathological CFG (e.g. infinite loop with no exit edge):
-            # connect unreachable nodes to keep the computation total.
-            for node in self.cfg.nodes:
-                if not nx.has_path(reverse, exit_id, node.nid):
-                    reverse.add_edge(exit_id, node.nid)
-        ipdom = nx.immediate_dominators(reverse, exit_id)
-
+        ipdom = self._postdominators_fast() if fast_enabled() \
+            else self._postdominators_networkx()
         deps: dict[int, set[int]] = {n.nid: set() for n in self.cfg.nodes}
         for branch in self.cfg.nodes:
             if len(branch.succs) < 2:
@@ -97,6 +90,64 @@ class DependenceAnalysis:
                         break
                     runner = nxt
         self._control_deps = deps
+
+    def _postdominators_networkx(self) -> dict[int, int]:
+        """Reference postdominator pass (immediate dominators of the
+        reversed CFG, via networkx)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for node in self.cfg.nodes:
+            graph.add_node(node.nid)
+        for node in self.cfg.nodes:
+            for succ in node.succs:
+                graph.add_edge(node.nid, succ.nid)
+        # Postdominators = dominators of the reversed graph from exit.
+        reverse = graph.reverse(copy=True)
+        exit_id = self.cfg.exit.nid
+        if exit_id not in reverse or \
+                not nx.has_path(reverse, exit_id, self.cfg.entry.nid):
+            # Pathological CFG (e.g. infinite loop with no exit edge):
+            # connect unreachable nodes to keep the computation total.
+            for node in self.cfg.nodes:
+                if not nx.has_path(reverse, exit_id, node.nid):
+                    reverse.add_edge(exit_id, node.nid)
+        return nx.immediate_dominators(reverse, exit_id)
+
+    def _postdominators_fast(self) -> dict[int, int]:
+        """Cooper–Harvey–Kennedy postdominators over the CFG's own
+        adjacency arrays.  Dominator trees are unique, so this returns
+        exactly what the networkx pass returns — including the same
+        patching of nodes that cannot reach the exit.
+        """
+        cfg = self.cfg
+        n = len(cfg.nodes)
+        exit_id = cfg.exit.nid
+        # The reversed graph: successors = CFG predecessors.
+        succs = [list(ids) for ids in cfg.pred_ids()]
+        preds = [list(ids) for ids in cfg.succ_ids()]
+
+        def reachable_from_exit() -> bytearray:
+            seen = bytearray(n)
+            seen[exit_id] = 1
+            stack = [exit_id]
+            while stack:
+                for nxt in succs[stack.pop()]:
+                    if not seen[nxt]:
+                        seen[nxt] = 1
+                        stack.append(nxt)
+            return seen
+
+        seen = reachable_from_exit()
+        if not seen[cfg.entry.nid]:
+            # Same patch rule as the reference pass: connect every node
+            # the exit cannot reach (in the reversed graph) directly to
+            # the exit, then recompute reachability.
+            for nid in range(n):
+                if not seen[nid]:
+                    succs[exit_id].append(nid)
+                    preds[nid].append(exit_id)
+        return immediate_dominators(n, exit_id, preds, succs)
 
     def control_dependencies(self, node: CFGNode) -> set[CFGNode]:
         """Branch nodes this node is control dependent on."""

@@ -17,31 +17,52 @@ from .source import SourceExtent
 class Node:
     """Base class for all AST nodes."""
 
-    __slots__ = ("extent", "parent")
+    __slots__ = ("extent", "parent", "_kids")
 
     _fields: tuple[str, ...] = ()
 
     def __init__(self, extent: SourceExtent):
         self.extent = extent
         self.parent: Optional[Node] = None
+        # Cached child_list().  Safe because the tree is never structurally
+        # mutated after parsing (transformations edit *text* and re-parse);
+        # callers must not mutate the returned list.
+        self._kids: Optional[list[Node]] = None
 
     def children(self) -> Iterator["Node"]:
-        for name in self._fields:
-            value = getattr(self, name)
-            if isinstance(value, Node):
-                yield value
-            elif isinstance(value, (list, tuple)):
-                for item in value:
-                    if isinstance(item, Node):
-                        yield item
+        yield from self.child_list()
+
+    def child_list(self) -> list["Node"]:
+        """Child nodes as a list (the hot-path form of :meth:`children`).
+
+        The returned list is cached on the node — treat it as read-only.
+        """
+        kids = self._kids
+        if kids is None:
+            kids = []
+            append = kids.append
+            for name in self._fields:
+                value = getattr(self, name)
+                if isinstance(value, Node):
+                    append(value)
+                elif isinstance(value, (list, tuple)):
+                    for item in value:
+                        if isinstance(item, Node):
+                            append(item)
+            self._kids = kids
+        return kids
 
     def walk(self) -> Iterator["Node"]:
         """Pre-order traversal of this subtree, including self."""
         stack = [self]
+        pop = stack.pop
+        extend = stack.extend
         while stack:
-            node = stack.pop()
+            node = pop()
             yield node
-            stack.extend(reversed(list(node.children())))
+            kids = node.child_list()
+            if kids:
+                extend(kids[::-1])
 
     def find_ancestor(self, *types: type) -> Optional["Node"]:
         node = self.parent
@@ -76,9 +97,16 @@ class Node:
 
 def set_parents(root: Node) -> None:
     """Assign ``parent`` pointers throughout the subtree rooted at ``root``."""
-    for node in root.walk():
-        for child in node.children():
+    stack = [root]
+    pop = stack.pop
+    extend = stack.extend
+    while stack:
+        node = pop()
+        kids = node.child_list()
+        for child in kids:
             child.parent = node
+        if kids:
+            extend(kids)
 
 
 # ============================================================== expressions
@@ -489,13 +517,17 @@ class FunctionDef(Node):
 
 
 class TranslationUnit(Node):
-    __slots__ = ("items", "filename")
+    # ``_vm_index`` caches the VM loader's (functions, globals) scan of
+    # ``items`` — the differential oracle instantiates many interpreters
+    # over the same parsed unit (see Interpreter._load_program).
+    __slots__ = ("items", "filename", "_vm_index")
     _fields = ("items",)
 
     def __init__(self, extent, items: list[Node], filename: str):
         super().__init__(extent)
         self.items = items
         self.filename = filename
+        self._vm_index = None
 
     def functions(self) -> list[FunctionDef]:
         return [item for item in self.items if isinstance(item, FunctionDef)]

@@ -22,12 +22,15 @@ _TYPE_SPECIFIER_KEYWORDS = frozenset({
     "void", "char", "short", "int", "long", "float", "double", "signed",
     "unsigned", "_Bool", "struct", "union", "enum",
 })
+_INT_PARTS = frozenset({"void", "char", "short", "int", "long", "float",
+                        "double", "signed", "unsigned", "_Bool"})
 _STORAGE_CLASSES = frozenset({"typedef", "extern", "static", "auto",
                               "register"})
 _QUALIFIERS = frozenset({"const", "volatile", "restrict", "inline"})
 
 _ASSIGN_OPS = frozenset({"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
                          "^=", "<<=", ">>="})
+_UNARY_OPS = frozenset({"&", "*", "+", "-", "~", "!"})
 
 # (precedence, right-assoc) for binary operators, parsed by precedence
 # climbing.  Higher binds tighter.
@@ -101,14 +104,17 @@ class Parser:
         self.scope.typedefs["__builtin_va_list"] = VaListType()
 
     def _peek(self, offset: int = 0) -> Token:
-        idx = self.pos + offset
-        if idx >= len(self.tokens):
+        # Hottest function in the parser: the EOF sentinel is the last
+        # token and the stream never advances past it, so a plain index
+        # with an exception guard beats a bounds check per call.
+        try:
+            return self.tokens[self.pos + offset]
+        except IndexError:
             return self.tokens[-1]
-        return self.tokens[idx]
 
     def _next(self) -> Token:
         tok = self.tokens[self.pos]
-        if tok.kind != EOF:
+        if tok.kind is not EOF:
             self.pos += 1
         return tok
 
@@ -120,26 +126,30 @@ class Parser:
         return ParseError(message, self.filename, tok.line, tok.col)
 
     def _expect_punct(self, text: str) -> Token:
-        tok = self._peek()
-        if not tok.is_punct(text):
+        tok = self.tokens[self.pos]
+        if tok.kind is not PUNCT or tok.text != text:
             raise self._error(f"expected {text!r}, found {tok.text!r}")
-        return self._next()
+        self.pos += 1
+        return tok
 
     def _expect_id(self) -> Token:
-        tok = self._peek()
-        if tok.kind != ID:
+        tok = self.tokens[self.pos]
+        if tok.kind is not ID:
             raise self._error(f"expected identifier, found {tok.text!r}")
-        return self._next()
+        self.pos += 1
+        return tok
 
     def _accept_punct(self, text: str) -> bool:
-        if self._peek().is_punct(text):
-            self._next()
+        tok = self.tokens[self.pos]
+        if tok.kind is PUNCT and tok.text == text:
+            self.pos += 1
             return True
         return False
 
     def _accept_keyword(self, text: str) -> bool:
-        if self._peek().is_keyword(text):
-            self._next()
+        tok = self.tokens[self.pos]
+        if tok.kind is KEYWORD and tok.text == text:
+            self.pos += 1
             return True
         return False
 
@@ -172,16 +182,19 @@ class Parser:
         return unit
 
     def _external_declaration(self) -> ast.Node:
-        start = self._peek().offset
+        tokens = self.tokens
+        start = tokens[self.pos].offset
         base_type, storage, is_typedef = self._declaration_specifiers()
-        if self._peek().is_punct(";"):
+        tok = tokens[self.pos]
+        if tok.kind is PUNCT and tok.text == ";":
             # struct/union/enum definition with no declarators
-            self._next()
+            self.pos += 1
             return ast.Declaration(self._extent_from(start), [], storage,
                                    is_typedef, base_type)
-        decl_start = self._peek().offset
+        decl_start = tok.offset
         name, ctype, name_extent = self._declarator(base_type)
-        if isinstance(ctype, FunctionType) and self._peek().is_punct("{") \
+        if isinstance(ctype, FunctionType) and \
+                tokens[self.pos].is_punct("{") \
                 and not is_typedef:
             return self._function_definition(start, name, ctype, name_extent,
                                              storage)
@@ -250,31 +263,35 @@ class Parser:
         base: CType | None = None
         int_parts: list[str] = []
 
+        tokens = self.tokens
         while True:
-            tok = self._peek()
-            if tok.kind == KEYWORD and tok.text in _STORAGE_CLASSES:
-                self._next()
-                if tok.text == "typedef":
-                    is_typedef = True
+            tok = tokens[self.pos]
+            kind = tok.kind
+            if kind is KEYWORD:
+                text = tok.text
+                if text in _INT_PARTS:
+                    self.pos += 1
+                    int_parts.append(text)
+                elif text in _STORAGE_CLASSES:
+                    self.pos += 1
+                    if text == "typedef":
+                        is_typedef = True
+                    else:
+                        storage = text
+                elif text in _QUALIFIERS:
+                    self.pos += 1
+                    quals.add(text)
+                elif text == "struct" or text == "union":
+                    base = self._struct_or_union_specifier()
+                elif text == "enum":
+                    base = self._enum_specifier()
                 else:
-                    storage = tok.text
-            elif tok.kind == KEYWORD and tok.text in _QUALIFIERS:
-                self._next()
-                quals.add(tok.text)
-            elif tok.kind == KEYWORD and tok.text in (
-                    "void", "char", "short", "int", "long", "float",
-                    "double", "signed", "unsigned", "_Bool"):
-                self._next()
-                int_parts.append(tok.text)
-            elif tok.is_keyword("struct") or tok.is_keyword("union"):
-                base = self._struct_or_union_specifier()
-            elif tok.is_keyword("enum"):
-                base = self._enum_specifier()
-            elif tok.kind == ID and not int_parts and base is None:
+                    break
+            elif kind is ID and not int_parts and base is None:
                 td = self.scope.lookup_typedef(tok.text)
                 if td is not None:
                     # Only treat as type if what follows makes sense.
-                    self._next()
+                    self.pos += 1
                     base = td
                 else:
                     break
@@ -382,28 +399,34 @@ class Parser:
         return ctype
 
     def _pointer_suffix(self, ctype: CType) -> CType:
-        while self._peek().is_punct("*"):
-            self._next()
+        tokens = self.tokens
+        while True:
+            tok = tokens[self.pos]
+            if tok.kind is not PUNCT or tok.text != "*":
+                return ctype
+            self.pos += 1
             quals: set[str] = set()
-            while self._peek().kind == KEYWORD and \
-                    self._peek().text in _QUALIFIERS:
-                quals.add(self._next().text)
+            tok = tokens[self.pos]
+            while tok.kind is KEYWORD and tok.text in _QUALIFIERS:
+                quals.add(tok.text)
+                self.pos += 1
+                tok = tokens[self.pos]
             ctype = PointerType(ctype).with_qualifiers(quals)
-        return ctype
 
     def _direct_declarator(self, ctype: CType, *, abstract: bool
                            ) -> tuple[str, CType, SourceExtent]:
-        tok = self._peek()
+        tok = self.tokens[self.pos]
         name = ""
         name_extent = SourceExtent(tok.offset, tok.offset)
         inner_marker = None
 
-        if tok.kind == ID:
-            self._next()
+        if tok.kind is ID:
+            self.pos += 1
             name = tok.text
             name_extent = tok.extent
-        elif tok.is_punct("(") and self._is_nested_declarator():
-            self._next()
+        elif tok.kind is PUNCT and tok.text == "(" and \
+                self._is_nested_declarator():
+            self.pos += 1
             # Parse the inner declarator against a placeholder; re-apply
             # suffixes afterwards (standard two-pass trick).
             inner_marker = _Placeholder()
@@ -435,22 +458,27 @@ class Parser:
         # Collect suffixes left-to-right, then fold right-to-left so that
         # e.g. `int x[2][3]` is array-2 of array-3 of int.
         suffixes: list[tuple] = []
+        tokens = self.tokens
         while True:
-            if self._peek().is_punct("["):
-                self._next()
-                length = None
-                if not self._peek().is_punct("]"):
-                    expr = self._conditional_expression()
-                    length = self._const_value(expr)
-                self._expect_punct("]")
-                suffixes.append(("array", length))
-            elif self._peek().is_punct("("):
-                self._next()
-                params, variadic = self._parameter_list()
-                self._expect_punct(")")
-                suffixes.append(("function", params, variadic))
-            else:
-                break
+            tok = tokens[self.pos]
+            if tok.kind is PUNCT:
+                text = tok.text
+                if text == "[":
+                    self.pos += 1
+                    length = None
+                    if not tokens[self.pos].is_punct("]"):
+                        expr = self._conditional_expression()
+                        length = self._const_value(expr)
+                    self._expect_punct("]")
+                    suffixes.append(("array", length))
+                    continue
+                if text == "(":
+                    self.pos += 1
+                    params, variadic = self._parameter_list()
+                    self._expect_punct(")")
+                    suffixes.append(("function", params, variadic))
+                    continue
+            break
         for suffix in reversed(suffixes):
             if suffix[0] == "array":
                 ctype = ArrayType(ctype, suffix[1])
@@ -461,18 +489,23 @@ class Parser:
     def _parameter_list(self) -> tuple[list[tuple[str | None, CType]], bool]:
         params: list[tuple[str | None, CType]] = []
         variadic = False
-        if self._peek().is_punct(")"):
+        tokens = self.tokens
+        tok = tokens[self.pos]
+        if tok.kind is PUNCT and tok.text == ")":
             return params, variadic
-        if self._peek().is_keyword("void") and self._peek(1).is_punct(")"):
-            self._next()
+        if tok.kind is KEYWORD and tok.text == "void" and \
+                tokens[self.pos + 1].is_punct(")"):
+            self.pos += 1
             return params, variadic
         while True:
-            if self._peek().is_punct("..."):
-                self._next()
+            tok = tokens[self.pos]
+            if tok.kind is PUNCT and tok.text == "...":
+                self.pos += 1
                 variadic = True
                 break
             base, _, _ = self._declaration_specifiers()
-            if self._peek().is_punct(",") or self._peek().is_punct(")"):
+            tok = tokens[self.pos]
+            if tok.kind is PUNCT and (tok.text == "," or tok.text == ")"):
                 ptype: CType = base
                 pname: str | None = None
             else:
@@ -483,18 +516,21 @@ class Parser:
                                                         FunctionType)) \
                 else ptype
             params.append((pname, ptype))
-            if not self._accept_punct(","):
+            tok = tokens[self.pos]
+            if tok.kind is PUNCT and tok.text == ",":
+                self.pos += 1
+            else:
                 break
         return params, variadic
 
     def _maybe_abstract_declarator(self, base: CType
                                    ) -> tuple[str, CType, SourceExtent]:
         ctype = self._pointer_suffix(base)
-        tok = self._peek()
-        if tok.kind == ID or tok.is_punct("(") or tok.is_punct("["):
-            return self._direct_declarator(ctype, abstract=True) \
-                if tok.is_punct("[") else \
-                self._direct_declarator(ctype, abstract=not (tok.kind == ID))
+        tok = self.tokens[self.pos]
+        if tok.kind is ID:
+            return self._direct_declarator(ctype, abstract=False)
+        if tok.kind is PUNCT and (tok.text == "(" or tok.text == "["):
+            return self._direct_declarator(ctype, abstract=True)
         return "", ctype, SourceExtent(tok.offset, tok.offset)
 
     def _type_name(self) -> CType:
@@ -740,16 +776,18 @@ class Parser:
         return cond
 
     def _binary_expression(self, min_prec: int) -> ast.Expression:
-        start = self._peek().offset
+        tokens = self.tokens
+        start = tokens[self.pos].offset
         lhs = self._cast_expression()
+        prec_of = _BINARY_PRECEDENCE.get
         while True:
-            tok = self._peek()
-            if tok.kind != PUNCT:
+            tok = tokens[self.pos]
+            if tok.kind is not PUNCT:
                 return lhs
-            prec = _BINARY_PRECEDENCE.get(tok.text)
+            prec = prec_of(tok.text)
             if prec is None or prec < min_prec:
                 return lhs
-            self._next()
+            self.pos += 1
             rhs = self._binary_expression(prec + 1)
             lhs = ast.Binary(self._extent_from(start), tok.text, lhs, rhs)
 
@@ -770,16 +808,18 @@ class Parser:
         return self._unary_expression()
 
     def _unary_expression(self) -> ast.Expression:
-        tok = self._peek()
+        tok = self.tokens[self.pos]
         start = tok.offset
-        if tok.is_punct("++") or tok.is_punct("--"):
-            self._next()
-            operand = self._unary_expression()
-            return ast.Unary(self._extent_from(start), tok.text, operand)
-        if tok.kind == PUNCT and tok.text in ("&", "*", "+", "-", "~", "!"):
-            self._next()
-            operand = self._cast_expression()
-            return ast.Unary(self._extent_from(start), tok.text, operand)
+        if tok.kind is PUNCT:
+            text = tok.text
+            if text == "++" or text == "--":
+                self.pos += 1
+                operand = self._unary_expression()
+                return ast.Unary(self._extent_from(start), text, operand)
+            if text in _UNARY_OPS:
+                self.pos += 1
+                operand = self._cast_expression()
+                return ast.Unary(self._extent_from(start), text, operand)
         if tok.is_keyword("sizeof"):
             self._next()
             if self._peek().is_punct("(") and \
@@ -793,37 +833,41 @@ class Parser:
         return self._postfix_expression()
 
     def _postfix_expression(self) -> ast.Expression:
-        start = self._peek().offset
+        tokens = self.tokens
+        start = tokens[self.pos].offset
         expr = self._primary_expression()
         while True:
-            tok = self._peek()
-            if tok.is_punct("["):
-                self._next()
+            tok = tokens[self.pos]
+            if tok.kind is not PUNCT:
+                return expr
+            text = tok.text
+            if text == "[":
+                self.pos += 1
                 index = self._expression()
                 self._expect_punct("]")
                 expr = ast.ArrayAccess(self._extent_from(start), expr, index)
-            elif tok.is_punct("("):
-                self._next()
+            elif text == "(":
+                self.pos += 1
                 args: list[ast.Expression] = []
-                if not self._peek().is_punct(")"):
+                if not tokens[self.pos].is_punct(")"):
                     args.append(self._assignment_expression())
                     while self._accept_punct(","):
                         args.append(self._assignment_expression())
                 self._expect_punct(")")
                 expr = ast.Call(self._extent_from(start), expr, args)
-            elif tok.is_punct("."):
-                self._next()
+            elif text == ".":
+                self.pos += 1
                 member = self._expect_member_name()
                 expr = ast.FieldAccess(self._extent_from(start), expr,
                                        member, arrow=False)
-            elif tok.is_punct("->"):
-                self._next()
+            elif text == "->":
+                self.pos += 1
                 member = self._expect_member_name()
                 expr = ast.FieldAccess(self._extent_from(start), expr,
                                        member, arrow=True)
-            elif tok.is_punct("++") or tok.is_punct("--"):
-                self._next()
-                expr = ast.Unary(self._extent_from(start), tok.text, expr,
+            elif text == "++" or text == "--":
+                self.pos += 1
+                expr = ast.Unary(self._extent_from(start), text, expr,
                                  is_postfix=True)
             else:
                 return expr
@@ -999,29 +1043,43 @@ def _replace_placeholder(ctype: CType, marker: "_Placeholder",
     return ctype
 
 
+# Specifier combinations form a tiny closed vocabulary, and the resulting
+# base types are immutable value objects (``with_qualifiers`` copies before
+# touching them), so the combine step is memoized process-wide.
+_INT_PARTS_CACHE: dict[tuple[str, ...], CType] = {}
+
+
 def _combine_int_parts(parts: list[str], parser: Parser) -> CType:
     if not parts:
         raise parser._error("expected type specifier")
+    key = tuple(parts)
+    cached = _INT_PARTS_CACHE.get(key)
+    if cached is not None:
+        return cached
     counts = {p: parts.count(p) for p in set(parts)}
     if "void" in counts:
-        return VOID
-    if "_Bool" in counts:
-        return BOOL
-    if "float" in counts:
-        return FLOAT
-    if "double" in counts:
-        return FloatType("long double") if "long" in counts else DOUBLE
-    signed = "unsigned" not in counts
-    if "char" in counts:
-        return IntType("char", signed=signed)
-    long_count = counts.get("long", 0)
-    if long_count >= 2:
-        return IntType("long long", signed=signed)
-    if long_count == 1:
-        return IntType("long", signed=signed)
-    if "short" in counts:
-        return IntType("short", signed=signed)
-    return IntType("int", signed=signed)
+        ctype: CType = VOID
+    elif "_Bool" in counts:
+        ctype = BOOL
+    elif "float" in counts:
+        ctype = FLOAT
+    elif "double" in counts:
+        ctype = FloatType("long double") if "long" in counts else DOUBLE
+    else:
+        signed = "unsigned" not in counts
+        long_count = counts.get("long", 0)
+        if "char" in counts:
+            ctype = IntType("char", signed=signed)
+        elif long_count >= 2:
+            ctype = IntType("long long", signed=signed)
+        elif long_count == 1:
+            ctype = IntType("long", signed=signed)
+        elif "short" in counts:
+            ctype = IntType("short", signed=signed)
+        else:
+            ctype = IntType("int", signed=signed)
+    _INT_PARTS_CACHE[key] = ctype
+    return ctype
 
 
 def parse_translation_unit(text: str,

@@ -21,6 +21,12 @@ from .tokens import (
     STRING, Token, tokens_to_text,
 )
 
+#: Shared header-text -> token-list memo (see ``_process_text``).  Keyed by
+#: the full header text, so an include path remapping the same name to
+#: different content can never alias.  Headers form a small closed set, so
+#: the memo needs no eviction.
+_TOKEN_CACHE: dict[str, list[Token]] = {}
+
 
 class Macro:
     """A ``#define`` entry."""
@@ -99,11 +105,19 @@ class Preprocessor:
 
     # --------------------------------------------------------- main driver
 
-    def _process_text(self, text: str, name: str) -> list[Token]:
-        spliced = splice_lines(text)
-        source = SourceFile(name, spliced)
-        from .lexer import Lexer
-        tokens = Lexer(source, preprocessor_mode=True).tokenize()
+    def _process_text(self, text: str, name: str,
+                      *, cache_tokens: bool = False) -> list[Token]:
+        # Header texts recur across every translation unit in a batch run
+        # (the builtin headers especially), and raw token lists are safe to
+        # share: expansion only ever mutates clones, never source tokens.
+        tokens = _TOKEN_CACHE.get(text) if cache_tokens else None
+        if tokens is None:
+            spliced = splice_lines(text)
+            source = SourceFile(name, spliced)
+            from .lexer import Lexer
+            tokens = Lexer(source, preprocessor_mode=True).tokenize()
+            if cache_tokens:
+                _TOKEN_CACHE[text] = tokens
         return self._process_tokens(tokens, name)
 
     def _process_tokens(self, tokens: list[Token], name: str) -> list[Token]:
@@ -261,7 +275,8 @@ class Preprocessor:
         self.included_files.append(header)
         self._include_stack.append(header)
         try:
-            out.extend(self._process_text(self.includes[header], header))
+            out.extend(self._process_text(self.includes[header], header,
+                                          cache_tokens=True))
         finally:
             self._include_stack.pop()
 

@@ -10,7 +10,6 @@ faithful text edits.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass
 
 
 class SourceError(Exception):
@@ -85,16 +84,33 @@ class SourceFile:
         return self.text[start:end]
 
 
-@dataclass(frozen=True)
 class SourceExtent:
-    """A half-open [start, end) range in a :class:`SourceFile`."""
+    """A half-open [start, end) range in a :class:`SourceFile`.
 
-    start: int
-    end: int
+    Plain ``__slots__`` class rather than a frozen dataclass: one extent is
+    built per AST node and per token ``.extent`` access, and the generated
+    frozen ``__init__`` (which funnels through ``object.__setattr__``)
+    dominated parse-stage profiles.  Value semantics are preserved by the
+    explicit ``__eq__``/``__hash__``.
+    """
 
-    def __post_init__(self):
-        if self.end < self.start:
-            raise ValueError(f"backwards extent [{self.start}, {self.end})")
+    __slots__ = ("start", "end")
+
+    def __init__(self, start: int, end: int):
+        if end < start:
+            raise ValueError(f"backwards extent [{start}, {end})")
+        self.start = start
+        self.end = end
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, SourceExtent) and \
+            self.start == other.start and self.end == other.end
+
+    def __hash__(self) -> int:
+        return hash((self.start, self.end))
+
+    def __repr__(self) -> str:
+        return f"SourceExtent(start={self.start}, end={self.end})"
 
     @property
     def length(self) -> int:

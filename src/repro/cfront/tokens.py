@@ -2,20 +2,24 @@
 
 from __future__ import annotations
 
+import sys
+
 from .source import SourceExtent
 
-# Token kinds.  Kept as plain strings (not an Enum) for speed: tokenizing a
-# multi-KLOC translation unit touches these values millions of times.
-ID = "id"
-KEYWORD = "keyword"
-NUMBER = "number"
-CHAR_CONST = "char"
-STRING = "string"
-PUNCT = "punct"
-NEWLINE = "newline"        # significant only inside the preprocessor
-INDENT = "indent"          # synthetic: leading whitespace of an output line
-HASH = "hash"              # a '#' that begins a directive line
-EOF = "eof"
+# Token kinds.  Kept as plain interned strings (not an Enum) for speed:
+# tokenizing a multi-KLOC translation unit touches these values millions
+# of times, and interning makes every ``tok.kind == PUNCT`` comparison an
+# identity check.
+ID = sys.intern("id")
+KEYWORD = sys.intern("keyword")
+NUMBER = sys.intern("number")
+CHAR_CONST = sys.intern("char")
+STRING = sys.intern("string")
+PUNCT = sys.intern("punct")
+NEWLINE = sys.intern("newline")  # significant only inside the preprocessor
+INDENT = sys.intern("indent")    # synthetic: leading whitespace of a line
+HASH = sys.intern("hash")        # a '#' that begins a directive line
+EOF = sys.intern("eof")
 
 KEYWORDS = frozenset({
     "auto", "break", "case", "char", "const", "continue", "default", "do",
@@ -34,6 +38,14 @@ PUNCTUATORS = [
     "[", "]", "(", ")", "{", "}", ".", "&", "*", "+", "-", "~", "!",
     "/", "%", "<", ">", "^", "|", "?", ":", ";", "=", ",", "#",
 ]
+
+#: Canonical (interned) spellings for the fixed vocabulary.  The lexer
+#: replaces each matched keyword/punctuator slice — a fresh string object
+#: per match — with its canonical sibling, so every ``is_punct("(")`` /
+#: ``is_keyword("if")`` downstream compares by pointer on the hit path
+#: and dict lookups on token text hash an already-interned key.
+KEYWORD_SPELLINGS = {kw: sys.intern(kw) for kw in KEYWORDS}
+PUNCT_SPELLINGS = {p: sys.intern(p) for p in PUNCTUATORS}
 
 
 class Token:

@@ -264,15 +264,16 @@ class BatchStats:
 
     def as_dict(self) -> dict:
         return {"jobs": self.jobs,
-                "wall_time_s": round(self.wall_time, 6),
-                "file_walls_s": {name: round(wall, 6)
-                                 for name, wall in self.file_walls.items()},
+                "wall_time_s": round(self.wall_time, 4),
+                "file_walls_s": {name: round(wall, 4)
+                                 for name, wall
+                                 in sorted(self.file_walls.items())},
                 "parse_cache": self.parse.as_dict(),
                 "preprocess_cache": self.preprocess.as_dict(),
                 "slr_cache": self.slr.as_dict(),
                 "str_cache": self.str_.as_dict(),
                 "validate_cache": self.validate.as_dict(),
-                "stage_totals_s": {name: round(seconds, 6)
+                "stage_totals_s": {name: round(seconds, 4)
                                    for name, seconds
                                    in sorted(self.stage_totals.items())},
                 "deduplicated": self.deduplicated}

@@ -27,9 +27,13 @@ import os
 import time
 from contextlib import contextmanager
 
-#: Render/report order for the pipeline stages.
-STAGES = ("preprocess", "parse", "analyze", "slr", "str", "verify",
-          "validate")
+#: Render/report order for the pipeline stages.  ``analyze:*`` rows are
+#: the lazily built analysis passes (charged when first queried, which
+#: may be inside slr/str — the exclusive accounting attributes them to
+#: the analysis, not the transformation that happened to trigger them).
+STAGES = ("preprocess", "parse", "analyze", "analyze:cfg",
+          "analyze:reaching", "analyze:pointsto", "analyze:alias",
+          "analyze:dependence", "slr", "str", "verify", "validate")
 
 
 def profiling_enabled() -> bool:

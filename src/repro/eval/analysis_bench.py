@@ -1,0 +1,232 @@
+"""Per-analysis microbenchmark: fast path vs legacy reference solvers.
+
+Times each analysis pass — CFG construction, points-to, alias, reaching
+definitions, dependence — over three workloads:
+
+* **samate** — a stratified sample of the generated SAMATE suite (the
+  pipeline's own benchmark input);
+* **corpus** — the bundled real-world corpus excerpts (zlib, libpng,
+  GMP, libtiff);
+* **pointer_stress** — a deterministic synthetic translation unit with
+  long pointer copy chains, copy cycles, and multi-level dereferences.
+  Real fix-sites rarely have enough pointers for the asymptotic
+  difference between the solvers to matter; this workload is where the
+  SCC-collapsed difference-propagation solver's win is measured.
+
+Each (workload, analysis) cell is timed twice: once with
+``REPRO_ANALYSIS_FAST=1`` (the default fast path) and once with ``=0``
+(the legacy reference solvers kept for differential testing).  Parsing
+and binding are done once, outside the timed region, so the numbers are
+pure analysis time.  Output floats are rounded and keys sorted so the
+emitted ``BENCH_analysis.json`` is diff-stable across runs.
+
+Run by hand::
+
+    python -m repro.eval.analysis_bench --out BENCH_analysis.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from contextlib import contextmanager
+
+from ..analysis import bind
+from ..analysis.alias import AliasAnalysis
+from ..analysis.cfg import build_all_cfgs
+from ..analysis.dependence import DependenceAnalysis
+from ..analysis.pointsto import PointsToAnalysis
+from ..analysis.reaching import ReachingDefinitions
+from ..cfront.parser import parse_translation_unit
+
+#: Analyses benchmarked, in report order.
+ANALYSES = ("cfg", "pointsto", "alias", "reaching", "dependence")
+
+
+@contextmanager
+def _fast_flag(enabled: bool):
+    """Pin ``REPRO_ANALYSIS_FAST`` for the duration of a timing leg."""
+    prior = os.environ.get("REPRO_ANALYSIS_FAST")
+    os.environ["REPRO_ANALYSIS_FAST"] = "1" if enabled else "0"
+    try:
+        yield
+    finally:
+        if prior is None:
+            del os.environ["REPRO_ANALYSIS_FAST"]
+        else:
+            os.environ["REPRO_ANALYSIS_FAST"] = prior
+
+
+# ------------------------------------------------------------- workloads
+
+def pointer_stress_source(n_objects: int = 120, n_pointers: int = 240,
+                          cycle_every: int = 17) -> str:
+    """A synthetic unit stressing the points-to solver: copy chains of
+    ``n_pointers`` single-level pointers with a back-edge (cycle) every
+    ``cycle_every`` steps, plus double-pointer loads and stores.  Fully
+    deterministic — no randomness — so timings are comparable run to
+    run."""
+    lines = [f"int o{i};" for i in range(n_objects)]
+    lines += [f"int *p{i};" for i in range(n_pointers)]
+    lines += [f"int **pp{i};" for i in range(n_pointers // 8)]
+    body = []
+    for i in range(n_pointers):
+        if i < n_objects:
+            body.append(f"p{i} = &o{i};")
+        if i > 0:
+            body.append(f"p{i} = p{i - 1};")
+        if i % cycle_every == 0 and i > cycle_every:
+            body.append(f"p{i - cycle_every} = p{i};")
+    for i in range(n_pointers // 8):
+        body.append(f"pp{i} = &p{i * 7 % n_pointers};")
+        body.append(f"*pp{i} = p{(i * 13 + 5) % n_pointers};")
+        body.append(f"p{(i * 11 + 3) % n_pointers} = *pp{i};")
+    return ("\n".join(lines) + "\nvoid stress(void) {\n"
+            + "\n".join("    " + stmt for stmt in body) + "\n}\n")
+
+
+def _parse_units(files: dict[str, str]) -> list[tuple]:
+    """Parse + bind every file (untimed); skips files the frontend
+    rejects so a corpus excerpt outside the C subset cannot fail the
+    benchmark."""
+    units = []
+    for filename, text in sorted(files.items()):
+        try:
+            unit = parse_translation_unit(text, filename)
+            units.append((unit, bind(unit)))
+        except Exception:
+            continue
+    return units
+
+
+def samate_files(scale: float = 0.05, limit: int = 24) -> dict[str, str]:
+    from ..core.session import AnalysisSession
+    from .pipeline_bench import sample_program
+    session = AnalysisSession()
+    return {filename: session.preprocess(text, filename).text
+            for filename, text
+            in sample_program(scale, limit).files.items()}
+
+
+def corpus_files() -> dict[str, str]:
+    from ..core.session import AnalysisSession
+    from ..corpus import build_all
+    session = AnalysisSession()
+    files: dict[str, str] = {}
+    for program in build_all().values():
+        preprocessed = program.preprocess(session)
+        for filename, text in preprocessed.files.items():
+            files[f"{program.name}/{filename}"] = text
+    return files
+
+
+# --------------------------------------------------------------- timing
+
+def _time_analysis(name: str, units: list[tuple], *, fast: bool,
+                   repeat: int) -> float:
+    """Best-of-``repeat`` wall seconds for one analysis over all units.
+
+    Prerequisite passes (CFGs for the flow analyses, a solved points-to
+    graph for alias) are built outside the timed region, under the same
+    fast/legacy flag as the timed pass.
+    """
+    with _fast_flag(fast):
+        if name in ("reaching", "dependence"):
+            cfgs = [cfg for unit, _ in units
+                    for cfg in build_all_cfgs(unit).values()]
+        if name == "dependence":
+            pre_reaching = [ReachingDefinitions(cfg) for cfg in cfgs]
+        if name == "alias":
+            solved = [(PointsToAnalysis(unit, table), table)
+                      for unit, table in units]
+
+        best = float("inf")
+        for _ in range(max(1, repeat)):
+            start = time.perf_counter()
+            if name == "cfg":
+                for unit, _ in units:
+                    build_all_cfgs(unit)
+            elif name == "pointsto":
+                for unit, table in units:
+                    PointsToAnalysis(unit, table)
+            elif name == "alias":
+                for pointsto, table in solved:
+                    AliasAnalysis(pointsto, table)
+            elif name == "reaching":
+                for cfg in cfgs:
+                    ReachingDefinitions(cfg)
+            elif name == "dependence":
+                for cfg, reaching in zip(cfgs, pre_reaching):
+                    DependenceAnalysis(cfg, reaching)
+            best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_workload(units: list[tuple], *, repeat: int = 3) -> dict:
+    """Fast and legacy timings for every analysis over one unit set."""
+    n_functions = sum(len(list(unit.functions())) for unit, _ in units)
+    analyses = {}
+    for name in ANALYSES:
+        fast_s = _time_analysis(name, units, fast=True, repeat=repeat)
+        legacy_s = _time_analysis(name, units, fast=False, repeat=repeat)
+        analyses[name] = {
+            "fast_s": round(fast_s, 4),
+            "legacy_s": round(legacy_s, 4),
+            "speedup_x": round(legacy_s / fast_s, 2) if fast_s > 0
+                         else None,
+        }
+    return {"files": len(units), "functions": n_functions,
+            "analyses": analyses}
+
+
+def run_benchmark(*, scale: float = 0.05, limit: int = 24,
+                  repeat: int = 3) -> dict:
+    workloads = {
+        "samate": bench_workload(_parse_units(samate_files(scale, limit)),
+                                 repeat=repeat),
+        "corpus": bench_workload(_parse_units(corpus_files()),
+                                 repeat=repeat),
+        "pointer_stress": bench_workload(
+            _parse_units({"stress.c": pointer_stress_source()}),
+            repeat=repeat),
+    }
+    stress_pts = workloads["pointer_stress"]["analyses"]["pointsto"]
+    return {
+        # Headline number: the points-to microbench (the stress unit is
+        # the workload sized to exercise the solver, so it carries the
+        # >=2x acceptance gate).
+        "pointsto_speedup_x": stress_pts["speedup_x"],
+        "repeat": max(1, repeat),
+        "workloads": workloads,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the analysis passes (fast path vs legacy "
+                    "reference); prints one JSON document")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="SAMATE suite scale factor")
+    parser.add_argument("--limit", type=int, default=24,
+                        help="stratified-sample size (total files)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="repeats per timing cell (best-of)")
+    parser.add_argument("--out", default=None,
+                        help="write JSON here instead of stdout")
+    args = parser.parse_args(argv)
+    record = run_benchmark(scale=args.scale, limit=args.limit,
+                           repeat=args.repeat)
+    payload = json.dumps(record, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+    else:
+        sys.stdout.write(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -117,7 +117,7 @@ def main(argv: list[str] | None = None) -> int:
                          jobs=args.jobs, repeat=args.repeat,
                          validate=not args.no_validate,
                          fuzz_seed=args.seed)
-    payload = json.dumps({"runs": runs}, indent=2) + "\n"
+    payload = json.dumps({"runs": runs}, indent=2, sort_keys=True) + "\n"
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(payload)

@@ -195,15 +195,30 @@ class Interpreter:
 
     def _load_program(self) -> None:
         for unit in self.units:
-            for item in unit.items:
-                if isinstance(item, ast.FunctionDef):
-                    self.functions[item.name] = item
+            # The item scan is pure (functions by name, global declarators
+            # in declaration order), so it is computed once per parsed unit
+            # and replayed by every interpreter built over it.
+            index = unit._vm_index
+            if index is None:
+                functions = {}
+                global_decls = []
+                for item in unit.items:
+                    if isinstance(item, ast.FunctionDef):
+                        functions[item.name] = item
+                    elif isinstance(item, ast.Declaration) and \
+                            not item.is_typedef:
+                        for declarator in item.declarators:
+                            # Prototypes and unnamed declarators never get
+                            # storage (_load_global's first early-out).
+                            if declarator.name and not isinstance(
+                                    declarator.ctype, FunctionType):
+                                global_decls.append((item, declarator))
+                index = unit._vm_index = (functions, global_decls)
+            self.functions.update(index[0])
         # Globals: allocate then initialize in declaration order.
         for unit in self.units:
-            for item in unit.items:
-                if isinstance(item, ast.Declaration) and not item.is_typedef:
-                    for declarator in item.declarators:
-                        self._load_global(item, declarator)
+            for item, declarator in unit._vm_index[1]:
+                self._load_global(item, declarator)
 
     def _load_global(self, decl: ast.Declaration,
                      declarator: ast.Declarator) -> None:
@@ -358,30 +373,57 @@ class Interpreter:
                 f"exceeded {self.step_limit} interpreter steps")
 
     def _exec(self, stmt: ast.Node) -> None:
-        self._tick()
-        if isinstance(stmt, ast.ExprStmt):
-            if stmt.expr is not None:
-                self._eval(stmt.expr)
-        elif isinstance(stmt, ast.Declaration):
-            self._exec_declaration(stmt)
-        elif isinstance(stmt, ast.CompoundStmt):
-            self._exec_block(stmt)
-        elif isinstance(stmt, ast.IfStmt):
-            if self._truthy(self._eval(stmt.cond)):
-                self._exec(stmt.then_stmt)
-            elif stmt.else_stmt is not None:
-                self._exec(stmt.else_stmt)
-        elif isinstance(stmt, ast.WhileStmt):
-            while self._truthy(self._eval(stmt.cond)):
-                self._tick()
-                try:
-                    self._exec(stmt.body)
-                except _Break:
-                    break
-                except _Continue:
-                    continue
-        elif isinstance(stmt, ast.DoWhileStmt):
-            while True:
+        # Hot loop: exact-type dict dispatch (the AST hierarchy is flat,
+        # so ``stmt.__class__`` identifies the handler) with the step
+        # accounting of ``_tick`` inlined.
+        self.steps = steps = self.steps + 1
+        if steps > self.step_limit:
+            raise StepLimitExceeded(
+                f"exceeded {self.step_limit} interpreter steps")
+        handler = _EXEC_DISPATCH.get(stmt.__class__)
+        if handler is None:
+            raise VMError(f"cannot execute {type(stmt).__name__}")
+        handler(self, stmt)
+
+    def _exec_expr_stmt(self, stmt: ast.ExprStmt) -> None:
+        if stmt.expr is not None:
+            self._eval(stmt.expr)
+
+    def _exec_if(self, stmt: ast.IfStmt) -> None:
+        if self._truthy(self._eval(stmt.cond)):
+            self._exec(stmt.then_stmt)
+        elif stmt.else_stmt is not None:
+            self._exec(stmt.else_stmt)
+
+    def _exec_while(self, stmt: ast.WhileStmt) -> None:
+        while self._truthy(self._eval(stmt.cond)):
+            self._tick()
+            try:
+                self._exec(stmt.body)
+            except _Break:
+                break
+            except _Continue:
+                continue
+
+    def _exec_do_while(self, stmt: ast.DoWhileStmt) -> None:
+        while True:
+            self._tick()
+            try:
+                self._exec(stmt.body)
+            except _Break:
+                break
+            except _Continue:
+                pass
+            if not self._truthy(self._eval(stmt.cond)):
+                break
+
+    def _exec_for(self, stmt: ast.ForStmt) -> None:
+        self._frames[-1].push()
+        try:
+            if stmt.init is not None:
+                self._exec(stmt.init)
+            while stmt.cond is None or \
+                    self._truthy(self._eval(stmt.cond)):
                 self._tick()
                 try:
                     self._exec(stmt.body)
@@ -389,45 +431,29 @@ class Interpreter:
                     break
                 except _Continue:
                     pass
-                if not self._truthy(self._eval(stmt.cond)):
-                    break
-        elif isinstance(stmt, ast.ForStmt):
-            self._frames[-1].push()
-            try:
-                if stmt.init is not None:
-                    self._exec(stmt.init)
-                while stmt.cond is None or \
-                        self._truthy(self._eval(stmt.cond)):
-                    self._tick()
-                    try:
-                        self._exec(stmt.body)
-                    except _Break:
-                        break
-                    except _Continue:
-                        pass
-                    if stmt.advance is not None:
-                        self._eval(stmt.advance)
-            finally:
-                self._frames[-1].pop()
-        elif isinstance(stmt, ast.ReturnStmt):
-            value = self._eval(stmt.value) if stmt.value is not None else None
-            raise _Return(value)
-        elif isinstance(stmt, ast.BreakStmt):
-            raise _Break()
-        elif isinstance(stmt, ast.ContinueStmt):
-            raise _Continue()
-        elif isinstance(stmt, ast.SwitchStmt):
-            self._exec_switch(stmt)
-        elif isinstance(stmt, ast.EmptyStmt):
-            pass
-        elif isinstance(stmt, ast.LabelStmt):
-            self._exec(stmt.body)
-        elif isinstance(stmt, ast.GotoStmt):
-            raise _Goto(stmt.label)
-        elif isinstance(stmt, (ast.CaseStmt, ast.DefaultStmt)):
-            self._exec(stmt.body)
-        else:
-            raise VMError(f"cannot execute {type(stmt).__name__}")
+                if stmt.advance is not None:
+                    self._eval(stmt.advance)
+        finally:
+            self._frames[-1].pop()
+
+    def _exec_return(self, stmt: ast.ReturnStmt) -> None:
+        value = self._eval(stmt.value) if stmt.value is not None else None
+        raise _Return(value)
+
+    def _exec_break(self, stmt: ast.BreakStmt) -> None:
+        raise _Break()
+
+    def _exec_continue(self, stmt: ast.ContinueStmt) -> None:
+        raise _Continue()
+
+    def _exec_empty(self, stmt: ast.EmptyStmt) -> None:
+        pass
+
+    def _exec_labelled_body(self, stmt: ast.Node) -> None:
+        self._exec(stmt.body)
+
+    def _exec_goto(self, stmt: ast.GotoStmt) -> None:
+        raise _Goto(stmt.label)
 
     def _exec_block(self, block: ast.CompoundStmt,
                     *, new_scope: bool = True) -> None:
@@ -509,55 +535,47 @@ class Interpreter:
     # ---------------------------------------------------------- expressions
 
     def _eval(self, expr: ast.Expression):
-        self._tick()
+        # Same dispatch scheme as _exec: exact type -> handler.
+        self.steps = steps = self.steps + 1
+        if steps > self.step_limit:
+            raise StepLimitExceeded(
+                f"exceeded {self.step_limit} interpreter steps")
+        handler = _EVAL_DISPATCH.get(expr.__class__)
+        if handler is None:
+            raise VMError(f"cannot evaluate {type(expr).__name__}")
+        return handler(self, expr)
 
-        if isinstance(expr, ast.IntLiteral):
-            return expr.value
-        if isinstance(expr, ast.FloatLiteral):
-            return expr.value
-        if isinstance(expr, ast.CharLiteral):
-            return expr.value
-        if isinstance(expr, ast.StringLiteral):
-            return self._string_pointer(expr)
-        if isinstance(expr, ast.Identifier):
-            return self._eval_identifier(expr)
-        if isinstance(expr, ast.ArrayAccess):
-            ptr, ctype = self._lvalue(expr)
-            return self._load(ptr, ctype)
-        if isinstance(expr, ast.FieldAccess):
-            ptr, ctype = self._lvalue(expr)
-            return self._load(ptr, ctype)
-        if isinstance(expr, ast.Call):
-            return self._eval_call(expr)
-        if isinstance(expr, ast.Unary):
-            return self._eval_unary(expr)
-        if isinstance(expr, ast.Binary):
-            return self._eval_binary(expr)
-        if isinstance(expr, ast.Assignment):
-            return self._eval_assignment(expr)
-        if isinstance(expr, ast.Conditional):
-            if self._truthy(self._eval(expr.cond)):
-                return self._eval(expr.then_expr)
-            return self._eval(expr.else_expr)
-        if isinstance(expr, ast.Cast):
-            return self._convert(self._eval(expr.operand), expr.target_type)
-        if isinstance(expr, ast.SizeofExpr):
-            ctype = expr.operand.ctype
-            if ctype is None:
-                from ..analysis import typecheck  # lazily type if needed
-                raise VMError("sizeof on untyped expression")
-            return self._sizeof(ctype)
-        if isinstance(expr, ast.SizeofType):
-            return self._sizeof(expr.target_type)
-        if isinstance(expr, ast.Comma):
-            self._eval(expr.lhs)
-            return self._eval(expr.rhs)
-        if isinstance(expr, ast.VaArg):
-            return self._eval_va_arg(expr)
-        if isinstance(expr, ast.InitList):
-            # Compound literal in expression position: evaluate first item.
-            return self._eval(expr.items[0]) if expr.items else 0
-        raise VMError(f"cannot evaluate {type(expr).__name__}")
+    def _eval_literal(self, expr):
+        return expr.value
+
+    def _eval_load_lvalue(self, expr):
+        ptr, ctype = self._lvalue(expr)
+        return self._load(ptr, ctype)
+
+    def _eval_conditional(self, expr: ast.Conditional):
+        if self._truthy(self._eval(expr.cond)):
+            return self._eval(expr.then_expr)
+        return self._eval(expr.else_expr)
+
+    def _eval_cast(self, expr: ast.Cast):
+        return self._convert(self._eval(expr.operand), expr.target_type)
+
+    def _eval_sizeof_expr(self, expr: ast.SizeofExpr):
+        ctype = expr.operand.ctype
+        if ctype is None:
+            raise VMError("sizeof on untyped expression")
+        return self._sizeof(ctype)
+
+    def _eval_sizeof_type(self, expr: ast.SizeofType):
+        return self._sizeof(expr.target_type)
+
+    def _eval_comma(self, expr: ast.Comma):
+        self._eval(expr.lhs)
+        return self._eval(expr.rhs)
+
+    def _eval_init_list(self, expr: ast.InitList):
+        # Compound literal in expression position: evaluate first item.
+        return self._eval(expr.items[0]) if expr.items else 0
 
     def _eval_identifier(self, expr: ast.Identifier):
         name = expr.name
@@ -1046,6 +1064,50 @@ class Interpreter:
             line = self.stdin[self.stdin_pos:idx + 1]
             self.stdin_pos = idx + 1
         return line
+
+
+# Exact-type dispatch tables for the interpreter's two hot loops.  The
+# AST hierarchy is flat (no concrete node subclasses another), so keying
+# on the node class is equivalent to the isinstance chains it replaced.
+_EXEC_DISPATCH = {
+    ast.ExprStmt: Interpreter._exec_expr_stmt,
+    ast.Declaration: Interpreter._exec_declaration,
+    ast.CompoundStmt: Interpreter._exec_block,
+    ast.IfStmt: Interpreter._exec_if,
+    ast.WhileStmt: Interpreter._exec_while,
+    ast.DoWhileStmt: Interpreter._exec_do_while,
+    ast.ForStmt: Interpreter._exec_for,
+    ast.ReturnStmt: Interpreter._exec_return,
+    ast.BreakStmt: Interpreter._exec_break,
+    ast.ContinueStmt: Interpreter._exec_continue,
+    ast.SwitchStmt: Interpreter._exec_switch,
+    ast.EmptyStmt: Interpreter._exec_empty,
+    ast.LabelStmt: Interpreter._exec_labelled_body,
+    ast.GotoStmt: Interpreter._exec_goto,
+    ast.CaseStmt: Interpreter._exec_labelled_body,
+    ast.DefaultStmt: Interpreter._exec_labelled_body,
+}
+
+_EVAL_DISPATCH = {
+    ast.IntLiteral: Interpreter._eval_literal,
+    ast.FloatLiteral: Interpreter._eval_literal,
+    ast.CharLiteral: Interpreter._eval_literal,
+    ast.StringLiteral: Interpreter._string_pointer,
+    ast.Identifier: Interpreter._eval_identifier,
+    ast.ArrayAccess: Interpreter._eval_load_lvalue,
+    ast.FieldAccess: Interpreter._eval_load_lvalue,
+    ast.Call: Interpreter._eval_call,
+    ast.Unary: Interpreter._eval_unary,
+    ast.Binary: Interpreter._eval_binary,
+    ast.Assignment: Interpreter._eval_assignment,
+    ast.Conditional: Interpreter._eval_conditional,
+    ast.Cast: Interpreter._eval_cast,
+    ast.SizeofExpr: Interpreter._eval_sizeof_expr,
+    ast.SizeofType: Interpreter._eval_sizeof_type,
+    ast.Comma: Interpreter._eval_comma,
+    ast.VaArg: Interpreter._eval_va_arg,
+    ast.InitList: Interpreter._eval_init_list,
+}
 
 
 class _FakeBinary:

@@ -13,7 +13,6 @@ so the paper's memcpy clamp logic is exercised with usable > requested.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 
 class VMError(Exception):
@@ -42,17 +41,25 @@ def usable_size(requested: int) -> int:
     return (requested + _USABLE_ALIGN - 1) // _USABLE_ALIGN * _USABLE_ALIGN
 
 
-@dataclass(frozen=True)
 class Pointer:
     """A typed machine pointer: block id + byte offset.
 
     Offsets outside the block are representable (C allows forming
     one-past-the-end and even wilder pointers); only *dereferencing* them
     faults.
+
+    Plain ``__slots__`` class rather than a frozen dataclass: pointers
+    are created on nearly every VM memory operation, and the frozen
+    ``__init__`` (which funnels through ``object.__setattr__``) showed
+    up in pipeline profiles.  Value semantics are preserved by the
+    explicit ``__eq__``/``__hash__``.
     """
 
-    block: int
-    offset: int
+    __slots__ = ("block", "offset")
+
+    def __init__(self, block: int, offset: int):
+        self.block = block
+        self.offset = offset
 
     @property
     def is_null(self) -> bool:
@@ -61,8 +68,15 @@ class Pointer:
     def moved(self, delta: int) -> "Pointer":
         return Pointer(self.block, self.offset + delta)
 
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Pointer) and \
+            self.block == other.block and self.offset == other.offset
+
+    def __hash__(self) -> int:
+        return hash((self.block, self.offset))
+
     def __repr__(self) -> str:
-        if self.is_null:
+        if self.block == 0:
             return "NULL"
         return f"Ptr(b{self.block}+{self.offset})"
 
@@ -175,7 +189,7 @@ class Memory:
     # ------------------------------------------------------------- queries
 
     def block_of(self, ptr: Pointer) -> Block:
-        if ptr.is_null:
+        if ptr.block == 0:
             raise MemoryFault("null-dereference", "access through NULL")
         block = self._blocks.get(ptr.block)
         if block is None:
@@ -223,12 +237,28 @@ class Memory:
         block.data[ptr.offset:ptr.offset + len(data)] = data
 
     def read_int(self, ptr: Pointer, size: int, signed: bool) -> int:
-        raw = self.read_bytes(ptr, size)
-        return int.from_bytes(raw, "little", signed=signed)
+        # Happy path fully inlined (one dict probe + bounds compares);
+        # every failure falls back to _check/block_of for the precise
+        # fault kind.  int.from_bytes accepts the bytearray slice
+        # directly — no intermediate bytes copy on this very hot path.
+        block = self._blocks.get(ptr.block)
+        offset = ptr.offset
+        end = offset + size
+        if block is None or block.freed or ptr.block == 0 or \
+                offset < 0 or end > block.size:
+            block = self._check(ptr, size, writing=False)
+        return int.from_bytes(block.data[offset:end],
+                              "little", signed=signed)
 
     def write_int(self, ptr: Pointer, value: int, size: int) -> None:
+        block = self._blocks.get(ptr.block)
+        offset = ptr.offset
+        end = offset + size
+        if block is None or block.freed or ptr.block == 0 or \
+                offset < 0 or end > block.size:
+            block = self._check(ptr, size, writing=True)
         value &= (1 << (8 * size)) - 1
-        self.write_bytes(ptr, value.to_bytes(size, "little"))
+        block.data[offset:end] = value.to_bytes(size, "little")
 
     def read_cstring(self, ptr: Pointer, limit: int = 1 << 20) -> bytes:
         """Read a NUL-terminated string; walking past the block faults."""

@@ -1,0 +1,56 @@
+"""Smoke tests for the analysis microbenchmark harness."""
+
+import json
+
+from repro.analysis import bind
+from repro.analysis.pointsto import PointsToAnalysis
+from repro.cfront.parser import parse_translation_unit
+from repro.eval.analysis_bench import (
+    ANALYSES, bench_workload, main, pointer_stress_source, _parse_units,
+)
+
+
+class TestPointerStressWorkload:
+    def test_source_is_deterministic(self):
+        assert pointer_stress_source() == pointer_stress_source()
+
+    def test_source_parses_and_binds(self):
+        units = _parse_units({"stress.c": pointer_stress_source()})
+        assert len(units) == 1
+
+    def test_fast_and_legacy_agree_on_stress_unit(self):
+        unit = parse_translation_unit(
+            pointer_stress_source(n_objects=12, n_pointers=24),
+            "stress.c")
+        table = bind(unit)
+        fast = PointsToAnalysis(unit, table, fast=True)
+        legacy = PointsToAnalysis(unit, table, fast=False)
+        for symbol in fast.pointer_symbols():
+            assert [n.index for n in fast.points_to(symbol)] \
+                == [n.index for n in legacy.points_to(symbol)], symbol.name
+
+
+class TestBenchWorkload:
+    def test_record_shape(self):
+        units = _parse_units({
+            "stress.c": pointer_stress_source(n_objects=8, n_pointers=16)})
+        record = bench_workload(units, repeat=1)
+        assert record["files"] == 1
+        assert record["functions"] == 1
+        assert set(record["analyses"]) == set(ANALYSES)
+        for cell in record["analyses"].values():
+            assert cell["fast_s"] >= 0.0
+            assert cell["legacy_s"] >= 0.0
+
+    def test_cli_writes_sorted_rounded_json(self, tmp_path, monkeypatch):
+        out = tmp_path / "BENCH_analysis.json"
+        # Tiny sample so the test stays fast.
+        assert main(["--scale", "0.01", "--limit", "4", "--repeat", "1",
+                     "--out", str(out)]) == 0
+        payload = out.read_text()
+        data = json.loads(payload)
+        assert set(data["workloads"]) \
+            == {"samate", "corpus", "pointer_stress"}
+        assert data["pointsto_speedup_x"] is not None
+        # sort_keys: re-serialising must reproduce the file byte for byte.
+        assert json.dumps(data, indent=2, sort_keys=True) + "\n" == payload

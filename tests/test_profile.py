@@ -65,6 +65,33 @@ class TestCollector:
         assert profile.profiling_enabled()
 
 
+class TestAnalyzeSubStages:
+    def test_lazy_analyses_record_substages(self):
+        from repro.core.session import AnalysisSession
+        session = AnalysisSession()
+        text = session.preprocess(SRC, "profile_sub.c").text
+        with profile.collect("profile_sub.c") as times:
+            analysis = session.parse(text, "profile_sub.c").analysis
+            analysis.aliases
+            for fn_name in analysis.cfgs:
+                analysis.reaching_of(fn_name)
+                analysis.dependence_of(fn_name)
+        for sub in ("analyze:cfg", "analyze:reaching",
+                    "analyze:pointsto", "analyze:alias",
+                    "analyze:dependence"):
+            assert sub in times, sub
+            assert times[sub] >= 0.0
+
+    def test_substages_render_in_canonical_order(self):
+        per_file = {"a.c": {"analyze": 0.01, "analyze:pointsto": 0.004,
+                            "analyze:cfg": 0.002, "slr": 0.01}}
+        out = profile.render_profile(per_file, per_file_rows=False)
+        lines = out.splitlines()
+        order = [ln.split()[0] for ln in lines[2:] if ln]
+        assert order.index("analyze") < order.index("analyze:cfg") \
+            < order.index("analyze:pointsto") < order.index("slr")
+
+
 class TestRendering:
     def test_merge_totals(self):
         per_file = {"a.c": {"parse": 1.0, "slr": 0.5},
