@@ -74,6 +74,7 @@ def _leg(run):
         "str_cache": stats["str_cache"],
         "validate_cache": stats["validate_cache"],
         "stage_totals_s": stats["stage_totals_s"],
+        "robustness": run["robustness"],
     }
 
 

@@ -1,0 +1,2 @@
+/* Lex-stage failure: bytes that are not C tokens at all. */
+ @@@ $$$ ~~~!!! not C `` 

@@ -1,0 +1,12 @@
+/* Well-formed file living among broken ones: the batch driver must
+ * still transform it while its siblings fail with diagnostics. */
+extern char *strcpy(char *dest, const char *src);
+extern char *gets(char *s);
+
+int main(void) {
+    char buffer[16];
+    char copy[16];
+    gets(buffer);
+    strcpy(copy, buffer);
+    return 0;
+}

@@ -1,0 +1,6 @@
+/* Preprocess-stage failure: the quoted header does not exist. */
+#include "no_such_header_anywhere.h"
+
+int main(void) {
+    return 0;
+}

@@ -1,0 +1,6 @@
+/* Parse-stage failure: the initializer is missing its expression and
+ * the return statement its semicolon. */
+int main(void) {
+    int x = ;
+    return x
+}

@@ -1,0 +1,12 @@
+/* Parse-stage failure: K&R-style parameter declarations, which the
+ * C89+ frontend deliberately does not accept. */
+int add(a, b)
+int a;
+int b;
+{
+    return a + b;
+}
+
+int main(void) {
+    return add(1, 2);
+}

@@ -78,6 +78,21 @@ class Rewriter:
     def edit_count(self) -> int:
         return len(self._edits)
 
+    def checkpoint(self) -> int:
+        """Mark the current edit queue; pair with :meth:`rollback`."""
+        return len(self._edits)
+
+    def rollback(self, mark: int) -> None:
+        """Drop every edit queued after ``mark``.
+
+        Lets a driver contain a failing per-site transformation: edits
+        the site queued before raising are discarded, so the surviving
+        queue never holds a half-applied rewrite.
+        """
+        if not 0 <= mark <= len(self._edits):
+            raise ValueError(f"bad rewriter checkpoint {mark}")
+        del self._edits[mark:]
+
     # ------------------------------------------------------------- applying
 
     def apply(self) -> str:

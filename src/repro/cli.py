@@ -20,6 +20,13 @@ Subcommands mirror how the paper's tool is used:
 ``batch`` and ``validate`` accept ``--no-disk-cache`` (this run skips
 the persistent store) and ``--profile`` (render the per-stage timing
 breakdown; ``REPRO_PROFILE=1`` does the same).
+
+``batch`` is fault-isolated: a file that fails any stage is recorded
+with a structured diagnostic and its siblings continue.  ``--strict``
+turns any contained failure into a non-zero exit,
+``--diagnostics-json PATH`` dumps the diagnostics machine-readably, and
+``--task-timeout`` / ``--task-retries`` tune the fork pool's worker
+supervision.
 """
 
 from __future__ import annotations
@@ -158,18 +165,32 @@ def _apply_disk_cache_flag(args: argparse.Namespace) -> None:
         os.environ["REPRO_DISK_CACHE"] = "0"
 
 
+def _apply_supervision_flags(args: argparse.Namespace) -> None:
+    """``--task-timeout`` / ``--task-retries`` set the supervision env
+    knobs so fork-pool workers (which inherit the environment) and the
+    executor defaults agree."""
+    import os
+
+    if getattr(args, "task_timeout", None) is not None:
+        os.environ["REPRO_TASK_TIMEOUT"] = str(args.task_timeout)
+    if getattr(args, "task_retries", None) is not None:
+        os.environ["REPRO_TASK_RETRIES"] = str(args.task_retries)
+
+
 def cmd_batch(args: argparse.Namespace) -> int:
+    import json
     import os
 
     from .cfront.source import SourceError
     from .core.batch import apply_batch
     from .core.profile import profiling_enabled
     from .core.report import (
-        render_batch_stats, render_cache_stats, render_profile,
-        render_validation,
+        diagnostics_payload, render_batch_stats, render_cache_stats,
+        render_diagnostics, render_profile, render_validation,
     )
 
     _apply_disk_cache_flag(args)
+    _apply_supervision_flags(args)
     program, error = _load_program(args.directory)
     if program is None:
         print(error, file=sys.stderr)
@@ -205,6 +226,9 @@ def cmd_batch(args: argparse.Namespace) -> int:
               file=sys.stderr)
 
     print(render_batch_stats(batch))
+    if batch.diagnostics():
+        print()
+        print(render_diagnostics(batch))
     if args.validate:
         print()
         print(render_validation(batch))
@@ -214,15 +238,27 @@ def cmd_batch(args: argparse.Namespace) -> int:
     if args.stats:
         print()
         print(render_cache_stats())
+    if args.diagnostics_json:
+        with open(args.diagnostics_json, "w", encoding="utf-8") as handle:
+            json.dump(diagnostics_payload(batch), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"wrote diagnostics to {args.diagnostics_json}",
+              file=sys.stderr)
     slr_done = batch.transformed("SLR")
     slr_all = batch.candidates("SLR")
     str_done = batch.transformed("STR")
     str_all = batch.candidates("STR")
+    counts = batch.status_counts()
     print(f"SLR {slr_done}/{slr_all} sites, STR {str_done}/{str_all} "
           f"buffers; all files parse: "
-          f"{'yes' if batch.all_parse else 'NO'}", file=sys.stderr)
+          f"{'yes' if batch.all_parse else 'NO'}; "
+          f"files ok/degraded/failed: {counts['ok']}/"
+          f"{counts['degraded']}/{counts['failed']}", file=sys.stderr)
     ok = batch.all_parse and (not args.validate
                               or batch.semantics_preserved)
+    if args.strict:
+        ok = ok and batch.fully_succeeded
     return 0 if ok else 1
 
 
@@ -352,6 +388,22 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--no-disk-cache", action="store_true",
                        help="skip the persistent artifact store for "
                             "this run (also REPRO_DISK_CACHE=0)")
+    batch.add_argument("--strict", action="store_true",
+                       help="exit non-zero if any file degraded or "
+                            "failed (default: contained failures ship "
+                            "the input verbatim and exit 0)")
+    batch.add_argument("--diagnostics-json", metavar="PATH",
+                       default=None,
+                       help="write contained-failure diagnostics to "
+                            "this JSON file")
+    batch.add_argument("--task-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-file wall-clock budget in pool workers "
+                            "(also REPRO_TASK_TIMEOUT; default: off)")
+    batch.add_argument("--task-retries", type=int, default=None,
+                       metavar="N",
+                       help="retries for crashed/timed-out files "
+                            "(also REPRO_TASK_RETRIES; default: 1)")
     batch.set_defaults(func=cmd_batch)
 
     validate = sub.add_parser(

@@ -15,19 +15,40 @@ Execution is pluggable: :class:`SerialExecutor` runs in-process;
 fork pool (``jobs=N`` / ``REPRO_JOBS``).  Both produce byte-identical
 results — tasks are ordered by filename and the pool preserves input
 order — so a parallel run differs from a serial one only in wall clock.
+
+The whole pipeline is *fault-isolated*: every stage (preprocess, parse,
+SLR, STR, verify, validate) runs inside a guard that converts an
+exception into a structured
+:class:`~repro.core.diagnostics.FileDiagnostic` on the file's report.
+Failures degrade gracefully — an STR crash still ships the SLR result,
+a failed SLR call site is skipped, a file that cannot be processed at
+all ships its input verbatim as a ``failed`` report — so one broken
+file never takes down a batch.  The fork pool adds worker supervision:
+a per-task wall-clock watchdog (``REPRO_TASK_TIMEOUT``), dead-worker
+detection with automatic respawn, and bounded retry
+(``REPRO_TASK_RETRIES``); results stay deterministic and input-ordered
+through all of it.  :mod:`repro.core.faults` can inject failures at any
+stage for chaos testing.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import os
+import pickle
 import time
+import warnings
 from dataclasses import dataclass, field
 
 from ..cfront.cache import CacheStats, ContentCache, content_key, \
     snapshot_stats
 from ..cfront.source import count_source_lines
-from . import profile
+from . import faults, profile
+from .diagnostics import (
+    KIND_TIMEOUT, KIND_WORKER_DIED, STATUS_FAILED, STATUS_OK,
+    FileDiagnostic, diagnostic_from_exception, status_of,
+    supervisor_diagnostic,
+)
 from .session import AnalysisSession, get_session
 from .slr import SafeLibraryReplacement
 from .strtransform import SafeTypeReplacement
@@ -36,10 +57,53 @@ from .validate import ValidationReport, default_inputs, validate_pair
 
 
 def default_jobs() -> int:
-    """Worker count when the caller does not pass one (``REPRO_JOBS``)."""
+    """Worker count when the caller does not pass one (``REPRO_JOBS``).
+
+    Rejects non-integer and non-positive values with a warning (a bad
+    knob must not silently serialize a production run), and caps the
+    answer at the machine's CPU count — more fork workers than cores
+    only adds memory pressure and scheduler churn.
+    """
+    raw = os.environ.get("REPRO_JOBS", "1")
     try:
-        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+        jobs = int(raw)
     except ValueError:
+        warnings.warn(f"ignoring non-integer REPRO_JOBS={raw!r}; "
+                      f"running with 1 worker", RuntimeWarning,
+                      stacklevel=2)
+        return 1
+    if jobs <= 0:
+        warnings.warn(f"ignoring REPRO_JOBS={jobs} (must be >= 1); "
+                      f"running with 1 worker", RuntimeWarning,
+                      stacklevel=2)
+        return 1
+    return min(jobs, os.cpu_count() or 1)
+
+
+def task_timeout() -> float | None:
+    """Per-task wall-clock budget for supervised pool workers
+    (``REPRO_TASK_TIMEOUT`` seconds; unset/0 disables the watchdog)."""
+    raw = os.environ.get("REPRO_TASK_TIMEOUT", "")
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        warnings.warn(f"ignoring non-numeric REPRO_TASK_TIMEOUT={raw!r}",
+                      RuntimeWarning, stacklevel=2)
+        return None
+    return value if value > 0 else None
+
+
+def task_retries() -> int:
+    """How many times a crashed/timed-out task is retried before it is
+    recorded as failed (``REPRO_TASK_RETRIES``, default 1)."""
+    raw = os.environ.get("REPRO_TASK_RETRIES", "1")
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        warnings.warn(f"ignoring non-integer REPRO_TASK_RETRIES={raw!r}; "
+                      f"using 1", RuntimeWarning, stacklevel=2)
         return 1
 
 
@@ -113,6 +177,17 @@ class FileTask:
 
 @dataclass
 class FileTransformReport:
+    """One file's outcome, shipped back from whichever process ran it.
+
+    ``status`` is ``ok`` (every requested stage succeeded), ``degraded``
+    (some stage failed but a partial result shipped — e.g. STR died and
+    SLR's output was kept), or ``failed`` (no transformation survived;
+    ``final_text`` is the input, verbatim).  Contained failures are
+    recorded on ``diagnostics``; ``parses`` covers only text the
+    pipeline actually changed — a file shipped verbatim after a failure
+    introduces no compile errors by construction.
+    """
+
     filename: str
     slr: TransformResult | None
     str_: TransformResult | None
@@ -121,6 +196,12 @@ class FileTransformReport:
     wall_time: float = 0.0                      # seconds, in the worker
     validation: "ValidationReport | None" = None
     stage_times: dict[str, float] = field(default_factory=dict)
+    status: str = STATUS_OK
+    diagnostics: list[FileDiagnostic] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
 
 
 #: Whole-stage transform results, persisted across runs: an SLR/STR pass
@@ -152,7 +233,7 @@ def cached_str(text: str, filename: str,
 def transform_file(task: FileTask,
                    session: AnalysisSession | None = None
                    ) -> FileTransformReport:
-    """Run the SLR→STR chain over one preprocessed file.
+    """Run the SLR→STR chain over one preprocessed file, fault-isolated.
 
     When SLR queues no edits, STR's parse of the "new" text is a cache
     hit on SLR's input unit — the chain only rebuilds what changed.
@@ -162,69 +243,354 @@ def transform_file(task: FileTask,
     byte-identical at any worker count.  Per-stage wall times land on
     the report's ``stage_times`` (exclusive, so they sum to the file's
     wall time).
+
+    Every stage runs inside a guard: an exception becomes a
+    :class:`~repro.core.diagnostics.FileDiagnostic` on the report and
+    the chain degrades instead of propagating — an STR failure still
+    ships the SLR result, a failed SLR leaves the text for STR, a
+    failed oracle leaves the transform (unvalidated).  Only the
+    injected whole-process faults (:class:`~repro.core.faults
+    .InjectedKill` / ``InjectedHang``, ``BaseException`` subclasses)
+    abort the file, mirroring what a real worker death looks like.
     """
     session = session if session is not None else get_session()
     start = time.perf_counter()
+    diagnostics: list[FileDiagnostic] = []
     with profile.collect(task.filename) as stage_times:
-        text = task.text
-        slr_result: TransformResult | None = None
-        str_result: TransformResult | None = None
-        if task.run_slr:
-            with profile.stage("slr"):
-                slr_result = cached_slr(text, task.filename,
-                                        task.profile, session)
-            text = slr_result.new_text
-        if task.run_str:
-            with profile.stage("str"):
-                str_result = cached_str(text, task.filename, session)
-            text = str_result.new_text
-        with profile.stage("verify"):
-            parses = session.check_parses(text, task.filename)
-        validation: ValidationReport | None = None
-        if task.validate and parses:
-            validation = validate_pair(
-                task.text, text, filename=task.filename,
-                inputs=default_inputs(task.filename, seed=task.fuzz_seed))
+        try:
+            slr_result, str_result, text, parses, validation = \
+                _run_stages(task, session, diagnostics)
+        except (faults.InjectedKill, faults.InjectedHang) as exc:
+            kind = KIND_WORKER_DIED if isinstance(exc, faults.InjectedKill) \
+                else KIND_TIMEOUT
+            return FileTransformReport(
+                task.filename, None, None, task.text, True,
+                time.perf_counter() - start, None, dict(stage_times),
+                status=STATUS_FAILED,
+                diagnostics=[supervisor_diagnostic(task.filename, kind,
+                                                   str(exc))])
+    produced = (slr_result is not None or str_result is not None
+                or not (task.run_slr or task.run_str))
+    # A text that does not parse fails SLR and STR with the *same*
+    # reattributed parse error; one record carries all the signal.
+    seen: set[tuple[str, str, str, str]] = set()
+    diagnostics = [d for d in diagnostics
+                   if (key := (d.stage, d.kind, d.message, d.location))
+                   not in seen and not seen.add(key)]
     return FileTransformReport(task.filename, slr_result, str_result,
                                text, parses,
                                time.perf_counter() - start, validation,
-                               dict(stage_times))
+                               dict(stage_times),
+                               status=status_of(diagnostics, produced),
+                               diagnostics=diagnostics)
+
+
+def _run_stages(task: FileTask, session: AnalysisSession,
+                diagnostics: list[FileDiagnostic]):
+    """The guarded SLR → STR → verify → validate chain for one file."""
+    text = task.text
+    slr_result: TransformResult | None = None
+    str_result: TransformResult | None = None
+    if task.run_slr:
+        with profile.stage("slr"):
+            try:
+                faults.check("slr", task.filename)
+                slr_result = cached_slr(text, task.filename,
+                                        task.profile, session)
+                text = slr_result.new_text
+            except Exception as exc:
+                diagnostics.append(diagnostic_from_exception(
+                    "slr", task.filename, exc))
+    if task.run_str:
+        with profile.stage("str"):
+            try:
+                faults.check("str", task.filename)
+                str_result = cached_str(text, task.filename, session)
+                text = str_result.new_text
+            except Exception as exc:
+                diagnostics.append(diagnostic_from_exception(
+                    "str", task.filename, exc))
+    changed = text != task.text
+    with profile.stage("verify"):
+        try:
+            faults.check("verify", task.filename)
+            if changed:
+                _unit, parse_error = session.try_parse(text, task.filename)
+                parses = parse_error is None
+                if parse_error is not None:
+                    diagnostics.append(diagnostic_from_exception(
+                        "verify", task.filename, parse_error))
+            else:
+                # Nothing was edited: the output cannot have gained a
+                # compile error the input did not already have.
+                parses = True
+        except Exception as exc:
+            diagnostics.append(diagnostic_from_exception(
+                "verify", task.filename, exc))
+            parses = not changed
+    validation: ValidationReport | None = None
+    if task.validate and parses:
+        try:
+            faults.check("validate", task.filename)
+            validation = validate_pair(
+                task.text, text, filename=task.filename,
+                inputs=default_inputs(task.filename, seed=task.fuzz_seed))
+        except Exception as exc:
+            diagnostics.append(diagnostic_from_exception(
+                "validate", task.filename, exc))
+    return slr_result, str_result, text, parses, validation
 
 
 # ------------------------------------------------------------- executors
+
+def _empty_supervision() -> dict[str, int]:
+    return {"retries": 0, "timeouts": 0, "worker_deaths": 0,
+            "respawns": 0}
+
 
 class SerialExecutor:
     """Run every task in the calling process, in task order."""
 
     jobs = 1
 
+    def __init__(self):
+        self.supervision = _empty_supervision()
+
     def map(self, tasks: list[FileTask]) -> list[FileTransformReport]:
         return [transform_file(task) for task in tasks]
 
 
+def _pool_worker(inbox, result_queue) -> None:
+    """Supervised-pool worker loop: pull tasks from this worker's own
+    inbox until the ``None`` sentinel, ship each report back pre-pickled.
+
+    Two protocol choices keep supervision race-free.  The parent assigns
+    tasks to a *specific* worker's inbox and records the assignment
+    before sending, so it always knows exactly which task a dead worker
+    was holding — no "I started X" message that an abrupt ``os._exit``
+    could lose in a feeder thread.  And results go over a ``SimpleQueue``
+    (synchronous send): once ``put`` returns, the bytes are in the pipe,
+    so a worker that dies between tasks cannot strand a completed result
+    in a buffer.  Pre-pickling converts an unpicklable report into an
+    ordinary contained failure instead of an invisible serialization
+    error.
+    """
+    faults.mark_worker()
+    while True:
+        item = inbox.get()
+        if item is None:
+            return
+        index, task = item
+        try:
+            report = transform_file(task)
+        except BaseException as exc:    # last-ditch: never lose a task
+            report = _supervisor_report(task, KIND_WORKER_DIED,
+                                        f"worker raised "
+                                        f"{type(exc).__name__}: {exc}")
+        try:
+            payload = pickle.dumps(report,
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            payload = pickle.dumps(_supervisor_report(
+                task, KIND_WORKER_DIED,
+                f"report not picklable: {type(exc).__name__}: {exc}"))
+        result_queue.put((index, payload))
+
+
+def _supervisor_report(task: FileTask, kind: str, message: str, *,
+                       retries: int = 0) -> FileTransformReport:
+    """The failed report for a task whose worker died or timed out:
+    input shipped verbatim, one ``worker``-stage diagnostic."""
+    return FileTransformReport(
+        task.filename, None, None, task.text, True, 0.0, None, {},
+        status=STATUS_FAILED,
+        diagnostics=[supervisor_diagnostic(task.filename, kind, message,
+                                           retries=retries)])
+
+
 class ProcessPoolExecutor:
-    """Fan tasks out over a ``multiprocessing`` fork pool.
+    """Fan tasks out over a *supervised* ``multiprocessing`` fork pool.
 
     Workers are forked, so they inherit the parent's warmed default
     session (copy-on-write) — a pre-warmed cache benefits every worker.
     Result order matches task order, making parallel output
     byte-identical to serial.  Falls back to serial execution where the
     fork start method is unavailable.
+
+    Supervision, on top of the plain pool the pipeline used to run:
+
+    * **watchdog** — with ``REPRO_TASK_TIMEOUT`` set, a task holding a
+      worker past the budget gets its worker killed and respawned;
+    * **dead-worker detection** — a worker that exits (crash, OOM kill,
+      injected ``os._exit``) while holding a task is noticed and
+      replaced, and its task is not lost;
+    * **bounded retry** — a crashed/timed-out task is re-queued up to
+      ``REPRO_TASK_RETRIES`` times (short backoff between attempts)
+      before it is recorded as a ``failed`` report with a ``worker``
+      diagnostic.
+
+    Results stay deterministic: they are keyed by task index, so retries
+    and respawns reorder nothing.
     """
 
-    def __init__(self, jobs: int):
+    #: Supervisor poll interval: bounds watchdog latency without
+    #: busy-waiting the parent.
+    POLL_S = 0.05
+
+    def __init__(self, jobs: int, *, timeout: float | None = None,
+                 retries: int | None = None):
         self.jobs = max(1, jobs)
+        self.timeout = timeout if timeout is not None else task_timeout()
+        self.retries = retries if retries is not None else task_retries()
+        self.supervision = _empty_supervision()
 
     def map(self, tasks: list[FileTask]) -> list[FileTransformReport]:
         if self.jobs == 1 or len(tasks) <= 1:
-            return SerialExecutor().map(tasks)
+            serial = SerialExecutor()
+            reports = serial.map(tasks)
+            self.supervision = serial.supervision
+            return reports
         import multiprocessing as mp
         try:
             ctx = mp.get_context("fork")
         except ValueError:
-            return SerialExecutor().map(tasks)
-        with ctx.Pool(min(self.jobs, len(tasks))) as pool:
-            return pool.map(transform_file, tasks)
+            serial = SerialExecutor()
+            reports = serial.map(tasks)
+            self.supervision = serial.supervision
+            return reports
+        return self._supervised_map(ctx, tasks)
+
+    # ------------------------------------------------------- supervision
+
+    class _Worker:
+        """One supervised worker process plus its private task inbox."""
+
+        __slots__ = ("inbox", "process", "task_index", "started_at")
+
+        def __init__(self, ctx, result_queue):
+            self.inbox = ctx.SimpleQueue()
+            self.process = ctx.Process(target=_pool_worker,
+                                       args=(self.inbox, result_queue),
+                                       daemon=True)
+            self.process.start()
+            self.task_index: int | None = None
+            self.started_at = 0.0
+
+        def assign(self, index: int, task: FileTask) -> None:
+            self.task_index = index
+            self.started_at = time.monotonic()
+            self.inbox.put((index, task))
+
+    def _supervised_map(self, ctx, tasks: list[FileTask]
+                        ) -> list[FileTransformReport]:
+        result_queue = ctx.SimpleQueue()
+        pending: list[int] = list(range(len(tasks)))
+        retry_at: list[tuple[float, int]] = []    # (eligible time, index)
+        results: dict[int, FileTransformReport] = {}
+        attempts: dict[int, int] = {}
+        workers = [self._Worker(ctx, result_queue)
+                   for _ in range(min(self.jobs, len(tasks)))]
+        try:
+            while len(results) < len(tasks):
+                now = time.monotonic()
+                for when, index in list(retry_at):
+                    if when <= now:
+                        retry_at.remove((when, index))
+                        pending.append(index)
+                pending.sort()
+                for worker in workers:
+                    if worker.task_index is None and pending:
+                        index = pending.pop(0)
+                        worker.assign(index, tasks[index])
+                if not self._drain(result_queue, results, workers):
+                    time.sleep(self.POLL_S)
+                self._check_deadlines(tasks, results, attempts, workers,
+                                      pending, retry_at)
+                workers = self._reap_dead(ctx, result_queue, tasks,
+                                          results, attempts, workers,
+                                          pending, retry_at)
+        finally:
+            for worker in workers:
+                if worker.process.is_alive():
+                    worker.inbox.put(None)
+            for worker in workers:
+                worker.process.join(timeout=2.0)
+                if worker.process.is_alive():
+                    worker.process.kill()
+                    worker.process.join(timeout=2.0)
+        return [results[index] for index in range(len(tasks))]
+
+    def _drain(self, result_queue, results, workers) -> bool:
+        """Collect every completed result currently in the pipe; returns
+        whether anything arrived (the caller sleeps briefly if not)."""
+        got_any = False
+        while not result_queue.empty():
+            index, payload = result_queue.get()
+            got_any = True
+            # setdefault: a task can complete twice when a retry raced a
+            # slow first attempt; the compute is deterministic, keep one.
+            results.setdefault(index, pickle.loads(payload))
+            for worker in workers:
+                if worker.task_index == index:
+                    worker.task_index = None
+        return got_any
+
+    def _check_deadlines(self, tasks, results, attempts, workers,
+                         pending, retry_at) -> None:
+        """Kill workers whose current task exceeded the wall budget."""
+        if self.timeout is None:
+            return
+        now = time.monotonic()
+        for worker in workers:
+            index = worker.task_index
+            if index is None or now - worker.started_at < self.timeout:
+                continue
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+            worker.task_index = None
+            self.supervision["timeouts"] += 1
+            self._retry_or_fail(
+                tasks, results, attempts, pending, retry_at, index,
+                KIND_TIMEOUT,
+                f"task exceeded REPRO_TASK_TIMEOUT={self.timeout:g}s")
+
+    def _reap_dead(self, ctx, result_queue, tasks, results, attempts,
+                   workers, pending, retry_at) -> list:
+        """Replace dead workers; rescue the tasks they were holding."""
+        alive = [w for w in workers if w.process.is_alive()]
+        if len(alive) == len(workers):
+            return workers
+        for worker in workers:
+            if worker.process.is_alive():
+                continue
+            worker.process.join(timeout=1.0)
+            index = worker.task_index
+            if index is not None and index not in results:
+                self.supervision["worker_deaths"] += 1
+                self._retry_or_fail(
+                    tasks, results, attempts, pending, retry_at, index,
+                    KIND_WORKER_DIED,
+                    f"worker pid {worker.process.pid} died with exit "
+                    f"code {worker.process.exitcode}")
+        outstanding = len(tasks) - len(results)
+        while len(alive) < min(self.jobs, outstanding):
+            self.supervision["respawns"] += 1
+            alive.append(self._Worker(ctx, result_queue))
+        return alive
+
+    def _retry_or_fail(self, tasks, results, attempts, pending, retry_at,
+                       index: int, kind: str, message: str) -> None:
+        attempts[index] = attempts.get(index, 0) + 1
+        if attempts[index] <= self.retries:
+            self.supervision["retries"] += 1
+            # Short backoff: a transient cause (memory pressure, a
+            # saturated disk) gets a beat to clear before the retry.
+            retry_at.append((time.monotonic()
+                             + min(0.05 * attempts[index], 0.5), index))
+        else:
+            results[index] = _supervisor_report(
+                tasks[index], kind, message, retries=attempts[index] - 1)
 
 
 def make_executor(jobs: int | None = None):
@@ -257,6 +623,9 @@ class BatchStats:
     validate: CacheStats = field(default_factory=CacheStats)
     stage_times: dict[str, dict[str, float]] = field(default_factory=dict)
     deduplicated: int = 0
+    #: Supervision tallies from the executor (fork pool only): tasks
+    #: retried, watchdog timeouts, workers that died, workers respawned.
+    supervision: dict[str, int] = field(default_factory=_empty_supervision)
 
     @property
     def stage_totals(self) -> dict[str, float]:
@@ -276,7 +645,8 @@ class BatchStats:
                 "stage_totals_s": {name: round(seconds, 4)
                                    for name, seconds
                                    in sorted(self.stage_totals.items())},
-                "deduplicated": self.deduplicated}
+                "deduplicated": self.deduplicated,
+                "supervision": dict(self.supervision)}
 
 
 @dataclass
@@ -333,6 +703,41 @@ class BatchResult:
     def all_parse(self) -> bool:
         return all(r.parses for r in self.reports)
 
+    # ------------------------------------------------ diagnostic rollups
+
+    def diagnostics(self) -> list[FileDiagnostic]:
+        """Every contained failure, in report (filename) order."""
+        return [diag for report in self.reports
+                for diag in report.diagnostics]
+
+    def status_counts(self) -> dict[str, int]:
+        """``{'ok': …, 'degraded': …, 'failed': …}`` over all files."""
+        counts = {status: 0 for status in
+                  ("ok", "degraded", "failed")}
+        for report in self.reports:
+            counts[report.status] = counts.get(report.status, 0) + 1
+        return counts
+
+    @property
+    def failed_count(self) -> int:
+        return sum(1 for r in self.reports if r.status == STATUS_FAILED)
+
+    @property
+    def degraded_count(self) -> int:
+        return sum(1 for r in self.reports if r.status == "degraded")
+
+    @property
+    def fully_succeeded(self) -> bool:
+        """Did every file come through with no contained failure?"""
+        return all(r.status == STATUS_OK for r in self.reports)
+
+    def stage_failure_counts(self) -> dict[str, int]:
+        """Diagnostic tallies per stage (for the diagnostics table)."""
+        counts: dict[str, int] = {}
+        for diag in self.diagnostics():
+            counts[diag.stage] = counts.get(diag.stage, 0) + 1
+        return counts
+
     # ------------------------------------------------ validation rollups
 
     def validations(self) -> list[ValidationReport]:
@@ -355,12 +760,63 @@ class BatchResult:
 
 def _task_work_key(task: FileTask) -> str:
     """What a task's outcome depends on — *not* the filename, except
-    when validating (the oracle's fuzz probes are seeded per file)."""
+    when validating (the oracle's fuzz probes are seeded per file) or
+    when fault injection is armed (faults fire per file name, so
+    identical content may legitimately diverge)."""
     parts = ["task", task.text, str(task.run_slr), str(task.run_str),
              task.profile]
     if task.validate:
         parts += [task.filename, str(task.fuzz_seed)]
+    if faults.faults_enabled():
+        parts += ["faults", task.filename]
     return content_key(*parts)
+
+
+def _preprocess_guarded(program: SourceProgram,
+                        session: AnalysisSession,
+                        timings: dict[str, float],
+                        ) -> tuple[dict[str, str],
+                                   dict[str, FileDiagnostic]]:
+    """Preprocess every file, containing per-file failures.
+
+    Returns ``(preprocessed texts, diagnostics for the files that did
+    not survive)``.  An already-preprocessed program (or one whose
+    :meth:`SourceProgram.preprocess` memo is warm) short-circuits; on a
+    fully clean pass the memo is populated so other consumers (KLOC
+    accounting, repeated table runs) keep their free second call.
+    """
+    if program.preprocessed:
+        return dict(program.files), {}
+    if program._pp_memo is not None:
+        return dict(program._pp_memo.files), {}
+    texts: dict[str, str] = {}
+    failures: dict[str, FileDiagnostic] = {}
+    for filename in sorted(program.files):
+        start = time.perf_counter()
+        try:
+            faults.check("preprocess", filename)
+            texts[filename] = session.preprocess(
+                program.files[filename], filename, program.headers,
+                program.predefined).text
+        except Exception as exc:
+            failures[filename] = diagnostic_from_exception(
+                "preprocess", filename, exc)
+        timings[filename] = time.perf_counter() - start
+    if not failures:
+        program._pp_memo = SourceProgram(
+            program.name, dict(texts), {}, {}, program.main_file,
+            preprocessed=True)
+    return texts, failures
+
+
+def _preprocess_failure_report(filename: str, original_text: str,
+                               diagnostic: FileDiagnostic,
+                               wall: float) -> FileTransformReport:
+    """The ``failed`` report for a file that never preprocessed: the
+    original text ships verbatim (nothing was made worse)."""
+    return FileTransformReport(
+        filename, None, None, original_text, True, wall, None, {},
+        status=STATUS_FAILED, diagnostics=[diagnostic])
 
 
 def apply_batch(program: SourceProgram, *, run_slr: bool = True,
@@ -385,6 +841,12 @@ def apply_batch(program: SourceProgram, *, run_slr: bool = True,
     file (``None`` defers to ``session.validate``); verdicts land on
     each report's ``validation`` and roll up via
     :meth:`BatchResult.validation_counts`.
+
+    Fault isolation: a file whose preprocessing fails becomes a
+    ``failed`` report (original text shipped verbatim, one
+    ``preprocess`` diagnostic) while its siblings continue through the
+    pipeline; downstream per-stage failures are contained inside
+    :func:`transform_file` the same way.
     """
     session = session if session is not None else get_session()
     if validate is None:
@@ -392,10 +854,11 @@ def apply_batch(program: SourceProgram, *, run_slr: bool = True,
     before = snapshot_stats()
     start = time.perf_counter()
     pp_timings: dict[str, float] = {}
-    preprocessed = program.preprocess(session, timings=pp_timings)
-    tasks = [FileTask(filename, preprocessed.files[filename],
+    pp_texts, pp_failures = _preprocess_guarded(program, session,
+                                                pp_timings)
+    tasks = [FileTask(filename, pp_texts[filename],
                       run_slr, run_str, profile, validate, fuzz_seed)
-             for filename in sorted(preprocessed.files)]
+             for filename in sorted(pp_texts)]
     unique: dict[str, FileTask] = {}
     key_of: dict[str, str] = {}
     for task in tasks:
@@ -405,12 +868,17 @@ def apply_batch(program: SourceProgram, *, run_slr: bool = True,
     executor = make_executor(jobs)
     unique_reports = dict(zip(unique,
                               executor.map(list(unique.values()))))
-    reports = []
+    by_name: dict[str, FileTransformReport] = {}
     for task in tasks:
         report = unique_reports[key_of[task.filename]]
         if report.filename != task.filename:
             report = dataclasses.replace(report, filename=task.filename)
-        reports.append(report)
+        by_name[task.filename] = report
+    for filename, diagnostic in pp_failures.items():
+        by_name[filename] = _preprocess_failure_report(
+            filename, program.files[filename], diagnostic,
+            pp_timings.get(filename, 0.0))
+    reports = [by_name[filename] for filename in sorted(by_name)]
     wall = time.perf_counter() - start
     after = snapshot_stats()
 
@@ -431,5 +899,6 @@ def apply_batch(program: SourceProgram, *, run_slr: bool = True,
         parse=delta("parse"), preprocess=delta("preprocess"),
         slr=delta("slr"), str_=delta("str"), validate=delta("validate"),
         stage_times=stage_times,
-        deduplicated=len(tasks) - len(unique))
+        deduplicated=len(tasks) - len(unique),
+        supervision=dict(executor.supervision))
     return BatchResult(program, reports, stats)

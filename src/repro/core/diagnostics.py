@@ -1,0 +1,116 @@
+"""Structured per-file failure diagnostics for the batch pipeline.
+
+The paper's evaluation applies SLR/STR "on all possible targets" across
+whole programs; at that scale one pathological file must degrade to a
+*record*, not a crash.  Every stage guard in
+:func:`repro.core.batch.transform_file` converts an exception into a
+:class:`FileDiagnostic` — stage, exception class, source location when
+the error carries one, and a truncated traceback — attached to the
+file's report, and the file is marked ``degraded`` or ``failed`` instead
+of killing the batch.
+
+Diagnostics are plain picklable dataclasses: fork-pool workers ship them
+back on the report, the CLI renders them as a table
+(``repro batch`` / :func:`repro.core.report.render_diagnostics`), and
+``--diagnostics-json`` emits them machine-readably.
+"""
+
+from __future__ import annotations
+
+import traceback as _traceback
+from dataclasses import dataclass
+
+from ..cfront.source import SourceError
+
+#: Per-file outcome statuses, ordered from best to worst.
+STATUS_OK = "ok"                # every requested stage succeeded
+STATUS_DEGRADED = "degraded"    # some stage failed; partial result shipped
+STATUS_FAILED = "failed"        # nothing transformed; input shipped verbatim
+
+STATUSES = (STATUS_OK, STATUS_DEGRADED, STATUS_FAILED)
+
+#: Synthetic diagnostic kinds the supervisor records (no exception class
+#: exists for a worker the parent had to kill or that died under it).
+KIND_TIMEOUT = "timeout"
+KIND_WORKER_DIED = "worker-died"
+
+#: Traceback truncation bounds: enough to locate a bug, small enough to
+#: ship thousands of diagnostics through a result queue.
+MAX_TRACEBACK_LINES = 8
+MAX_MESSAGE_CHARS = 500
+
+
+@dataclass
+class FileDiagnostic:
+    """One contained failure: what broke, where, and how it was handled."""
+
+    filename: str
+    stage: str              # preprocess|parse|slr|str|verify|validate|worker
+    kind: str               # exception class name, 'timeout', 'worker-died'
+    message: str
+    location: str = ""      # "file:line:col" when the error carried one
+    traceback: str = ""     # truncated; empty for supervisor diagnostics
+    retries: int = 0        # attempts beyond the first before giving up
+
+    def as_dict(self) -> dict:
+        return {"filename": self.filename, "stage": self.stage,
+                "kind": self.kind, "message": self.message,
+                "location": self.location, "traceback": self.traceback,
+                "retries": self.retries}
+
+
+def _truncate(text: str, limit: int) -> str:
+    return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+def diagnostic_from_exception(stage: str, filename: str,
+                              exc: BaseException, *,
+                              retries: int = 0) -> FileDiagnostic:
+    """Build a diagnostic from a caught exception.
+
+    Frontend errors (:class:`~repro.cfront.source.SourceError` and
+    subclasses) caught inside a transformation guard are attributed to
+    the ``parse`` stage — the transform never ran, its parse did — and
+    contribute their source location.
+    """
+    location = ""
+    if isinstance(exc, SourceError):
+        if stage in ("slr", "str", "verify"):
+            stage = "parse"
+        location = f"{exc.filename}:{exc.line}"
+        if exc.col:
+            location += f":{exc.col}"
+    tb_lines = _traceback.format_exception(type(exc), exc,
+                                           exc.__traceback__)
+    tb_text = "".join(tb_lines[-MAX_TRACEBACK_LINES:]).rstrip()
+    return FileDiagnostic(
+        filename=filename, stage=stage, kind=type(exc).__name__,
+        message=_truncate(str(exc) or type(exc).__name__,
+                          MAX_MESSAGE_CHARS),
+        location=location,
+        traceback=_truncate(tb_text, MAX_MESSAGE_CHARS * 4),
+        retries=retries)
+
+
+def supervisor_diagnostic(filename: str, kind: str, message: str, *,
+                          retries: int = 0) -> FileDiagnostic:
+    """A diagnostic the pool supervisor records on the worker's behalf
+    (timeout watchdog fired, worker process died)."""
+    return FileDiagnostic(filename=filename, stage="worker", kind=kind,
+                          message=_truncate(message, MAX_MESSAGE_CHARS),
+                          retries=retries)
+
+
+def status_of(diagnostics: list[FileDiagnostic],
+              produced_any_transform: bool) -> str:
+    """Classify a file's outcome from its diagnostics.
+
+    ``failed`` means no transformation output survived (the input ships
+    verbatim); ``degraded`` means a partial result shipped (e.g. STR
+    failed but SLR's output is good).
+    """
+    if not diagnostics:
+        return STATUS_OK
+    if any(d.stage == "worker" for d in diagnostics):
+        return STATUS_FAILED
+    return STATUS_DEGRADED if produced_any_transform else STATUS_FAILED

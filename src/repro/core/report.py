@@ -29,6 +29,7 @@ def _table(headers: list[str], rows: list[list[str]]) -> str:
 def render_batch_stats(result: BatchResult) -> str:
     """Per-file wall time + site counts for one batch run."""
     validated = any(r.validation is not None for r in result.reports)
+    degraded = any(not r.ok for r in result.reports)
     rows = []
     for report in result.reports:
         slr = report.slr
@@ -40,6 +41,9 @@ def render_batch_stats(result: BatchResult) -> str:
             f"{str_.transformed_count}/{str_.candidates}" if str_ else "-",
             "yes" if report.parses else "NO",
         ]
+        if degraded:
+            row.append(report.status if report.ok
+                       else report.status.upper())
         if validated:
             if report.validation is None:
                 row.append("-")
@@ -50,6 +54,8 @@ def render_batch_stats(result: BatchResult) -> str:
                     f"CHANGED x{report.validation.semantics_changed}")
         rows.append(row)
     headers = ["file", "wall ms", "SLR", "STR", "parses"]
+    if degraded:
+        headers.append("status")
     if validated:
         headers.append("oracle")
     table = _table(headers, rows)
@@ -83,6 +89,55 @@ def render_validation(result: BatchResult) -> str:
                     f"semantics preserved: NO "
                     f"({totals.get('semantics-changed', 0)} divergences)")
     return f"{table}\n\n{verdict_line}"
+
+
+def render_diagnostics(result: BatchResult) -> str:
+    """Contained-failure report for one batch run: every per-file
+    diagnostic, the per-stage failure tallies, and the executor's
+    supervision counters (retries / timeouts / worker deaths)."""
+    diagnostics = result.diagnostics()
+    if not diagnostics:
+        return "no contained failures"
+    rows = []
+    for diag in diagnostics:
+        message = diag.message.splitlines()[0] if diag.message else ""
+        if len(message) > 60:
+            message = message[:59] + "…"
+        rows.append([diag.filename, diag.stage, diag.kind,
+                     diag.location or "-", diag.retries, message])
+    table = _table(["file", "stage", "kind", "location", "retries",
+                    "message"], rows)
+    stage_counts = result.stage_failure_counts()
+    stage_line = "failures by stage: " + " ".join(
+        f"{stage}={count}" for stage, count
+        in sorted(stage_counts.items()))
+    status = result.status_counts()
+    status_line = ("files: " + " ".join(f"{name}={status[name]}"
+                                        for name in status))
+    lines = [table, "", stage_line, status_line]
+    supervision = result.stats.supervision if result.stats else {}
+    if any(supervision.values()):
+        lines.append("supervision: " + " ".join(
+            f"{name}={count}" for name, count
+            in sorted(supervision.items())))
+    return "\n".join(lines)
+
+
+def diagnostics_payload(result: BatchResult) -> dict:
+    """The machine-readable shape behind ``--diagnostics-json``."""
+    payload = {
+        "program": result.program.name,
+        "files": len(result.reports),
+        "status_counts": result.status_counts(),
+        "stage_failure_counts": result.stage_failure_counts(),
+        "supervision": dict(result.stats.supervision)
+        if result.stats else {},
+        "diagnostics": [diag.as_dict()
+                        for diag in result.diagnostics()],
+        "statuses": {report.filename: report.status
+                     for report in result.reports},
+    }
+    return payload
 
 
 def render_cache_stats(stats: list[CacheStats] | None = None) -> str:

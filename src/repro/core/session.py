@@ -93,6 +93,21 @@ class AnalysisSession:
 
         return self._parse_cache.get_or_build(key, build)
 
+    def try_parse(self, text: str, filename: str = "<unit>"
+                  ) -> tuple[ParsedUnit | None, Exception | None]:
+        """:meth:`parse` with the failure contained: ``(unit, None)`` on
+        success, ``(None, exception)`` on any parse/bind/typecheck error.
+
+        The containment seam for the batch pipeline — a stage that wants
+        the *reason* a text does not parse (to attach it to a
+        :class:`~repro.core.diagnostics.FileDiagnostic`) uses this
+        instead of re-raising through the cache layer.
+        """
+        try:
+            return self.parse(text, filename), None
+        except Exception as exc:
+            return None, exc
+
     def check_parses(self, text: str, filename: str = "<transformed>") -> bool:
         """The paper's 'no compilation errors' verify, cache-backed.
 
@@ -100,11 +115,7 @@ class AnalysisSession:
         guaranteed cache hit; a changed text is parsed once and the unit
         is then reused by any downstream consumer (e.g. the VM run).
         """
-        try:
-            self.parse(text, filename)
-        except Exception:
-            return False
-        return True
+        return self.try_parse(text, filename)[0] is not None
 
     # ------------------------------------------------------------ counters
 

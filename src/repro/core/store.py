@@ -44,9 +44,11 @@ import pickle
 import shutil
 import time
 import uuid
+import warnings
 
 from ..cfront.cache import caches_enabled
 from ..fingerprint import tool_fingerprint
+from . import faults
 
 #: Bumped when the pickled artifact schema changes incompatibly in a way
 #: the source fingerprint would not capture (e.g. a pickling protocol
@@ -98,6 +100,25 @@ class ArtifactStore:
         self.counters: dict[str, dict[str, int]] = {}
         self._counter_token = f"{os.getpid()}-{uuid.uuid4().hex[:8]}"
         self._flush_registered = False
+        #: Operations that already warned (one warning per operation per
+        #: process — a read-only or full cache dir degrades every call).
+        self._warned: set[str] = set()
+
+    def _warn_once(self, operation: str, exc: OSError) -> None:
+        """Surface a degraded store once per operation per process.
+
+        A missing entry is the normal miss path and never warns; a
+        *permission* or *disk* error means every access will degrade, so
+        the user should hear about it — exactly once, not per entry.
+        """
+        if operation in self._warned:
+            return
+        self._warned.add(operation)
+        warnings.warn(
+            f"artifact store {operation} failed under {self.root} "
+            f"({type(exc).__name__}: {exc}); continuing without the "
+            f"disk cache for affected entries", RuntimeWarning,
+            stacklevel=3)
 
     # ------------------------------------------------------------- paths
 
@@ -128,9 +149,15 @@ class ArtifactStore:
         try:
             with open(path, "rb") as handle:
                 data = handle.read()
-        except OSError:
+        except FileNotFoundError:
             counter["misses"] += 1
             return False, None, 0
+        except OSError as exc:
+            self._warn_once("read", exc)
+            counter["misses"] += 1
+            return False, None, 0
+        if faults.faults_enabled():
+            data = faults.corrupt_entry(key, data)
         try:
             value = pickle.loads(data)
         except Exception:
@@ -166,7 +193,8 @@ class ArtifactStore:
             with open(tmp, "wb") as handle:
                 handle.write(data)
             os.replace(tmp, path)
-        except OSError:
+        except OSError as exc:
+            self._warn_once("write", exc)
             try:
                 os.unlink(tmp)
             except OSError:
@@ -309,7 +337,8 @@ class ArtifactStore:
             with io.open(tmp, "w", encoding="utf-8") as handle:
                 json.dump(self.counters, handle)
             os.replace(tmp, path)
-        except OSError:
+        except OSError as exc:
+            self._warn_once("counter-flush", exc)
             try:
                 os.unlink(tmp)
             except OSError:

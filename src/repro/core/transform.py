@@ -19,6 +19,7 @@ from .session import AnalysisSession, get_session
 
 TRANSFORMED = "transformed"
 PRECONDITION_FAILED = "precondition-failed"
+SITE_ERROR = "site-error"
 
 
 @dataclass
@@ -30,6 +31,7 @@ class SiteOutcome:
     function: str               # enclosing function
     line: int
     status: str                 # TRANSFORMED | PRECONDITION_FAILED
+                                # | SITE_ERROR (handler raised, contained)
     reason: str = ""            # failure taxonomy key, empty on success
     detail: str = ""
 
@@ -124,16 +126,42 @@ class Transformation:
     # -------------------------------------------------------------- driver
 
     def run(self, targets: list | None = None) -> TransformResult:
-        """Apply to all targets (or the given subset); returns the result."""
+        """Apply to all targets (or the given subset); returns the result.
+
+        A site whose handler raises is contained: its queued edits are
+        rolled back and it is recorded as a ``site-error`` outcome, so
+        one pathological call site cannot take down the rest of the
+        file's transformations (nor ship a half-applied rewrite).
+        Injected whole-file faults (:mod:`repro.core.faults`) derive
+        from :class:`BaseException` and still propagate.
+        """
         for target in (targets if targets is not None
                        else self.find_targets()):
-            outcome = self.apply_to(target)
+            mark = self.rewriter.checkpoint()
+            try:
+                outcome = self.apply_to(target)
+            except Exception as exc:
+                self.rewriter.rollback(mark)
+                outcome = self._site_error_outcome(target, exc)
             self.outcomes.append(outcome)
         self.finalize()
         new_text = self.rewriter.apply() if self.rewriter.has_edits \
             else self.text
         return TransformResult(self.name, self.text, new_text,
                                sort_outcomes(self.outcomes))
+
+    def _site_error_outcome(self, target, exc: Exception) -> SiteOutcome:
+        """A contained per-site failure as a reportable outcome."""
+        name = getattr(target, "callee_name", None) \
+            or getattr(target, "name", None) or "<target>"
+        try:
+            function = self.function_of(target)
+            line = self.line_of(target)
+        except Exception:
+            function, line = "<unknown>", 0
+        return SiteOutcome(self.name, name, function, line,
+                           status=SITE_ERROR, reason="internal-error",
+                           detail=f"{type(exc).__name__}: {exc}")
 
     # -------------------------------------------------------------- helpers
 

@@ -60,6 +60,34 @@ DEFAULT_FUZZ_COUNT = 4
 #: whole batch).
 DEFAULT_STEP_LIMIT = 2_000_000
 
+#: Allocation budget per differential run (cumulative bytes) — a
+#: pathological input driving a runaway allocation loop trips a
+#: ``mem-limit`` resource fault instead of ballooning the worker.
+DEFAULT_MEM_LIMIT = 64 * 1024 * 1024
+
+
+def oracle_step_limit() -> int:
+    """Per-run step budget for oracle executions
+    (``REPRO_VALIDATE_STEPS``, default :data:`DEFAULT_STEP_LIMIT`)."""
+    raw = os.environ.get("REPRO_VALIDATE_STEPS", "")
+    try:
+        value = int(raw) if raw else DEFAULT_STEP_LIMIT
+    except ValueError:
+        return DEFAULT_STEP_LIMIT
+    return value if value > 0 else DEFAULT_STEP_LIMIT
+
+
+def oracle_mem_limit() -> int | None:
+    """Per-run allocation budget for oracle executions
+    (``REPRO_VALIDATE_MEM`` bytes, default :data:`DEFAULT_MEM_LIMIT`;
+    0 disables the budget)."""
+    raw = os.environ.get("REPRO_VALIDATE_MEM", "")
+    try:
+        value = int(raw) if raw else DEFAULT_MEM_LIMIT
+    except ValueError:
+        return DEFAULT_MEM_LIMIT
+    return value if value > 0 else None
+
 
 @dataclass(frozen=True)
 class DifferentialInput:
@@ -266,14 +294,15 @@ _VALIDATE_CACHE = ContentCache("validate", family="validate")
 
 def cached_run_source(text: str, *, stdin: bytes = b"",
                       step_limit: int = 5_000_000,
+                      mem_limit: int | None = None,
                       entry: str = "main") -> ExecutionResult:
     """:func:`repro.vm.interp.run_source` through the content-keyed
     execution cache (memory → disk → interpret)."""
     key = content_key("execute", text, stdin.hex(), str(step_limit),
-                      entry)
+                      str(mem_limit), entry)
     return _EXEC_CACHE.get_or_build(
-        key, lambda: run_source(text, stdin=stdin,
-                                step_limit=step_limit, entry=entry))
+        key, lambda: run_source(text, stdin=stdin, step_limit=step_limit,
+                                mem_limit=mem_limit, entry=entry))
 
 
 def _inputs_key_parts(inputs: list[DifferentialInput]) -> list[str]:
@@ -289,7 +318,8 @@ def _inputs_key_parts(inputs: list[DifferentialInput]) -> list[str]:
 def validate_pair(original: str, transformed: str, *,
                   filename: str = "<unit>",
                   inputs: list[DifferentialInput] | None = None,
-                  step_limit: int = DEFAULT_STEP_LIMIT,
+                  step_limit: int | None = None,
+                  mem_limit: int | None = None,
                   entry: str = "main") -> ValidationReport:
     """Run ``original`` vs ``transformed`` on every input and classify.
 
@@ -298,21 +328,33 @@ def validate_pair(original: str, transformed: str, *,
     execution entirely — nothing can have diverged.  Verdicts are served
     from the persistent store when the same pair was validated on the
     same probe bytes by any earlier run of this tool version.
+
+    Every probe run carries a step and a cumulative-allocation budget
+    (``step_limit`` / ``mem_limit``; ``None`` defers to the
+    ``REPRO_VALIDATE_STEPS`` / ``REPRO_VALIDATE_MEM`` knobs), so one
+    pathological input cannot hang or balloon a validation worker.
     """
     if original == transformed:
         return ValidationReport(filename, [], unchanged=True)
     if inputs is None:
         inputs = default_inputs(filename)
+    if step_limit is None:
+        step_limit = oracle_step_limit()
+    if mem_limit is None:
+        mem_limit = oracle_mem_limit()
     key = content_key("validate", filename, original, transformed,
-                      str(step_limit), entry, *_inputs_key_parts(inputs))
+                      str(step_limit), str(mem_limit), entry,
+                      *_inputs_key_parts(inputs))
 
     def build() -> ValidationReport:
         verdicts = []
         for probe in inputs:
             before = cached_run_source(original, stdin=probe.stdin,
-                                       step_limit=step_limit, entry=entry)
+                                       step_limit=step_limit,
+                                       mem_limit=mem_limit, entry=entry)
             after = cached_run_source(transformed, stdin=probe.stdin,
-                                      step_limit=step_limit, entry=entry)
+                                      step_limit=step_limit,
+                                      mem_limit=mem_limit, entry=entry)
             verdict, detail = classify(before, after)
             verdicts.append(InputVerdict(probe, verdict, detail,
                                          before.fault or "",
@@ -325,9 +367,9 @@ def validate_pair(original: str, transformed: str, *,
 
 def validate_result(result, *, filename: str = "<unit>",
                     inputs: list[DifferentialInput] | None = None,
-                    step_limit: int = DEFAULT_STEP_LIMIT
-                    ) -> ValidationReport:
+                    step_limit: int | None = None,
+                    mem_limit: int | None = None) -> ValidationReport:
     """Convenience: validate a :class:`TransformResult` end-to-end."""
     return validate_pair(result.original_text, result.new_text,
                          filename=filename, inputs=inputs,
-                         step_limit=step_limit)
+                         step_limit=step_limit, mem_limit=mem_limit)

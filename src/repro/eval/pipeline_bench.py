@@ -61,6 +61,8 @@ def run_record(result: BatchResult, wall_s: float) -> dict:
     verdicts = {r.filename: dict(sorted(r.validation.counts().items()))
                 for r in result.reports if r.validation is not None}
     stats = result.stats
+    supervision = dict(stats.supervision) if stats else {}
+    status = result.status_counts()
     return {
         "jobs": stats.jobs if stats else None,
         "wall_s": round(wall_s, 4),
@@ -70,6 +72,15 @@ def run_record(result: BatchResult, wall_s: float) -> dict:
         "counts": counts,
         "verdicts": verdicts,
         "semantics_preserved": result.semantics_preserved,
+        # Robustness: contained-failure and supervision tallies — all
+        # zero on a healthy run, and the harness asserts exactly that.
+        "robustness": {
+            "failed": status["failed"],
+            "degraded": status["degraded"],
+            "timeouts": supervision.get("timeouts", 0),
+            "retries": supervision.get("retries", 0),
+            "worker_deaths": supervision.get("worker_deaths", 0),
+        },
         "stats": stats.as_dict() if stats else None,
     }
 

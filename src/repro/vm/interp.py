@@ -55,9 +55,10 @@ class ExitProgram(Exception):
 
 
 #: Fault kinds raised by the bounds-checked :class:`Memory` — the traps a
-#: buffer-overflow fix is *supposed* to make disappear.  ``step-limit``
-#: and ``vm-error`` are resource/harness faults, not memory traps: a
-#: transformation that makes one of those vanish changed semantics.
+#: buffer-overflow fix is *supposed* to make disappear.  ``step-limit``,
+#: ``mem-limit`` and ``vm-error`` are resource/harness faults, not memory
+#: traps: a transformation that makes one of those vanish changed
+#: semantics.
 MEMORY_TRAP_KINDS = frozenset({
     "buffer-overflow", "buffer-underwrite", "buffer-overread",
     "buffer-underread", "null-dereference", "wild-pointer",
@@ -138,13 +139,14 @@ class Interpreter:
 
     def __init__(self, units: list[ast.TranslationUnit],
                  *, stdin: bytes = b"", step_limit: int = 5_000_000,
+                 mem_limit: int | None = None,
                  env: dict[str, str] | None = None):
         # Each C frame nests a few dozen Python frames; give the host
         # interpreter room for MAX_CALL_DEPTH C frames.
         if _sys.getrecursionlimit() < 100_000:
             _sys.setrecursionlimit(100_000)
         self.units = units
-        self.memory = Memory()
+        self.memory = Memory(limit_bytes=mem_limit)
         self.stdout = bytearray()
         self.stdin = stdin
         self.stdin_pos = 0
@@ -1122,6 +1124,7 @@ class _FakeBinary:
 
 def run_source(text: str, *, stdin: bytes = b"",
                step_limit: int = 5_000_000,
+               mem_limit: int | None = None,
                entry: str = "main") -> ExecutionResult:
     """Parse preprocessed C text, type it, and run it.
 
@@ -1133,17 +1136,20 @@ def run_source(text: str, *, stdin: bytes = b"",
     """
     from ..core.session import get_session
     parsed = get_session().parse(text, "<program>")
-    interp = Interpreter([parsed.unit], stdin=stdin, step_limit=step_limit)
+    interp = Interpreter([parsed.unit], stdin=stdin,
+                         step_limit=step_limit, mem_limit=mem_limit)
     return interp.run(entry)
 
 
 def run_program_files(files: dict[str, str], *, stdin: bytes = b"",
                       step_limit: int = 5_000_000,
+                      mem_limit: int | None = None,
                       entry: str = "main") -> ExecutionResult:
     """Parse, link, and run several preprocessed translation units."""
     from ..core.session import get_session
     session = get_session()
     units = [session.parse(text, name).unit
              for name, text in files.items()]
-    interp = Interpreter(units, stdin=stdin, step_limit=step_limit)
+    interp = Interpreter(units, stdin=stdin,
+                         step_limit=step_limit, mem_limit=mem_limit)
     return interp.run(entry)

@@ -136,13 +136,24 @@ class Block:
 
 
 class Memory:
-    """The VM's address space."""
+    """The VM's address space.
 
-    def __init__(self):
+    ``limit_bytes`` (when set) is a *cumulative* allocation budget: once
+    the total bytes ever allocated would exceed it, further allocations
+    raise ``MemoryFault('mem-limit', …)``.  Cumulative rather than live
+    so a runaway allocation loop trips the budget even if it frees as it
+    goes; like ``step-limit``, ``mem-limit`` is a resource fault, not a
+    memory-safety trap (it is excluded from
+    :data:`~repro.vm.interp.MEMORY_TRAP_KINDS`).
+    """
+
+    def __init__(self, limit_bytes: int | None = None):
         # Block 0 is reserved so that block id 0 means NULL.
         self._blocks: dict[int, Block] = {}
         self._next_bid = 1
         self.fault_on_uninitialized = False
+        self.limit_bytes = limit_bytes
+        self.allocated_bytes = 0
 
     # ----------------------------------------------------------- allocation
 
@@ -150,6 +161,14 @@ class Memory:
               requested: int | None = None) -> Pointer:
         if size < 0:
             raise MemoryFault("bad-alloc", f"negative size {size}")
+        if self.limit_bytes is not None and \
+                self.allocated_bytes + size > self.limit_bytes:
+            raise MemoryFault(
+                "mem-limit",
+                f"allocation of {size}B for {kind}:{label or '?'} would "
+                f"exceed the {self.limit_bytes}B budget "
+                f"({self.allocated_bytes}B already allocated)")
+        self.allocated_bytes += size
         block = Block(self._next_bid, size, kind, label, requested)
         self._blocks[self._next_bid] = block
         self._next_bid += 1

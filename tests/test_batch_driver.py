@@ -184,3 +184,54 @@ class TestBuiltinHeaders:
                 if hasattr(i, "declarators") and i.declarators
                 and i.declarators[0].name == "sa"][0]
         assert decl.declarators[0].ctype.sizeof() == STRALLOC_SIZE
+
+
+class TestJobKnobs:
+    def test_default_jobs_reads_env(self, monkeypatch):
+        from repro.core.batch import default_jobs
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        assert default_jobs() == min(2, __import__("os").cpu_count() or 1)
+
+    def test_default_jobs_capped_at_cpu_count(self, monkeypatch):
+        import os
+
+        from repro.core.batch import default_jobs
+        monkeypatch.setenv("REPRO_JOBS", "100000")
+        assert default_jobs() == (os.cpu_count() or 1)
+
+    def test_default_jobs_rejects_non_integer(self, monkeypatch):
+        from repro.core.batch import default_jobs
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.warns(RuntimeWarning, match="non-integer REPRO_JOBS"):
+            assert default_jobs() == 1
+
+    def test_default_jobs_rejects_non_positive(self, monkeypatch):
+        from repro.core.batch import default_jobs
+        for bad in ("0", "-3"):
+            monkeypatch.setenv("REPRO_JOBS", bad)
+            with pytest.warns(RuntimeWarning, match="must be >= 1"):
+                assert default_jobs() == 1
+
+    def test_task_timeout_knob(self, monkeypatch):
+        from repro.core.batch import task_timeout
+        monkeypatch.delenv("REPRO_TASK_TIMEOUT", raising=False)
+        assert task_timeout() is None
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "120")
+        assert task_timeout() == 120.0
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "0")
+        assert task_timeout() is None
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "soon")
+        with pytest.warns(RuntimeWarning):
+            assert task_timeout() is None
+
+    def test_task_retries_knob(self, monkeypatch):
+        from repro.core.batch import task_retries
+        monkeypatch.delenv("REPRO_TASK_RETRIES", raising=False)
+        assert task_retries() == 1
+        monkeypatch.setenv("REPRO_TASK_RETRIES", "3")
+        assert task_retries() == 3
+        monkeypatch.setenv("REPRO_TASK_RETRIES", "-2")
+        assert task_retries() == 0
+        monkeypatch.setenv("REPRO_TASK_RETRIES", "lots")
+        with pytest.warns(RuntimeWarning):
+            assert task_retries() == 1

@@ -190,3 +190,131 @@ class TestVMResilience:
         result = run("int main(void) { }")
         assert result.ok
         assert result.exit_code == 0
+
+
+class TestRewriterCheckpoint:
+    def test_rollback_drops_later_edits(self):
+        from repro.cfront.rewriter import Rewriter
+        rw = Rewriter("abcdef")
+        rw.replace_range(0, 1, "X")
+        mark = rw.checkpoint()
+        rw.replace_range(2, 3, "Y")
+        rw.replace_range(4, 5, "Z")
+        rw.rollback(mark)
+        assert rw.edit_count == 1
+        assert rw.apply() == "Xbcdef"
+
+    def test_rollback_to_zero(self):
+        from repro.cfront.rewriter import Rewriter
+        rw = Rewriter("abc")
+        rw.replace_range(0, 1, "X")
+        rw.rollback(0)
+        assert not rw.has_edits
+        assert rw.apply() == "abc"
+
+    def test_bad_mark_raises(self):
+        from repro.cfront.rewriter import Rewriter
+        rw = Rewriter("abc")
+        with pytest.raises(ValueError):
+            rw.rollback(5)
+        with pytest.raises(ValueError):
+            rw.rollback(-1)
+
+
+class TestPerSiteContainment:
+    """A site handler that raises is contained as a ``site-error``
+    outcome with its queued edits rolled back; sibling sites still
+    transform."""
+
+    SOURCE = (
+        "#include <string.h>\n"
+        "void f(void) {\n"
+        "    char a[8];\n"
+        "    char b[8];\n"
+        "    strcpy(a, \"one\");\n"
+        "    strcat(b, \"two\");\n"
+        "}\n")
+
+    def test_one_bad_site_does_not_kill_the_file(self, monkeypatch):
+        from repro.core.transform import SITE_ERROR
+
+        original_apply = SafeLibraryReplacement.apply_to
+
+        def exploding_apply(self, target):
+            if getattr(target, "callee_name", "") == "strcat":
+                self.rewriter.insert_before(0, "/* half-applied */")
+                raise RuntimeError("handler exploded mid-edit")
+            return original_apply(self, target)
+
+        monkeypatch.setattr(SafeLibraryReplacement, "apply_to",
+                            exploding_apply)
+        result = SafeLibraryReplacement(pp(self.SOURCE)).run()
+        by_target = {o.target: o for o in result.outcomes}
+        assert by_target["strcpy"].transformed
+        bad = by_target["strcat"]
+        assert bad.status == SITE_ERROR
+        assert bad.reason == "internal-error"
+        assert "handler exploded" in bad.detail
+        # The rolled-back edit never reaches the output.
+        assert "half-applied" not in result.new_text
+        assert "g_strlcpy" in result.new_text
+
+
+class TestVMMemoryBudget:
+    def test_mem_limit_trips_runaway_allocation(self):
+        source = pp(
+            "#include <stdlib.h>\n"
+            "int main(void) {\n"
+            "    long i;\n"
+            "    for (i = 0; i < 1000000; i++) { malloc(4096); }\n"
+            "    return 0;\n"
+            "}\n")
+        result = run_source(source, mem_limit=1 << 20)
+        assert result.fault == "mem-limit"
+        # A resource fault, not a memory-safety trap.
+        assert not result.memory_trapped
+
+    def test_mem_limit_counts_cumulatively(self):
+        # free() does not refund the budget: a free-as-you-go loop
+        # still trips it (that is what bounds worker RSS).
+        source = pp(
+            "#include <stdlib.h>\n"
+            "int main(void) {\n"
+            "    long i;\n"
+            "    for (i = 0; i < 1000000; i++) {\n"
+            "        void *p = malloc(4096);\n"
+            "        free(p);\n"
+            "    }\n"
+            "    return 0;\n"
+            "}\n")
+        result = run_source(source, mem_limit=1 << 20)
+        assert result.fault == "mem-limit"
+
+    def test_normal_program_unaffected(self):
+        source = pp(
+            "#include <stdlib.h>\n"
+            "int main(void) {\n"
+            "    char *p = malloc(64);\n"
+            "    free(p);\n"
+            "    return 5;\n"
+            "}\n")
+        result = run_source(source, mem_limit=1 << 20)
+        assert result.ok and result.exit_code == 5
+
+    def test_oracle_budget_knobs(self, monkeypatch):
+        from repro.core.validate import (
+            DEFAULT_MEM_LIMIT, DEFAULT_STEP_LIMIT, oracle_mem_limit,
+            oracle_step_limit,
+        )
+        monkeypatch.delenv("REPRO_VALIDATE_STEPS", raising=False)
+        monkeypatch.delenv("REPRO_VALIDATE_MEM", raising=False)
+        assert oracle_step_limit() == DEFAULT_STEP_LIMIT
+        assert oracle_mem_limit() == DEFAULT_MEM_LIMIT
+        monkeypatch.setenv("REPRO_VALIDATE_STEPS", "1234")
+        monkeypatch.setenv("REPRO_VALIDATE_MEM", "0")
+        assert oracle_step_limit() == 1234
+        assert oracle_mem_limit() is None
+        monkeypatch.setenv("REPRO_VALIDATE_STEPS", "soon")
+        monkeypatch.setenv("REPRO_VALIDATE_MEM", "big")
+        assert oracle_step_limit() == DEFAULT_STEP_LIMIT
+        assert oracle_mem_limit() == DEFAULT_MEM_LIMIT

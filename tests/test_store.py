@@ -339,3 +339,73 @@ class TestFingerprintSalt:
         assert store.root == str(tmp_path / "here")
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "there"))
         assert reset_store().root == str(tmp_path / "there")
+
+
+class TestDegradedStore:
+    """OSError on any store path degrades to a miss/no-op with exactly
+    one warning per operation per process — never an exception."""
+
+    KEY = "ab" * 32
+
+    def _denying(self, monkeypatch, operation):
+        """Make the named I/O primitive raise PermissionError."""
+        def deny(*_args, **_kwargs):
+            raise PermissionError(13, "Permission denied")
+        monkeypatch.setattr(f"repro.core.store.os.{operation}", deny)
+
+    def test_unreadable_entry_is_miss_with_one_warning(
+            self, tmp_path, monkeypatch):
+        store = ArtifactStore(str(tmp_path), fingerprint="t-deg")
+        assert store.store("slr", self.KEY, {"v": 1}) > 0
+
+        real_open = open
+
+        def denying_open(path, mode="r", *args, **kwargs):
+            if "b" in mode and "r" in mode and str(path).endswith(".pkl"):
+                raise PermissionError(13, "Permission denied", str(path))
+            return real_open(path, mode, *args, **kwargs)
+
+        monkeypatch.setattr("builtins.open", denying_open)
+        with pytest.warns(RuntimeWarning, match="store read failed"):
+            hit, value, _ = store.load("slr", self.KEY)
+        assert not hit and value is None
+        # Second failure: silent (the warning fired already).
+        import warnings as _warnings
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            hit, _, _ = store.load("slr", self.KEY)
+        assert not hit
+
+    def test_missing_entry_never_warns(self, tmp_path):
+        import warnings as _warnings
+        store = ArtifactStore(str(tmp_path), fingerprint="t-deg2")
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            hit, _, _ = store.load("slr", "cd" * 32)
+        assert not hit
+
+    def test_unwritable_dir_is_noop_with_one_warning(
+            self, tmp_path, monkeypatch):
+        store = ArtifactStore(str(tmp_path), fingerprint="t-deg3")
+        self._denying(monkeypatch, "replace")
+        with pytest.warns(RuntimeWarning, match="store write failed"):
+            assert store.store("slr", self.KEY, {"v": 1}) == 0
+        import warnings as _warnings
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            assert store.store("slr", "ef" * 32, {"v": 2}) == 0
+
+    def test_read_only_dir_end_to_end(self, tmp_path, monkeypatch):
+        # A worst-case cache directory (every write denied, every read
+        # denied) must leave the pipeline fully functional.
+        from repro.core.batch import SourceProgram, apply_batch
+        store = ArtifactStore(str(tmp_path), fingerprint="t-deg4")
+        monkeypatch.setattr("repro.core.store.get_store", lambda: store)
+        self._denying(monkeypatch, "replace")
+        program = SourceProgram("p", {
+            "a.c": "#include <string.h>\n"
+                   "void f(void) { char b[8]; strcpy(b, \"x\"); }\n"})
+        with pytest.warns(RuntimeWarning, match="store write failed"):
+            batch = apply_batch(program, jobs=1)
+        assert batch.reports[0].status == "ok"
+        assert batch.reports[0].slr.transformed_count == 1
