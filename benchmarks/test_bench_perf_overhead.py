@@ -43,20 +43,22 @@ def test_perf_all_programs_output_identical(benchmark):
 
 
 def _bench_subprocess(cache_dir, out_path, *, jobs=1, repeat=1,
-                      scale=0.05, limit=24, disk=True):
+                      scale=0.05, limit=24, disk=True, backends=None):
     """One fresh-interpreter pipeline_bench run; returns its runs."""
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
     env["REPRO_CACHE_DIR"] = str(cache_dir)
     env.pop("REPRO_PROFILE", None)
+    env.pop("REPRO_BACKENDS", None)
     if not disk:
         env["REPRO_DISK_CACHE"] = "0"
-    subprocess.run(
-        [sys.executable, "-m", "repro.eval.pipeline_bench",
-         "--scale", str(scale), "--limit", str(limit),
-         "--jobs", str(jobs), "--repeat", str(repeat),
-         "--out", str(out_path)],
-        cwd=REPO_ROOT, env=env, check=True, timeout=600)
+    cmd = [sys.executable, "-m", "repro.eval.pipeline_bench",
+           "--scale", str(scale), "--limit", str(limit),
+           "--jobs", str(jobs), "--repeat", str(repeat),
+           "--out", str(out_path)]
+    if backends:
+        cmd += ["--backends", backends]
+    subprocess.run(cmd, cwd=REPO_ROOT, env=env, check=True, timeout=600)
     with open(out_path, encoding="utf-8") as fh:
         return json.load(fh)["runs"]
 
@@ -149,3 +151,56 @@ def test_bench_pipeline_throughput(benchmark, tmp_path):
     # floor so a loaded CI host does not flake, and record the measured
     # value in the JSON.
     assert speedup_x >= 1.5, (cold["wall_s"], warm_x["wall_s"])
+
+
+def test_bench_pipeline_arbitration(benchmark, tmp_path):
+    """Arbitration leg: the same sampled batch with 2 vs 4 fix backends.
+
+    Arbitration judges every candidate with the oracle, so cost grows
+    with the backend count; the leg records both walls (and the
+    scoreboards) under the ``arbitration`` key of
+    ``BENCH_pipeline.json`` so the trade-off is visible next to the
+    cache legs.  Both runs must select zero oracle-rejected candidates.
+    """
+    scale, limit = 0.05, 12
+    two = benchmark.pedantic(
+        lambda: _bench_subprocess(tmp_path / "store2",
+                                  tmp_path / "two.json",
+                                  scale=scale, limit=limit,
+                                  backends="slr,str")[0],
+        rounds=1, iterations=1)
+    four = _bench_subprocess(tmp_path / "store4", tmp_path / "four.json",
+                             scale=scale, limit=limit,
+                             backends="slr,str,tr24731,s3lib")[0]
+
+    for run, n_backends in ((two, 2), (four, 4)):
+        arb = run["arbitration"]
+        assert arb is not None, "arbitration leg recorded no arbitration"
+        assert len(arb["scoreboard"]) == n_backends, arb["scoreboard"]
+        # A selected candidate is never one the oracle disqualified.
+        for row in arb["scoreboard"].values():
+            assert row["selected"] <= row["attempted"] - row["rejected"]
+        assert run["semantics_preserved"], "shipped a worse file"
+
+    entry = {
+        "files": two["files"],
+        "two_backends": {"backends": "slr,str",
+                         "wall_s": two["wall_s"],
+                         "attempted": two["arbitration"]["attempted"],
+                         "rejected": two["arbitration"]["rejected"],
+                         "scoreboard": two["arbitration"]["scoreboard"]},
+        "four_backends": {"backends": "slr,str,tr24731,s3lib",
+                          "wall_s": four["wall_s"],
+                          "attempted": four["arbitration"]["attempted"],
+                          "rejected": four["arbitration"]["rejected"],
+                          "scoreboard":
+                              four["arbitration"]["scoreboard"]},
+        "slowdown_4_vs_2": round(four["wall_s"]
+                                 / max(two["wall_s"], 1e-9), 2),
+    }
+    out = REPO_ROOT / "BENCH_pipeline.json"
+    payload = json.loads(out.read_text(encoding="utf-8")) \
+        if out.exists() else {}
+    payload["arbitration"] = entry
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")

@@ -11,6 +11,9 @@ Subcommands mirror how the paper's tool is used:
 * ``validate PATH``  — transform a .c file (or directory) and run the
   differential oracle: original vs. transformed behaviour on benign,
   overflow, and seeded fuzz inputs, with per-divergence verdicts;
+* ``backends``       — list the registered fix backends
+  (``batch --backends a,b,c`` arbitrates them per file, shipping each
+  file's oracle-best candidate; ``REPRO_BACKENDS`` sets the default);
 * ``run FILE``       — execute a C file in the bounds-checked VM;
 * ``analyze FILE``   — print analysis facts (points-to, aliases, buffer
   lengths at unsafe call sites);
@@ -185,8 +188,9 @@ def cmd_batch(args: argparse.Namespace) -> int:
     from .core.batch import apply_batch
     from .core.profile import profiling_enabled
     from .core.report import (
-        diagnostics_payload, render_batch_stats, render_cache_stats,
-        render_diagnostics, render_profile, render_validation,
+        diagnostics_payload, render_backend_scoreboard,
+        render_batch_stats, render_cache_stats, render_diagnostics,
+        render_profile, render_validation,
     )
 
     _apply_disk_cache_flag(args)
@@ -199,15 +203,22 @@ def cmd_batch(args: argparse.Namespace) -> int:
         batch = apply_batch(program, run_slr=not args.no_slr,
                             run_str=not args.no_str,
                             profile=args.slr_profile,
-                            jobs=args.jobs, validate=args.validate)
-    except SourceError as exc:
+                            jobs=args.jobs, validate=args.validate,
+                            backends=args.backends)
+    except (SourceError, ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
     for report in batch.reports:
-        for result in (report.slr, report.str_):
-            if result is None:
-                continue
+        if report.arbitration is not None:
+            # Arbitration mode: the per-site story is the winning
+            # candidate's; losing candidates live in the scoreboard.
+            winning = report.arbitration.winning_candidate
+            results = [winning.result] \
+                if winning is not None and winning.result else []
+        else:
+            results = [r for r in (report.slr, report.str_) if r]
+        for result in results:
             for outcome in result.outcomes:
                 marker = "FIXED" if outcome.transformed else "SKIP "
                 reason = f" ({outcome.reason})" if outcome.reason else ""
@@ -226,6 +237,10 @@ def cmd_batch(args: argparse.Namespace) -> int:
               file=sys.stderr)
 
     print(render_batch_stats(batch))
+    arbitrated = bool(batch.arbitrations())
+    if arbitrated:
+        print()
+        print(render_backend_scoreboard(batch))
     if batch.diagnostics():
         print()
         print(render_diagnostics(batch))
@@ -245,17 +260,31 @@ def cmd_batch(args: argparse.Namespace) -> int:
             handle.write("\n")
         print(f"wrote diagnostics to {args.diagnostics_json}",
               file=sys.stderr)
-    slr_done = batch.transformed("SLR")
-    slr_all = batch.candidates("SLR")
-    str_done = batch.transformed("STR")
-    str_all = batch.candidates("STR")
     counts = batch.status_counts()
-    print(f"SLR {slr_done}/{slr_all} sites, STR {str_done}/{str_all} "
-          f"buffers; all files parse: "
-          f"{'yes' if batch.all_parse else 'NO'}; "
-          f"files ok/degraded/failed: {counts['ok']}/"
-          f"{counts['degraded']}/{counts['failed']}", file=sys.stderr)
-    ok = batch.all_parse and (not args.validate
+    if arbitrated:
+        winners = batch.winners()
+        fixed = sum(1 for winner in winners.values() if winner)
+        print(f"arbitration: {fixed}/{len(winners)} file(s) fixed, "
+              f"{batch.backends_attempted} candidate(s), "
+              f"{batch.backends_rejected} rejected; all files parse: "
+              f"{'yes' if batch.all_parse else 'NO'}; "
+              f"files ok/degraded/failed: {counts['ok']}/"
+              f"{counts['degraded']}/{counts['failed']}",
+              file=sys.stderr)
+    else:
+        slr_done = batch.transformed("SLR")
+        slr_all = batch.candidates("SLR")
+        str_done = batch.transformed("STR")
+        str_all = batch.candidates("STR")
+        print(f"SLR {slr_done}/{slr_all} sites, STR {str_done}/"
+              f"{str_all} buffers; all files parse: "
+              f"{'yes' if batch.all_parse else 'NO'}; "
+              f"files ok/degraded/failed: {counts['ok']}/"
+              f"{counts['degraded']}/{counts['failed']}",
+              file=sys.stderr)
+    # Under arbitration the oracle always judged the shipped fixes, so
+    # the semantics gate applies whether or not --validate was given.
+    ok = batch.all_parse and (not (arbitrated or args.validate)
                               or batch.semantics_preserved)
     if args.strict:
         ok = ok and batch.fully_succeeded
@@ -277,8 +306,9 @@ def cmd_validate(args: argparse.Namespace) -> int:
                             run_str=not args.no_str,
                             profile=args.slr_profile,
                             jobs=args.jobs, validate=True,
-                            fuzz_seed=args.seed)
-    except SourceError as exc:
+                            fuzz_seed=args.seed,
+                            backends=args.backends)
+    except (SourceError, ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
@@ -294,7 +324,40 @@ def cmd_validate(args: argparse.Namespace) -> int:
                   f"{verdict.detail}", file=sys.stderr)
 
     print(render_validation(batch))
+    if batch.arbitrations():
+        from .core.report import render_backend_scoreboard
+        print()
+        print(render_backend_scoreboard(batch))
     return 0 if batch.all_parse and batch.semantics_preserved else 1
+
+
+def cmd_backends(args: argparse.Namespace) -> int:
+    """List the registered fix backends and the defaults in effect."""
+    from .core.backends import (
+        DEFAULT_BACKENDS, all_backends, backends_from_env,
+    )
+
+    env_default = backends_from_env()
+    active = env_default if env_default is not None else None
+    for backend in all_backends():
+        marks = []
+        if backend.id in DEFAULT_BACKENDS:
+            marks.append("legacy-chain")
+        if active is not None and backend.id in active:
+            marks.append("REPRO_BACKENDS")
+        suffix = f"  [{', '.join(marks)}]" if marks else ""
+        print(f"{backend.id:<10} {backend.title}{suffix}")
+        if args.verbose:
+            print(f"{'':10} {backend.description}")
+            if backend.config_key():
+                print(f"{'':10} config: {backend.config_key()}")
+    if active is not None:
+        print(f"\nREPRO_BACKENDS={','.join(active)} — batch runs "
+              f"arbitrate these by default")
+    else:
+        print("\nno REPRO_BACKENDS set — batch runs the legacy "
+              "SLR→STR chain unless --backends is given")
+    return 0
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -382,6 +445,11 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--validate", action="store_true",
                        help="run the differential oracle on every "
                             "transformed file")
+    batch.add_argument("--backends", default=None, metavar="A,B,C",
+                       help="arbitrate these fix backends per file and "
+                            "ship each file's oracle-best candidate "
+                            "('all' = every registered backend; also "
+                            "REPRO_BACKENDS; see 'repro backends')")
     batch.add_argument("--profile", action="store_true",
                        help="render the per-file, per-stage timing "
                             "breakdown (also REPRO_PROFILE=1)")
@@ -424,7 +492,18 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--no-disk-cache", action="store_true",
                           help="skip the persistent artifact store for "
                                "this run (also REPRO_DISK_CACHE=0)")
+    validate.add_argument("--backends", default=None, metavar="A,B,C",
+                          help="arbitrate these fix backends per file "
+                               "('all' = every registered backend; "
+                               "also REPRO_BACKENDS)")
     validate.set_defaults(func=cmd_validate)
+
+    backends_cmd = sub.add_parser(
+        "backends", help="list the registered fix backends")
+    backends_cmd.add_argument("-v", "--verbose", action="store_true",
+                              help="also print each backend's "
+                                   "description and config key")
+    backends_cmd.set_defaults(func=cmd_backends)
 
     cache = sub.add_parser(
         "cache", help="manage the persistent artifact store "

@@ -5,8 +5,16 @@
 * :class:`SafeTypeReplacement` (STR) — replace local char buffers with the
   stralloc safe-string type, rewriting all uses per Table II.
 * :func:`apply_batch` — batch both transformations over a whole program.
+* :mod:`repro.core.backends` — the pluggable fix-backend registry
+  (slr/str/tr24731/s3lib) and per-file oracle arbitration.
 """
 
+from .backends import (
+    ARBITRATION_VERSION, ArbitrationReport, BackendCandidate,
+    DEFAULT_BACKENDS, FixBackend, all_backends, arbitrate_file,
+    backend_ids, get_backend, register_backend, resolve_backends,
+    scoreboard, unregister_backend,
+)
 from .batch import (
     BatchResult, BatchStats, FileTask, FileTransformReport,
     ProcessPoolExecutor, SerialExecutor, SourceProgram, apply_batch,
@@ -14,7 +22,11 @@ from .batch import (
 )
 from .bufferlen import BufferLength, BufferLengthAnalyzer, LengthFailure
 from .session import AnalysisSession, ParsedUnit, get_session, reset_session
-from .slr import SAFE_ALTERNATIVES, SafeLibraryReplacement, UNSAFE_FUNCTIONS, apply_slr
+from .s3lib import S3_ALTERNATIVES, S3LibraryReplacement, apply_s3lib
+from .slr import (
+    SAFE_ALTERNATIVES, SafeLibraryReplacement, TR24731Replacement,
+    UNSAFE_FUNCTIONS, apply_slr, apply_tr24731,
+)
 from .stralloc import STRALLOC_DECLARATIONS, STRALLOC_FUNCTIONS
 from .strtransform import REPLACEMENT_PATTERNS, SafeTypeReplacement, apply_str
 from .transform import (
@@ -27,6 +39,12 @@ from .validate import (
 )
 
 __all__ = [
+    "ARBITRATION_VERSION", "ArbitrationReport", "BackendCandidate",
+    "DEFAULT_BACKENDS", "FixBackend", "all_backends", "arbitrate_file",
+    "backend_ids", "get_backend", "register_backend",
+    "resolve_backends", "scoreboard", "unregister_backend",
+    "S3_ALTERNATIVES", "S3LibraryReplacement", "apply_s3lib",
+    "TR24731Replacement", "apply_tr24731",
     "BatchResult", "BatchStats", "FileTask", "FileTransformReport",
     "ProcessPoolExecutor", "SerialExecutor", "SourceProgram",
     "apply_batch", "make_executor", "transform_file",

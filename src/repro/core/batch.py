@@ -49,6 +49,10 @@ from .diagnostics import (
     FileDiagnostic, diagnostic_from_exception, status_of,
     supervisor_diagnostic,
 )
+from .backends import (
+    ARBITRATION_VERSION, CANDIDATE_ERROR, ArbitrationReport,
+    arbitrate_file, backends_from_env, resolve_backends, scoreboard,
+)
 from .session import AnalysisSession, get_session
 from .slr import SafeLibraryReplacement
 from .strtransform import SafeTypeReplacement
@@ -173,6 +177,10 @@ class FileTask:
     profile: str = "glib"
     validate: bool = False                      # run the diff oracle
     fuzz_seed: int | None = None                # None = env/default seed
+    #: Backend arbitration: when set, the legacy SLR→STR chain is
+    #: replaced by :func:`repro.core.backends.arbitrate_file` over this
+    #: backend id tuple (the oracle always judges in this mode).
+    backends: tuple[str, ...] | None = None
 
 
 @dataclass
@@ -198,6 +206,9 @@ class FileTransformReport:
     stage_times: dict[str, float] = field(default_factory=dict)
     status: str = STATUS_OK
     diagnostics: list[FileDiagnostic] = field(default_factory=list)
+    #: Backend-arbitration outcome (``slr``/``str_`` stay ``None`` in
+    #: that mode; the winner's oracle report lands on ``validation``).
+    arbitration: ArbitrationReport | None = None
 
     @property
     def ok(self) -> bool:
@@ -256,10 +267,18 @@ def transform_file(task: FileTask,
     session = session if session is not None else get_session()
     start = time.perf_counter()
     diagnostics: list[FileDiagnostic] = []
+    arbitration: ArbitrationReport | None = None
     with profile.collect(task.filename) as stage_times:
         try:
-            slr_result, str_result, text, parses, validation = \
-                _run_stages(task, session, diagnostics)
+            if task.backends:
+                slr_result = str_result = None
+                text, parses, validation, arbitration = arbitrate_file(
+                    task.text, task.filename, task.backends,
+                    session=session, fuzz_seed=task.fuzz_seed,
+                    diagnostics=diagnostics)
+            else:
+                slr_result, str_result, text, parses, validation = \
+                    _run_stages(task, session, diagnostics)
         except (faults.InjectedKill, faults.InjectedHang) as exc:
             kind = KIND_WORKER_DIED if isinstance(exc, faults.InjectedKill) \
                 else KIND_TIMEOUT
@@ -269,8 +288,14 @@ def transform_file(task: FileTask,
                 status=STATUS_FAILED,
                 diagnostics=[supervisor_diagnostic(task.filename, kind,
                                                    str(exc))])
-    produced = (slr_result is not None or str_result is not None
-                or not (task.run_slr or task.run_str))
+    if task.backends:
+        # Arbitration produced something as long as at least one backend
+        # ran to a judged (or inapplicable) candidate.
+        produced = any(c.status != CANDIDATE_ERROR
+                       for c in arbitration.candidates)
+    else:
+        produced = (slr_result is not None or str_result is not None
+                    or not (task.run_slr or task.run_str))
     # A text that does not parse fails SLR and STR with the *same*
     # reattributed parse error; one record carries all the signal.
     seen: set[tuple[str, str, str, str]] = set()
@@ -282,7 +307,8 @@ def transform_file(task: FileTask,
                                time.perf_counter() - start, validation,
                                dict(stage_times),
                                status=status_of(diagnostics, produced),
-                               diagnostics=diagnostics)
+                               diagnostics=diagnostics,
+                               arbitration=arbitration)
 
 
 def _run_stages(task: FileTask, session: AnalysisSession,
@@ -621,11 +647,17 @@ class BatchStats:
     slr: CacheStats = field(default_factory=CacheStats)
     str_: CacheStats = field(default_factory=CacheStats)
     validate: CacheStats = field(default_factory=CacheStats)
+    backend: CacheStats = field(default_factory=CacheStats)
     stage_times: dict[str, dict[str, float]] = field(default_factory=dict)
     deduplicated: int = 0
     #: Supervision tallies from the executor (fork pool only): tasks
     #: retried, watchdog timeouts, workers that died, workers respawned.
     supervision: dict[str, int] = field(default_factory=_empty_supervision)
+    #: Arbitration tallies (zero outside ``--backends`` mode): candidate
+    #: runs attempted across all files, and candidates the judge
+    #: disqualified (semantics-changed or non-parsing output).
+    backends_attempted: int = 0
+    backends_rejected: int = 0
 
     @property
     def stage_totals(self) -> dict[str, float]:
@@ -642,11 +674,14 @@ class BatchStats:
                 "slr_cache": self.slr.as_dict(),
                 "str_cache": self.str_.as_dict(),
                 "validate_cache": self.validate.as_dict(),
+                "backend_cache": self.backend.as_dict(),
                 "stage_totals_s": {name: round(seconds, 4)
                                    for name, seconds
                                    in sorted(self.stage_totals.items())},
                 "deduplicated": self.deduplicated,
-                "supervision": dict(self.supervision)}
+                "supervision": dict(self.supervision),
+                "backends_attempted": self.backends_attempted,
+                "backends_rejected": self.backends_rejected}
 
 
 @dataclass
@@ -738,6 +773,31 @@ class BatchResult:
             counts[diag.stage] = counts.get(diag.stage, 0) + 1
         return counts
 
+    # ------------------------------------------------ arbitration rollups
+
+    def arbitrations(self) -> list[ArbitrationReport]:
+        """Per-file arbitration outcomes (empty outside backend mode)."""
+        return [r.arbitration for r in self.reports
+                if r.arbitration is not None]
+
+    def winners(self) -> dict[str, str | None]:
+        """filename -> winning backend id (None = no valid fix)."""
+        return {r.filename: r.arbitration.winner for r in self.reports
+                if r.arbitration is not None}
+
+    def backend_scoreboard(self) -> dict[str, dict[str, int]]:
+        """Per-backend tallies over every arbitrated file (see
+        :func:`repro.core.backends.scoreboard`)."""
+        return scoreboard(self.arbitrations())
+
+    @property
+    def backends_attempted(self) -> int:
+        return sum(a.attempted for a in self.arbitrations())
+
+    @property
+    def backends_rejected(self) -> int:
+        return sum(a.rejected for a in self.arbitrations())
+
     # ------------------------------------------------ validation rollups
 
     def validations(self) -> list[ValidationReport]:
@@ -765,6 +825,12 @@ def _task_work_key(task: FileTask) -> str:
     identical content may legitimately diverge)."""
     parts = ["task", task.text, str(task.run_slr), str(task.run_str),
              task.profile]
+    if task.backends:
+        # Arbitration outcomes depend on the backend chain and its
+        # contract version — and the judge always runs, with per-file
+        # seeded probes, so the filename is part of the work.
+        parts += ["backends", ARBITRATION_VERSION, *task.backends,
+                  task.filename, str(task.fuzz_seed)]
     if task.validate:
         parts += [task.filename, str(task.fuzz_seed)]
     if faults.faults_enabled():
@@ -824,6 +890,7 @@ def apply_batch(program: SourceProgram, *, run_slr: bool = True,
                 jobs: int | None = None,
                 validate: bool | None = None,
                 fuzz_seed: int | None = None,
+                backends=None,
                 session: AnalysisSession | None = None) -> BatchResult:
     """Preprocess and transform every file of ``program``.
 
@@ -842,6 +909,16 @@ def apply_batch(program: SourceProgram, *, run_slr: bool = True,
     each report's ``validation`` and roll up via
     :meth:`BatchResult.validation_counts`.
 
+    ``backends`` switches the per-file work from the legacy SLR→STR
+    chain to oracle-arbitrated best-fix selection over the named fix
+    backends (a comma-separated string, an iterable of ids, or
+    ``"all"``).  ``None`` falls back to ``session.backends``, then the
+    ``REPRO_BACKENDS`` environment knob, then legacy mode.  Under
+    arbitration the oracle always judges every candidate (``validate``
+    only controls whether the verdict table is *rendered*), the winner's
+    validation lands on each report, and per-backend tallies roll up via
+    :meth:`BatchResult.backend_scoreboard`.
+
     Fault isolation: a file whose preprocessing fails becomes a
     ``failed`` report (original text shipped verbatim, one
     ``preprocess`` diagnostic) while its siblings continue through the
@@ -851,13 +928,18 @@ def apply_batch(program: SourceProgram, *, run_slr: bool = True,
     session = session if session is not None else get_session()
     if validate is None:
         validate = session.validate
+    if backends is None:
+        backends = session.backends if session.backends is not None \
+            else backends_from_env()
+    backend_ids = resolve_backends(backends) if backends else None
     before = snapshot_stats()
     start = time.perf_counter()
     pp_timings: dict[str, float] = {}
     pp_texts, pp_failures = _preprocess_guarded(program, session,
                                                 pp_timings)
     tasks = [FileTask(filename, pp_texts[filename],
-                      run_slr, run_str, profile, validate, fuzz_seed)
+                      run_slr, run_str, profile, validate, fuzz_seed,
+                      backend_ids)
              for filename in sorted(pp_texts)]
     unique: dict[str, FileTask] = {}
     key_of: dict[str, str] = {}
@@ -893,12 +975,17 @@ def apply_batch(program: SourceProgram, *, run_slr: bool = True,
             times["preprocess"] = times.get("preprocess", 0.0) \
                 + pp_timings[report.filename]
         stage_times[report.filename] = times
+    result = BatchResult(program, reports, None)
     stats = BatchStats(
         jobs=executor.jobs, wall_time=wall,
         file_walls={r.filename: r.wall_time for r in reports},
         parse=delta("parse"), preprocess=delta("preprocess"),
         slr=delta("slr"), str_=delta("str"), validate=delta("validate"),
+        backend=delta("backend"),
         stage_times=stage_times,
         deduplicated=len(tasks) - len(unique),
-        supervision=dict(executor.supervision))
-    return BatchResult(program, reports, stats)
+        supervision=dict(executor.supervision),
+        backends_attempted=result.backends_attempted,
+        backends_rejected=result.backends_rejected)
+    result.stats = stats
+    return result

@@ -48,8 +48,11 @@ import time
 from dataclasses import dataclass
 
 #: Stage names :func:`check` is called with (documentation + validation).
-INJECTABLE_STAGES = ("preprocess", "slr", "str", "verify", "validate",
-                     "store")
+#: Under backend arbitration every registered backend id is also a stage
+#: (``tr24731``, ``s3lib``, …) — a ``tr24731:exception:1.0`` rule fails
+#: exactly that backend's candidates and lets the next-best fix win.
+INJECTABLE_STAGES = ("preprocess", "slr", "str", "tr24731", "s3lib",
+                     "verify", "validate", "store")
 
 #: Supported fault kinds.
 KINDS = ("exception", "hang", "kill", "corrupt")

@@ -30,10 +30,21 @@ def render_batch_stats(result: BatchResult) -> str:
     """Per-file wall time + site counts for one batch run."""
     validated = any(r.validation is not None for r in result.reports)
     degraded = any(not r.ok for r in result.reports)
+    arbitrated = any(r.arbitration is not None for r in result.reports)
     rows = []
     for report in result.reports:
         slr = report.slr
         str_ = report.str_
+        arb = report.arbitration
+        if arb is not None and arb.winning_candidate is not None:
+            winning = arb.winning_candidate
+            fix_cell = (f"{winning.backend}:"
+                        f"{winning.transformed_count}/"
+                        f"{winning.candidates}")
+        elif arb is not None:
+            fix_cell = "none"
+        else:
+            fix_cell = None
         row = [
             report.filename,
             f"{report.wall_time * 1000.0:8.1f}",
@@ -41,19 +52,27 @@ def render_batch_stats(result: BatchResult) -> str:
             f"{str_.transformed_count}/{str_.candidates}" if str_ else "-",
             "yes" if report.parses else "NO",
         ]
+        if arbitrated:
+            row.append(fix_cell if fix_cell is not None else "-")
         if degraded:
             row.append(report.status if report.ok
                        else report.status.upper())
         if validated:
+            # The oracle cell names the winning backend under
+            # arbitration — the verdict shown is *that candidate's*.
+            winner = f" ({arb.winner})" if arb and arb.winner else ""
             if report.validation is None:
                 row.append("-")
             elif report.validation.ok:
-                row.append("ok")
+                row.append(f"ok{winner}")
             else:
                 row.append(
-                    f"CHANGED x{report.validation.semantics_changed}")
+                    f"CHANGED "
+                    f"x{report.validation.semantics_changed}{winner}")
         rows.append(row)
     headers = ["file", "wall ms", "SLR", "STR", "parses"]
+    if arbitrated:
+        headers.append("winner")
     if degraded:
         headers.append("status")
     if validated:
@@ -89,6 +108,37 @@ def render_validation(result: BatchResult) -> str:
                     f"semantics preserved: NO "
                     f"({totals.get('semantics-changed', 0)} divergences)")
     return f"{table}\n\n{verdict_line}"
+
+
+def render_backend_scoreboard(result: BatchResult) -> str:
+    """Per-backend arbitration tallies for one batch run
+    (``repro batch --backends a,b,c``): how often each backend ran,
+    changed a file, won, lost, or was disqualified by the oracle."""
+    arbitrations = result.arbitrations()
+    if not arbitrations:
+        return "no arbitrations recorded"
+    board = result.backend_scoreboard()
+    # Preserve the requested backend order (the tie-break order).
+    order: list[str] = []
+    for report in arbitrations:
+        for backend_id in report.backends:
+            if backend_id in board and backend_id not in order:
+                order.append(backend_id)
+    order.extend(b for b in sorted(board) if b not in order)
+    rows = [[backend_id,
+             row["attempted"], row["changed"], row["selected"],
+             row["runner_up"], row["rejected"], row["no_change"],
+             row["not_applicable"], row["errors"],
+             row["overflow_prevented"], row["sites_transformed"]]
+            for backend_id in order
+            for row in (board[backend_id],)]
+    table = _table(["backend", "attempted", "changed", "selected",
+                    "runner-up", "rejected", "no-change", "n/a",
+                    "errors", "overflow-prevented", "sites"], rows)
+    summary = (f"arbitration: {len(arbitrations)} file(s), "
+               f"{result.backends_attempted} candidate(s) attempted, "
+               f"{result.backends_rejected} rejected by the oracle")
+    return f"{table}\n\n{summary}"
 
 
 def render_diagnostics(result: BatchResult) -> str:
@@ -137,6 +187,17 @@ def diagnostics_payload(result: BatchResult) -> dict:
         "statuses": {report.filename: report.status
                      for report in result.reports},
     }
+    arbitrations = result.arbitrations()
+    if arbitrations:
+        payload["backends"] = {
+            "requested": list(arbitrations[0].backends),
+            "attempted": result.backends_attempted,
+            "rejected": result.backends_rejected,
+            "winners": result.winners(),
+            "scoreboard": result.backend_scoreboard(),
+            "arbitrations": [report.as_dict()
+                             for report in arbitrations],
+        }
     return payload
 
 

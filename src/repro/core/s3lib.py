@@ -1,0 +1,119 @@
+"""S3Library-style signature-preserving safer-library replacement.
+
+Sun et al.'s S3Library keeps the *call shape* of the unsafe functions:
+``s3_strcpy(dest, src)`` has ``strcpy``'s exact signature and return
+value, and learns the destination's real capacity from interposed
+allocation bookkeeping instead of an extra size parameter.  Under our
+VM the allocation metadata is already there (every block knows its
+size — see :meth:`repro.vm.memory.Memory.block_of`), so the transform
+itself is a pure rename plus injected prototypes.
+
+That makes this backend's applicability nearly universal: SLR's
+dominant failure class — Algorithm 1 cannot establish the destination
+buffer's length (``unknown-length`` / aliased / function-pointer
+destinations) — simply does not arise, because no length expression is
+ever inserted.  The trade-off is link-time: a real build needs the
+S3Library runtime, where SLR only needs glib.  Arbitration weighs the
+two per file with the differential oracle.
+"""
+
+from __future__ import annotations
+
+from ..cfront import astnodes as ast
+from .transform import (
+    PRECONDITION_FAILED, SiteOutcome, TRANSFORMED, Transformation,
+)
+
+#: Table I, reinterpreted S3Library-style: same shapes, safe bodies.
+S3_ALTERNATIVES: dict[str, str] = {
+    "strcpy": "s3_strcpy",
+    "strcat": "s3_strcat",
+    "sprintf": "s3_sprintf",
+    "vsprintf": "s3_vsprintf",
+    "gets": "s3_gets",
+    "memcpy": "s3_memcpy",
+}
+
+#: Expected argument counts (min, exact?) per unsafe function — the one
+#: precondition this backend keeps.
+_ARITY: dict[str, tuple[int, bool]] = {
+    "strcpy": (2, True),
+    "strcat": (2, True),
+    "sprintf": (2, False),      # variadic tail
+    "vsprintf": (3, True),
+    "gets": (1, True),
+    "memcpy": (3, True),
+}
+
+#: Prototypes injected when the program does not already declare the
+#: wrappers — signature-compatible with the functions they replace.
+_S3_DECLARATIONS: dict[str, str] = {
+    "s3_strcpy": "char *s3_strcpy(char *dest, const char *src);",
+    "s3_strcat": "char *s3_strcat(char *dest, const char *src);",
+    "s3_sprintf": "int s3_sprintf(char *dest, const char *format, ...);",
+    "s3_vsprintf": "int s3_vsprintf(char *dest, const char *format, "
+                   "__builtin_va_list args);",
+    "s3_gets": "char *s3_gets(char *dest);",
+    "s3_memcpy": "void *s3_memcpy(void *dest, const void *src, "
+                 "unsigned long n);",
+}
+
+
+class S3LibraryReplacement(Transformation):
+    """Rename unsafe calls to their ``s3_*`` signature-preserving
+    wrappers; no size argument is computed or inserted."""
+
+    name = "S3LIB"
+
+    def __init__(self, text: str, filename: str = "<unit>", **kwargs):
+        super().__init__(text, filename, **kwargs)
+        self._needed_decls: set[str] = set()
+
+    def find_targets(self) -> list[ast.Call]:
+        targets = []
+        for fn in self.unit.functions():
+            for node in fn.body.walk():
+                if isinstance(node, ast.Call) and \
+                        node.callee_name in S3_ALTERNATIVES:
+                    targets.append(node)
+        targets.sort(key=lambda c: c.extent.start, reverse=True)
+        return targets
+
+    def apply_to(self, call: ast.Call) -> SiteOutcome:
+        callee = call.callee_name or "<indirect>"
+        base = dict(transformation=self.name, target=callee,
+                    function=self.function_of(call),
+                    line=self.line_of(call))
+        new_name = S3_ALTERNATIVES.get(callee)
+        if new_name is None:
+            return SiteOutcome(**base, status=PRECONDITION_FAILED,
+                               reason="not-unsafe-function",
+                               detail=f"{callee} is not handled by s3lib")
+        expected, exact = _ARITY[callee]
+        if (len(call.args) != expected if exact
+                else len(call.args) < expected):
+            return SiteOutcome(**base, status=PRECONDITION_FAILED,
+                               reason="bad-arity",
+                               detail=f"{callee} call with "
+                                      f"{len(call.args)} arguments")
+        self.rewriter.replace(call.func.extent, new_name)
+        self._needed_decls.add(new_name)
+        return SiteOutcome(**base, status=TRANSFORMED)
+
+    def finalize(self) -> None:
+        from .slr import _already_declared
+        decls = [
+            _S3_DECLARATIONS[name]
+            for name in sorted(self._needed_decls)
+            if not _already_declared(self.text, name)
+        ]
+        if decls:
+            self.rewriter.insert_before(
+                0, "/* Declarations added by S3LIBRARY REPLACEMENT "
+                   "(link with -ls3lib). */\n" + "\n".join(decls)
+                   + "\n\n")
+
+
+def apply_s3lib(text: str, filename: str = "<unit>"):
+    """Convenience: rename all unsafe calls in ``text`` to s3lib."""
+    return S3LibraryReplacement(text, filename).run()

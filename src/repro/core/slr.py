@@ -246,6 +246,7 @@ class SafeLibraryReplacement(Transformation):
                 f" ? ({dest_text}[strcspn({dest_text}, \"\\n\")] = "
                 f"'\\0', {dest_text}) : (char *)0)")
             self._needed_decls.add("strcspn")
+            self._needed_decls.add("fgets")
             self._note_decls("fgets", length)
             return self._ok(base)
         self._rename_callee(call, "fgets")
@@ -276,6 +277,10 @@ class SafeLibraryReplacement(Transformation):
                 f" char *{check} = strchr({dest_text}, '\\n'); "
                 f"if ({check}) {{ *{check} = '\\0'; }} }}")
         self._needed_decls.add("strchr")
+        # Added directly (not via _note_decls): "fgets" has no entry in
+        # _DECLARATIONS — its prototype rides with the FILE/stdin block
+        # below — but finalize keys that block on this set membership.
+        self._needed_decls.add("fgets")
         self._note_decls("fgets", length)
         return self._ok(base)
 
@@ -439,6 +444,60 @@ class SafeLibraryReplacement(Transformation):
                 0, "typedef struct _FILE FILE;\n"
                    "extern FILE *stdin;\n"
                    "char *fgets(char *s, int size, FILE *stream);\n\n")
+
+
+class TR24731Replacement(SafeLibraryReplacement):
+    """ISO/IEC TR 24731-1 backend: the ``c11`` replacement profile plus
+    runtime-constraint *handler emission*.
+
+    The ``_s`` family's contract (Laverdière-Papineau et al.) is that a
+    rejected operation invokes the installed runtime-constraint handler.
+    This transformation therefore goes one step beyond
+    ``SafeLibraryReplacement(profile="c11")``: when any site was
+    rewritten it also emits a reporting handler (a ``perror`` of the
+    violation message — stderr, so the differential oracle's observable
+    stdout/exit/fault triple is untouched) and installs it with
+    ``set_constraint_handler_s`` as the first statement of ``main``.
+    """
+
+    name = "TR24731"
+
+    def __init__(self, text: str, filename: str = "<unit>", **kwargs):
+        kwargs.pop("profile", None)
+        super().__init__(text, filename, profile="c11", **kwargs)
+
+    def finalize(self) -> None:
+        super().finalize()
+        if not any(o.transformed for o in self.outcomes):
+            return
+        main = next((fn for fn in self.unit.functions()
+                     if fn.name == "main"), None)
+        if main is None or not isinstance(main.body, ast.CompoundStmt):
+            return
+        handler = self._fresh_name("repro_constraint_handler")
+        lines = []
+        if not _already_declared(self.text, "set_constraint_handler_s"):
+            lines.append("void set_constraint_handler_s("
+                         "void (*handler)(const char *, void *, int));")
+        if not _already_declared(self.text, "perror"):
+            lines.append("void perror(const char *s);")
+        lines.append(f"void {handler}(const char *msg, void *ptr, "
+                     f"int error) {{\n"
+                     f"    perror(msg);\n"
+                     f"}}")
+        self.rewriter.insert_before(
+            0, "/* Runtime-constraint handler added by TR 24731 "
+               "REPLACEMENT. */\n" + "\n".join(lines) + "\n\n")
+        # First statement of main: install the handler before any _s
+        # call can possibly reject.
+        self.rewriter.insert_before(
+            main.body.extent.start + 1,
+            f"\n    set_constraint_handler_s({handler});")
+
+
+def apply_tr24731(text: str, filename: str = "<unit>"):
+    """Convenience: run the TR 24731 replacement over ``text``."""
+    return TR24731Replacement(text, filename).run()
 
 
 _IDENTIFIER = re.compile(r"[A-Za-z_]\w*")

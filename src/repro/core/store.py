@@ -56,7 +56,8 @@ from . import faults
 SCHEMA_VERSION = 1
 
 #: Artifact families the pipeline persists.
-FAMILIES = ("preprocess", "parse", "slr", "str", "validate", "execute")
+FAMILIES = ("preprocess", "parse", "slr", "str", "backend", "validate",
+            "execute")
 
 #: Abandoned temp files older than this are garbage (a crashed writer);
 #: live writers hold a temp file for milliseconds.

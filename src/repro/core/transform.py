@@ -48,6 +48,10 @@ class TransformResult:
     original_text: str
     new_text: str
     outcomes: list[SiteOutcome] = field(default_factory=list)
+    #: Registry id of the fix backend that produced this result (set by
+    #: :meth:`repro.core.backends.FixBackend.run`; empty for results
+    #: built outside the registry, e.g. direct ``apply_slr`` calls).
+    backend: str = ""
 
     @property
     def changed(self) -> bool:

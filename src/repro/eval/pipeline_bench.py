@@ -63,7 +63,16 @@ def run_record(result: BatchResult, wall_s: float) -> dict:
     stats = result.stats
     supervision = dict(stats.supervision) if stats else {}
     status = result.status_counts()
+    arbitration = None
+    if result.arbitrations():
+        arbitration = {
+            "winners": result.winners(),
+            "scoreboard": result.backend_scoreboard(),
+            "attempted": result.backends_attempted,
+            "rejected": result.backends_rejected,
+        }
     return {
+        "arbitration": arbitration,
         "jobs": stats.jobs if stats else None,
         "wall_s": round(wall_s, 4),
         "files": len(result.reports),
@@ -88,19 +97,22 @@ def run_record(result: BatchResult, wall_s: float) -> dict:
 def run_benchmark(*, scale: float = 0.05, limit: int = 24,
                   jobs: int = 1, repeat: int = 1,
                   validate: bool = True,
-                  fuzz_seed: int | None = None) -> list[dict]:
+                  fuzz_seed: int | None = None,
+                  backends: str | None = None) -> list[dict]:
     """Run the sampled batch ``repeat`` times and record each run.
 
     Repeats share the process's memory caches, so run 2+ measures the
     warm-in-process leg.  The program is rebuilt (and its preprocess
     memo dropped) each time so every run exercises the full pipeline.
+    ``backends`` swaps the legacy chain for per-file arbitration (the
+    bench's arbitration leg scales cost with the backend count).
     """
     records = []
     for _ in range(max(1, repeat)):
         program = sample_program(scale, limit)
         start = time.perf_counter()
         result = apply_batch(program, jobs=jobs, validate=validate,
-                             fuzz_seed=fuzz_seed)
+                             fuzz_seed=fuzz_seed, backends=backends)
         records.append(run_record(result, time.perf_counter() - start))
     return records
 
@@ -121,13 +133,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="skip the differential oracle")
     parser.add_argument("--seed", type=int, default=None,
                         help="fuzz-input seed for the oracle")
+    parser.add_argument("--backends", default=None, metavar="A,B,C",
+                        help="arbitrate these fix backends per file "
+                             "instead of the legacy SLR→STR chain")
     parser.add_argument("--out", default=None,
                         help="write JSON here instead of stdout")
     args = parser.parse_args(argv)
     runs = run_benchmark(scale=args.scale, limit=args.limit,
                          jobs=args.jobs, repeat=args.repeat,
                          validate=not args.no_validate,
-                         fuzz_seed=args.seed)
+                         fuzz_seed=args.seed,
+                         backends=args.backends)
     payload = json.dumps({"runs": runs}, indent=2, sort_keys=True) + "\n"
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:

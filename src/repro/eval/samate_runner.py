@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core import profile
+from ..core.backends import ArbitrationReport, arbitrate_file
 from ..core.batch import cached_slr, cached_str
 from ..core.session import AnalysisSession, get_session
 from ..core.validate import ValidationReport, cached_run_source, \
@@ -46,6 +47,7 @@ class SamateOutcome:
     steps_before: int
     steps_after: int
     validation: ValidationReport | None = None
+    arbitration: ArbitrationReport | None = None
 
     @property
     def success(self) -> bool:
@@ -55,6 +57,7 @@ class SamateOutcome:
 
 def run_samate_program(program: TestProgram, *, execute: bool = True,
                        validate: bool = False,
+                       backends: tuple[str, ...] | None = None,
                        session: AnalysisSession | None = None
                        ) -> SamateOutcome:
     """Transform one SAMATE program and (optionally) execute before/after.
@@ -62,6 +65,8 @@ def run_samate_program(program: TestProgram, *, execute: bool = True,
     ``validate=True`` additionally runs the differential oracle over the
     program's own probe set (:func:`repro.samate.differential_inputs`),
     re-checking every transformed site for semantics-changing rewrites.
+    ``backends`` switches the fix step from the legacy SLR→STR chain to
+    per-file arbitration over the named backends.
     """
     session = session if session is not None else get_session()
     with profile.stage("preprocess"):
@@ -72,16 +77,26 @@ def run_samate_program(program: TestProgram, *, execute: bool = True,
     text = pp.text
     slr_applied = False
     str_applied = False
-    if program.slr_applicable:
-        with profile.stage("slr"):
-            slr_result = cached_slr(text, program.name, session=session)
-        slr_applied = slr_result.transformed_count > 0
-        text = slr_result.new_text
-    if program.str_applicable:
-        with profile.stage("str"):
-            str_result = cached_str(text, program.name, session=session)
-        str_applied = str_result.transformed_count > 0
-        text = str_result.new_text
+    arbitration = None
+    if backends:
+        text, _parses, _validation, arbitration = arbitrate_file(
+            pp.text, program.name, tuple(backends), session=session)
+        winning = arbitration.winning_candidate
+        slr_applied = arbitration.winner == "slr" and winning.changed
+        str_applied = arbitration.winner == "str" and winning.changed
+    else:
+        if program.slr_applicable:
+            with profile.stage("slr"):
+                slr_result = cached_slr(text, program.name,
+                                        session=session)
+            slr_applied = slr_result.transformed_count > 0
+            text = slr_result.new_text
+        if program.str_applicable:
+            with profile.stage("str"):
+                str_result = cached_str(text, program.name,
+                                        session=session)
+            str_applied = str_result.transformed_count > 0
+            text = str_result.new_text
 
     if not execute:
         return SamateOutcome(
@@ -90,7 +105,7 @@ def run_samate_program(program: TestProgram, *, execute: bool = True,
             bad_faulted_before=True, fixed_after=True, good_preserved=True,
             fault_before="(not executed)", fault_after="(not executed)",
             pp_lines=pp.line_count, source_lines=source_lines,
-            steps_before=0, steps_after=0)
+            steps_before=0, steps_after=0, arbitration=arbitration)
 
     with profile.stage("execute"):
         before = cached_run_source(pp.text, stdin=program.stdin)
@@ -109,7 +124,7 @@ def run_samate_program(program: TestProgram, *, execute: bool = True,
         fault_before=before.fault or "", fault_after=after.fault or "",
         pp_lines=pp.line_count, source_lines=source_lines,
         steps_before=before.steps, steps_after=after.steps,
-        validation=validation)
+        validation=validation, arbitration=arbitration)
 
 
 @dataclass(frozen=True)
@@ -117,16 +132,19 @@ class _SuiteTask:
     program: TestProgram
     execute: bool
     validate: bool = False
+    backends: tuple[str, ...] | None = None
 
 
 def _run_suite_task(task: _SuiteTask) -> SamateOutcome:
     return run_samate_program(task.program, execute=task.execute,
-                              validate=task.validate)
+                              validate=task.validate,
+                              backends=task.backends)
 
 
 def run_samate_suite(programs: list[TestProgram], *,
                      execute: set[int] | None = None,
                      validate: bool = False,
+                     backends: tuple[str, ...] | None = None,
                      jobs: int | None = None) -> list[SamateOutcome]:
     """Run many SAMATE programs, optionally over a fork pool.
 
@@ -138,7 +156,8 @@ def run_samate_suite(programs: list[TestProgram], *,
     """
     from ..core.batch import default_jobs
     tasks = [_SuiteTask(p, execute is None or id(p) in execute,
-                        validate and (execute is None or id(p) in execute))
+                        validate and (execute is None or id(p) in execute),
+                        tuple(backends) if backends else None)
              for p in programs]
     jobs = default_jobs() if jobs is None else max(1, jobs)
     if jobs == 1 or len(tasks) <= 1:

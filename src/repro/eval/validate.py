@@ -38,6 +38,8 @@ class ValidationRow:
 class ValidationEvalResult:
     samate_rows: list[ValidationRow] = field(default_factory=list)
     corpus_rows: list[ValidationRow] = field(default_factory=list)
+    backends: tuple[str, ...] | None = None
+    scoreboard: dict[str, dict[str, int]] = field(default_factory=dict)
 
     @property
     def rows(self) -> list[ValidationRow]:
@@ -51,6 +53,20 @@ class ValidationEvalResult:
     def ok(self) -> bool:
         return self.total_changed == 0
 
+    def scoreboard_payload(self) -> dict:
+        """The machine-readable shape behind ``--scoreboard-json`` (the
+        CI backend-matrix artifact)."""
+        return {
+            "backends": list(self.backends) if self.backends else [],
+            "scoreboard": self.scoreboard,
+            "verdicts": {verdict: sum(r.counts.get(verdict, 0)
+                                      for r in self.rows)
+                         for verdict in VERDICTS},
+            "programs": sum(r.programs for r in self.rows),
+            "inputs": sum(r.inputs for r in self.rows),
+            "ok": self.ok,
+        }
+
     def render(self) -> str:
         headers = ["Suite", "Programs", "Inputs", *VERDICTS]
         rows = []
@@ -63,9 +79,21 @@ class ValidationEvalResult:
                      sum(r.inputs for r in self.rows),
                      *(sum(r.counts.get(verdict, 0) for r in self.rows)
                        for verdict in VERDICTS)])
-        return render_table(
-            headers, rows,
-            "Differential validation — Table III/V transformed sites")
+        title = "Differential validation — Table III/V transformed sites"
+        if self.backends:
+            title += f" [backends: {', '.join(self.backends)}]"
+        text = render_table(headers, rows, title)
+        if self.scoreboard:
+            board_rows = [[backend, row["attempted"], row["changed"],
+                           row["selected"], row["rejected"],
+                           row["errors"], row["overflow_prevented"]]
+                          for backend, row
+                          in sorted(self.scoreboard.items())]
+            text += "\n\n" + render_table(
+                ["Backend", "Attempted", "Changed", "Selected",
+                 "Rejected", "Errors", "Overflow-prevented"],
+                board_rows, "Backend arbitration scoreboard")
+        return text
 
 
 def _merge(counts: dict[str, int], report) -> int:
@@ -78,22 +106,32 @@ def _merge(counts: dict[str, int], report) -> int:
 
 def compute_validation(*, scale: float = 0.02, limit: int = 12,
                        jobs: int | None = None,
-                       corpus: bool = True) -> ValidationEvalResult:
+                       corpus: bool = True,
+                       backends=None) -> ValidationEvalResult:
     """Run the oracle over a SAMATE slice and the corpus programs.
 
     ``scale`` sizes the generated Table III population; ``limit`` caps
     the per-CWE number of programs actually validated (stratified, so
-    variant/flow diversity survives the cap).
+    variant/flow diversity survives the cap).  ``backends`` (an id
+    tuple, comma string, or ``"all"``) swaps the legacy SLR→STR chain
+    for per-file arbitration and fills the result's scoreboard.
     """
-    result = ValidationEvalResult()
+    from ..core.backends import resolve_backends, scoreboard
+
+    backend_ids = resolve_backends(backends) if backends else None
+    result = ValidationEvalResult(backends=backend_ids)
+    arbitrations = []
     suite = generate_suite(scale)
     for cwe, programs in suite.items():
         sample = stratified_sample(programs, limit)
-        outcomes = run_samate_suite(sample, validate=True, jobs=jobs)
+        outcomes = run_samate_suite(sample, validate=True, jobs=jobs,
+                                    backends=backend_ids)
         counts: dict[str, int] = {}
         inputs = 0
         validated = 0
         for outcome in outcomes:
+            if outcome.arbitration is not None:
+                arbitrations.append(outcome.arbitration)
             if outcome.validation is None:
                 continue
             validated += 1
@@ -102,13 +140,17 @@ def compute_validation(*, scale: float = 0.02, limit: int = 12,
             f"CWE-{cwe} ({CWE_TITLES[cwe]})", validated, inputs, counts))
     if corpus:
         for name, program in build_all().items():
-            batch = apply_batch(program, validate=True, jobs=jobs)
+            batch = apply_batch(program, validate=True, jobs=jobs,
+                                backends=backend_ids)
+            arbitrations.extend(batch.arbitrations())
             counts = {}
             inputs = 0
             for report in batch.validations():
                 inputs += _merge(counts, report)
             result.corpus_rows.append(ValidationRow(
                 name, len(batch.validations()), inputs, counts))
+    if arbitrations:
+        result.scoreboard = scoreboard(arbitrations)
     return result
 
 
@@ -127,11 +169,27 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes (default: REPRO_JOBS "
                              "or 1)")
+    parser.add_argument("--backends", default=None, metavar="A,B,C",
+                        help="arbitrate these fix backends per program "
+                             "instead of the legacy SLR→STR chain "
+                             "('all' = every registered backend)")
+    parser.add_argument("--scoreboard-json", default=None,
+                        metavar="PATH",
+                        help="write the backend scoreboard + verdict "
+                             "totals to this JSON file (CI artifact)")
     args = parser.parse_args(argv)
     result = compute_validation(scale=args.scale, limit=args.limit,
                                 jobs=args.jobs,
-                                corpus=not args.no_corpus)
+                                corpus=not args.no_corpus,
+                                backends=args.backends)
     print(result.render())
+    if args.scoreboard_json:
+        import json
+        with open(args.scoreboard_json, "w", encoding="utf-8") as handle:
+            json.dump(result.scoreboard_payload(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote scoreboard to {args.scoreboard_json}")
     if result.ok:
         print("\nNo semantics-changing divergence found.")
     else:

@@ -163,6 +163,10 @@ class Interpreter:
         self.files: dict[int, dict] = {}
         self.stderr = bytearray()
         self._vfs: dict[str, bytearray] = {}
+        #: TR 24731 runtime-constraint handler installed via
+        #: ``set_constraint_handler_s`` (a FuncRef/function pointer, or
+        #: None for the default ignore-handler).
+        self.constraint_handler = None
 
         from .libc import NATIVE_FUNCTIONS
         from .stralloc_rt import STRALLOC_NATIVES

@@ -897,12 +897,34 @@ def native_sscanf(interp, args):
 
 # --------------------------------------------- C11 Annex K (TR 24731)
 
-def _constraint_violation(interp, dest, size: int):
+def _constraint_violation(interp, dest, size: int,
+                          message: str = "runtime-constraint violation"):
     """Annex K runtime-constraint handling (abort-less): empty the
-    destination and report failure via the return value."""
+    destination, invoke any installed handler, and report failure via
+    the return value."""
     if isinstance(dest, Pointer) and not dest.is_null and size > 0:
         interp.memory.write_bytes(dest, b"\x00")
+    handler = getattr(interp, "constraint_handler", None)
+    if handler is not None:
+        msg = interp.memory.alloc_bytes(
+            message.encode("ascii", "replace") + b"\x00", "string",
+            "constraint-msg")
+        # handler(const char *msg, void *ptr, errno_t error)
+        interp._call_value(handler, [msg, NULL, 22])
     return 22        # EINVAL-ish errno_t
+
+
+def native_set_constraint_handler_s(interp, args):
+    """Install a runtime-constraint handler; returns the previous one
+    (NULL for the initial default, which silently ignores)."""
+    previous = getattr(interp, "constraint_handler", None)
+    handler = args[0] if args else None
+    if isinstance(handler, Pointer) and handler.is_null:
+        handler = None
+    elif isinstance(handler, int) and handler == 0:
+        handler = None
+    interp.constraint_handler = handler
+    return previous if previous is not None else NULL
 
 
 def native_strcpy_s(interp, args):
@@ -910,7 +932,8 @@ def native_strcpy_s(interp, args):
     size = _int(args[1])
     src = _cstr(interp, args[2])
     if len(src) + 1 > size:
-        return _constraint_violation(interp, dest, size)
+        return _constraint_violation(interp, dest, size,
+                                     "strcpy_s: src too long")
     interp.memory.write_bytes(dest, src + b"\x00")
     return 0
 
@@ -921,7 +944,8 @@ def native_strcat_s(interp, args):
     old = _cstr(interp, dest)
     src = _cstr(interp, args[2])
     if len(old) + len(src) + 1 > size:
-        return _constraint_violation(interp, dest, size)
+        return _constraint_violation(interp, dest, size,
+                                     "strcat_s: result too long")
     interp.memory.write_bytes(dest.moved(len(old)), src + b"\x00")
     return 0
 
@@ -934,7 +958,8 @@ def native_sprintf_s(interp, args):
     written = _format(interp, sink, fmt, args[3:])
     if written >= size:
         # Annex K: the formatted output must fit entirely.
-        _constraint_violation(interp, dest, size)
+        _constraint_violation(interp, dest, size,
+                              "sprintf_s: output too long")
         return -1
     return written
 
@@ -947,7 +972,8 @@ def native_vsprintf_s(interp, args):
     sink = _BoundedMemorySink(interp, dest, size)
     written = _format(interp, sink, fmt, state.args[state.index:])
     if written >= size:
-        _constraint_violation(interp, dest, size)
+        _constraint_violation(interp, dest, size,
+                              "vsprintf_s: output too long")
         return -1
     return written
 
@@ -960,7 +986,8 @@ def native_memcpy_s(interp, args):
     if n > destsz:
         if destsz > 0:
             interp.memory.memset(dest, 0, destsz)
-        return 22
+        return _constraint_violation(interp, NULL, 0,
+                                     "memcpy_s: n exceeds destsz")
     interp.memory.memcopy(dest, src, n)
     return 0
 
@@ -974,13 +1001,99 @@ def native_gets_s(interp, args):
     body = line[:-1] if line.endswith(b"\n") else line
     if len(body) + 1 > size:
         # Runtime constraint: discard the line, empty the destination.
-        _constraint_violation(interp, dest, size)
+        _constraint_violation(interp, dest, size,
+                              "gets_s: line too long")
         return NULL
     interp.memory.write_bytes(dest, body + b"\x00")
     return dest
 
 
+# ----------------------------------- S3Library signature-preserving safety
+#
+# The s3lib fix backend renames unsafe calls to these wrappers *without*
+# inserting a size argument: the wrapper discovers the destination's real
+# capacity from the VM's allocation metadata (standing in for
+# S3Library's interposed allocator bookkeeping) and truncates instead of
+# overflowing.  Signatures — and return values on in-bounds inputs —
+# match the unsafe originals exactly, which is the backend's whole point.
+
+def _s3_capacity(interp, dest: Pointer) -> int:
+    """Bytes available at ``dest`` within its allocation."""
+    block = interp.memory.block_of(dest)
+    return max(0, block.size - dest.offset)
+
+
+def native_s3_strcpy(interp, args):
+    dest = _ptr(args[0])
+    src = _cstr(interp, args[1])
+    cap = _s3_capacity(interp, dest)
+    if cap > 0:
+        body = src[:cap - 1]
+        interp.memory.write_bytes(dest, body + b"\x00")
+    return dest
+
+
+def native_s3_strcat(interp, args):
+    dest = _ptr(args[0])
+    src = _cstr(interp, args[1])
+    cap = _s3_capacity(interp, dest)
+    old = _cstr(interp, dest)
+    if len(old) < cap:
+        room = cap - len(old) - 1
+        body = src[:max(room, 0)]
+        interp.memory.write_bytes(dest.moved(len(old)), body + b"\x00")
+    return dest
+
+
+def native_s3_sprintf(interp, args):
+    dest = _ptr(args[0])
+    fmt = _cstr(interp, args[1])
+    cap = _s3_capacity(interp, dest)
+    sink = _BoundedMemorySink(interp, dest, cap)
+    written = _format(interp, sink, fmt, args[2:])
+    # sprintf returns the chars written; report what actually landed.
+    return min(written, max(cap - 1, 0))
+
+
+def native_s3_vsprintf(interp, args):
+    dest = _ptr(args[0])
+    fmt = _cstr(interp, args[1])
+    cap = _s3_capacity(interp, dest)
+    state = interp.valist_for(args[2])
+    sink = _BoundedMemorySink(interp, dest, cap)
+    written = _format(interp, sink, fmt, state.args[state.index:])
+    return min(written, max(cap - 1, 0))
+
+
+def native_s3_gets(interp, args):
+    dest = _ptr(args[0])
+    cap = _s3_capacity(interp, dest)
+    line = interp.read_stdin_line()
+    if line is None or cap <= 0:
+        return NULL
+    body = line[:-1] if line.endswith(b"\n") else line
+    interp.memory.write_bytes(dest, body[:cap - 1] + b"\x00")
+    return dest
+
+
+def native_s3_memcpy(interp, args):
+    dest = _ptr(args[0])
+    src = _ptr(args[1])
+    n = _int(args[2])
+    cap = _s3_capacity(interp, dest)
+    data = interp.memory.read_bytes(src, min(n, cap))
+    interp.memory.write_bytes(dest, data)
+    return dest
+
+
 NATIVE_FUNCTIONS = {
+    "set_constraint_handler_s": native_set_constraint_handler_s,
+    "s3_strcpy": native_s3_strcpy,
+    "s3_strcat": native_s3_strcat,
+    "s3_sprintf": native_s3_sprintf,
+    "s3_vsprintf": native_s3_vsprintf,
+    "s3_gets": native_s3_gets,
+    "s3_memcpy": native_s3_memcpy,
     "printf": native_printf,
     "fprintf": native_fprintf,
     "sprintf": native_sprintf,

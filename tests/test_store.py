@@ -341,6 +341,55 @@ class TestFingerprintSalt:
         assert reset_store().root == str(tmp_path / "there")
 
 
+class TestBackendKeySalt:
+    """Backend candidate artifacts can never collide across backends,
+    configs, or arbitration-contract versions (PR 6 satellite)."""
+
+    TEXT = "int main(void) { return 0; }\n"
+
+    def test_backend_id_salts_key(self):
+        from repro.core.backends import backend_cache_key, get_backend
+        keys = {backend_cache_key(get_backend(b), self.TEXT)
+                for b in ("slr", "str", "tr24731", "s3lib")}
+        assert len(keys) == 4
+
+    def test_config_key_salts_key(self):
+        from repro.core.backends import SLRBackend, backend_cache_key
+
+        class Tuned(SLRBackend):
+            def config_key(self):
+                return "profile=glib;tuned=1"
+
+        assert backend_cache_key(SLRBackend(), self.TEXT) \
+            != backend_cache_key(Tuned(), self.TEXT)
+
+    def test_arbitration_version_salts_key(self, monkeypatch):
+        from repro.core import backends
+        key_1 = backends.backend_cache_key(
+            backends.get_backend("slr"), self.TEXT)
+        monkeypatch.setattr(backends, "ARBITRATION_VERSION", "arb-test")
+        key_2 = backends.backend_cache_key(
+            backends.get_backend("slr"), self.TEXT)
+        assert key_1 != key_2
+
+    def test_backend_family_registered_in_store(self):
+        from repro.core.store import FAMILIES
+        assert "backend" in FAMILIES
+
+    def test_fingerprint_walk_covers_backend_modules(self):
+        """The tool fingerprint digests every .py under the package
+        root, so a backend change must invalidate backend artifacts —
+        the new modules have to live inside that walked tree."""
+        import repro
+        import repro.core.backends
+        import repro.core.s3lib
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        for module in (repro.core.backends, repro.core.s3lib):
+            path = os.path.abspath(module.__file__)
+            assert path.startswith(root + os.sep), path
+            assert path.endswith(".py"), path
+
+
 class TestDegradedStore:
     """OSError on any store path degrades to a miss/no-op with exactly
     one warning per operation per process — never an exception."""
