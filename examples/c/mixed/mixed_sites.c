@@ -1,0 +1,42 @@
+/* Mixed-site fixture: no single backend can fix both overflow sites.
+ *
+ * Site A (strcpy into a_buf): SLR sizes a_buf via Algorithm 1 and
+ * rewrites the call to g_strlcpy; STR must refuse a_buf because
+ * stamp() may write through the pointer it receives.
+ * Site B (index loop into b_buf): there is no unsafe library call, so
+ * SLR/tr24731/s3lib have nothing to rewrite; STR replaces b_buf with a
+ * stralloc, whose element writes grow the buffer on demand.
+ *
+ * Whole-file arbitration therefore ships at most one fixed site;
+ * per-site arbitration (--arbitration site) composes SLR's fix for
+ * site A with STR's fix for site B and prevents both overflows.
+ */
+#include <stdio.h>
+#include <string.h>
+
+void stamp(char *d)
+{
+    d[0] = '#';
+}
+
+int main(void)
+{
+    char line[300];
+    char a_buf[8];
+    char b_buf[8];
+    int i;
+    if (!fgets(line, 300, stdin))
+        return 0;
+    if (line[0] == 'B') {
+        for (i = 0; line[i] != '\n' && line[i] != 0; i++) {
+            b_buf[i] = line[i];
+        }
+        b_buf[i] = 0;
+        printf("b:%s\n", b_buf);
+    } else {
+        strcpy(a_buf, line);
+        stamp(a_buf);
+        printf("a:%s\n", a_buf);
+    }
+    return 0;
+}

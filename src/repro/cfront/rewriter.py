@@ -93,6 +93,18 @@ class Rewriter:
             raise ValueError(f"bad rewriter checkpoint {mark}")
         del self._edits[mark:]
 
+    def edits_since(self, mark: int) -> tuple[tuple[int, int, str], ...]:
+        """The ``(start, end, replacement)`` triples queued after ``mark``.
+
+        Positions are offsets into the *original* text, so a captured
+        group can be replayed against a fresh :class:`Rewriter` over the
+        same text (per-site composition across transformation runs).
+        """
+        if not 0 <= mark <= len(self._edits):
+            raise ValueError(f"bad rewriter checkpoint {mark}")
+        return tuple((e.start, e.end, e.replacement)
+                     for e in self._edits[mark:])
+
     # ------------------------------------------------------------- applying
 
     def apply(self) -> str:

@@ -204,7 +204,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
                             run_str=not args.no_str,
                             profile=args.slr_profile,
                             jobs=args.jobs, validate=args.validate,
-                            backends=args.backends)
+                            backends=args.backends,
+                            arbitration=args.arbitration)
     except (SourceError, ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -264,9 +265,16 @@ def cmd_batch(args: argparse.Namespace) -> int:
     if arbitrated:
         winners = batch.winners()
         fixed = sum(1 for winner in winners.values() if winner)
+        site_note = ""
+        if batch.site_winner_totals() or any(
+                a.mode == "site" for a in batch.arbitrations()):
+            sites_won = sum(batch.site_winner_totals().values())
+            site_note = (f", {batch.composites_shipped} composite(s) "
+                         f"over {sites_won} site(s)")
         print(f"arbitration: {fixed}/{len(winners)} file(s) fixed, "
               f"{batch.backends_attempted} candidate(s), "
-              f"{batch.backends_rejected} rejected; all files parse: "
+              f"{batch.backends_rejected} rejected{site_note}; "
+              f"all files parse: "
               f"{'yes' if batch.all_parse else 'NO'}; "
               f"files ok/degraded/failed: {counts['ok']}/"
               f"{counts['degraded']}/{counts['failed']}",
@@ -307,7 +315,8 @@ def cmd_validate(args: argparse.Namespace) -> int:
                             profile=args.slr_profile,
                             jobs=args.jobs, validate=True,
                             fuzz_seed=args.seed,
-                            backends=args.backends)
+                            backends=args.backends,
+                            arbitration=args.arbitration)
     except (SourceError, ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -450,6 +459,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "ship each file's oracle-best candidate "
                             "('all' = every registered backend; also "
                             "REPRO_BACKENDS; see 'repro backends')")
+    batch.add_argument("--arbitration", default=None,
+                       choices=("file", "site"),
+                       help="winner selection under --backends: 'file' "
+                            "ships one backend's whole-file fix "
+                            "(default), 'site' composes the oracle-best "
+                            "backend per call site and re-judges the "
+                            "composite (also REPRO_ARBITRATION)")
     batch.add_argument("--profile", action="store_true",
                        help="render the per-file, per-stage timing "
                             "breakdown (also REPRO_PROFILE=1)")
@@ -496,6 +512,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="arbitrate these fix backends per file "
                                "('all' = every registered backend; "
                                "also REPRO_BACKENDS)")
+    validate.add_argument("--arbitration", default=None,
+                          choices=("file", "site"),
+                          help="winner selection under --backends: "
+                               "'file' (default) or per-'site' "
+                               "composition (also REPRO_ARBITRATION)")
     validate.set_defaults(func=cmd_validate)
 
     backends_cmd = sub.add_parser(

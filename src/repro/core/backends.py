@@ -53,8 +53,18 @@ from .validate import (
 
 #: Salt for candidate artifacts: bumped when the arbitration contract
 #: (scoring, statuses, candidate shape) changes in a way the tool
-#: fingerprint alone would not capture.
-ARBITRATION_VERSION = "arb1"
+#: fingerprint alone would not capture.  ``arb2``: per-site candidate
+#: keying + edit capture on cached results.
+ARBITRATION_VERSION = "arb2"
+
+#: How the winning fix for a file is assembled.  ``file`` is the PR 6
+#: whole-file winner-take-all; ``site`` composes the best backend per
+#: call site and re-judges the composite, degrading back to the
+#: whole-file winner whenever the composite is not strictly better.
+ARBITRATION_MODES = ("file", "site")
+
+#: Pseudo-backend id carried by a shipped per-site composite.
+COMPOSITE_BACKEND = "site-composite"
 
 #: The legacy pipeline's backend chain — ``apply_batch`` without a
 #: ``backends=`` request runs SLR then STR sequentially, exactly as
@@ -167,6 +177,20 @@ class S3LibBackend(FixBackend):
 
 # --------------------------------------------------------------- registry
 
+class UnknownBackendError(KeyError):
+    """An unregistered backend id was requested.
+
+    Subclasses :class:`KeyError` so existing ``except KeyError`` guards
+    keep working, but renders as the plain message — ``str(KeyError)``
+    repr-quotes its argument, which made a typo'd ``--backends`` id
+    surface as a quoted blob (or, from entry points without a guard, a
+    raw traceback).
+    """
+
+    def __str__(self) -> str:
+        return str(self.args[0]) if self.args else ""
+
+
 _REGISTRY: dict[str, FixBackend] = {}
 
 
@@ -187,7 +211,7 @@ def unregister_backend(backend_id: str) -> None:
 def get_backend(backend_id: str) -> FixBackend:
     backend = _REGISTRY.get(backend_id)
     if backend is None:
-        raise KeyError(
+        raise UnknownBackendError(
             f"unknown fix backend {backend_id!r}; registered: "
             f"{', '.join(sorted(_REGISTRY))}")
     return backend
@@ -232,6 +256,26 @@ def backends_from_env() -> tuple[str, ...] | None:
     return resolve_backends(raw) if raw else None
 
 
+def resolve_arbitration(value) -> str:
+    """Normalize an arbitration-mode request; ``None``/empty -> ``file``."""
+    if value is None:
+        return "file"
+    mode = str(value).strip().lower()
+    if not mode:
+        return "file"
+    if mode not in ARBITRATION_MODES:
+        raise ValueError(
+            f"unknown arbitration mode {mode!r}; choose from: "
+            f"{', '.join(ARBITRATION_MODES)}")
+    return mode
+
+
+def arbitration_from_env() -> str | None:
+    """The ``REPRO_ARBITRATION`` default (None when unset/empty)."""
+    raw = os.environ.get("REPRO_ARBITRATION", "").strip()
+    return resolve_arbitration(raw) if raw else None
+
+
 for _backend in (SLRBackend(), STRBackend(), TR24731Backend(),
                  S3LibBackend()):
     register_backend(_backend)
@@ -261,6 +305,34 @@ def cached_backend_run(backend_id: str, text: str, filename: str,
     return _BACKEND_CACHE.get_or_build(
         backend_cache_key(backend, text),
         lambda: backend.run(text, filename, session))
+
+
+#: Single-site candidate texts, one per (backend, site, input text):
+#: the site's own edits plus the backend's finalize edits replayed
+#: against the pristine input.  Keys are salted with the site identity
+#: (function, line, target, occurrence) on top of the backend salt, so
+#: per-site candidates from different sites — or the whole-file
+#: candidate — can never collide in the store.
+_SITE_CACHE = ContentCache("site", family="site")
+
+
+def site_cache_key(backend: FixBackend, site: tuple, text: str) -> str:
+    function, line, target, occurrence = site
+    return content_key("site", ARBITRATION_VERSION, backend.id,
+                       backend.config_key(), function, str(line), target,
+                       str(occurrence), text)
+
+
+def _build_site_text(text: str, edits: tuple, finalize_edits: tuple) -> str:
+    """Replay one site's captured edits (plus the owning backend's
+    whole-file finalize edits) against the pristine input."""
+    from ..cfront.rewriter import Rewriter
+    rewriter = Rewriter(text)
+    for start, end, replacement in edits:
+        rewriter.replace_range(start, end, replacement)
+    for start, end, replacement in finalize_edits:
+        rewriter.replace_range(start, end, replacement)
+    return rewriter.apply()
 
 
 # ------------------------------------------------------------ arbitration
@@ -300,6 +372,12 @@ class BackendCandidate:
     def verdict_summary(self) -> str:
         if self.status == CANDIDATE_ERROR:
             return "error"
+        # A rejected candidate the oracle never judged (its transformed
+        # text did not parse, or the judge itself failed) must surface
+        # its rejection reason — labelling it "unjudged" hid the parse
+        # failure from the report table and scoreboard.
+        if self.rejected and self.validation is None:
+            return f"rejected: {self.reason}"
         if not self.changed:
             return "skip"
         if self.validation is None:
@@ -320,6 +398,34 @@ class BackendCandidate:
 
 
 @dataclass
+class SiteDecision:
+    """Per-site verdict of site-mode arbitration: which backend won one
+    call site of the composite, or why the site stayed unfixed."""
+
+    function: str
+    target: str
+    line: int
+    winner: str | None = None
+    composed: bool = False
+    reason: str = ""
+    overflows_prevented: int = 0
+    #: Backend ids that offered an eligible fix for this site, best first.
+    candidates: tuple[str, ...] = ()
+
+    @property
+    def site(self) -> str:
+        return f"{self.function}:{self.line}:{self.target}"
+
+    def as_dict(self) -> dict:
+        return {"site": self.site, "function": self.function,
+                "line": self.line, "target": self.target,
+                "winner": self.winner, "composed": self.composed,
+                "reason": self.reason,
+                "overflows_prevented": self.overflows_prevented,
+                "candidates": list(self.candidates)}
+
+
+@dataclass
 class ArbitrationReport:
     """Per-file outcome of the backend search: every candidate, the
     winner, and why the rest lost."""
@@ -328,6 +434,14 @@ class ArbitrationReport:
     backends: tuple[str, ...]
     candidates: list[BackendCandidate] = field(default_factory=list)
     winner: str | None = None
+    #: ``file`` (whole-file winner-take-all) or ``site`` (per-site
+    #: composition); site-mode-only fields stay out of :meth:`as_dict`
+    #: in file mode so the PR 6 JSON shape is unchanged.
+    mode: str = "file"
+    sites: list[SiteDecision] = field(default_factory=list)
+    #: Site mode only: ``shipped`` when the composite won, otherwise a
+    #: ``degraded: ...`` rung of the degradation ladder.
+    composite_status: str = ""
 
     @property
     def attempted(self) -> int:
@@ -350,11 +464,24 @@ class ArbitrationReport:
     def winning_candidate(self) -> BackendCandidate | None:
         return self.candidate_for(self.winner) if self.winner else None
 
+    def site_winner_counts(self) -> dict[str, int]:
+        """backend id -> number of sites it won in the composite."""
+        counts: dict[str, int] = {}
+        for decision in self.sites:
+            if decision.composed and decision.winner:
+                counts[decision.winner] = counts.get(decision.winner, 0) + 1
+        return counts
+
     def as_dict(self) -> dict:
-        return {"filename": self.filename,
-                "backends": list(self.backends),
-                "winner": self.winner,
-                "candidates": [c.as_dict() for c in self.candidates]}
+        out = {"filename": self.filename,
+               "backends": list(self.backends),
+               "winner": self.winner,
+               "candidates": [c.as_dict() for c in self.candidates]}
+        if self.mode != "file":
+            out["mode"] = self.mode
+            out["sites"] = [d.as_dict() for d in self.sites]
+            out["composite_status"] = self.composite_status
+        return out
 
 
 def candidate_score(candidate: BackendCandidate,
@@ -387,7 +514,8 @@ def arbitrate_file(text: str, filename: str,
                    backends: tuple[str, ...], *,
                    session: AnalysisSession | None = None,
                    fuzz_seed: int | None = None,
-                   diagnostics: list | None = None
+                   diagnostics: list | None = None,
+                   arbitration: str = "file"
                    ) -> tuple[str, bool, ValidationReport | None,
                               ArbitrationReport]:
     """Apply every backend in ``backends`` to ``text``, judge each
@@ -397,6 +525,15 @@ def arbitrate_file(text: str, filename: str,
     final text is the winning candidate's output, or the input verbatim
     when no valid candidate changed anything — arbitration can only
     ever improve a file, never degrade it.
+
+    ``arbitration="site"`` refines the selection from whole files to
+    call sites: each transformed site of each candidate is replayed in
+    isolation, judged, and the best backend per site is composed into
+    one file through a shared conflict-checked rewriter; the composite
+    is re-judged and ships only when it parses, has zero
+    ``semantics-changed`` divergences, and prevents strictly more
+    overflow probes than the best whole-file candidate — otherwise the
+    search degrades to exactly the ``file``-mode answer.
 
     Fault isolation matches the PR 5 contract: a backend that raises is
     contained as a ``CANDIDATE_ERROR`` (with a
@@ -409,8 +546,10 @@ def arbitrate_file(text: str, filename: str,
     from .diagnostics import diagnostic_from_exception
 
     session = session if session is not None else get_session()
+    arbitration = resolve_arbitration(arbitration)
     inputs = default_inputs(filename, seed=fuzz_seed)
-    report = ArbitrationReport(filename, tuple(backends))
+    report = ArbitrationReport(filename, tuple(backends),
+                               mode=arbitration)
     for backend_id in backends:
         with profile.stage(backend_id):
             try:
@@ -442,8 +581,12 @@ def arbitrate_file(text: str, filename: str,
             else:
                 try:
                     faults.check("validate", filename)
-                    candidate.validation = _judge(
-                        text, result.new_text, filename, inputs)
+                    # Judge wall time belongs to the validate stage
+                    # (check_parses above is charged to verify); without
+                    # the wrapper it leaked into the parent stage.
+                    with profile.stage("validate"):
+                        candidate.validation = _judge(
+                            text, result.new_text, filename, inputs)
                 except Exception as exc:
                     candidate.status = CANDIDATE_REJECTED
                     candidate.reason = (f"judge failed: "
@@ -464,13 +607,211 @@ def arbitrate_file(text: str, filename: str,
     eligible = [(index, candidate)
                 for index, candidate in enumerate(report.candidates)
                 if candidate.status == CANDIDATE_RUNNER_UP]
-    if eligible:
-        _index, winner = max(
-            eligible, key=lambda pair: candidate_score(pair[1], pair[0]))
-        winner.status = CANDIDATE_SELECTED
-        report.winner = winner.backend
-        return (winner.result.new_text, True, winner.validation, report)
+    file_best = max(eligible,
+                    key=lambda pair: candidate_score(pair[1], pair[0]))[1] \
+        if eligible else None
+
+    if arbitration == "site":
+        composite = _compose_sites(text, filename, inputs, session,
+                                   report, file_best, diagnostics)
+        if composite is not None:
+            report.candidates.append(composite)
+            report.winner = composite.backend
+            return (composite.result.new_text, True,
+                    composite.validation, report)
+
+    if file_best is not None:
+        file_best.status = CANDIDATE_SELECTED
+        report.winner = file_best.backend
+        return (file_best.result.new_text, True, file_best.validation,
+                report)
     return text, True, None, report
+
+
+@dataclass
+class _SiteFix:
+    """One backend's eligible single-site candidate during composition."""
+
+    backend: str
+    order_index: int
+    outcome: object                     # SiteOutcome
+    finalize_edits: tuple
+    text: str
+    validation: ValidationReport
+    score: tuple
+
+
+def _compose_sites(text: str, filename: str,
+                   inputs: list[DifferentialInput],
+                   session: AnalysisSession,
+                   report: ArbitrationReport,
+                   file_best: BackendCandidate | None,
+                   diagnostics: list | None) -> BackendCandidate | None:
+    """Site-mode phase 2: pick the best backend per call site, merge the
+    winning edits conflict-aware, re-judge the composite.
+
+    Returns the shipped composite candidate, or ``None`` after recording
+    the degradation rung in ``report.composite_status`` — the caller
+    then falls back to the PR 6 whole-file winner.
+    """
+    from . import faults, profile
+    from .diagnostics import diagnostic_from_exception
+    from ..cfront.rewriter import Rewriter, RewriteConflict
+    from .transform import sort_outcomes
+
+    # ---- per-site candidates: replay, parse-check, judge each in isolation
+    per_site: dict[tuple, list[_SiteFix]] = {}
+    for order_index, candidate in enumerate(report.candidates):
+        result = candidate.result
+        if result is None or not candidate.changed:
+            continue
+        backend = get_backend(candidate.backend)
+        occurrence: dict[tuple, int] = {}
+        for outcome in result.outcomes:
+            if not outcome.transformed or not outcome.edits:
+                continue
+            identity = (outcome.function, outcome.line, outcome.target)
+            occ = occurrence.get(identity, 0)
+            occurrence[identity] = occ + 1
+            site = identity + (occ,)
+            try:
+                site_text = _SITE_CACHE.get_or_build(
+                    site_cache_key(backend, site, text),
+                    lambda o=outcome: _build_site_text(
+                        text, o.edits, result.finalize_edits))
+                if site_text == text:
+                    continue
+                with profile.stage("verify"):
+                    if not session.check_parses(site_text, filename):
+                        continue
+                faults.check("validate", filename)
+                with profile.stage("validate"):
+                    validation = _judge(text, site_text, filename, inputs)
+            except Exception as exc:
+                if diagnostics is not None:
+                    diagnostics.append(diagnostic_from_exception(
+                        "site", filename, exc))
+                continue
+            if validation.semantics_changed:
+                continue
+            probe = BackendCandidate(
+                candidate.backend,
+                TransformResult(result.transformation, text, site_text,
+                                [outcome], backend=candidate.backend),
+                validation=validation)
+            per_site.setdefault(site, []).append(_SiteFix(
+                candidate.backend, order_index, outcome,
+                result.finalize_edits, site_text, validation,
+                candidate_score(probe, order_index)))
+
+    if not per_site:
+        report.composite_status = "degraded: no composable site"
+        return None
+
+    # ---- compose: best site first, per site best backend first; a
+    # conflicting edit set falls back to the site's next-ranked backend.
+    ranked_sites = sorted(
+        per_site.items(),
+        key=lambda item: (tuple(-part for part in
+                                max(fix.score for fix in item[1])),
+                          item[0]))
+    rewriter = Rewriter(text)
+    finalize_for: dict[str, tuple] = {}
+    won_outcomes = []
+    for site, fixes in ranked_sites:
+        fixes.sort(key=lambda fix: fix.score, reverse=True)
+        function, line, target, _occ = site
+        placed = None
+        for rank, fix in enumerate(fixes):
+            mark = rewriter.checkpoint()
+            try:
+                for start, end, replacement in fix.outcome.edits:
+                    rewriter.replace_range(start, end, replacement)
+            except (RewriteConflict, ValueError):
+                rewriter.rollback(mark)
+                continue
+            placed = (rank, fix)
+            break
+        offered = tuple(fix.backend for fix in fixes)
+        if placed is None:
+            report.sites.append(SiteDecision(
+                function, target, line, composed=False,
+                reason="every candidate conflicts with an "
+                       "already-composed site",
+                candidates=offered))
+            continue
+        rank, fix = placed
+        finalize_for.setdefault(fix.backend, fix.finalize_edits)
+        won_outcomes.append(fix.outcome)
+        report.sites.append(SiteDecision(
+            function, target, line, winner=fix.backend, composed=True,
+            reason="" if rank == 0 else
+                   f"fell back from {fixes[0].backend} on edit conflict",
+            overflows_prevented=fix.validation.overflows_prevented,
+            candidates=offered))
+
+    if not won_outcomes:
+        report.composite_status = "degraded: no site composed"
+        return None
+
+    for backend_id in report.backends:
+        edits = finalize_for.get(backend_id)
+        if not edits:
+            continue
+        mark = rewriter.checkpoint()
+        try:
+            for start, end, replacement in edits:
+                rewriter.replace_range(start, end, replacement)
+        except (RewriteConflict, ValueError):
+            rewriter.rollback(mark)
+            report.composite_status = (f"degraded: finalize edits of "
+                                       f"{backend_id} conflict")
+            return None
+    composite_text = rewriter.apply()
+
+    # ---- re-judge the composite; any rung failing degrades to file mode
+    with profile.stage("verify"):
+        if not session.check_parses(composite_text, filename):
+            report.composite_status = "degraded: composite does not parse"
+            return None
+    try:
+        faults.check("validate", filename)
+        with profile.stage("validate"):
+            validation = _judge(text, composite_text, filename, inputs)
+    except Exception as exc:
+        if diagnostics is not None:
+            diagnostics.append(diagnostic_from_exception(
+                "validate", filename, exc))
+        report.composite_status = (f"degraded: composite judge failed: "
+                                   f"{type(exc).__name__}")
+        return None
+    if validation.semantics_changed:
+        report.composite_status = (
+            f"degraded: composite has {validation.semantics_changed} "
+            f"semantics-changed divergence(s)")
+        return None
+    file_prevented = file_best.overflows_prevented \
+        if file_best is not None else 0
+    if file_best is not None and \
+            validation.overflows_prevented <= file_prevented:
+        report.composite_status = (
+            f"degraded: composite prevents "
+            f"{validation.overflows_prevented} overflow probe(s), "
+            f"whole-file winner {file_best.backend} prevents "
+            f"{file_prevented}")
+        return None
+
+    report.composite_status = "shipped"
+    summary = " ".join(f"{backend}:{count}" for backend, count in
+                       sorted(report.site_winner_counts().items()))
+    return BackendCandidate(
+        COMPOSITE_BACKEND,
+        TransformResult("COMPOSITE", text, composite_text,
+                        sort_outcomes(list(won_outcomes)),
+                        backend=COMPOSITE_BACKEND),
+        parses=True, validation=validation,
+        status=CANDIDATE_SELECTED,
+        reason=f"composed {summary}")
 
 
 def scoreboard(reports: list[ArbitrationReport]
@@ -480,17 +821,28 @@ def scoreboard(reports: list[ArbitrationReport]
     ``attempted`` counts files the backend ran on, ``selected`` files it
     won, ``rejected`` candidates the judge disqualified,
     ``overflow_prevented`` the total prevented-overflow probe verdicts
-    across its (judged) candidates.
+    across its (judged) candidates.  When any report ran in site mode,
+    every row additionally carries ``sites_won`` — composite call sites
+    the backend contributed — so the per-site winner breakdown survives
+    aggregation (file-mode boards keep the PR 6 shape exactly).
     """
+    site_mode = any(report.mode == "site" for report in reports)
     board: dict[str, dict[str, int]] = {}
+
+    def row_for(backend: str) -> dict[str, int]:
+        row = board.setdefault(backend, {
+            "attempted": 0, "changed": 0, "selected": 0,
+            "runner_up": 0, "rejected": 0, "no_change": 0,
+            "not_applicable": 0, "errors": 0,
+            "overflow_prevented": 0, "sites_transformed": 0,
+        })
+        if site_mode:
+            row.setdefault("sites_won", 0)
+        return row
+
     for report in reports:
         for candidate in report.candidates:
-            row = board.setdefault(candidate.backend, {
-                "attempted": 0, "changed": 0, "selected": 0,
-                "runner_up": 0, "rejected": 0, "no_change": 0,
-                "not_applicable": 0, "errors": 0,
-                "overflow_prevented": 0, "sites_transformed": 0,
-            })
+            row = row_for(candidate.backend)
             row["attempted"] += 1
             row["changed"] += int(candidate.changed)
             row["sites_transformed"] += candidate.transformed_count
@@ -502,4 +854,7 @@ def scoreboard(reports: list[ArbitrationReport]
                    CANDIDATE_NOT_APPLICABLE: "not_applicable",
                    CANDIDATE_ERROR: "errors"}[candidate.status]
             row[key] += 1
+        for backend, count in report.site_winner_counts().items():
+            if report.winner == COMPOSITE_BACKEND:
+                row_for(backend)["sites_won"] += count
     return board

@@ -49,9 +49,10 @@ from .diagnostics import (
     FileDiagnostic, diagnostic_from_exception, status_of,
     supervisor_diagnostic,
 )
-from .backends import (
-    ARBITRATION_VERSION, CANDIDATE_ERROR, ArbitrationReport,
-    arbitrate_file, backends_from_env, resolve_backends, scoreboard,
+from .backends import (  # noqa: F401 (re-exported arbitration helpers)
+    ARBITRATION_VERSION, CANDIDATE_ERROR, COMPOSITE_BACKEND,
+    ArbitrationReport, arbitrate_file, arbitration_from_env,
+    backends_from_env, resolve_arbitration, resolve_backends, scoreboard,
 )
 from .session import AnalysisSession, get_session
 from .slr import SafeLibraryReplacement
@@ -181,6 +182,9 @@ class FileTask:
     #: replaced by :func:`repro.core.backends.arbitrate_file` over this
     #: backend id tuple (the oracle always judges in this mode).
     backends: tuple[str, ...] | None = None
+    #: Arbitration mode: ``file`` (whole-file winner, PR 6 behaviour) or
+    #: ``site`` (per-site composition); only meaningful with ``backends``.
+    arbitration: str = "file"
 
 
 @dataclass
@@ -275,7 +279,8 @@ def transform_file(task: FileTask,
                 text, parses, validation, arbitration = arbitrate_file(
                     task.text, task.filename, task.backends,
                     session=session, fuzz_seed=task.fuzz_seed,
-                    diagnostics=diagnostics)
+                    diagnostics=diagnostics,
+                    arbitration=task.arbitration)
             else:
                 slr_result, str_result, text, parses, validation = \
                     _run_stages(task, session, diagnostics)
@@ -798,6 +803,22 @@ class BatchResult:
     def backends_rejected(self) -> int:
         return sum(a.rejected for a in self.arbitrations())
 
+    def site_winner_totals(self) -> dict[str, int]:
+        """backend id -> composite sites won, over every shipped
+        site-mode composite (empty outside site mode)."""
+        totals: dict[str, int] = {}
+        for arb in self.arbitrations():
+            if arb.winner == COMPOSITE_BACKEND:
+                for backend, count in arb.site_winner_counts().items():
+                    totals[backend] = totals.get(backend, 0) + count
+        return totals
+
+    @property
+    def composites_shipped(self) -> int:
+        """Files whose site-mode composite won the arbitration."""
+        return sum(1 for a in self.arbitrations()
+                   if a.winner == COMPOSITE_BACKEND)
+
     # ------------------------------------------------ validation rollups
 
     def validations(self) -> list[ValidationReport]:
@@ -826,11 +847,12 @@ def _task_work_key(task: FileTask) -> str:
     parts = ["task", task.text, str(task.run_slr), str(task.run_str),
              task.profile]
     if task.backends:
-        # Arbitration outcomes depend on the backend chain and its
-        # contract version — and the judge always runs, with per-file
-        # seeded probes, so the filename is part of the work.
-        parts += ["backends", ARBITRATION_VERSION, *task.backends,
-                  task.filename, str(task.fuzz_seed)]
+        # Arbitration outcomes depend on the backend chain, the
+        # arbitration mode, and the contract version — and the judge
+        # always runs, with per-file seeded probes, so the filename is
+        # part of the work.
+        parts += ["backends", ARBITRATION_VERSION, task.arbitration,
+                  *task.backends, task.filename, str(task.fuzz_seed)]
     if task.validate:
         parts += [task.filename, str(task.fuzz_seed)]
     if faults.faults_enabled():
@@ -891,6 +913,7 @@ def apply_batch(program: SourceProgram, *, run_slr: bool = True,
                 validate: bool | None = None,
                 fuzz_seed: int | None = None,
                 backends=None,
+                arbitration: str | None = None,
                 session: AnalysisSession | None = None) -> BatchResult:
     """Preprocess and transform every file of ``program``.
 
@@ -919,6 +942,11 @@ def apply_batch(program: SourceProgram, *, run_slr: bool = True,
     validation lands on each report, and per-backend tallies roll up via
     :meth:`BatchResult.backend_scoreboard`.
 
+    ``arbitration`` picks whole-file (``"file"``, the default) or
+    per-site (``"site"``) winner selection; ``None`` defers to the
+    ``REPRO_ARBITRATION`` environment knob.  Site mode requires a
+    backend selection — it arbitrates between backends per call site.
+
     Fault isolation: a file whose preprocessing fails becomes a
     ``failed`` report (original text shipped verbatim, one
     ``preprocess`` diagnostic) while its siblings continue through the
@@ -932,6 +960,12 @@ def apply_batch(program: SourceProgram, *, run_slr: bool = True,
         backends = session.backends if session.backends is not None \
             else backends_from_env()
     backend_ids = resolve_backends(backends) if backends else None
+    if arbitration is None:
+        arbitration = arbitration_from_env()
+    arbitration = resolve_arbitration(arbitration)
+    if arbitration == "site" and backend_ids is None:
+        raise ValueError("site arbitration requires a backends selection "
+                         "(--backends/REPRO_BACKENDS)")
     before = snapshot_stats()
     start = time.perf_counter()
     pp_timings: dict[str, float] = {}
@@ -939,7 +973,7 @@ def apply_batch(program: SourceProgram, *, run_slr: bool = True,
                                                 pp_timings)
     tasks = [FileTask(filename, pp_texts[filename],
                       run_slr, run_str, profile, validate, fuzz_seed,
-                      backend_ids)
+                      backend_ids, arbitration)
              for filename in sorted(pp_texts)]
     unique: dict[str, FileTask] = {}
     key_of: dict[str, str] = {}

@@ -28,9 +28,13 @@ def _table(headers: list[str], rows: list[list[str]]) -> str:
 
 def render_batch_stats(result: BatchResult) -> str:
     """Per-file wall time + site counts for one batch run."""
-    validated = any(r.validation is not None for r in result.reports)
     degraded = any(not r.ok for r in result.reports)
     arbitrated = any(r.arbitration is not None for r in result.reports)
+    # Arbitration always judges, so its runs always get an oracle
+    # column — even when every candidate was rejected (the column is
+    # then exactly where the rejection reasons surface).
+    validated = arbitrated or any(r.validation is not None
+                                  for r in result.reports)
     rows = []
     for report in result.reports:
         slr = report.slr
@@ -62,7 +66,15 @@ def render_batch_stats(result: BatchResult) -> str:
             # arbitration — the verdict shown is *that candidate's*.
             winner = f" ({arb.winner})" if arb and arb.winner else ""
             if report.validation is None:
-                row.append("-")
+                # No winning verdict: under arbitration, surface why the
+                # best candidate was thrown out (e.g. a parse-rejected
+                # transform) instead of a bare dash.
+                detail = None
+                if arb is not None and arb.winner is None:
+                    detail = next(
+                        (c for c in arb.candidates if c.rejected), None)
+                row.append(f"{detail.backend} {detail.verdict_summary()}"
+                           if detail is not None else "-")
             elif report.validation.ok:
                 row.append(f"ok{winner}")
             else:
@@ -125,20 +137,39 @@ def render_backend_scoreboard(result: BatchResult) -> str:
             if backend_id in board and backend_id not in order:
                 order.append(backend_id)
     order.extend(b for b in sorted(board) if b not in order)
+    site_mode = any(a.mode == "site" for a in arbitrations)
     rows = [[backend_id,
              row["attempted"], row["changed"], row["selected"],
              row["runner_up"], row["rejected"], row["no_change"],
              row["not_applicable"], row["errors"],
-             row["overflow_prevented"], row["sites_transformed"]]
+             row["overflow_prevented"], row["sites_transformed"],
+             *([row.get("sites_won", 0)] if site_mode else [])]
             for backend_id in order
             for row in (board[backend_id],)]
     table = _table(["backend", "attempted", "changed", "selected",
                     "runner-up", "rejected", "no-change", "n/a",
-                    "errors", "overflow-prevented", "sites"], rows)
+                    "errors", "overflow-prevented", "sites",
+                    *(["sites-won"] if site_mode else [])], rows)
     summary = (f"arbitration: {len(arbitrations)} file(s), "
                f"{result.backends_attempted} candidate(s) attempted, "
                f"{result.backends_rejected} rejected by the oracle")
-    return f"{table}\n\n{summary}"
+    lines = [table, "", summary]
+    if site_mode:
+        winners = result.site_winner_totals()
+        breakdown = " ".join(f"{backend}={count}" for backend, count
+                             in sorted(winners.items())) or "none"
+        lines.append(f"site mode: {result.composites_shipped} "
+                     f"composite(s) shipped; site winners: {breakdown}")
+    rejected = [(report.filename, candidate)
+                for report in arbitrations
+                for candidate in report.candidates
+                if candidate.rejected]
+    if rejected:
+        lines.append("rejected candidates:")
+        lines.extend(f"  {filename} {candidate.backend}: "
+                     f"{candidate.verdict_summary()}"
+                     for filename, candidate in rejected)
+    return "\n".join(lines)
 
 
 def render_diagnostics(result: BatchResult) -> str:
@@ -198,6 +229,12 @@ def diagnostics_payload(result: BatchResult) -> dict:
             "arbitrations": [report.as_dict()
                              for report in arbitrations],
         }
+        if any(a.mode == "site" for a in arbitrations):
+            payload["backends"]["arbitration_mode"] = "site"
+            payload["backends"]["site_winners"] = \
+                result.site_winner_totals()
+            payload["backends"]["composites_shipped"] = \
+                result.composites_shipped
     return payload
 
 

@@ -55,9 +55,11 @@ from . import faults
 #: policy change).
 SCHEMA_VERSION = 1
 
-#: Artifact families the pipeline persists.
-FAMILIES = ("preprocess", "parse", "slr", "str", "backend", "validate",
-            "execute")
+#: Artifact families the pipeline persists.  ``site`` holds the
+#: single-site candidate texts site-mode arbitration composes from,
+#: keyed per (backend, site identity, input text).
+FAMILIES = ("preprocess", "parse", "slr", "str", "backend", "site",
+            "validate", "execute")
 
 #: Abandoned temp files older than this are garbage (a crashed writer);
 #: live writers hold a temp file for milliseconds.

@@ -34,6 +34,11 @@ class SiteOutcome:
                                 # | SITE_ERROR (handler raised, contained)
     reason: str = ""            # failure taxonomy key, empty on success
     detail: str = ""
+    #: The ``(start, end, replacement)`` rewriter edits this site queued
+    #: against the *original* text — the unit of per-site composition.
+    #: Empty for untransformed sites and for sites whose rewrite is
+    #: carried by another site in the same cluster (STR groups).
+    edits: tuple = ()
 
     @property
     def transformed(self) -> bool:
@@ -52,6 +57,10 @@ class TransformResult:
     #: :meth:`repro.core.backends.FixBackend.run`; empty for results
     #: built outside the registry, e.g. direct ``apply_slr`` calls).
     backend: str = ""
+    #: Whole-file edits queued by :meth:`Transformation.finalize`
+    #: (support declarations, constraint handlers) — replayed alongside
+    #: any of this result's per-site edits when composing.
+    finalize_edits: tuple = ()
 
     @property
     def changed(self) -> bool:
@@ -147,12 +156,17 @@ class Transformation:
             except Exception as exc:
                 self.rewriter.rollback(mark)
                 outcome = self._site_error_outcome(target, exc)
+            if outcome.transformed and not outcome.edits:
+                outcome.edits = self.rewriter.edits_since(mark)
             self.outcomes.append(outcome)
+        final_mark = self.rewriter.checkpoint()
         self.finalize()
+        finalize_edits = self.rewriter.edits_since(final_mark)
         new_text = self.rewriter.apply() if self.rewriter.has_edits \
             else self.text
         return TransformResult(self.name, self.text, new_text,
-                               sort_outcomes(self.outcomes))
+                               sort_outcomes(self.outcomes),
+                               finalize_edits=finalize_edits)
 
     def _site_error_outcome(self, target, exc: Exception) -> SiteOutcome:
         """A contained per-site failure as a reportable outcome."""

@@ -71,6 +71,10 @@ def run_record(result: BatchResult, wall_s: float) -> dict:
             "attempted": result.backends_attempted,
             "rejected": result.backends_rejected,
         }
+        if any(a.mode == "site" for a in result.arbitrations()):
+            arbitration["mode"] = "site"
+            arbitration["composites_shipped"] = result.composites_shipped
+            arbitration["site_winners"] = result.site_winner_totals()
     return {
         "arbitration": arbitration,
         "jobs": stats.jobs if stats else None,
@@ -98,21 +102,25 @@ def run_benchmark(*, scale: float = 0.05, limit: int = 24,
                   jobs: int = 1, repeat: int = 1,
                   validate: bool = True,
                   fuzz_seed: int | None = None,
-                  backends: str | None = None) -> list[dict]:
+                  backends: str | None = None,
+                  arbitration: str | None = None) -> list[dict]:
     """Run the sampled batch ``repeat`` times and record each run.
 
     Repeats share the process's memory caches, so run 2+ measures the
     warm-in-process leg.  The program is rebuilt (and its preprocess
     memo dropped) each time so every run exercises the full pipeline.
     ``backends`` swaps the legacy chain for per-file arbitration (the
-    bench's arbitration leg scales cost with the backend count).
+    bench's arbitration leg scales cost with the backend count);
+    ``arbitration="site"`` measures the composition leg on top (per-site
+    replay + judge + composite re-judge).
     """
     records = []
     for _ in range(max(1, repeat)):
         program = sample_program(scale, limit)
         start = time.perf_counter()
         result = apply_batch(program, jobs=jobs, validate=validate,
-                             fuzz_seed=fuzz_seed, backends=backends)
+                             fuzz_seed=fuzz_seed, backends=backends,
+                             arbitration=arbitration)
         records.append(run_record(result, time.perf_counter() - start))
     return records
 
@@ -136,14 +144,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--backends", default=None, metavar="A,B,C",
                         help="arbitrate these fix backends per file "
                              "instead of the legacy SLR→STR chain")
+    parser.add_argument("--arbitration", default=None,
+                        choices=("file", "site"),
+                        help="winner selection under --backends: 'file' "
+                             "(default) or per-'site' composition")
     parser.add_argument("--out", default=None,
                         help="write JSON here instead of stdout")
     args = parser.parse_args(argv)
-    runs = run_benchmark(scale=args.scale, limit=args.limit,
-                         jobs=args.jobs, repeat=args.repeat,
-                         validate=not args.no_validate,
-                         fuzz_seed=args.seed,
-                         backends=args.backends)
+    try:
+        runs = run_benchmark(scale=args.scale, limit=args.limit,
+                             jobs=args.jobs, repeat=args.repeat,
+                             validate=not args.no_validate,
+                             fuzz_seed=args.seed,
+                             backends=args.backends,
+                             arbitration=args.arbitration)
+    except (KeyError, ValueError) as exc:
+        # Clean one-line exit on a typo'd backend id or bad mode.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     payload = json.dumps({"runs": runs}, indent=2, sort_keys=True) + "\n"
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
