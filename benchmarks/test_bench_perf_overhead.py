@@ -157,6 +157,52 @@ def test_bench_pipeline_throughput(benchmark, tmp_path):
     assert speedup_x >= 1.5, (cold["wall_s"], warm_x["wall_s"])
 
 
+def test_bench_pipeline_incremental(benchmark, tmp_path):
+    """Incremental leg: edit-to-verdict latency of a warm engine on a
+    one-function edit of a multi-function file vs the cold pipeline.
+
+    The run itself asserts byte-identity (text, per-site outcomes,
+    verdicts) between the incremental update and a cold
+    ``transform_file`` of the same edited text; this gate additionally
+    requires the warm update to be at least 5x faster and to have
+    served unchanged functions from the ``func`` artifact family.
+    Results land under the ``incremental`` key of
+    ``BENCH_pipeline.json``.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "store")
+    env.pop("REPRO_INCREMENTAL", None)
+    out_path = tmp_path / "incremental.json"
+    cmd = [sys.executable, "-m", "repro.eval.pipeline_bench",
+           "--incremental", "96", "--seed", "0", "--out", str(out_path)]
+    benchmark.pedantic(
+        lambda: subprocess.run(cmd, cwd=REPO_ROOT, env=env, check=True,
+                               timeout=600),
+        rounds=1, iterations=1)
+    with open(out_path, encoding="utf-8") as fh:
+        record = json.load(fh)["incremental"]
+
+    assert record["mode"] == "incremental", record
+    assert record["text_identical"], "incremental text diverged from cold"
+    assert record["outcomes_identical"], "per-site outcomes diverged"
+    assert record["verdicts_identical"], "oracle verdicts diverged"
+    assert record["verdicts"], "oracle produced no verdicts"
+    assert record["func_cache"]["hits"] > 0, record["func_cache"]
+    assert record["invalidated"] == [record["edited_function"]], record
+    # The acceptance target: one-function edit-to-verdict at least 5x
+    # faster than the cold path (measured ~7-10x).
+    assert record["speedup"] >= 5.0, \
+        (record["cold_wall_s"], record["incremental_wall_s"])
+
+    out = REPO_ROOT / "BENCH_pipeline.json"
+    payload = json.loads(out.read_text(encoding="utf-8")) \
+        if out.exists() else {}
+    payload["incremental"] = record
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+
+
 def test_bench_pipeline_arbitration(benchmark, tmp_path):
     """Arbitration leg: the same sampled batch with 2 vs 4 fix backends.
 

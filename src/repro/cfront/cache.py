@@ -40,11 +40,8 @@ def caches_enabled() -> bool:
 
 
 def default_cache_size() -> int:
-    try:
-        return max(1, int(os.environ.get("REPRO_CACHE_SIZE",
-                                         str(DEFAULT_CACHE_SIZE))))
-    except ValueError:
-        return DEFAULT_CACHE_SIZE
+    from ..core.envknobs import int_knob
+    return int_knob("REPRO_CACHE_SIZE", DEFAULT_CACHE_SIZE)
 
 
 _SALT: bytes | None = None
@@ -199,6 +196,27 @@ _REGISTRY: dict[str, ContentCache] = {}
 
 def all_cache_stats() -> list[CacheStats]:
     return [cache.stats for cache in _REGISTRY.values()]
+
+
+def stats_by_family() -> dict[str, CacheStats]:
+    """This process's counters merged per artifact family.
+
+    Caches without a family (memory-only) merge under their own name,
+    so the view covers every cache while keying disk-backed ones the
+    same way ``repro cache stats`` keys the store's usage rows."""
+    merged: dict[str, CacheStats] = {}
+    for cache in _REGISTRY.values():
+        family = cache.family or cache.name
+        into = merged.setdefault(family, CacheStats(family))
+        s = cache.stats
+        into.hits += s.hits
+        into.misses += s.misses
+        into.evictions += s.evictions
+        into.disk_hits += s.disk_hits
+        into.disk_misses += s.disk_misses
+        into.bytes_read += s.bytes_read
+        into.bytes_written += s.bytes_written
+    return merged
 
 
 def snapshot_stats() -> dict[str, CacheStats]:

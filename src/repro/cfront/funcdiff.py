@@ -1,0 +1,526 @@
+"""Token-stream function segmentation and diffing.
+
+The incremental re-analysis layer (:mod:`repro.core.incremental`) needs
+to know, after an edit, *which function definitions changed* — without
+parsing.  This module tiles a source text into an alternating sequence
+of segments::
+
+    [interstitial 0] [function] [interstitial] [function] ... [interstitial]
+
+where ``"".join(seg.text for seg in segments) == text`` exactly.
+Interstitial 0 (the *preamble*) carries everything before the first
+function definition — directives, global declarations, comments; later
+interstitials are the gaps between functions (whitespace and comments,
+or occasionally mid-file declarations, which the incremental engine
+treats as a fallback trigger).
+
+Each function segment gets a **position-independent token hash** over
+exactly the token attributes that determine its preprocessed rendering:
+token kind and spelling, ``space_before``, the line of each token
+relative to the segment start, and the column of line-initial tokens
+(the preprocessor re-indents each output line from the column of its
+first token).  Two segments with equal hashes therefore preprocess to
+byte-identical fragments under the same macro environment — the
+foundation for splicing cached per-function artifacts.  Offsets and
+absolute line numbers are deliberately excluded, so an insertion
+elsewhere in the file never invalidates an untouched function; an edit
+inside a comment (which produces no tokens and moves no line-initial
+columns) hashes identically and is a no-op.
+
+Layouts the tiling cannot handle soundly (K&R definitions, directives
+below the preamble, duplicate definitions, line splices) raise
+:class:`UnsupportedLayout`; callers fall back to the whole-file path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from .lexer import Lexer
+from .source import LexError, SourceFile
+from .tokens import EOF, HASH, ID, NEWLINE, PUNCT, Token
+
+__all__ = [
+    "FuncDiff", "Segment", "SegmentedFile", "UnsupportedLayout",
+    "components", "diff_files", "dirty_closure", "patch_segment",
+    "segment_file",
+]
+
+
+class UnsupportedLayout(Exception):
+    """The text's top-level shape defeats function-granular tracking."""
+
+
+@dataclass
+class Segment:
+    """One tile of a segmented file; ``text`` slices are contiguous."""
+
+    kind: str                   # 'function' | 'interstitial'
+    text: str
+    name: str = ""              # function name; '' for interstitials
+    token_hash: str = ""
+    #: Identifier spellings referenced anywhere in the segment.
+    ids: frozenset = frozenset()
+    #: Depth-0 identifiers declared as *objects* (not called/declared as
+    #: functions) — the names through which one function's analysis
+    #: facts can couple to another's.  Interstitials only.
+    object_ids: frozenset = frozenset()
+    #: Does the segment contain any token besides line breaks?
+    tokenful: bool = False
+    #: Number of ``\n`` characters in ``text``.
+    newline_count: int = 0
+
+    @property
+    def is_function(self) -> bool:
+        return self.kind == "function"
+
+
+@dataclass
+class SegmentedFile:
+    """An ordered tiling of one text; segments alternate interstitial /
+    function, starting and ending with a (possibly empty) interstitial."""
+
+    name: str
+    text: str
+    segments: list[Segment] = field(default_factory=list)
+
+    def functions(self) -> dict[str, Segment]:
+        return {seg.name: seg for seg in self.segments
+                if seg.is_function}
+
+    def function_order(self) -> list[str]:
+        return [seg.name for seg in self.segments if seg.is_function]
+
+    @property
+    def preamble(self) -> Segment:
+        return self.segments[0]
+
+    def segment_offsets(self) -> list[int]:
+        """Absolute start offset of each segment (prefix sums)."""
+        offsets, pos = [], 0
+        for seg in self.segments:
+            offsets.append(pos)
+            pos += len(seg.text)
+        return offsets
+
+    def has_midfile_declarations(self) -> bool:
+        """Any tokenful interstitial *below* the preamble?"""
+        return any(seg.tokenful for seg in self.segments[1:]
+                   if not seg.is_function)
+
+
+# ------------------------------------------------------------ segmentation
+
+def _hash_tokens(tokens: list[Token], base_line: int) -> str:
+    """The rendering-relevant fingerprint of a token run (see module
+    docstring for exactly what is — and is not — hashed)."""
+    h = hashlib.blake2b(digest_size=16)
+    current_line = None
+    for tok in tokens:
+        if tok.kind is NEWLINE or tok.kind is EOF:
+            continue
+        line_first = tok.line != current_line
+        current_line = tok.line
+        h.update(
+            f"{tok.kind}\x1f{tok.text}\x1f{int(tok.space_before)}\x1f"
+            f"{tok.line - base_line}\x1f"
+            f"{tok.col if line_first else 0}\x1e".encode())
+    return h.hexdigest()
+
+
+def _directive_token_indices(tokens: list[Token]) -> set[int]:
+    """Indices of tokens on preprocessor-directive lines (HASH through
+    the terminating NEWLINE, inclusive)."""
+    in_directive = False
+    indices = set()
+    for i, tok in enumerate(tokens):
+        if tok.kind is HASH:
+            in_directive = True
+        if in_directive:
+            indices.add(i)
+            if tok.kind is NEWLINE:
+                in_directive = False
+    return indices
+
+
+def _interstitial(text: str, tokens: list[Token],
+                  base_line: int) -> Segment:
+    directive = _directive_token_indices(tokens)
+    code = [t for i, t in enumerate(tokens) if i not in directive]
+    ids = frozenset(t.text for t in code if t.kind is ID)
+    object_ids = set()
+    depth = 0
+    # Parens opened directly after an identifier are a parameter list
+    # (or call): names inside have function-prototype scope, so they
+    # declare nothing at file scope and cannot couple two functions.
+    # Declarator parens like ``int (*fp)(int)`` do not follow an
+    # identifier, so ``fp`` still counts as a global object.
+    proto_parens: list[bool] = []
+    prev_sig = None
+    for i, tok in enumerate(code):
+        if tok.kind is NEWLINE:
+            continue
+        if tok.kind is PUNCT:
+            if tok.text == "{":
+                depth += 1
+            elif tok.text == "}":
+                depth = max(0, depth - 1)
+            elif tok.text == "(":
+                proto_parens.append(prev_sig is not None
+                                    and prev_sig.kind is ID)
+            elif tok.text == ")":
+                if proto_parens:
+                    proto_parens.pop()
+            prev_sig = tok
+            continue
+        if tok.kind is ID and depth == 0 and not any(proto_parens):
+            nxt = next((t for t in code[i + 1:]
+                        if t.kind is not NEWLINE), None)
+            # An identifier directly followed by '(' is being declared
+            # (or used) as a function — its runtime state cannot couple
+            # two other functions, unlike a global object's.
+            if nxt is None or not (nxt.kind is PUNCT and nxt.text == "("):
+                object_ids.add(tok.text)
+        prev_sig = tok
+    tokenful = any(t.kind is not NEWLINE and t.kind is not EOF
+                   for t in tokens)
+    return Segment("interstitial", text,
+                   token_hash=_hash_tokens(tokens, base_line),
+                   ids=ids, object_ids=frozenset(object_ids),
+                   tokenful=tokenful,
+                   newline_count=text.count("\n"))
+
+
+def _function(name: str, text: str, tokens: list[Token],
+              base_line: int) -> Segment:
+    return Segment("function", text, name=name,
+                   token_hash=_hash_tokens(tokens, base_line),
+                   ids=frozenset(t.text for t in tokens
+                                 if t.kind is ID),
+                   tokenful=True, newline_count=text.count("\n"))
+
+
+def segment_file(text: str, name: str = "<file>") -> SegmentedFile:
+    """Tile ``text`` into interstitial/function segments.
+
+    Raises :class:`UnsupportedLayout` for shapes the tiling cannot
+    represent soundly; raises nothing else for any text the master
+    lexer accepts.
+    """
+    if "\\\n" in text:
+        # Line splices shift every downstream offset; the whole-file
+        # path handles them, the segment model does not.
+        raise UnsupportedLayout("line splice (backslash-newline)")
+    try:
+        tokens = Lexer(SourceFile(name, text),
+                       preprocessor_mode=True).tokenize()
+    except LexError as exc:
+        raise UnsupportedLayout(f"lex error: {exc}") from exc
+    directive = _directive_token_indices(tokens)
+
+    # Find depth-0 function definitions: ``... name ( ... ) {``.
+    spans = []          # (first_token_index, last_token_index, name)
+    depth = 0
+    i = 0
+    significant = [idx for idx, t in enumerate(tokens)
+                   if idx not in directive
+                   and t.kind is not NEWLINE and t.kind is not EOF]
+    sig_pos = {idx: k for k, idx in enumerate(significant)}
+    while i < len(tokens):
+        tok = tokens[i]
+        if i in directive or tok.kind is NEWLINE or tok.kind is EOF:
+            i += 1
+            continue
+        if tok.kind is PUNCT and tok.text == "{":
+            is_fn, name_idx, start_idx = _match_heading(
+                tokens, significant, sig_pos, i, spans)
+            close = _matching_brace(tokens, significant, sig_pos, i)
+            if close is None:
+                raise UnsupportedLayout("unbalanced braces")
+            if is_fn and depth == 0:
+                spans.append((start_idx, close, tokens[name_idx].text))
+            # Skip the whole braced region (tracked spans are depth-0).
+            i = close + 1
+            continue
+        if tok.kind is PUNCT and tok.text == "}":
+            raise UnsupportedLayout("unbalanced braces")
+        i += 1
+
+    names = [n for _, _, n in spans]
+    if len(set(names)) != len(names):
+        raise UnsupportedLayout("duplicate function definition")
+
+    segments: list[Segment] = []
+    pos = 0
+    cursor = 0                  # next unconsumed token (tokens are in
+    for start_idx, close_idx, fn_name in spans:     # offset order)
+        first = tokens[start_idx]
+        head_begin = first.offset - (first.col - 1)
+        if head_begin < pos:
+            raise UnsupportedLayout(
+                f"function {fn_name} shares a line with earlier code")
+        end = tokens[close_idx].offset + len(tokens[close_idx].text)
+        inter_tokens = []
+        while cursor < start_idx:
+            t = tokens[cursor]
+            if pos <= t.offset and t.offset + len(t.text) <= head_begin:
+                inter_tokens.append(t)
+            cursor += 1
+        segments.append(_interstitial(
+            text[pos:head_begin], inter_tokens,
+            inter_tokens[0].line if inter_tokens else 1))
+        segments.append(_function(
+            fn_name, text[head_begin:end],
+            tokens[start_idx:close_idx + 1], first.line))
+        cursor = close_idx + 1
+        pos = end
+    tail_tokens = [t for t in tokens[cursor:]
+                   if t.offset >= pos and t.kind is not EOF]
+    segments.append(_interstitial(
+        text[pos:], tail_tokens,
+        tail_tokens[0].line if tail_tokens else 1))
+    return SegmentedFile(name, text, segments)
+
+
+def _match_heading(tokens, significant, sig_pos, brace_idx, spans):
+    """Is the ``{`` at ``brace_idx`` a function-definition body?  Returns
+    ``(is_function, name_token_index, heading_start_index)``."""
+    k = sig_pos.get(brace_idx)
+    if k is None or k == 0:
+        return False, -1, -1
+    prev = tokens[significant[k - 1]]
+    if not (prev.kind is PUNCT and prev.text == ")"):
+        return False, -1, -1
+    # Walk back across the balanced parameter list to its '('.
+    depth = 0
+    j = k - 1
+    while j >= 0:
+        t = tokens[significant[j]]
+        if t.kind is PUNCT and t.text == ")":
+            depth += 1
+        elif t.kind is PUNCT and t.text == "(":
+            depth -= 1
+            if depth == 0:
+                break
+        j -= 1
+    if j <= 0:
+        return False, -1, -1
+    name_tok_idx = significant[j - 1]
+    if tokens[name_tok_idx].kind is not ID:
+        return False, -1, -1
+    # Heading starts after the previous ';', '}', or directive line —
+    # i.e. at the first specifier token of this declaration.
+    h = j - 1
+    start_idx = name_tok_idx
+    prev_end = spans[-1][1] if spans else -1
+    while h - 1 >= 0:
+        t_idx = significant[h - 1]
+        t = tokens[t_idx]
+        if t_idx <= prev_end or (t.kind is PUNCT and
+                                 t.text in (";", "}", ")")):
+            break
+        start_idx = t_idx
+        h -= 1
+    return True, name_tok_idx, start_idx
+
+
+def _matching_brace(tokens, significant, sig_pos, open_idx):
+    """Token index of the ``}`` closing the ``{`` at ``open_idx``."""
+    depth = 0
+    k = sig_pos[open_idx]
+    for idx in significant[k:]:
+        t = tokens[idx]
+        if t.kind is PUNCT:
+            if t.text == "{":
+                depth += 1
+            elif t.text == "}":
+                depth -= 1
+                if depth == 0:
+                    return idx
+    return None
+
+
+# ---------------------------------------------------------------- patching
+
+def _common_prefix(a: str, b: str) -> int:
+    """Length of the longest common prefix (C-speed slice compares)."""
+    lo, hi = 0, min(len(a), len(b))
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if a[:mid] == b[:mid]:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def _common_suffix(a: str, b: str, limit: int) -> int:
+    lo, hi = 0, min(limit, min(len(a), len(b)))
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if a[len(a) - mid:] == b[len(b) - mid:]:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def patch_segment(old: SegmentedFile,
+                  new_text: str) -> SegmentedFile | None:
+    """Re-tile ``new_text`` by reusing ``old``'s segments when the edit
+    is confined to the interior of exactly one function tile.
+
+    Segments are position-independent (no offsets, relative token
+    hashes), so only the edited function needs re-lexing — with its two
+    neighbouring interstitials as context, which reproduces the lexer
+    state a whole-file pass would have (function tiles always start at
+    column 1 of a fresh line).  Returns ``None`` whenever the fast path
+    cannot *prove* the resulting tiling equals ``segment_file(new_text)``
+    — callers then fall back to the full pass; a ``None`` is never a
+    correctness signal, only a latency one.
+    """
+    old_text = old.text
+    if new_text == old_text:
+        return old
+    if "\\\n" in new_text:
+        return None                     # segment_file would reject it
+    prefix = _common_prefix(old_text, new_text)
+    suffix = _common_suffix(old_text, new_text,
+                            min(len(old_text), len(new_text)) - prefix)
+    changed_end = len(old_text) - suffix
+    delta = len(new_text) - len(old_text)
+
+    offsets = old.segment_offsets()
+    idx = next((i for i, seg in enumerate(old.segments)
+                if seg.is_function
+                and offsets[i] <= prefix
+                and changed_end <= offsets[i] + len(seg.text)), None)
+    if idx is None:
+        return None                     # edit not inside one function
+    start = offsets[idx]
+    end = start + len(old.segments[idx].text)
+    fragment = new_text[start:end + delta]
+    before = old.segments[idx - 1].text
+    after = old.segments[idx + 1].text
+    try:
+        chunk = segment_file(before + fragment + after, old.name)
+    except UnsupportedLayout:
+        return None
+    # The chunk must tile as [before][one function][after] exactly —
+    # anything else means the edit moved a boundary or split the tile.
+    if (len(chunk.segments) != 3
+            or not chunk.segments[1].is_function
+            or chunk.segments[0].text != before
+            or chunk.segments[2].text != after):
+        return None
+    new_tile = chunk.segments[1]
+    old_name = old.segments[idx].name
+    if new_tile.name != old_name and new_tile.name in old.functions():
+        return None                     # rename onto an existing name
+    segments = list(old.segments)
+    segments[idx] = new_tile
+    return SegmentedFile(old.name, new_text, segments)
+
+
+# -------------------------------------------------------------------- diff
+
+@dataclass
+class FuncDiff:
+    """What changed between two segmentations of the same file."""
+
+    changed: frozenset          # same name, different token hash
+    inserted: frozenset
+    deleted: frozenset
+    reordered: bool             # common names appear in a new order
+    preamble_changed: bool
+    #: Names of *all* functions whose content differs — the union the
+    #: validation layer treats as behaviourally suspect.
+    dirty: frozenset = frozenset()
+
+    @property
+    def no_op(self) -> bool:
+        """Nothing invalidated: every function matched by hash, the
+        preamble matched, and no definition moved."""
+        return not (self.changed or self.inserted or self.deleted
+                    or self.reordered or self.preamble_changed)
+
+
+def diff_files(old: SegmentedFile, new: SegmentedFile) -> FuncDiff:
+    """Match function segments by name and compare token hashes."""
+    old_fns = old.functions()
+    new_fns = new.functions()
+    changed = frozenset(
+        name for name, seg in new_fns.items()
+        if name in old_fns and old_fns[name].token_hash != seg.token_hash)
+    inserted = frozenset(new_fns) - frozenset(old_fns)
+    deleted = frozenset(old_fns) - frozenset(new_fns)
+    common_old = [n for n in old.function_order() if n in new_fns]
+    common_new = [n for n in new.function_order() if n in old_fns]
+    return FuncDiff(
+        changed=changed, inserted=inserted, deleted=deleted,
+        reordered=common_old != common_new,
+        preamble_changed=(old.preamble.token_hash
+                          != new.preamble.token_hash),
+        dirty=changed | inserted | deleted)
+
+
+# -------------------------------------------------- coupling / components
+
+def components(segmented: SegmentedFile) -> dict[str, frozenset]:
+    """Partition functions into coupling components.
+
+    Two functions belong to one component when any chain of *connector
+    names* links them: a defined function's name referenced by another
+    function, or a preamble-declared global object's name referenced by
+    both.  Any analysis or transform fact of one function that could
+    depend on another's body must flow through such a name, so a
+    component is the sound unit of per-function artifact reuse.
+
+    Returns ``{function_name: frozenset(component members)}``.
+    """
+    fn_names = set(segmented.function_order())
+    connectors = set(fn_names)
+    connectors.update(segmented.preamble.object_ids)
+
+    parent: dict[str, str] = {}
+
+    def find(x: str) -> str:
+        while parent.setdefault(x, x) != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    for seg in segmented.segments:
+        if not seg.is_function:
+            continue
+        find(seg.name)
+        for ref in seg.ids & connectors:
+            if ref != seg.name:
+                union(seg.name, ref)
+    groups: dict[str, set] = {}
+    for fn in fn_names:
+        groups.setdefault(find(fn), set()).add(fn)
+    return {fn: frozenset(groups[find(fn)]) for fn in fn_names}
+
+
+def dirty_closure(segmented: SegmentedFile,
+                  dirty_names: frozenset) -> frozenset:
+    """Every function whose artifacts may be stale after the functions
+    in ``dirty_names`` changed: the union of the coupling components
+    touching any dirty name (deleted functions count as touched names
+    even though they no longer have a segment)."""
+    comp = components(segmented)
+    out = set(dirty_names)
+    dirty_connectors = set(dirty_names)
+    for seg in segmented.segments:
+        if seg.is_function and seg.ids & dirty_connectors:
+            out.add(seg.name)
+    for name in list(out):
+        out.update(comp.get(name, frozenset()))
+    return frozenset(out)

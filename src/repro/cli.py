@@ -369,7 +369,29 @@ def cmd_backends(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_watch(args: argparse.Namespace) -> int:
+    import os
+
+    from .core.watch import WatchLoop
+
+    if not os.path.exists(args.path):
+        print(f"error: {args.path} does not exist", file=sys.stderr)
+        return 2
+    loop = WatchLoop(args.path, profile=args.profile,
+                     validate=not args.no_validate, fuzz_seed=args.seed,
+                     json_output=args.json)
+    if args.once:
+        loop.scan_once(force=True)
+        return 0
+    # Banner on stderr so a piped --json stream stays pure JSONL.
+    print(f"[watch] watching {args.path} "
+          f"(poll {loop.interval_s}s, debounce {loop.debounce_s}s, "
+          f"Ctrl-C to stop)", file=sys.stderr, flush=True)
+    return loop.run()
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
+    from .cfront.cache import stats_by_family
     from .core.store import SCHEMA_VERSION, get_store
 
     store = get_store()
@@ -413,6 +435,15 @@ def cmd_cache(args: argparse.Namespace) -> int:
     print("\n".join(rows))
     print(f"  {'(total)':<11} {total_entries:>7} entries  "
           f"{total_bytes:>10} bytes")
+    process = stats_by_family()
+    if any(s.lookups for s in process.values()):
+        print("this process (memory LRU + disk layer, by family):")
+        for family, s in sorted(process.items()):
+            if not s.lookups:
+                continue
+            print(f"  {family:<11} hits={s.hits} misses={s.misses} "
+                  f"disk_hits={s.disk_hits} disk_misses={s.disk_misses} "
+                  f"hit_rate={100.0 * s.hit_rate:.1f}%")
     stale = store.stale_versions()
     if stale:
         print(f"  {len(stale)} stale version dir(s) — run "
@@ -537,6 +568,22 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--max-age-days", type=float, default=None,
                        help="gc entries older than this many days")
     cache.set_defaults(func=cmd_cache)
+
+    watch = sub.add_parser(
+        "watch", help="watch a .c file or directory and re-analyze "
+                      "edits incrementally (function-granular)")
+    watch.add_argument("path", help=".c file or directory to watch")
+    watch.add_argument("--profile", choices=("glib", "c11"),
+                       default="glib", help="SLR replacement profile")
+    watch.add_argument("--no-validate", action="store_true",
+                       help="skip the differential oracle on each edit")
+    watch.add_argument("--seed", type=int, default=None,
+                       help="fuzz-input seed for the oracle")
+    watch.add_argument("--json", action="store_true",
+                       help="one JSON record per update instead of text")
+    watch.add_argument("--once", action="store_true",
+                       help="analyze everything once and exit (no loop)")
+    watch.set_defaults(func=cmd_watch)
 
     run = sub.add_parser("run", help="run a C file in the checked VM")
     run.add_argument("file")

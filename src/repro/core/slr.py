@@ -107,7 +107,8 @@ class SafeLibraryReplacement(Transformation):
     def __init__(self, text: str, filename: str = "<unit>",
                  profile: str = "glib", *, check_aliases: bool = True,
                  memcpy_option1: bool = True,
-                 fix_ternary_alloc: bool = False, **kwargs):
+                 fix_ternary_alloc: bool = False,
+                 reserved_names: frozenset = frozenset(), **kwargs):
         super().__init__(text, filename, **kwargs)
         if profile not in PROFILES:
             raise ValueError(f"unknown SLR profile {profile!r}; "
@@ -122,7 +123,18 @@ class SafeLibraryReplacement(Transformation):
         # inline ternary even when the length variable is read later.
         self.memcpy_option1 = memcpy_option1
         self._needed_decls: set[str] = set()
-        self._used_names: set[str] | None = None
+        #: Which function requested which declarations — harvested by the
+        #: incremental engine so replayed components can reconstruct the
+        #: finalize block without re-running their sites.
+        self.decls_by_function: dict[str, set[str]] = {}
+        self._site_function: str = ""
+        #: Extra identifiers fresh names must avoid.  The incremental
+        #: engine passes the identifier set of the *full* file here when
+        #: transforming a reduced unit, making name allocation identical
+        #: to a whole-file run.
+        self.reserved_names = frozenset(reserved_names)
+        self._base_names: set[str] | None = None
+        self._allocated: dict[str, set[str]] = {}
 
     # ------------------------------------------------------------- targets
 
@@ -148,6 +160,7 @@ class SafeLibraryReplacement(Transformation):
             return SiteOutcome(**base, status=PRECONDITION_FAILED,
                                reason="not-unsafe-function",
                                detail=f"{callee} is not handled by SLR")
+        self._site_function = base["function"] or ""
         handler = {
             "strcpy": self._replace_str2,
             "strcat": self._replace_str2,
@@ -245,8 +258,8 @@ class SafeLibraryReplacement(Transformation):
                 call.extent,
                 f" ? ({dest_text}[strcspn({dest_text}, \"\\n\")] = "
                 f"'\\0', {dest_text}) : (char *)0)")
-            self._needed_decls.add("strcspn")
-            self._needed_decls.add("fgets")
+            self._note_decl("strcspn")
+            self._note_decl("fgets")
             self._note_decls("fgets", length)
             return self._ok(base)
         self._rename_callee(call, "fgets")
@@ -254,7 +267,7 @@ class SafeLibraryReplacement(Transformation):
                                    f", {length.render()}, stdin")
         # fgets keeps the trailing newline that gets strips: add the
         # newline-removal epilogue after the statement (paper §III-B2).
-        check = self._fresh_name("check")
+        check = self._fresh_name("check", self._site_function)
         if self._owns_its_lines(stmt):
             indent = line_indent(self.text, stmt.extent.start)
             epilogue = (
@@ -276,11 +289,11 @@ class SafeLibraryReplacement(Transformation):
                 stmt.extent.end,
                 f" char *{check} = strchr({dest_text}, '\\n'); "
                 f"if ({check}) {{ *{check} = '\\0'; }} }}")
-        self._needed_decls.add("strchr")
+        self._note_decl("strchr")
         # Added directly (not via _note_decls): "fgets" has no entry in
         # _DECLARATIONS — its prototype rides with the FILE/stdin block
         # below — but finalize keys that block on this set membership.
-        self._needed_decls.add("fgets")
+        self._note_decl("fgets")
         self._note_decls("fgets", length)
         return self._ok(base)
 
@@ -395,27 +408,48 @@ class SafeLibraryReplacement(Transformation):
     def _rename_callee(self, call: ast.Call, new_name: str) -> None:
         self.rewriter.replace(call.func.extent, new_name)
 
+    def _note_decl(self, name: str) -> None:
+        self._needed_decls.add(name)
+        self.decls_by_function.setdefault(self._site_function,
+                                          set()).add(name)
+
     def _note_decls(self, new_name: str, length: BufferLength) -> None:
         if new_name in _DECLARATIONS:
-            self._needed_decls.add(new_name)
+            self._note_decl(new_name)
         if length.kind == "heap":
-            self._needed_decls.add("malloc_usable_size")
+            self._note_decl("malloc_usable_size")
 
-    def _fresh_name(self, base: str) -> str:
-        """A temporary name no declaration (or any other identifier) in
-        the unit already uses — a bare ``check`` would otherwise capture
-        a user variable of the same name in scope."""
-        if self._used_names is None:
+    def _fresh_name(self, base: str, scope: str | None = None) -> str:
+        """A temporary name nothing in the unit already uses — a bare
+        ``check`` would otherwise capture (or redeclare) a user variable
+        of the same name in scope.
+
+        Names are allocated per ``scope`` (the enclosing function):
+        serials restart in every function, so the name chosen for a site
+        depends only on that function's own text and earlier sites — not
+        on how many sites other functions contain.  That independence is
+        what lets the incremental engine re-run one function and obtain
+        the bytes a whole-file run would have produced.  ``scope=None``
+        (finalize-level names) additionally avoids every per-function
+        allocation.
+        """
+        if self._base_names is None:
             names = set(_IDENTIFIER.findall(self.text))
             names.update(s.name
                          for s in self.analysis.symbols.all_symbols)
-            self._used_names = names
+            names.update(self.reserved_names)
+            self._base_names = names
+        taken = self._allocated.setdefault(scope or "", set())
+        avoid = self._base_names | taken
+        if scope is None:
+            for allocated in self._allocated.values():
+                avoid = avoid | allocated
         candidate = base
         serial = 1
-        while candidate in self._used_names:
+        while candidate in avoid:
             serial += 1
             candidate = f"{base}_{serial}"
-        self._used_names.add(candidate)
+        taken.add(candidate)
         return candidate
 
     def _ok(self, base: dict) -> SiteOutcome:
@@ -426,24 +460,8 @@ class SafeLibraryReplacement(Transformation):
                            reason=reason, detail=detail)
 
     def finalize(self) -> None:
-        decls = [
-            _DECLARATIONS[name]
-            for name in sorted(self._needed_decls)
-            if name in _DECLARATIONS and not _already_declared(self.text,
-                                                               name)
-        ]
-        if decls:
-            block = ("/* Declarations added by SAFE LIBRARY REPLACEMENT "
-                     "(link with -lglib-2.0). */\n" + "\n".join(decls)
-                     + "\n\n")
+        for block in finalize_blocks(self.text, self._needed_decls):
             self.rewriter.insert_before(0, block)
-        # fgets needs FILE/stdin; declare them if the program lacks stdio.
-        if "fgets" in self._needed_decls and \
-                "stdin" not in self.text:
-            self.rewriter.insert_before(
-                0, "typedef struct _FILE FILE;\n"
-                   "extern FILE *stdin;\n"
-                   "char *fgets(char *s, int size, FILE *stream);\n\n")
 
 
 class TR24731Replacement(SafeLibraryReplacement):
@@ -531,6 +549,33 @@ def _already_declared(text: str, name: str) -> bool:
         elif depth == 0:
             return True
     return False
+
+
+def finalize_blocks(text: str, needed_decls: set) -> list[str]:
+    """The finalize-stage blocks SLR inserts at offset 0, in queue
+    order, as a pure function of the input text and the union of
+    per-site declaration needs.
+
+    Shared between :meth:`SafeLibraryReplacement.finalize` and the
+    incremental engine, which recomputes the blocks from merged cached
+    per-function needs instead of re-running every site.
+    """
+    blocks = []
+    decls = [
+        _DECLARATIONS[name]
+        for name in sorted(needed_decls)
+        if name in _DECLARATIONS and not _already_declared(text, name)
+    ]
+    if decls:
+        blocks.append("/* Declarations added by SAFE LIBRARY REPLACEMENT "
+                      "(link with -lglib-2.0). */\n" + "\n".join(decls)
+                      + "\n\n")
+    # fgets needs FILE/stdin; declare them if the program lacks stdio.
+    if "fgets" in needed_decls and "stdin" not in text:
+        blocks.append("typedef struct _FILE FILE;\n"
+                      "extern FILE *stdin;\n"
+                      "char *fgets(char *s, int size, FILE *stream);\n\n")
+    return blocks
 
 
 def apply_slr(text: str, filename: str = "<unit>",

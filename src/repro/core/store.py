@@ -57,9 +57,13 @@ SCHEMA_VERSION = 1
 
 #: Artifact families the pipeline persists.  ``site`` holds the
 #: single-site candidate texts site-mode arbitration composes from,
-#: keyed per (backend, site identity, input text).
+#: keyed per (backend, site identity, input text).  ``func`` holds
+#: function-granular incremental artifacts — per-component preprocessed
+#: renders and transform outcomes keyed on (stage, function token hash,
+#: headers/preamble fingerprint) — so an unchanged function hits disk
+#: across edits even though the whole-file keys all miss.
 FAMILIES = ("preprocess", "parse", "slr", "str", "backend", "site",
-            "validate", "execute")
+            "validate", "execute", "func")
 
 #: Abandoned temp files older than this are garbage (a crashed writer);
 #: live writers hold a temp file for milliseconds.

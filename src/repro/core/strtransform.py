@@ -822,14 +822,22 @@ class SafeTypeReplacement(Transformation):
         return None
 
     def finalize(self) -> None:
-        if not self._any_transformed:
-            return
-        if "stralloc_ready" in self.text:
-            return      # stralloc.h already included / previously added
-        from .stralloc import STRALLOC_DECLARATIONS
-        self.rewriter.insert_before(
-            0, "/* Declarations added by SAFE TYPE REPLACEMENT. */\n"
-               + STRALLOC_DECLARATIONS + "\n")
+        for block in finalize_blocks(self.text, self._any_transformed):
+            self.rewriter.insert_before(0, block)
+
+
+def finalize_blocks(text: str, any_transformed: bool) -> list[str]:
+    """The finalize-stage blocks STR inserts at offset 0, as a pure
+    function of the input text and whether any site was rewritten —
+    shared with the incremental engine, which reconstructs the block
+    from cached per-function outcomes."""
+    if not any_transformed:
+        return []
+    if "stralloc_ready" in text:
+        return []       # stralloc.h already included / previously added
+    from .stralloc import STRALLOC_DECLARATIONS
+    return ["/* Declarations added by SAFE TYPE REPLACEMENT. */\n"
+            + STRALLOC_DECLARATIONS + "\n"]
 
 
 def _contains(root: ast.Node, target: ast.Node) -> bool:

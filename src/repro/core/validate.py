@@ -31,7 +31,6 @@ so serial and fork-pool validation verdicts are byte-identical.
 
 from __future__ import annotations
 
-import os
 import zlib
 from dataclasses import dataclass, field
 from random import Random
@@ -39,6 +38,7 @@ from random import Random
 from ..cfront.cache import ContentCache, content_key
 from ..vm.interp import ExecutionResult, run_source
 from . import profile
+from .envknobs import int_knob
 
 VERDICT_IDENTICAL = "identical"
 VERDICT_PREVENTED = "overflow-prevented"
@@ -69,23 +69,14 @@ DEFAULT_MEM_LIMIT = 64 * 1024 * 1024
 def oracle_step_limit() -> int:
     """Per-run step budget for oracle executions
     (``REPRO_VALIDATE_STEPS``, default :data:`DEFAULT_STEP_LIMIT`)."""
-    raw = os.environ.get("REPRO_VALIDATE_STEPS", "")
-    try:
-        value = int(raw) if raw else DEFAULT_STEP_LIMIT
-    except ValueError:
-        return DEFAULT_STEP_LIMIT
-    return value if value > 0 else DEFAULT_STEP_LIMIT
+    return int_knob("REPRO_VALIDATE_STEPS", DEFAULT_STEP_LIMIT)
 
 
 def oracle_mem_limit() -> int | None:
     """Per-run allocation budget for oracle executions
     (``REPRO_VALIDATE_MEM`` bytes, default :data:`DEFAULT_MEM_LIMIT`;
     0 disables the budget)."""
-    raw = os.environ.get("REPRO_VALIDATE_MEM", "")
-    try:
-        value = int(raw) if raw else DEFAULT_MEM_LIMIT
-    except ValueError:
-        return DEFAULT_MEM_LIMIT
+    value = int_knob("REPRO_VALIDATE_MEM", DEFAULT_MEM_LIMIT, minimum=0)
     return value if value > 0 else None
 
 
@@ -141,11 +132,8 @@ def file_seed(filename: str, base_seed: int | None = None) -> int:
     """Per-file fuzz seed: stable across processes and orderings (uses
     ``zlib.crc32``, not the salted builtin ``hash``)."""
     if base_seed is None:
-        try:
-            base_seed = int(os.environ.get("REPRO_VALIDATE_SEED",
-                                           str(DEFAULT_FUZZ_SEED)))
-        except ValueError:
-            base_seed = DEFAULT_FUZZ_SEED
+        base_seed = int_knob("REPRO_VALIDATE_SEED", DEFAULT_FUZZ_SEED,
+                             minimum=None)
     return base_seed ^ zlib.crc32(filename.encode("utf-8", "replace"))
 
 
@@ -347,22 +335,118 @@ def validate_pair(original: str, transformed: str, *,
                       *_inputs_key_parts(inputs))
 
     def build() -> ValidationReport:
-        verdicts = []
-        for probe in inputs:
-            before = cached_run_source(original, stdin=probe.stdin,
-                                       step_limit=step_limit,
-                                       mem_limit=mem_limit, entry=entry)
-            after = cached_run_source(transformed, stdin=probe.stdin,
-                                      step_limit=step_limit,
-                                      mem_limit=mem_limit, entry=entry)
-            verdict, detail = classify(before, after)
-            verdicts.append(InputVerdict(probe, verdict, detail,
-                                         before.fault or "",
-                                         after.fault or ""))
-        return ValidationReport(filename, verdicts)
+        return _run_probes(original, transformed, filename, inputs,
+                           step_limit, mem_limit, entry)
 
     with profile.stage("validate"):
         return _VALIDATE_CACHE.get_or_build(key, build)
+
+
+def _probe_verdict(probe: DifferentialInput, before: ExecutionResult,
+                   after: ExecutionResult) -> InputVerdict:
+    verdict, detail = classify(before, after)
+    return InputVerdict(probe, verdict, detail, before.fault or "",
+                        after.fault or "")
+
+
+def _run_probes(original: str, transformed: str, filename: str,
+                inputs: list[DifferentialInput], step_limit: int,
+                mem_limit: int | None, entry: str,
+                runs: dict | None = None) -> ValidationReport:
+    """Execute every probe on both texts and classify; optionally
+    record the ``(before, after)`` result pair per probe in ``runs``."""
+    verdicts = []
+    for probe in inputs:
+        before = cached_run_source(original, stdin=probe.stdin,
+                                   step_limit=step_limit,
+                                   mem_limit=mem_limit, entry=entry)
+        after = cached_run_source(transformed, stdin=probe.stdin,
+                                  step_limit=step_limit,
+                                  mem_limit=mem_limit, entry=entry)
+        if runs is not None:
+            runs[probe.name] = (before, after)
+        verdicts.append(_probe_verdict(probe, before, after))
+    return ValidationReport(filename, verdicts)
+
+
+class IncrementalValidator:
+    """Per-file differential oracle with probe-level execution reuse.
+
+    Holds the :class:`ExecutionResult` pair of every probe from the last
+    validated text pair.  On the next edit, a probe whose previous runs
+    never *entered* a dirty function (see ``ExecutionResult.entered``)
+    is re-classified from the stored results instead of re-executed: all
+    code either run could reach is byte-identical, so by induction over
+    VM steps the new runs would reproduce the old observables exactly —
+    reuse changes latency, never verdicts.
+
+    ``dirty`` must name every function whose definition differs between
+    the previous and current text pair (on either side), including
+    inserted and deleted ones; callers pass ``None`` for "unknown", which
+    disables reuse for that update.  Changes outside function bodies
+    (globals, directives) invalidate the whole file — callers must pass
+    ``None`` then, as the incremental engine's preamble guard does.
+    """
+
+    def __init__(self, filename: str = "<unit>", *, entry: str = "main"):
+        self.filename = filename
+        self.entry = entry
+        self._runs: dict[str, tuple[ExecutionResult, ExecutionResult]] = {}
+        self._basis: tuple[str, str] | None = None
+        #: Probe-execution accounting for diagnostics/bench.
+        self.reused_probes = 0
+        self.executed_probes = 0
+
+    def validate(self, original: str, transformed: str,
+                 dirty: frozenset | None = None, *,
+                 inputs: list[DifferentialInput] | None = None,
+                 step_limit: int | None = None,
+                 mem_limit: int | None = None) -> ValidationReport:
+        if original == transformed:
+            # Mirror validate_pair's short-circuit.  No runs were taken,
+            # so the stored basis no longer matches the next edit's
+            # dirty set — drop it and re-execute next time.
+            self._runs.clear()
+            self._basis = None
+            return ValidationReport(self.filename, [], unchanged=True)
+        if inputs is None:
+            inputs = default_inputs(self.filename)
+        if step_limit is None:
+            step_limit = oracle_step_limit()
+        if mem_limit is None:
+            mem_limit = oracle_mem_limit()
+        new_runs: dict[str, tuple[ExecutionResult, ExecutionResult]] = {}
+        verdicts = []
+        reusable = dirty is not None and self._basis is not None
+        with profile.stage("validate"):
+            for probe in inputs:
+                prev = self._runs.get(probe.name) if reusable else None
+                if prev is not None and \
+                        not ((prev[0].entered | prev[1].entered)
+                             & dirty):
+                    before, after = prev
+                    self.reused_probes += 1
+                else:
+                    before = cached_run_source(
+                        original, stdin=probe.stdin,
+                        step_limit=step_limit, mem_limit=mem_limit,
+                        entry=self.entry)
+                    after = cached_run_source(
+                        transformed, stdin=probe.stdin,
+                        step_limit=step_limit, mem_limit=mem_limit,
+                        entry=self.entry)
+                    self.executed_probes += 1
+                new_runs[probe.name] = (before, after)
+                verdicts.append(_probe_verdict(probe, before, after))
+        self._runs = new_runs
+        self._basis = (original, transformed)
+        report = ValidationReport(self.filename, verdicts)
+        # Publish under the whole-pair key too, so a later cold
+        # ``validate_pair`` on the same pair is a disk hit.
+        key = content_key("validate", self.filename, original,
+                          transformed, str(step_limit), str(mem_limit),
+                          self.entry, *_inputs_key_parts(inputs))
+        return _VALIDATE_CACHE.get_or_build(key, lambda: report)
 
 
 def validate_result(result, *, filename: str = "<unit>",

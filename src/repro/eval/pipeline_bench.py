@@ -125,6 +125,121 @@ def run_benchmark(*, scale: float = 0.05, limit: int = 24,
     return records
 
 
+def watch_fixture(functions: int = 96) -> tuple[str, str, str]:
+    """A multi-function watch fixture: ``(base, edited, dirty_name)``.
+
+    ``functions`` worker functions (only the first two called from
+    ``main``) plus a ``main`` that reads stdin; the edit touches the
+    last worker's body — one function out of many, uncalled on the
+    probe inputs, so the incremental path re-transforms one singleton
+    component and reuses every oracle probe.
+    """
+    # Minimal declarations instead of full header expansion: the
+    # preamble rides along in every reduced per-component unit, so a
+    # lean preamble keeps the incremental path's parses proportional to
+    # the edit, not to the headers.
+    parts = ["typedef struct _FILE FILE;\n"
+             "extern FILE *stdin;\n"
+             "char *fgets(char *s, int size, FILE *stream);\n"
+             "int printf(const char *fmt, ...);\n"
+             "char *strcpy(char *dest, const char *src);\n"
+             "char *strcat(char *dest, const char *src);\n\n"]
+    for i in range(functions):
+        parts.append(
+            f"void worker{i}(const char *src) {{\n"
+            f"    char buf[16];\n"
+            f"    char aux[24];\n"
+            f"    strcpy(buf, src);\n"
+            f"    strcat(aux, src);\n"
+            f'    printf("w{i} %s %s\\n", buf, aux);\n'
+            f"}}\n\n")
+    parts.append(
+        "int main(void) {\n"
+        "    char line[32];\n"
+        "    fgets(line, sizeof line, stdin);\n"
+        "    worker0(line);\n"
+        "    worker1(line);\n"
+        "    return 0;\n"
+        "}\n")
+    base = "".join(parts)
+    dirty = f"worker{functions - 1}"
+    edited = base.replace(f'printf("w{functions - 1} %s %s\\n", buf, aux);',
+                          f'printf("w{functions - 1}: %s %s\\n", buf, aux);')
+    assert edited != base
+    return base, edited, dirty
+
+
+def run_incremental_benchmark(*, functions: int = 96,
+                              seed: int = 0) -> dict:
+    """The ``incremental`` leg: edit-to-verdict latency of a warm
+    :class:`repro.core.incremental.IncrementalEngine` on a one-function
+    edit, against the cold pipeline on the same edited text.
+
+    The cold leg runs with cleared memory caches and the disk layer off,
+    so it measures exactly what a from-scratch ``transform_file`` pays;
+    byte-identity of transformed text, per-site outcomes, and verdicts
+    is asserted, not assumed.
+    """
+    import os
+
+    from ..cfront.cache import clear_all_caches
+    from ..core.batch import FileTask, transform_file
+    from ..core.incremental import IncrementalEngine, _FUNC_CACHE
+    from ..core.session import get_session, reset_session
+
+    filename = "watch_fixture.c"
+    base, edited, dirty = watch_fixture(functions)
+
+    engine = IncrementalEngine(filename, fuzz_seed=seed)
+    warm = engine.update(base)
+    assert warm.mode == "full", (warm.mode, warm.reason)
+    update = engine.update(edited)
+
+    # Cold reference: empty memory caches, disk layer off for the
+    # duration so nothing the warm engine published can be replayed.
+    clear_all_caches()
+    reset_session()
+    old_disk = os.environ.get("REPRO_DISK_CACHE")
+    os.environ["REPRO_DISK_CACHE"] = "0"
+    try:
+        session = get_session()
+        start = time.perf_counter()
+        pp = session.preprocess(edited, filename).text
+        cold = transform_file(FileTask(filename, pp, validate=True,
+                                       fuzz_seed=seed), session)
+        cold_wall = time.perf_counter() - start
+    finally:
+        if old_disk is None:
+            del os.environ["REPRO_DISK_CACHE"]
+        else:
+            os.environ["REPRO_DISK_CACHE"] = old_disk
+
+    cold_outcomes = [o for result in (cold.slr, cold.str_) if result
+                     for o in result.outcomes]
+    incremental_outcomes = list(update.slr_outcomes) \
+        + list(update.str_outcomes)
+    speedup = cold_wall / update.wall_s if update.wall_s > 0 else None
+    return {
+        "functions": functions,
+        "edited_function": dirty,
+        "mode": update.mode,
+        "invalidated": sorted(update.invalidated),
+        "cold_wall_s": round(cold_wall, 4),
+        "incremental_wall_s": round(update.wall_s, 4),
+        "speedup": round(speedup, 2) if speedup else None,
+        "text_identical": update.final_text == cold.final_text,
+        "outcomes_identical": incremental_outcomes == cold_outcomes,
+        "verdicts_identical":
+            update.verdict_counts() == cold.validation.counts(),
+        "verdicts": dict(sorted(update.verdict_counts().items())),
+        "func_cache": {"hits": update.func_hits,
+                       "misses": update.func_misses},
+        "func_cache_process": _FUNC_CACHE.stats.as_dict(),
+        "probes": {"reused": update.probes_reused,
+                   "executed": update.probes_executed},
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Benchmark the transformation pipeline on a sampled "
@@ -148,9 +263,26 @@ def main(argv: list[str] | None = None) -> int:
                         choices=("file", "site"),
                         help="winner selection under --backends: 'file' "
                              "(default) or per-'site' composition")
+    parser.add_argument("--incremental", type=int, default=None,
+                        metavar="N",
+                        help="run the incremental watch-mode leg instead: "
+                             "edit one of N functions in a synthetic "
+                             "fixture and compare a warm engine against "
+                             "the cold pipeline")
     parser.add_argument("--out", default=None,
                         help="write JSON here instead of stdout")
     args = parser.parse_args(argv)
+    if args.incremental is not None:
+        record = run_incremental_benchmark(functions=args.incremental,
+                                           seed=args.seed or 0)
+        payload = json.dumps({"incremental": record}, indent=2,
+                             sort_keys=True) + "\n"
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+        else:
+            sys.stdout.write(payload)
+        return 0
     try:
         runs = run_benchmark(scale=args.scale, limit=args.limit,
                              jobs=args.jobs, repeat=args.repeat,

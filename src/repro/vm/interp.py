@@ -71,12 +71,17 @@ class ExecutionResult:
     """Outcome of one program run."""
 
     def __init__(self, stdout: bytes, exit_code: int | None,
-                 fault: str | None, fault_detail: str, steps: int):
+                 fault: str | None, fault_detail: str, steps: int,
+                 entered: frozenset = frozenset()):
         self.stdout = stdout
         self.exit_code = exit_code
         self.fault = fault
         self.fault_detail = fault_detail
         self.steps = steps
+        #: Names of user-defined functions the run entered — the
+        #: incremental validator's reuse predicate (see
+        #: ``Interpreter.entered``).
+        self.entered = entered
 
     @property
     def ok(self) -> bool:
@@ -153,6 +158,11 @@ class Interpreter:
         self.env_vars = dict(env or {})
         self.steps = 0
         self.step_limit = step_limit
+        #: User-defined functions entered at least once — every call,
+        #: direct or through a function pointer, dispatches through
+        #: :meth:`call_function`.  The incremental validator reuses a
+        #: cached run iff no edited function appears in this set.
+        self.entered: set[str] = set()
         self.functions: dict[str, ast.FunctionDef] = {}
         self.globals: dict[str, tuple[Pointer, CType]] = {}
         self._string_cache: dict[str, Pointer] = {}
@@ -254,20 +264,20 @@ class Interpreter:
         try:
             value = self.call_function(entry, args or [])
             code = value if isinstance(value, int) else 0
-            return ExecutionResult(bytes(self.stdout), code, None, "",
-                                   self.steps)
+            return self._result(code, None, "")
         except ExitProgram as exc:
-            return ExecutionResult(bytes(self.stdout), exc.code, None, "",
-                                   self.steps)
+            return self._result(exc.code, None, "")
         except MemoryFault as exc:
-            return ExecutionResult(bytes(self.stdout), None, exc.kind,
-                                   str(exc), self.steps)
+            return self._result(None, exc.kind, str(exc))
         except StepLimitExceeded as exc:
-            return ExecutionResult(bytes(self.stdout), None, "step-limit",
-                                   str(exc), self.steps)
+            return self._result(None, "step-limit", str(exc))
         except VMError as exc:
-            return ExecutionResult(bytes(self.stdout), None, "vm-error",
-                                   str(exc), self.steps)
+            return self._result(None, "vm-error", str(exc))
+
+    def _result(self, code: int | None, fault: str | None,
+                detail: str) -> ExecutionResult:
+        return ExecutionResult(bytes(self.stdout), code, fault, detail,
+                               self.steps, frozenset(self.entered))
 
     # ------------------------------------------------------------ calling
 
@@ -282,6 +292,7 @@ class Interpreter:
             raise MemoryFault("stack-overflow",
                               f"call depth exceeded {self.MAX_CALL_DEPTH} "
                               f"frames (runaway recursion?)")
+        self.entered.add(name)
         frame = _Frame(name)
         params = fn.params
         for i, param in enumerate(params):

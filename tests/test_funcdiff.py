@@ -1,0 +1,335 @@
+"""Tests for the token-stream function matcher (cfront.funcdiff):
+segmentation tiling, hash-based diffing across edit kinds, coupling
+components, and the layouts that must fall back to whole-file mode."""
+
+import pytest
+
+from repro.cfront.funcdiff import (
+    UnsupportedLayout, components, diff_files, dirty_closure,
+    patch_segment, segment_file,
+)
+
+SOURCE = (
+    "#include <string.h>\n"
+    "#include <stdio.h>\n"
+    "\n"
+    "char shared[32];\n"
+    "\n"
+    "/* helper one */\n"
+    "void alpha(const char *s) {\n"
+    "    char buf[16];\n"
+    "    strcpy(buf, s);\n"
+    "    printf(\"%s\\n\", buf);\n"
+    "}\n"
+    "\n"
+    "static int beta(int x) {\n"
+    "    return x + 1;\n"
+    "}\n"
+    "\n"
+    "void gamma(const char *s) {\n"
+    "    strcpy(shared, s);\n"
+    "}\n"
+    "\n"
+    "int main(void) {\n"
+    "    char line[64];\n"
+    "    fgets(line, sizeof line, stdin);\n"
+    "    alpha(line);\n"
+    "    gamma(line);\n"
+    "    return beta(2);\n"
+    "}\n"
+)
+
+
+def seg(text):
+    return segment_file(text, "demo.c")
+
+
+def test_tiling_reconstructs_text_exactly():
+    sf = seg(SOURCE)
+    assert "".join(s.text for s in sf.segments) == SOURCE
+    assert sf.function_order() == ["alpha", "beta", "gamma", "main"]
+    # Alternating interstitial / function, bookended by interstitials.
+    kinds = [s.kind for s in sf.segments]
+    assert kinds[::2] == ["interstitial"] * 5
+    assert kinds[1::2] == ["function"] * 4
+
+
+def test_preamble_carries_directives_and_globals():
+    sf = seg(SOURCE)
+    assert sf.preamble.tokenful
+    assert "shared" in sf.preamble.object_ids
+    # '#include' names are directive tokens, not object declarations.
+    assert "string" not in sf.preamble.object_ids
+    assert not sf.has_midfile_declarations()
+
+
+def test_function_prototype_is_not_an_object_id():
+    sf = seg("char *gets(char *s);\nint main(void) { return 0; }\n")
+    assert "gets" not in sf.preamble.object_ids
+
+
+def test_body_edit_changes_exactly_one_function():
+    new = SOURCE.replace("return x + 1;", "return x + 2;")
+    d = diff_files(seg(SOURCE), seg(new))
+    assert d.changed == frozenset({"beta"})
+    assert not d.inserted and not d.deleted
+    assert not d.reordered and not d.preamble_changed
+
+
+def test_rename_is_delete_plus_insert():
+    new = SOURCE.replace("beta", "beta_renamed")
+    d = diff_files(seg(SOURCE), seg(new))
+    assert d.deleted == frozenset({"beta"})
+    assert d.inserted == frozenset({"beta_renamed"})
+    # The call site in main changed too.
+    assert d.changed == frozenset({"main"})
+
+
+def test_reorder_is_flagged_without_content_changes():
+    sf = seg(SOURCE)
+    alpha = sf.functions()["alpha"].text
+    beta = sf.functions()["beta"].text
+    swapped = (SOURCE.replace(alpha, "\x00").replace(beta, alpha)
+               .replace("\x00", beta))
+    d = diff_files(sf, seg(swapped))
+    assert d.reordered
+    assert not d.changed and not d.inserted and not d.deleted
+
+
+def test_insertion_between_functions():
+    new = SOURCE.replace(
+        "void gamma",
+        "int delta(void) {\n    return 7;\n}\n\nvoid gamma")
+    d = diff_files(seg(SOURCE), seg(new))
+    assert d.inserted == frozenset({"delta"})
+    assert not d.changed and not d.deleted and not d.reordered
+
+
+def test_deletion_of_a_function():
+    sf = seg(SOURCE)
+    gone = SOURCE.replace(sf.functions()["gamma"].text, "")
+    d = diff_files(sf, seg(gone))
+    assert d.deleted == frozenset({"gamma"})
+    assert not d.changed and not d.inserted
+
+
+def test_comment_edit_is_a_noop_invalidation():
+    new = SOURCE.replace("helper one", "helper number one, edited")
+    d = diff_files(seg(SOURCE), seg(new))
+    assert d.no_op
+
+
+def test_whitespace_only_gap_edit_is_a_noop():
+    new = SOURCE.replace("}\n\nint main", "}\n\n\n\nint main")
+    d = diff_files(seg(SOURCE), seg(new))
+    assert d.no_op
+
+
+def test_string_literal_edit_invalidates_only_its_function():
+    new = SOURCE.replace('"%s\\n"', '"%s !\\n"')
+    d = diff_files(seg(SOURCE), seg(new))
+    assert d.changed == frozenset({"alpha"})
+    assert not d.preamble_changed
+
+
+def test_indentation_change_invalidates_the_function():
+    # The preprocessor re-indents from the first token's column, so a
+    # re-indented body genuinely renders differently.
+    new = SOURCE.replace("    return x + 1;", "        return x + 1;")
+    d = diff_files(seg(SOURCE), seg(new))
+    assert d.changed == frozenset({"beta"})
+
+
+def test_preamble_edit_is_not_charged_to_functions():
+    new = SOURCE.replace("char shared[32];", "char shared[64];")
+    d = diff_files(seg(SOURCE), seg(new))
+    assert d.preamble_changed
+    assert not d.changed
+
+
+def test_components_couple_through_calls_and_globals():
+    comp = components(seg(SOURCE))
+    # main calls everything, gamma shares `shared` — one big component.
+    assert comp["alpha"] == frozenset(
+        {"alpha", "beta", "gamma", "main"})
+
+
+def test_independent_functions_get_singleton_components():
+    text = (
+        "void a(void) { char b[4]; b[0] = 'x'; }\n"
+        "void c(void) { char d[4]; d[0] = 'y'; }\n"
+        "int main(void) { a(); return 0; }\n"
+    )
+    comp = components(seg(text))
+    assert comp["c"] == frozenset({"c"})
+    assert comp["a"] == frozenset({"a", "main"})
+
+
+def test_dirty_closure_spreads_through_references():
+    sf = seg(SOURCE)
+    assert dirty_closure(sf, frozenset({"beta"})) == frozenset(
+        {"alpha", "beta", "gamma", "main"})
+
+
+def test_dirty_closure_for_deleted_name_marks_referencers():
+    text = (
+        "void a(void) { }\n"
+        "void b(void) { a(); }\n"
+        "void c(void) { }\n"
+    )
+    sf = seg(text.replace("void a(void) { }\n", ""))
+    closure = dirty_closure(sf, frozenset({"a"}))
+    assert "b" in closure and "c" not in closure
+
+
+@pytest.mark.parametrize("bad, reason", [
+    ("int f(\\\nvoid) { return 0; }\n", "splice"),
+    ("void f(void) { }\nvoid f(void) { }\n", "duplicate"),
+    ("void f(void) { }\n#define X 1\nvoid g(void) { }\n",
+     "directive below preamble stays, but unbalanced is separate"),
+])
+def test_unsupported_layouts(bad, reason):
+    if "define" in bad:
+        # Directives between functions segment fine — they land in a
+        # tokenful interstitial, which the engine treats as a fallback.
+        sf = segment_file(bad, "x.c")
+        assert sf.has_midfile_declarations()
+    else:
+        with pytest.raises(UnsupportedLayout):
+            segment_file(bad, "x.c")
+
+
+def test_struct_braces_are_not_function_bodies():
+    text = (
+        "struct point { int x; int y; };\n"
+        "struct point origin = { 0, 0 };\n"
+        "int main(void) { return origin.x; }\n"
+    )
+    sf = seg(text)
+    assert sf.function_order() == ["main"]
+    assert "origin" in sf.preamble.object_ids
+
+
+def test_prototype_parameter_names_do_not_couple():
+    # `src` appears in the strcpy prototype and in both bodies, but a
+    # prototype parameter has function-prototype scope — it declares no
+    # file-scope object, so a and c must stay independent.
+    text = (
+        "char *strcpy(char *dest, const char *src);\n"
+        "void a(const char *src) { char b[4]; strcpy(b, src); }\n"
+        "void c(const char *src) { char d[4]; strcpy(d, src); }\n"
+    )
+    comp = components(seg(text))
+    assert comp["a"] == frozenset({"a"})
+    assert comp["c"] == frozenset({"c"})
+
+
+def test_function_pointer_global_still_couples():
+    # Declarator parens `(*handler)` do not follow an identifier, so
+    # `handler` remains a coupling object.
+    text = (
+        "void (*handler)(int);\n"
+        "void a(void) { handler(1); }\n"
+        "void c(void) { handler(2); }\n"
+    )
+    sf = seg(text)
+    assert "handler" in sf.preamble.object_ids
+    comp = components(sf)
+    assert comp["a"] == frozenset({"a", "c"})
+
+
+# ----------------------------------------------------------- patching
+
+def assert_patch_equals_full(old_sf, new_text):
+    patched = patch_segment(old_sf, new_text)
+    assert patched is not None
+    full = segment_file(new_text, old_sf.name)
+    assert [(s.kind, s.name, s.text, s.token_hash)
+            for s in patched.segments] == \
+        [(s.kind, s.name, s.text, s.token_hash) for s in full.segments]
+    assert patched.text == new_text
+
+
+def test_patch_identical_text_returns_old_object():
+    sf = seg(SOURCE)
+    assert patch_segment(sf, SOURCE) is sf
+
+
+def test_patch_body_edit_matches_full_segmentation():
+    sf = seg(SOURCE)
+    assert_patch_equals_full(sf, SOURCE.replace("x + 1", "x + 2"))
+
+
+def test_patch_grow_and_shrink_edits_match_full():
+    sf = seg(SOURCE)
+    assert_patch_equals_full(
+        sf, SOURCE.replace("return x + 1;",
+                           "int y = x;\n    return y + 1;"))
+    assert_patch_equals_full(sf, SOURCE.replace("    char buf[16];\n", ""))
+
+
+def test_patch_rename_within_tile_matches_full():
+    sf = seg(SOURCE)
+    assert_patch_equals_full(
+        sf, SOURCE.replace("static int beta(int x)",
+                           "static int delta(int x)"))
+
+
+def test_patch_refuses_preamble_and_gap_edits():
+    sf = seg(SOURCE)
+    assert patch_segment(
+        sf, SOURCE.replace("char shared[32];", "char shared[64];")) is None
+    assert patch_segment(
+        sf, SOURCE.replace("/* helper one */", "/* helper 1 */")) is None
+
+
+def test_patch_refuses_multi_function_edits():
+    sf = seg(SOURCE)
+    two = SOURCE.replace("x + 1", "x + 2").replace(
+        "strcpy(shared, s);", "strcpy(shared, s); /* edited */")
+    assert patch_segment(sf, two) is None
+
+
+def test_patch_refuses_structural_breakage():
+    sf = seg(SOURCE)
+    # Unbalancing the tile's braces cannot be patched locally.
+    assert patch_segment(
+        sf, SOURCE.replace("return x + 1;\n}", "return x + 1;\n")) is None
+    # Splitting one tile into two functions must re-tile fully.
+    split = SOURCE.replace(
+        "static int beta(int x) {\n    return x + 1;\n}",
+        "static int beta(int x) {\n    return x + 1;\n}\n"
+        "int extra(void) {\n    return 9;\n}")
+    assert patch_segment(sf, split) is None
+
+
+def test_patch_refuses_rename_onto_existing_function():
+    sf = seg(SOURCE)
+    clash = SOURCE.replace("static int beta(int x)",
+                           "static int gamma(int x)")
+    assert patch_segment(sf, clash) is None
+    with pytest.raises(UnsupportedLayout):
+        segment_file(clash, "demo.c")
+
+
+def test_patch_edit_at_tile_boundaries_matches_full():
+    sf = seg(SOURCE)
+    # First token of a tile and last token before the closing brace.
+    assert_patch_equals_full(sf, SOURCE.replace("void gamma", "int gamma"))
+    assert_patch_equals_full(
+        sf, SOURCE.replace("    return beta(2);\n}", "    return beta(3);\n}"))
+
+
+def test_multiline_heading_belongs_to_the_function():
+    text = (
+        "static int\n"
+        "helper(int x)\n"
+        "{\n"
+        "    return x;\n"
+        "}\n"
+        "int main(void) { return helper(1); }\n"
+    )
+    sf = seg(text)
+    assert sf.function_order() == ["helper", "main"]
+    helper = sf.functions()["helper"]
+    assert helper.text.startswith("static int\n")

@@ -336,14 +336,30 @@ class TestFreshNames:
         assert after.ok
         assert after.stdout == b"[hey][x]\n"
 
-    def test_two_sites_get_distinct_temps(self):
+    def test_same_function_sites_get_distinct_temps(self):
+        result = slr(PRELUDE + """
+        void f(void) {
+            char a[8];
+            char b[8];
+            gets(a);
+            gets(b);
+        }
+        """)
+        # Two epilogues in one scope chain must not collide.
+        assert "char *check = strchr(b, '\\n');" in result.new_text
+        assert "char *check_2 = strchr(a, '\\n');" in result.new_text
+
+    def test_temp_serials_restart_per_function(self):
         result = slr(PRELUDE + """
         void f(void) { char a[8]; gets(a); }
         void g(void) { char b[8]; gets(b); }
         """)
-        # Sites are rewritten bottom-up, so g's site is named first.
+        # Name allocation is scoped to the enclosing function, so each
+        # function's bytes are independent of the other's site count —
+        # the property incremental per-function re-transformation needs.
+        assert "char *check = strchr(a, '\\n');" in result.new_text
         assert "char *check = strchr(b, '\\n');" in result.new_text
-        assert "char *check_2 = strchr(a, '\\n');" in result.new_text
+        assert "check_2" not in result.new_text
 
 
 class TestAlreadyDeclared:

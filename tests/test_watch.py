@@ -1,0 +1,186 @@
+"""``repro watch`` loop (core/watch.py) and its CLI surface."""
+
+import io
+import json
+import os
+import warnings
+
+import pytest
+
+from repro.core.watch import (DEFAULT_DEBOUNCE_S, WatchLoop, watch_debounce,
+                              watch_interval)
+
+
+SRC = """#include <stdio.h>
+#include <string.h>
+
+void shout(const char *msg) {
+    char buf[8];
+    strcat(buf, msg);
+    printf("%s!\\n", buf);
+}
+
+int main(void) {
+    char line[24];
+    fgets(line, sizeof line, stdin);
+    printf("%s", line);
+    return 0;
+}
+"""
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_loop(tmp_path, **kwargs):
+    path = tmp_path / "watched.c"
+    path.write_text(SRC)
+    clock = FakeClock()
+    out = io.StringIO()
+    loop = WatchLoop(str(path), fuzz_seed=3, clock=clock, sleep=lambda s: None,
+                     out=out, **kwargs)
+    return loop, path, clock, out
+
+
+def touch(path, mtime):
+    os.utime(path, (mtime, mtime))
+
+
+def test_first_scan_is_full(tmp_path):
+    loop, _path, _clock, out = make_loop(tmp_path)
+    reports = loop.scan_once(force=True)
+    assert len(reports) == 1
+    assert reports[0].mode == "full"
+    assert "[watch]" in out.getvalue()
+    assert "full" in out.getvalue()
+
+
+def test_edit_processes_after_debounce(tmp_path):
+    loop, path, clock, _out = make_loop(tmp_path, debounce_s=0.5)
+    loop.scan_once(force=True)
+
+    path.write_text(SRC.replace('printf("%s!\\n", buf);',
+                                'printf("%s!!\\n", buf);'))
+    touch(path, 2000.0)
+    # First sight of the change starts the quiet period.
+    assert loop.scan_once() == []
+    # Still inside the debounce window: nothing processed.
+    clock.now += 0.2
+    assert loop.scan_once() == []
+    # Another save restarts the window.
+    touch(path, 2001.0)
+    clock.now += 0.4
+    assert loop.scan_once() == []
+    # Quiet long enough: exactly one update, incremental.
+    clock.now += 0.6
+    reports = loop.scan_once()
+    assert len(reports) == 1
+    assert reports[0].mode == "incremental"
+    assert reports[0].invalidated == frozenset({"shout"})
+    # Nothing left pending.
+    assert loop.scan_once() == []
+
+
+def test_unchanged_file_is_not_reprocessed(tmp_path):
+    loop, _path, clock, _out = make_loop(tmp_path)
+    loop.scan_once(force=True)
+    clock.now += 10.0
+    assert loop.scan_once() == []
+
+
+def test_directory_watch_picks_up_new_files(tmp_path):
+    (tmp_path / "a.c").write_text(SRC)
+    out = io.StringIO()
+    loop = WatchLoop(str(tmp_path), validate=False, clock=FakeClock(),
+                     sleep=lambda s: None, out=out)
+    assert len(loop.scan_once(force=True)) == 1
+    (tmp_path / "b.c").write_text(SRC)
+    assert len(loop.scan_once(force=True)) == 2   # a.c no-op + b.c full
+    assert sorted(os.path.basename(p) for p in loop.files) == \
+        ["a.c", "b.c"]
+
+
+def test_unprocessable_file_is_contained(tmp_path):
+    (tmp_path / "good.c").write_text(SRC)
+    (tmp_path / "garbage.c").write_text("int main() {\n\x01\x02\n}\n")
+    out = io.StringIO()
+    loop = WatchLoop(str(tmp_path), validate=False, clock=FakeClock(),
+                     sleep=lambda s: None, out=out)
+    reports = loop.scan_once(force=True)
+    modes = {r.filename: r.mode for r in reports}
+    assert modes["garbage.c"] == "error"
+    assert modes["good.c"] == "full"
+    assert "LexError" in next(r.reason for r in reports
+                              if r.mode == "error")
+
+
+def test_json_output_streams_records(tmp_path):
+    loop, _path, _clock, out = make_loop(tmp_path, json_output=True)
+    loop.scan_once(force=True)
+    record = json.loads(out.getvalue().strip())
+    assert record["mode"] == "full"
+    assert record["path"].endswith("watched.c")
+    assert "verdicts" in record and "func_cache" in record
+
+
+def test_run_bounded_scans(tmp_path):
+    loop, _path, _clock, _out = make_loop(tmp_path)
+    sleeps = []
+    loop.sleep = sleeps.append
+    assert loop.run(max_scans=3) == 0
+    assert sleeps == [loop.interval_s] * 3
+
+
+def test_bad_debounce_knob_warns_once_and_falls_back(monkeypatch):
+    monkeypatch.setenv("REPRO_WATCH_DEBOUNCE", "soon")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert watch_debounce() == DEFAULT_DEBOUNCE_S
+    assert len(caught) == 1
+    assert "REPRO_WATCH_DEBOUNCE" in str(caught[0].message)
+    monkeypatch.setenv("REPRO_WATCH_DEBOUNCE", "-1")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert watch_debounce() == DEFAULT_DEBOUNCE_S
+    assert len(caught) == 1
+
+
+def test_good_knobs_parse(monkeypatch):
+    monkeypatch.setenv("REPRO_WATCH_DEBOUNCE", "1.5")
+    assert watch_debounce() == 1.5
+    monkeypatch.setenv("REPRO_WATCH_INTERVAL", "0.05")
+    assert watch_interval() == 0.05
+
+
+# ----------------------------------------------------------------- CLI
+
+def test_cli_watch_once(tmp_path, capsys):
+    from repro.cli import main
+    path = tmp_path / "w.c"
+    path.write_text(SRC)
+    assert main(["watch", str(path), "--once", "--no-validate"]) == 0
+    out = capsys.readouterr().out
+    assert "[watch]" in out and "full" in out
+
+
+def test_cli_watch_missing_path(tmp_path, capsys):
+    from repro.cli import main
+    assert main(["watch", str(tmp_path / "nope.c"), "--once"]) == 2
+    assert "does not exist" in capsys.readouterr().err
+
+
+def test_cli_cache_stats_reports_func_family(tmp_path, capsys,
+                                             fresh_store):
+    from repro.cli import main
+    from repro.core.incremental import IncrementalEngine
+    engine = IncrementalEngine("stats.c", validate=False)
+    engine.update(SRC)
+    assert main(["cache", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "func" in out
+    assert "this process" in out
