@@ -133,7 +133,7 @@ def test_bench_pipeline_throughput(benchmark, tmp_path):
 
     speedup_x = cold["wall_s"] / warm_x["wall_s"]
     speedup_in = cold["wall_s"] / max(warm_in["wall_s"], 1e-9)
-    payload = {
+    update = {
         "benchmark": "sampled SAMATE batch transformation pipeline "
                      "(validate=True)",
         "scale": scale,
@@ -147,7 +147,13 @@ def test_bench_pipeline_throughput(benchmark, tmp_path):
         "counts_identical": counts_identical,
         "verdicts_identical": verdicts_identical,
     }
+    # Merge instead of rewrite: the incremental / arbitration /
+    # composition / scale legs keep their entries regardless of which
+    # bench module ran last.
     out = REPO_ROOT / "BENCH_pipeline.json"
+    payload = json.loads(out.read_text(encoding="utf-8")) \
+        if out.exists() else {}
+    payload.update(update)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
                    encoding="utf-8")
 

@@ -18,7 +18,10 @@ Subcommands mirror how the paper's tool is used:
 * ``analyze FILE``   — print analysis facts (points-to, aliases, buffer
   lengths at unsafe call sites);
 * ``cache ACTION``   — manage the persistent artifact store
-  (``stats`` / ``clear`` / ``gc``).
+  (``stats`` / ``clear`` / ``gc``; ``stats --json`` dumps per-family
+  and per-shard counters machine-readably);
+* ``synth``          — generate a synthetic ground-truth corpus of
+  planted overflow/safe files, VM-validated and deterministic by seed.
 
 ``batch`` and ``validate`` accept ``--no-disk-cache`` (this run skips
 the persistent store) and ``--profile`` (render the per-stage timing
@@ -390,11 +393,59 @@ def cmd_watch(args: argparse.Namespace) -> int:
     return loop.run()
 
 
+def cmd_synth(args: argparse.Namespace) -> int:
+    """Generate a synthetic ground-truth corpus (``repro synth``)."""
+    from .corpus.synth import synthesize, write_corpus
+
+    validate = not args.no_validate
+    try:
+        mutants = synthesize(args.count, args.seed, validate=validate)
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    path = write_corpus(mutants, args.out, args.seed,
+                        validated=validate)
+    overflow = sum(1 for m in mutants if m.expected_overflow)
+    print(f"wrote {len(mutants)} file(s) to {args.out} "
+          f"({overflow} overflow, {len(mutants) - overflow} safe"
+          f"{', VM-validated' if validate else ''}); "
+          f"manifest: {path}", file=sys.stderr)
+    return 0
+
+
+def _cache_stats_payload(store) -> dict:
+    """Machine-readable snapshot of the persistent store: per-family
+    usage and lifetime counters, per-shard breakdowns, and the
+    write-contention summary."""
+    from .core.store import SCHEMA_VERSION
+
+    return {
+        "root": store.root,
+        "schema_version": SCHEMA_VERSION,
+        "fingerprint": store.fingerprint,
+        "shards": store.shards,
+        "usage": store.usage(),
+        "shard_usage": store.shard_usage(),
+        "counters": store.persisted_counters(),
+        "shard_counters": store.persisted_shard_counters(),
+        "contention": store.contention_summary(
+            store.persisted_shard_counters()),
+        "stale_versions": store.stale_versions(),
+    }
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
     from .cfront.cache import stats_by_family
     from .core.store import SCHEMA_VERSION, get_store
 
     store = get_store()
+    if args.action == "stats" and getattr(args, "json", False):
+        json.dump(_cache_stats_payload(store), sys.stdout, indent=2,
+                  sort_keys=True)
+        sys.stdout.write("\n")
+        return 0
     if args.action == "clear":
         files, nbytes = store.clear()
         print(f"cleared {files} file(s), {nbytes} bytes from "
@@ -567,7 +618,26 @@ def build_parser() -> argparse.ArgumentParser:
                             "(with --max-age-days) old entries")
     cache.add_argument("--max-age-days", type=float, default=None,
                        help="gc entries older than this many days")
+    cache.add_argument("--json", action="store_true",
+                       help="with 'stats': machine-readable JSON "
+                            "(per-family and per-shard counters, usage, "
+                            "write-contention summary)")
     cache.set_defaults(func=cmd_cache)
+
+    synth = sub.add_parser(
+        "synth", help="synthesize a ground-truth corpus of planted "
+                      "overflow/safe C files (deterministic by --seed)")
+    synth.add_argument("--count", type=int, default=100,
+                       help="number of files to generate (default: 100)")
+    synth.add_argument("--seed", type=int, default=0,
+                       help="generation seed; the same (count, seed) is "
+                            "byte-for-byte reproducible (default: 0)")
+    synth.add_argument("--out", default="synth_corpus", metavar="DIR",
+                       help="output directory (default: synth_corpus)")
+    synth.add_argument("--no-validate", action="store_true",
+                       help="skip checking each mutant's planted label "
+                            "against the bounds-checked VM")
+    synth.set_defaults(func=cmd_synth)
 
     watch = sub.add_parser(
         "watch", help="watch a .c file or directory and re-analyze "

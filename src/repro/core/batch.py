@@ -15,6 +15,13 @@ Execution is pluggable: :class:`SerialExecutor` runs in-process;
 fork pool (``jobs=N`` / ``REPRO_JOBS``).  Both produce byte-identical
 results — tasks are ordered by filename and the pool preserves input
 order — so a parallel run differs from a serial one only in wall clock.
+Dispatch is a *streaming work queue*: the pool pulls tasks from a lazy
+source no more than ``REPRO_STREAM_WINDOW`` files ahead of emission and
+streams results back in input order as they complete, so the parent's
+working set is O(jobs + window), not O(batch).  :func:`apply_batch`
+collects the stream into a :class:`BatchResult`; :func:`stream_batch`
+exposes it directly for batch sizes where retaining every report is the
+bottleneck (the 10k-file bench legs run this way).
 
 The whole pipeline is *fault-isolated*: every stage (preprocess, parse,
 SLR, STR, verify, validate) runs inside a guard that converts an
@@ -110,6 +117,30 @@ def task_retries() -> int:
         warnings.warn(f"ignoring non-integer REPRO_TASK_RETRIES={raw!r}; "
                       f"using 1", RuntimeWarning, stacklevel=2)
         return 1
+
+
+def stream_window(jobs: int) -> int:
+    """Dispatch-ahead bound for the streaming scheduler
+    (``REPRO_STREAM_WINDOW``): how many tasks may be pulled from the
+    task source but not yet emitted.  This is the parent's working-set
+    bound — task texts and out-of-order results are held for at most
+    ``window`` files — and the reorder budget that keeps emission
+    input-ordered while workers complete out of order.  The default
+    scales with the worker count so the pool never idles waiting for
+    the emission head.
+    """
+    from .envknobs import int_knob
+    return int_knob("REPRO_STREAM_WINDOW", max(16, 4 * max(1, jobs)))
+
+
+def dedup_window() -> int:
+    """How many representative reports the streaming batch retains for
+    content deduplication (``REPRO_DEDUP_WINDOW``, default 4096).  A
+    duplicate file whose representative was already evicted is simply
+    recomputed — correctness never depends on the window, only the
+    dedup hit rate does."""
+    from .envknobs import int_knob
+    return int_knob("REPRO_DEDUP_WINDOW", 4096)
 
 
 @dataclass
@@ -386,9 +417,18 @@ class SerialExecutor:
 
     def __init__(self):
         self.supervision = _empty_supervision()
+        self.max_inflight = 0
 
     def map(self, tasks: list[FileTask]) -> list[FileTransformReport]:
         return [transform_file(task) for task in tasks]
+
+    def imap(self, tasks, *, window: int | None = None):
+        """Stream ``(index, report)`` pairs in task order; the task
+        source is consumed one task at a time, so parent memory never
+        holds more than the in-flight file."""
+        for index, task in enumerate(tasks):
+            self.max_inflight = max(self.max_inflight, 1)
+            yield index, transform_file(task)
 
 
 def _pool_worker(inbox, result_queue) -> None:
@@ -474,6 +514,8 @@ class ProcessPoolExecutor:
         self.timeout = timeout if timeout is not None else task_timeout()
         self.retries = retries if retries is not None else task_retries()
         self.supervision = _empty_supervision()
+        self.max_inflight = 0
+        self._deaths_to_respawn = 0
 
     def map(self, tasks: list[FileTask]) -> list[FileTransformReport]:
         if self.jobs == 1 or len(tasks) <= 1:
@@ -481,15 +523,49 @@ class ProcessPoolExecutor:
             reports = serial.map(tasks)
             self.supervision = serial.supervision
             return reports
-        import multiprocessing as mp
-        try:
-            ctx = mp.get_context("fork")
-        except ValueError:
+        ctx = self._fork_context()
+        if ctx is None:
             serial = SerialExecutor()
             reports = serial.map(tasks)
             self.supervision = serial.supervision
             return reports
-        return self._supervised_map(ctx, tasks)
+        # Unbounded window: map() holds every result anyway, so there
+        # is nothing to gain from capping dispatch-ahead (and the old
+        # eager-dispatch wall clock is preserved exactly).
+        return [report for _, report
+                in self._stream(ctx, iter(tasks), window=len(tasks))]
+
+    def imap(self, tasks, *, window: int | None = None):
+        """Stream ``(index, report)`` pairs back in task order as they
+        complete, pulling from ``tasks`` (any iterable) no more than
+        ``window`` files ahead of emission.
+
+        This is the streaming work-queue scheduler: the parent's
+        working set — unpicked task texts, out-of-order results waiting
+        for the emission head, and the workers' in-flight tasks — is
+        bounded by the window, so a 10k-file batch costs the parent the
+        same memory as a window-sized one.  Supervision (watchdog,
+        dead-worker respawn, bounded retry) is identical to
+        :meth:`map`; emission order is deterministic input order at any
+        worker count.
+        """
+        if window is None:
+            window = stream_window(self.jobs)
+        ctx = self._fork_context() if self.jobs > 1 else None
+        if ctx is None:
+            serial = SerialExecutor()
+            yield from serial.imap(tasks)
+            self.max_inflight = serial.max_inflight
+            return
+        yield from self._stream(ctx, iter(tasks), window=max(1, window))
+
+    @staticmethod
+    def _fork_context():
+        import multiprocessing as mp
+        try:
+            return mp.get_context("fork")
+        except ValueError:
+            return None
 
     # ------------------------------------------------------- supervision
 
@@ -512,33 +588,71 @@ class ProcessPoolExecutor:
             self.started_at = time.monotonic()
             self.inbox.put((index, task))
 
-    def _supervised_map(self, ctx, tasks: list[FileTask]
-                        ) -> list[FileTransformReport]:
+    def _stream(self, ctx, task_iter, *, window: int):
+        """The supervised streaming loop behind :meth:`map`/:meth:`imap`.
+
+        ``held`` maps every pulled-but-unemitted index to its task (the
+        retry source); ``ready`` holds completed reports waiting for the
+        emission head.  Both are bounded by the window, so the parent
+        never retains the whole batch.  Workers are spawned on demand —
+        at most ``jobs``, and never more than there are tasks to hand
+        out — and a spawn that follows a death is counted as a respawn.
+        """
         result_queue = ctx.SimpleQueue()
-        pending: list[int] = list(range(len(tasks)))
-        retry_at: list[tuple[float, int]] = []    # (eligible time, index)
-        results: dict[int, FileTransformReport] = {}
+        workers: list[ProcessPoolExecutor._Worker] = []
+        held: dict[int, FileTask] = {}
+        ready: dict[int, FileTransformReport] = {}
         attempts: dict[int, int] = {}
-        workers = [self._Worker(ctx, result_queue)
-                   for _ in range(min(self.jobs, len(tasks)))]
+        pending: list[int] = []
+        retry_at: list[tuple[float, int]] = []    # (eligible time, index)
+        next_pull = 0                             # drawn from task_iter
+        next_emit = 0
+        exhausted = False
+        self._deaths_to_respawn = 0
         try:
-            while len(results) < len(tasks):
+            while True:
+                emitted = False
+                while next_emit in ready:
+                    report = ready.pop(next_emit)
+                    held.pop(next_emit, None)
+                    attempts.pop(next_emit, None)
+                    yield next_emit, report
+                    next_emit += 1
+                    emitted = True
+                if exhausted and next_emit == next_pull:
+                    return
                 now = time.monotonic()
                 for when, index in list(retry_at):
                     if when <= now:
                         retry_at.remove((when, index))
                         pending.append(index)
+                while not exhausted and next_pull - next_emit < window:
+                    try:
+                        task = next(task_iter)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    held[next_pull] = task
+                    pending.append(next_pull)
+                    next_pull += 1
+                self.max_inflight = max(self.max_inflight,
+                                        next_pull - next_emit)
                 pending.sort()
                 for worker in workers:
                     if worker.task_index is None and pending:
                         index = pending.pop(0)
-                        worker.assign(index, tasks[index])
-                if not self._drain(result_queue, results, workers):
+                        worker.assign(index, held[index])
+                while pending and len(workers) < self.jobs:
+                    worker = self._spawn(ctx, result_queue)
+                    workers.append(worker)
+                    index = pending.pop(0)
+                    worker.assign(index, held[index])
+                if not self._drain(result_queue, ready, workers) \
+                        and not emitted:
                     time.sleep(self.POLL_S)
-                self._check_deadlines(tasks, results, attempts, workers,
+                self._check_deadlines(held, ready, attempts, workers,
                                       pending, retry_at)
-                workers = self._reap_dead(ctx, result_queue, tasks,
-                                          results, attempts, workers,
+                workers = self._reap_dead(held, ready, attempts, workers,
                                           pending, retry_at)
         finally:
             for worker in workers:
@@ -549,7 +663,12 @@ class ProcessPoolExecutor:
                 if worker.process.is_alive():
                     worker.process.kill()
                     worker.process.join(timeout=2.0)
-        return [results[index] for index in range(len(tasks))]
+
+    def _spawn(self, ctx, result_queue):
+        if self._deaths_to_respawn > 0:
+            self._deaths_to_respawn -= 1
+            self.supervision["respawns"] += 1
+        return self._Worker(ctx, result_queue)
 
     def _drain(self, result_queue, results, workers) -> bool:
         """Collect every completed result currently in the pipe; returns
@@ -566,7 +685,7 @@ class ProcessPoolExecutor:
                     worker.task_index = None
         return got_any
 
-    def _check_deadlines(self, tasks, results, attempts, workers,
+    def _check_deadlines(self, held, ready, attempts, workers,
                          pending, retry_at) -> None:
         """Kill workers whose current task exceeded the wall budget."""
         if self.timeout is None:
@@ -582,13 +701,19 @@ class ProcessPoolExecutor:
             worker.task_index = None
             self.supervision["timeouts"] += 1
             self._retry_or_fail(
-                tasks, results, attempts, pending, retry_at, index,
+                held, ready, attempts, pending, retry_at, index,
                 KIND_TIMEOUT,
                 f"task exceeded REPRO_TASK_TIMEOUT={self.timeout:g}s")
 
-    def _reap_dead(self, ctx, result_queue, tasks, results, attempts,
-                   workers, pending, retry_at) -> list:
-        """Replace dead workers; rescue the tasks they were holding."""
+    def _reap_dead(self, held, ready, attempts, workers,
+                   pending, retry_at) -> list:
+        """Drop dead workers; rescue the tasks they were holding.
+
+        Replacements are spawned by the dispatch loop the moment there
+        is pending work for them (counted as respawns via
+        ``_deaths_to_respawn``), so an idle tail of the batch never
+        forks workers it cannot feed.
+        """
         alive = [w for w in workers if w.process.is_alive()]
         if len(alive) == len(workers):
             return workers
@@ -596,21 +721,18 @@ class ProcessPoolExecutor:
             if worker.process.is_alive():
                 continue
             worker.process.join(timeout=1.0)
+            self._deaths_to_respawn += 1
             index = worker.task_index
-            if index is not None and index not in results:
+            if index is not None and index not in ready:
                 self.supervision["worker_deaths"] += 1
                 self._retry_or_fail(
-                    tasks, results, attempts, pending, retry_at, index,
+                    held, ready, attempts, pending, retry_at, index,
                     KIND_WORKER_DIED,
                     f"worker pid {worker.process.pid} died with exit "
                     f"code {worker.process.exitcode}")
-        outstanding = len(tasks) - len(results)
-        while len(alive) < min(self.jobs, outstanding):
-            self.supervision["respawns"] += 1
-            alive.append(self._Worker(ctx, result_queue))
         return alive
 
-    def _retry_or_fail(self, tasks, results, attempts, pending, retry_at,
+    def _retry_or_fail(self, held, ready, attempts, pending, retry_at,
                        index: int, kind: str, message: str) -> None:
         attempts[index] = attempts.get(index, 0) + 1
         if attempts[index] <= self.retries:
@@ -620,8 +742,8 @@ class ProcessPoolExecutor:
             retry_at.append((time.monotonic()
                              + min(0.05 * attempts[index], 0.5), index))
         else:
-            results[index] = _supervisor_report(
-                tasks[index], kind, message, retries=attempts[index] - 1)
+            ready[index] = _supervisor_report(
+                held[index], kind, message, retries=attempts[index] - 1)
 
 
 def make_executor(jobs: int | None = None):
@@ -860,43 +982,6 @@ def _task_work_key(task: FileTask) -> str:
     return content_key(*parts)
 
 
-def _preprocess_guarded(program: SourceProgram,
-                        session: AnalysisSession,
-                        timings: dict[str, float],
-                        ) -> tuple[dict[str, str],
-                                   dict[str, FileDiagnostic]]:
-    """Preprocess every file, containing per-file failures.
-
-    Returns ``(preprocessed texts, diagnostics for the files that did
-    not survive)``.  An already-preprocessed program (or one whose
-    :meth:`SourceProgram.preprocess` memo is warm) short-circuits; on a
-    fully clean pass the memo is populated so other consumers (KLOC
-    accounting, repeated table runs) keep their free second call.
-    """
-    if program.preprocessed:
-        return dict(program.files), {}
-    if program._pp_memo is not None:
-        return dict(program._pp_memo.files), {}
-    texts: dict[str, str] = {}
-    failures: dict[str, FileDiagnostic] = {}
-    for filename in sorted(program.files):
-        start = time.perf_counter()
-        try:
-            faults.check("preprocess", filename)
-            texts[filename] = session.preprocess(
-                program.files[filename], filename, program.headers,
-                program.predefined).text
-        except Exception as exc:
-            failures[filename] = diagnostic_from_exception(
-                "preprocess", filename, exc)
-        timings[filename] = time.perf_counter() - start
-    if not failures:
-        program._pp_memo = SourceProgram(
-            program.name, dict(texts), {}, {}, program.main_file,
-            preprocessed=True)
-    return texts, failures
-
-
 def _preprocess_failure_report(filename: str, original_text: str,
                                diagnostic: FileDiagnostic,
                                wall: float) -> FileTransformReport:
@@ -905,6 +990,245 @@ def _preprocess_failure_report(filename: str, original_text: str,
     return FileTransformReport(
         filename, None, None, original_text, True, wall, None, {},
         status=STATUS_FAILED, diagnostics=[diagnostic])
+
+
+_PENDING = object()     # dedup sentinel: representative still computing
+
+#: Slot kinds for the streaming emission queue.
+_SLOT_REPORT = 0        # resolved report (preprocess failure)
+_SLOT_UNIQUE = 1        # representative task, waiting on the executor
+_SLOT_DUP = 2           # duplicate content, waiting on its representative
+
+
+@dataclass
+class StreamInfo:
+    """What a :class:`BatchStream` learned while it ran (final after the
+    stream is exhausted)."""
+
+    jobs: int = 1
+    window: int = 0
+    #: Peak count of unemitted *reports* the parent held (executor
+    #: in-flight plus resolved representatives awaiting their emission
+    #: turn) — the memory-bound witness.  Duplicate-file bookkeeping is
+    #: a constant-size tuple per file and is not counted.
+    max_buffered: int = 0
+    emitted: int = 0
+    deduplicated: int = 0
+    preprocess_failures: int = 0
+    supervision: dict[str, int] = field(
+        default_factory=_empty_supervision)
+    #: Per-file parent-side preprocess wall seconds (empty when the
+    #: program was already preprocessed or served from its memo).
+    pp_timings: dict[str, float] = field(default_factory=dict)
+
+
+class BatchStream:
+    """Stream one program's transform reports in filename order.
+
+    The lazy counterpart of :func:`apply_batch`: files are preprocessed
+    in the parent *as the scheduler asks for them* (incremental
+    pre-warm), content deduplication runs against a bounded LRU of
+    representative reports, and completed reports are yielded to the
+    caller the moment their turn in filename order comes up.  The
+    parent therefore holds O(window + dedup window) state instead of
+    O(batch) — at 10k files it never retains 10k reports — while
+    emission order, per-report content, and fault containment match
+    :func:`apply_batch` exactly.
+
+    Iterate it once; ``info`` is complete after exhaustion.  Consumers
+    that need the whole batch in memory should use :func:`apply_batch`,
+    which collects this stream and adds the cache-delta statistics.
+    """
+
+    def __init__(self, program: SourceProgram, *, run_slr: bool = True,
+                 run_str: bool = True, profile: str = "glib",
+                 jobs: int | None = None,
+                 validate: bool | None = None,
+                 fuzz_seed: int | None = None,
+                 backends=None,
+                 arbitration: str | None = None,
+                 session: AnalysisSession | None = None,
+                 window: int | None = None,
+                 dedup_cap: int | None = None,
+                 memoize_preprocess: bool = False):
+        self.program = program
+        self.session = session if session is not None else get_session()
+        self.run_slr = run_slr
+        self.run_str = run_str
+        self.profile = profile
+        self.validate = self.session.validate if validate is None \
+            else validate
+        self.fuzz_seed = fuzz_seed
+        if backends is None:
+            backends = self.session.backends \
+                if self.session.backends is not None else backends_from_env()
+        self.backend_ids = resolve_backends(backends) if backends else None
+        if arbitration is None:
+            arbitration = arbitration_from_env()
+        self.arbitration = resolve_arbitration(arbitration)
+        if self.arbitration == "site" and self.backend_ids is None:
+            raise ValueError(
+                "site arbitration requires a backends selection "
+                "(--backends/REPRO_BACKENDS)")
+        self.executor = make_executor(jobs)
+        self.window = window if window is not None \
+            else stream_window(self.executor.jobs)
+        self.dedup_cap = dedup_window() if dedup_cap is None else dedup_cap
+        self.memoize_preprocess = memoize_preprocess
+        self.info = StreamInfo(jobs=self.executor.jobs,
+                               window=self.window)
+        self._reps: dict[str, object] = {}        # work key -> report
+        self._pins: dict[str, int] = {}           # keys dup slots await
+        self._gen = self._run()
+
+    def __iter__(self):
+        return self._gen
+
+    def __next__(self):
+        return next(self._gen)
+
+    def _trim_reps(self) -> None:
+        """Evict resolved, unpinned representatives beyond the cap
+        (oldest first — plain dicts preserve insertion order)."""
+        if self.dedup_cap <= 0:
+            return
+        while len(self._reps) > self.dedup_cap:
+            for key, value in self._reps.items():
+                if value is _PENDING or key in self._pins:
+                    continue
+                del self._reps[key]
+                break
+            else:
+                return      # everything live; the cap yields to safety
+
+    def _build_tasks(self, slots, unique_keys, pp_texts):
+        """Generate unique tasks lazily, recording a slot per file.
+
+        Runs in the parent, driven by the executor's dispatch window:
+        each pull preprocesses (and thereby pre-warms the store for)
+        exactly one more file.  Duplicate-content files pin their
+        representative's entry and yield nothing.
+        """
+        program = self.program
+        memo = program._pp_memo
+        for filename in sorted(program.files):
+            if program.preprocessed:
+                text = program.files[filename]
+            elif memo is not None:
+                text = memo.files[filename]
+            else:
+                start = time.perf_counter()
+                try:
+                    faults.check("preprocess", filename)
+                    text = self.session.preprocess(
+                        program.files[filename], filename,
+                        program.headers, program.predefined).text
+                except Exception as exc:
+                    wall = time.perf_counter() - start
+                    self.info.pp_timings[filename] = wall
+                    self.info.preprocess_failures += 1
+                    slots.append((filename, _SLOT_REPORT,
+                                  _preprocess_failure_report(
+                                      filename, program.files[filename],
+                                      diagnostic_from_exception(
+                                          "preprocess", filename, exc),
+                                      wall)))
+                    continue
+                self.info.pp_timings[filename] = \
+                    time.perf_counter() - start
+                if pp_texts is not None:
+                    pp_texts[filename] = text
+            task = FileTask(filename, text, self.run_slr, self.run_str,
+                            self.profile, self.validate, self.fuzz_seed,
+                            self.backend_ids, self.arbitration)
+            key = _task_work_key(task)
+            if key in self._reps:
+                self.info.deduplicated += 1
+                self._pins[key] = self._pins.get(key, 0) + 1
+                slots.append((filename, _SLOT_DUP, key))
+                continue
+            self._reps[key] = _PENDING
+            # The pin keeps a resolved-but-not-yet-emitted
+            # representative safe from _trim_reps until its slot (and
+            # every duplicate's) has been served.
+            self._pins[key] = self._pins.get(key, 0) + 1
+            self._trim_reps()
+            unique_keys.append(key)
+            slots.append((filename, _SLOT_UNIQUE, key))
+            yield task
+
+    def _run(self):
+        from collections import deque
+        slots: deque = deque()
+        unique_keys: deque = deque()
+        pp_texts: dict[str, str] | None = \
+            {} if self.memoize_preprocess else None
+        # A single-file program gains nothing from forking (the
+        # historical executor fallback for trivial batches); the
+        # requested job count still lands in ``info.jobs``.
+        runner = SerialExecutor() if self.program.file_count <= 1 \
+            and self.executor.jobs > 1 else self.executor
+        results = runner.imap(
+            self._build_tasks(slots, unique_keys, pp_texts),
+            window=self.window)
+        exhausted = False
+        resolved_unemitted = 0
+        while True:
+            buffered = len(unique_keys) + resolved_unemitted
+            if buffered > self.info.max_buffered:
+                self.info.max_buffered = buffered
+            while slots:
+                filename, kind, value = slots[0]
+                if kind == _SLOT_REPORT:
+                    slots.popleft()
+                    self.info.emitted += 1
+                    yield value
+                    continue
+                report = self._reps.get(value)
+                if report is _PENDING:
+                    break           # head still computing: pull results
+                slots.popleft()
+                self._pins[value] -= 1
+                if not self._pins[value]:
+                    del self._pins[value]
+                if kind == _SLOT_UNIQUE:
+                    resolved_unemitted -= 1
+                elif report.filename != filename:
+                    report = dataclasses.replace(
+                        report, filename=filename)
+                self.info.emitted += 1
+                yield report
+            if exhausted and not slots:
+                break
+            try:
+                _index, report = next(results)
+            except StopIteration:
+                exhausted = True
+                continue
+            key = unique_keys.popleft()
+            resolved_unemitted += 1
+            if key in self._reps:
+                self._reps[key] = report
+            self._trim_reps()
+        self.info.supervision = dict(runner.supervision)
+        program = self.program
+        if pp_texts is not None and not program.preprocessed \
+                and program._pp_memo is None \
+                and not self.info.preprocess_failures \
+                and len(pp_texts) == program.file_count:
+            program._pp_memo = SourceProgram(
+                program.name, dict(pp_texts), {}, {}, program.main_file,
+                preprocessed=True)
+
+
+def stream_batch(program: SourceProgram, **kwargs) -> BatchStream:
+    """Streaming batch entry point: yields
+    :class:`FileTransformReport` objects in filename order while the
+    pool is still working on later files.  Accepts the same keyword
+    arguments as :func:`apply_batch` plus ``window`` (dispatch-ahead
+    bound, default ``REPRO_STREAM_WINDOW``) and ``dedup_cap``
+    (representative-retention bound, default ``REPRO_DEDUP_WINDOW``)."""
+    return BatchStream(program, **kwargs)
 
 
 def apply_batch(program: SourceProgram, *, run_slr: bool = True,
@@ -953,48 +1277,19 @@ def apply_batch(program: SourceProgram, *, run_slr: bool = True,
     pipeline; downstream per-stage failures are contained inside
     :func:`transform_file` the same way.
     """
-    session = session if session is not None else get_session()
-    if validate is None:
-        validate = session.validate
-    if backends is None:
-        backends = session.backends if session.backends is not None \
-            else backends_from_env()
-    backend_ids = resolve_backends(backends) if backends else None
-    if arbitration is None:
-        arbitration = arbitration_from_env()
-    arbitration = resolve_arbitration(arbitration)
-    if arbitration == "site" and backend_ids is None:
-        raise ValueError("site arbitration requires a backends selection "
-                         "(--backends/REPRO_BACKENDS)")
     before = snapshot_stats()
     start = time.perf_counter()
-    pp_timings: dict[str, float] = {}
-    pp_texts, pp_failures = _preprocess_guarded(program, session,
-                                                pp_timings)
-    tasks = [FileTask(filename, pp_texts[filename],
-                      run_slr, run_str, profile, validate, fuzz_seed,
-                      backend_ids, arbitration)
-             for filename in sorted(pp_texts)]
-    unique: dict[str, FileTask] = {}
-    key_of: dict[str, str] = {}
-    for task in tasks:
-        key = _task_work_key(task)
-        key_of[task.filename] = key
-        unique.setdefault(key, task)
-    executor = make_executor(jobs)
-    unique_reports = dict(zip(unique,
-                              executor.map(list(unique.values()))))
-    by_name: dict[str, FileTransformReport] = {}
-    for task in tasks:
-        report = unique_reports[key_of[task.filename]]
-        if report.filename != task.filename:
-            report = dataclasses.replace(report, filename=task.filename)
-        by_name[task.filename] = report
-    for filename, diagnostic in pp_failures.items():
-        by_name[filename] = _preprocess_failure_report(
-            filename, program.files[filename], diagnostic,
-            pp_timings.get(filename, 0.0))
-    reports = [by_name[filename] for filename in sorted(by_name)]
+    # Unbounded window and dedup retention: apply_batch holds every
+    # report anyway, so capping dispatch-ahead would only risk idling
+    # workers behind a slow emission head; streaming consumers that
+    # want the bounds use stream_batch directly.
+    stream = BatchStream(program, run_slr=run_slr, run_str=run_str,
+                         profile=profile, jobs=jobs, validate=validate,
+                         fuzz_seed=fuzz_seed, backends=backends,
+                         arbitration=arbitration, session=session,
+                         window=max(1, program.file_count),
+                         dedup_cap=0, memoize_preprocess=True)
+    reports = list(stream)
     wall = time.perf_counter() - start
     after = snapshot_stats()
 
@@ -1002,6 +1297,7 @@ def apply_batch(program: SourceProgram, *, run_slr: bool = True,
         return after[name].delta(before[name]) if name in before \
             else CacheStats(name)
 
+    pp_timings = stream.info.pp_timings
     stage_times = {}
     for report in reports:
         times = dict(report.stage_times)
@@ -1011,14 +1307,14 @@ def apply_batch(program: SourceProgram, *, run_slr: bool = True,
         stage_times[report.filename] = times
     result = BatchResult(program, reports, None)
     stats = BatchStats(
-        jobs=executor.jobs, wall_time=wall,
+        jobs=stream.info.jobs, wall_time=wall,
         file_walls={r.filename: r.wall_time for r in reports},
         parse=delta("parse"), preprocess=delta("preprocess"),
         slr=delta("slr"), str_=delta("str"), validate=delta("validate"),
         backend=delta("backend"),
         stage_times=stage_times,
-        deduplicated=len(tasks) - len(unique),
-        supervision=dict(executor.supervision),
+        deduplicated=stream.info.deduplicated,
+        supervision=stream.info.supervision,
         backends_attempted=result.backends_attempted,
         backends_rejected=result.backends_rejected)
     result.stats = stats

@@ -1,4 +1,6 @@
-"""The four miniature open-source-style corpus programs (paper §IV-B)."""
+"""The four miniature open-source-style corpus programs (paper §IV-B),
+plus the mutational synthesizer (:mod:`repro.corpus.synth`) that scales
+the population to arbitrary file counts with known ground truth."""
 
 from ..core.batch import SourceProgram
 from . import minigmp, minipng, minitiff, minizlib
@@ -16,4 +18,11 @@ def build_all() -> dict[str, SourceProgram]:
     return {name: builder() for name, builder in PROGRAM_BUILDERS.items()}
 
 
-__all__ = ["PROGRAM_BUILDERS", "build_all", "SourceProgram"]
+def build_synth(count: int, seed: int) -> SourceProgram:
+    """Synthesized population as a batch-ready program (see ``synth``)."""
+    from .synth import build_program
+    return build_program(count, seed)
+
+
+__all__ = ["PROGRAM_BUILDERS", "build_all", "build_synth",
+           "SourceProgram"]

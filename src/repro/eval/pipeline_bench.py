@@ -20,10 +20,19 @@ Counts and verdicts are emitted so the harness can assert that every
 leg — any ``--jobs`` value, disk cache on or off — produces identical
 results.
 
+``--corpus synth`` swaps the SAMATE sample for the mutational
+synthesizer (``--limit`` becomes the file count), and ``--summary``
+switches to the streaming scheduler: reports are aggregated as they
+arrive instead of collected, so the record adds peak RSS, the stream's
+buffering high-water mark, and the store's write-contention summary —
+the numbers the 1k/10k batch-scale legs gate on.
+
 Run by hand::
 
     python -m repro.eval.pipeline_bench --scale 0.05 --limit 24 \
         --jobs 4 --repeat 2
+    python -m repro.eval.pipeline_bench --corpus synth --limit 1000 \
+        --jobs 4 --no-validate --summary
 """
 
 from __future__ import annotations
@@ -47,6 +56,16 @@ def sample_program(scale: float = 0.05, limit: int = 24) -> SourceProgram:
     return SourceProgram(
         name=f"samate-sample-{len(sample)}",
         files={p.name + ".c": p.source for p in sample})
+
+
+def build_corpus(corpus: str, *, scale: float, limit: int,
+                 synth_seed: int) -> SourceProgram:
+    """The benchmark input: a stratified SAMATE sample, or ``limit``
+    synthesized ground-truth mutants (deterministic in ``synth_seed``)."""
+    if corpus == "synth":
+        from ..corpus.synth import build_program
+        return build_program(limit, synth_seed)
+    return sample_program(scale, limit)
 
 
 def run_record(result: BatchResult, wall_s: float) -> dict:
@@ -103,7 +122,9 @@ def run_benchmark(*, scale: float = 0.05, limit: int = 24,
                   validate: bool = True,
                   fuzz_seed: int | None = None,
                   backends: str | None = None,
-                  arbitration: str | None = None) -> list[dict]:
+                  arbitration: str | None = None,
+                  corpus: str = "samate",
+                  synth_seed: int = 0) -> list[dict]:
     """Run the sampled batch ``repeat`` times and record each run.
 
     Repeats share the process's memory caches, so run 2+ measures the
@@ -116,13 +137,83 @@ def run_benchmark(*, scale: float = 0.05, limit: int = 24,
     """
     records = []
     for _ in range(max(1, repeat)):
-        program = sample_program(scale, limit)
+        program = build_corpus(corpus, scale=scale, limit=limit,
+                               synth_seed=synth_seed)
         start = time.perf_counter()
         result = apply_batch(program, jobs=jobs, validate=validate,
                              fuzz_seed=fuzz_seed, backends=backends,
                              arbitration=arbitration)
         records.append(run_record(result, time.perf_counter() - start))
     return records
+
+
+def run_summary(*, scale: float = 0.05, limit: int = 24, jobs: int = 1,
+                validate: bool = True, fuzz_seed: int | None = None,
+                corpus: str = "samate", synth_seed: int = 0) -> dict:
+    """One streaming run: aggregate reports as they arrive, never
+    retaining the batch.
+
+    This is the batch-scale measurement mode: the record keeps rollup
+    totals (status, transform counts, verdicts) instead of per-file
+    entries, and adds peak RSS, the stream's buffering high-water mark,
+    and the artifact store's write-contention summary.
+    """
+    import resource
+
+    from ..core.batch import stream_batch
+    from ..core.store import get_store
+
+    program = build_corpus(corpus, scale=scale, limit=limit,
+                           synth_seed=synth_seed)
+    start = time.perf_counter()
+    stream = stream_batch(program, jobs=jobs, validate=validate,
+                          fuzz_seed=fuzz_seed)
+    status = {"ok": 0, "degraded": 0, "failed": 0}
+    verdict_totals: dict[str, int] = {}
+    parses = 0
+    slr = [0, 0]
+    str_ = [0, 0]
+    for report in stream:
+        status[report.status] += 1
+        if report.parses:
+            parses += 1
+        if report.slr:
+            slr[0] += report.slr.transformed_count
+            slr[1] += report.slr.candidates
+        if report.str_:
+            str_[0] += report.str_.transformed_count
+            str_[1] += report.str_.candidates
+        if report.validation is not None:
+            for verdict, n in report.validation.counts().items():
+                verdict_totals[verdict] = \
+                    verdict_totals.get(verdict, 0) + n
+    wall_s = time.perf_counter() - start
+    info = stream.info
+    # Linux reports ru_maxrss in KiB; children covers the fork pool.
+    rss_self = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    rss_children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return {
+        "corpus": corpus,
+        "files": info.emitted,
+        "jobs": info.jobs,
+        "wall_s": round(wall_s, 4),
+        "files_per_s": round(info.emitted / wall_s, 2)
+                       if wall_s > 0 else None,
+        "status": status,
+        "parses": parses,
+        "slr_sites": slr,
+        "str_buffers": str_,
+        "verdict_totals": dict(sorted(verdict_totals.items())) or None,
+        "stream": {
+            "window": info.window,
+            "max_buffered": info.max_buffered,
+            "deduplicated": info.deduplicated,
+            "preprocess_failures": info.preprocess_failures,
+            "supervision": dict(info.supervision),
+        },
+        "peak_rss_kb": {"parent": rss_self, "children": rss_children},
+        "store_contention": get_store().contention_summary(),
+    }
 
 
 def watch_fixture(functions: int = 96) -> tuple[str, str, str]:
@@ -263,6 +354,18 @@ def main(argv: list[str] | None = None) -> int:
                         choices=("file", "site"),
                         help="winner selection under --backends: 'file' "
                              "(default) or per-'site' composition")
+    parser.add_argument("--corpus", choices=("samate", "synth"),
+                        default="samate",
+                        help="benchmark input: stratified SAMATE sample "
+                             "(default) or the mutational synthesizer "
+                             "(--limit = file count)")
+    parser.add_argument("--synth-seed", type=int, default=0,
+                        help="generation seed for --corpus synth")
+    parser.add_argument("--summary", action="store_true",
+                        help="stream the batch and print one aggregate "
+                             "record (adds peak RSS, stream buffering "
+                             "high-water mark, store contention) instead "
+                             "of per-file runs")
     parser.add_argument("--incremental", type=int, default=None,
                         metavar="N",
                         help="run the incremental watch-mode leg instead: "
@@ -283,13 +386,29 @@ def main(argv: list[str] | None = None) -> int:
         else:
             sys.stdout.write(payload)
         return 0
+    if args.summary:
+        record = run_summary(scale=args.scale, limit=args.limit,
+                             jobs=args.jobs,
+                             validate=not args.no_validate,
+                             fuzz_seed=args.seed, corpus=args.corpus,
+                             synth_seed=args.synth_seed)
+        payload = json.dumps({"summary": record}, indent=2,
+                             sort_keys=True) + "\n"
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+        else:
+            sys.stdout.write(payload)
+        return 0
     try:
         runs = run_benchmark(scale=args.scale, limit=args.limit,
                              jobs=args.jobs, repeat=args.repeat,
                              validate=not args.no_validate,
                              fuzz_seed=args.seed,
                              backends=args.backends,
-                             arbitration=args.arbitration)
+                             arbitration=args.arbitration,
+                             corpus=args.corpus,
+                             synth_seed=args.synth_seed)
     except (KeyError, ValueError) as exc:
         # Clean one-line exit on a typo'd backend id or bad mode.
         print(f"error: {exc}", file=sys.stderr)

@@ -1,0 +1,130 @@
+"""Tests for the mutational corpus synthesizer (PR 9).
+
+The synthesizer's whole value is trustworthy ground truth at scale:
+every planted label must agree with the bounds-checked VM, and the
+same (count, seed) pair must be byte-for-byte reproducible — including
+through the ``repro synth`` CLI.
+"""
+
+import filecmp
+import json
+
+import pytest
+
+from repro.corpus.synth import (
+    MUTANT_KINDS, build_program, manifest, oracle_agrees, synthesize,
+    write_corpus,
+)
+
+
+class TestGroundTruth:
+    def test_every_label_agrees_with_vm_oracle(self):
+        """Unvalidated generation (no filtering) must already agree —
+        the parameter derivations are proofs, not heuristics."""
+        mutants = synthesize(60, 17, validate=False)
+        disagreements = [m.name for m in mutants
+                         if not oracle_agrees(m)]
+        assert disagreements == []
+
+    def test_population_covers_kinds_and_labels(self):
+        mutants = synthesize(60, 17, validate=False)
+        kinds = {m.kind for m in mutants}
+        labels = {m.label for m in mutants}
+        assert kinds == set(MUTANT_KINDS)
+        assert labels == {"overflow", "safe"}
+
+    def test_validated_generation_keeps_labels(self):
+        mutants = synthesize(10, 2, validate=True)
+        assert len(mutants) == 10
+        assert all(m.label in ("overflow", "safe") for m in mutants)
+
+    def test_write_len_matches_label(self):
+        """The planted geometry is self-consistent: forward overflow
+        mutants write past dst, safe forward writes fit."""
+        for m in synthesize(60, 23, validate=False):
+            if m.kind == "off_by_one":
+                continue  # single store; geometry is the index, not len
+            if m.expected_overflow:
+                assert m.write_len > m.dst_size, m.name
+            else:
+                assert m.write_len <= m.dst_size, m.name
+
+
+class TestDeterminism:
+    def test_same_seed_is_byte_identical(self):
+        first = synthesize(20, 5, validate=False)
+        second = synthesize(20, 5, validate=False)
+        assert [m.source for m in first] == [m.source for m in second]
+        assert [m.name for m in first] == [m.name for m in second]
+
+    def test_different_seeds_differ(self):
+        a = [m.source for m in synthesize(10, 1, validate=False)]
+        b = [m.source for m in synthesize(10, 2, validate=False)]
+        assert a != b
+
+    def test_manifest_is_deterministic(self):
+        ms = synthesize(8, 9, validate=False)
+        assert manifest(ms, 9, validated=False) \
+            == manifest(synthesize(8, 9, validate=False), 9,
+                        validated=False)
+
+    def test_filenames_are_unique_and_flow_stamped(self):
+        mutants = synthesize(40, 4, validate=False)
+        names = [m.filename for m in mutants]
+        assert len(set(names)) == len(names)
+        for m in mutants:
+            assert m.filename == \
+                f"synth_4_{mutants.index(m):05d}_{m.kind}" \
+                f"_f{m.flow_vid:02d}.c"
+
+
+class TestPackaging:
+    def test_build_program_shape(self):
+        program = build_program(12, 6)
+        assert program.file_count == 12
+        assert all(name.endswith(".c") for name in program.files)
+
+    def test_write_corpus_round_trip(self, tmp_path):
+        mutants = synthesize(6, 8, validate=False)
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        write_corpus(mutants, str(a), 8, validated=False)
+        write_corpus(synthesize(6, 8, validate=False), str(b), 8,
+                     validated=False)
+        match, mismatch, errors = filecmp.cmpfiles(
+            a, b, [p.name for p in a.iterdir()], shallow=False)
+        assert not mismatch and not errors
+        payload = json.loads((a / "manifest.json").read_text())
+        assert payload["seed"] == 8
+        assert payload["count"] == 6
+        assert len(payload["mutants"]) == 6
+
+    def test_cli_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+        out = tmp_path / "corpus"
+        assert main(["synth", "--count", "5", "--seed", "3",
+                     "--out", str(out)]) == 0
+        err = capsys.readouterr().err
+        assert "wrote 5 file(s)" in err
+        assert "VM-validated" in err
+        written = sorted(p.name for p in out.iterdir())
+        assert "manifest.json" in written
+        assert sum(1 for n in written if n.endswith(".c")) == 5
+
+    def test_synth_batch_transforms_cleanly(self, fresh_store):
+        """The synthesized population actually flows through the batch
+        pipeline: every file parses and lands ok."""
+        from repro.core.batch import stream_batch
+        program = build_program(10, 14)
+        reports = list(stream_batch(program, jobs=1, validate=False))
+        assert len(reports) == 10
+        assert all(r.status == "ok" and r.parses for r in reports)
+
+
+class TestValidationCap:
+    def test_disagreement_raises_after_cap(self, monkeypatch):
+        import repro.corpus.synth as synth_mod
+        monkeypatch.setattr(synth_mod, "oracle_agrees",
+                            lambda mutant: False)
+        with pytest.raises(RuntimeError, match="disagreed"):
+            synthesize(2, 0, validate=True)
