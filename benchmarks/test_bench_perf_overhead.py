@@ -209,6 +209,48 @@ def test_bench_pipeline_incremental(benchmark, tmp_path):
                    encoding="utf-8")
 
 
+def test_bench_pipeline_resume(benchmark, tmp_path):
+    """Resume leg: replay overhead of ``repro batch --resume`` on a
+    fully journaled synth batch.
+
+    A journaled clean run computes every file, then a second
+    ``apply_batch`` resumes from the same journal — every report must
+    replay from the journal's result pointers byte-identically, and the
+    replay must be much cheaper than the compute.  Results land under
+    the ``resume`` key of ``BENCH_pipeline.json``.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "store")
+    env["REPRO_RUN_DIR"] = str(tmp_path / "runs")
+    env.pop("REPRO_FAULTS", None)
+    out_path = tmp_path / "resume.json"
+    cmd = [sys.executable, "-m", "repro.eval.pipeline_bench",
+           "--resume-leg", "--corpus", "synth", "--limit", "24",
+           "--jobs", "1", "--no-validate", "--out", str(out_path)]
+    benchmark.pedantic(
+        lambda: subprocess.run(cmd, cwd=REPO_ROOT, env=env, check=True,
+                               timeout=600),
+        rounds=1, iterations=1)
+    with open(out_path, encoding="utf-8") as fh:
+        record = json.load(fh)["resume"]
+
+    assert record["reports_identical"], "resumed reports diverged"
+    assert record["replayed"] == record["files"], record
+    assert record["quarantined"] == 0, record
+    assert record["status"]["failed"] == 0, record["status"]
+    # Replay reads pickles instead of running the pipeline; anything
+    # below 2x would mean resume recomputed.
+    assert record["speedup"] is None or record["speedup"] >= 2.0, record
+
+    out = REPO_ROOT / "BENCH_pipeline.json"
+    payload = json.loads(out.read_text(encoding="utf-8")) \
+        if out.exists() else {}
+    payload["resume"] = record
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+
+
 def test_bench_pipeline_arbitration(benchmark, tmp_path):
     """Arbitration leg: the same sampled batch with 2 vs 4 fix backends.
 

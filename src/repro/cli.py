@@ -20,6 +20,10 @@ Subcommands mirror how the paper's tool is used:
 * ``cache ACTION``   — manage the persistent artifact store
   (``stats`` / ``clear`` / ``gc``; ``stats --json`` dumps per-family
   and per-shard counters machine-readably);
+* ``runs ACTION``    — inspect the crash-safe run journals every
+  ``batch`` invocation writes (``list`` / ``show`` / ``gc``); ``batch
+  --resume <run-id|latest>`` replays a crashed or interrupted run's
+  completed files and re-dispatches only unfinished work;
 * ``synth``          — generate a synthetic ground-truth corpus of
   planted overflow/safe files, VM-validated and deterministic by seed.
 
@@ -38,6 +42,7 @@ supervision.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from . import apply_slr, apply_str, preprocess, run_c
@@ -183,6 +188,39 @@ def _apply_supervision_flags(args: argparse.Namespace) -> None:
         os.environ["REPRO_TASK_RETRIES"] = str(args.task_retries)
 
 
+def _make_journal(args: argparse.Namespace, program):
+    """Build (or reopen, under ``--resume``) the run journal for a batch
+    invocation; returns ``(journal, error message)``.  ``--no-run-log``
+    (or ``REPRO_RUN_LOG=0``) runs unjournaled."""
+    import os
+
+    from .core.runlog import (
+        RunJournal, RunNotFound, resolve_run_id, run_log_enabled,
+    )
+
+    if getattr(args, "no_run_log", False):
+        os.environ["REPRO_RUN_LOG"] = "0"
+    if not run_log_enabled():
+        if getattr(args, "resume", None):
+            return None, ("--resume requires run journaling "
+                          "(drop --no-run-log / REPRO_RUN_LOG=0)")
+        return None, None
+    try:
+        if getattr(args, "resume", None):
+            journal = RunJournal(resolve_run_id(args.resume))
+            journal.load()
+        else:
+            journal = RunJournal(getattr(args, "run_id", None))
+    except RunNotFound as exc:
+        return None, str(exc)
+    journal.begin(program, {
+        "run_slr": not args.no_slr, "run_str": not args.no_str,
+        "profile": args.slr_profile, "validate": args.validate,
+        "backends": args.backends, "arbitration": args.arbitration,
+    })
+    return journal, None
+
+
 def cmd_batch(args: argparse.Namespace) -> int:
     import json
     import os
@@ -202,16 +240,33 @@ def cmd_batch(args: argparse.Namespace) -> int:
     if program is None:
         print(error, file=sys.stderr)
         return 2
+    journal, error = _make_journal(args, program)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     try:
         batch = apply_batch(program, run_slr=not args.no_slr,
                             run_str=not args.no_str,
                             profile=args.slr_profile,
                             jobs=args.jobs, validate=args.validate,
                             backends=args.backends,
-                            arbitration=args.arbitration)
+                            arbitration=args.arbitration,
+                            journal=journal)
     except (SourceError, ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        # Every completed file is already journaled (the WAL is flushed
+        # per event), so the run picks up where it stopped.
+        if journal is not None:
+            journal.close()
+            print(f"\ninterrupted — resume with: repro batch "
+                  f"{args.directory} --resume {journal.run_id}",
+                  file=sys.stderr)
+        else:
+            print("\ninterrupted (unjournaled run; nothing to resume)",
+                  file=sys.stderr)
+        return 130
 
     for report in batch.reports:
         if report.arbitration is not None:
@@ -265,6 +320,14 @@ def cmd_batch(args: argparse.Namespace) -> int:
         print(f"wrote diagnostics to {args.diagnostics_json}",
               file=sys.stderr)
     counts = batch.status_counts()
+    quarantine_note = f"/{counts['quarantined']}" \
+        if counts.get("quarantined") else ""
+    if journal is not None:
+        stats = batch.stats
+        print(f"run {journal.run_id}: journaled to {journal.run_dir} "
+              f"({stats.replayed} replayed, {stats.quarantined} "
+              f"quarantined); resume with --resume {journal.run_id}",
+              file=sys.stderr)
     if arbitrated:
         winners = batch.winners()
         fixed = sum(1 for winner in winners.values() if winner)
@@ -279,8 +342,10 @@ def cmd_batch(args: argparse.Namespace) -> int:
               f"{batch.backends_rejected} rejected{site_note}; "
               f"all files parse: "
               f"{'yes' if batch.all_parse else 'NO'}; "
-              f"files ok/degraded/failed: {counts['ok']}/"
-              f"{counts['degraded']}/{counts['failed']}",
+              f"files ok/degraded/failed"
+              f"{'/quarantined' if quarantine_note else ''}: "
+              f"{counts['ok']}/{counts['degraded']}/"
+              f"{counts['failed']}{quarantine_note}",
               file=sys.stderr)
     else:
         slr_done = batch.transformed("SLR")
@@ -290,8 +355,10 @@ def cmd_batch(args: argparse.Namespace) -> int:
         print(f"SLR {slr_done}/{slr_all} sites, STR {str_done}/"
               f"{str_all} buffers; all files parse: "
               f"{'yes' if batch.all_parse else 'NO'}; "
-              f"files ok/degraded/failed: {counts['ok']}/"
-              f"{counts['degraded']}/{counts['failed']}",
+              f"files ok/degraded/failed"
+              f"{'/quarantined' if quarantine_note else ''}: "
+              f"{counts['ok']}/{counts['degraded']}/"
+              f"{counts['failed']}{quarantine_note}",
               file=sys.stderr)
     # Under arbitration the oracle always judged the shipped fixes, so
     # the semantics gate applies whether or not --validate was given.
@@ -458,6 +525,16 @@ def cmd_cache(args: argparse.Namespace) -> int:
               f"freed {summary['freed_bytes']} bytes, "
               f"dropped {summary['removed_versions']} stale version "
               f"dir(s) under {store.root}")
+        if args.max_age_days is not None:
+            # Age-bounded gc also prunes run journals past the cutoff
+            # (run directories are never touched without an explicit
+            # age — they are the audit trail).
+            from .core.runlog import gc_runs, runs_root
+            runs = gc_runs(max_age_days=args.max_age_days)
+            if runs["removed_runs"]:
+                print(f"gc: removed {runs['removed_runs']} run "
+                      f"journal(s), freed {runs['freed_bytes']} bytes "
+                      f"under {runs_root()}")
         return 0
 
     # stats: on-disk usage plus lifetime hit/miss/bytes counters.
@@ -500,6 +577,99 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(f"  {len(stale)} stale version dir(s) — run "
               f"'repro cache gc' to reclaim")
     return 0
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    """Inspect and prune the ARVO-style run directories
+    (``repro runs list`` / ``show`` / ``gc``)."""
+    from .core.runlog import (
+        RunJournal, RunNotFound, gc_runs, list_runs, resolve_run_id,
+        runs_root,
+    )
+
+    if args.action == "list":
+        runs = list_runs()
+        if not runs:
+            print(f"no runs under {runs_root()}")
+            return 0
+        print(f"{'run id':<24} {'created':<21} {'program':<18} "
+              f"{'files':>5} {'done':>5} {'fail':>4} {'quar':>4}")
+        for run in runs:
+            print(f"{run['run_id']:<24} {run['created']:<21} "
+                  f"{run['program'][:18]:<18} {run['files']:>5} "
+                  f"{run['completed']:>5} {run['failed']:>4} "
+                  f"{run['quarantined']:>4}")
+        return 0
+
+    if args.action == "gc":
+        if args.max_age_days is None and args.keep is None:
+            print("error: runs gc needs --max-age-days and/or --keep "
+                  "(run directories are the audit trail; nothing is "
+                  "pruned by default)", file=sys.stderr)
+            return 2
+        summary = gc_runs(max_age_days=args.max_age_days,
+                          keep=args.keep)
+        print(f"runs gc: removed {summary['removed_runs']} run(s), "
+              f"freed {summary['freed_bytes']} bytes under "
+              f"{runs_root()}")
+        return 0
+
+    # show: replay the crash-report → fix → verdict chain per file.
+    try:
+        journal = RunJournal(resolve_run_id(args.run_id or "latest"))
+        journal.load()
+    except RunNotFound as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    manifest = journal.manifest
+    print(f"run {journal.run_id}  created {manifest.get('created', '?')}"
+          f"  program {manifest.get('program', '?')}  "
+          f"fingerprint {manifest.get('fingerprint', '?')}")
+    settings = manifest.get("settings", {})
+    if settings:
+        print("settings: " + " ".join(f"{k}={v}" for k, v
+                                      in sorted(settings.items())))
+    names = [args.file] if args.file else sorted(journal.completed)
+    if not names:
+        print("(no journaled per-file events)")
+        return 0
+    shown = 0
+    for name in names:
+        event = journal.completed.get(name)
+        audit = journal.read_audit(name)
+        if event is None and audit is None:
+            print(f"{name}: no journaled outcome", file=sys.stderr)
+            continue
+        shown += 1
+        status = audit.get("status") if audit else (event and event[0])
+        print(f"\n{name}: {status}")
+        if audit is None:
+            continue
+        for diag in audit.get("diagnostics") or []:
+            print(f"  crash report: [{diag.get('stage')}] "
+                  f"{diag.get('kind')}: {diag.get('message')}")
+        winner = audit.get("winner")
+        if winner:
+            print(f"  fix: backend {winner} won the arbitration")
+        elif audit.get("diff"):
+            print("  fix: SLR/STR chain edited the file")
+        verdicts = audit.get("verdicts")
+        if verdicts:
+            print("  verdicts: " + " ".join(
+                f"{k}={v}" for k, v in sorted(verdicts.items())))
+        for div in audit.get("divergences") or []:
+            print(f"  divergence: {div.get('input')}"
+                  f"({div.get('kind')}): {div.get('verdict')} — "
+                  f"{div.get('detail')}")
+        diff = audit.get("diff")
+        if diff and (args.file or args.diff):
+            print("  diff:")
+            for line in diff.splitlines():
+                print(f"    {line}")
+        elif diff:
+            print(f"  diff: {len(diff.splitlines())} line(s) "
+                  f"(show with --diff or --file {name})")
+    return 0 if shown else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -570,6 +740,19 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="retries for crashed/timed-out files "
                             "(also REPRO_TASK_RETRIES; default: 1)")
+    batch.add_argument("--resume", default=None, metavar="RUN_ID",
+                       help="resume a crashed/interrupted journaled run "
+                            "('latest' = most recent): completed files "
+                            "replay from the journal, only unfinished "
+                            "work is re-dispatched")
+    batch.add_argument("--run-id", default=None, metavar="RUN_ID",
+                       dest="run_id",
+                       help="name this run's journal directory "
+                            "(default: a generated timestamped id)")
+    batch.add_argument("--no-run-log", action="store_true",
+                       help="skip the write-ahead run journal and audit "
+                            "trail (also REPRO_RUN_LOG=0); such a run "
+                            "cannot be resumed")
     batch.set_defaults(func=cmd_batch)
 
     validate = sub.add_parser(
@@ -624,6 +807,28 @@ def build_parser() -> argparse.ArgumentParser:
                             "write-contention summary)")
     cache.set_defaults(func=cmd_cache)
 
+    runs = sub.add_parser(
+        "runs", help="inspect the crash-safe run journals "
+                     "(REPRO_RUN_DIR): list, show a run's "
+                     "crash-report → fix → verdict chain, or gc")
+    runs.add_argument("action", choices=("list", "show", "gc"),
+                      help="list: every run with event tallies; show: "
+                           "replay one run's per-file audit trail; gc: "
+                           "prune old run directories")
+    runs.add_argument("run_id", nargs="?", default=None,
+                      help="run id for 'show' (default: latest)")
+    runs.add_argument("--file", default=None, metavar="NAME",
+                      help="with 'show': full chain (diff included) "
+                           "for one file")
+    runs.add_argument("--diff", action="store_true",
+                      help="with 'show': print winning diffs for every "
+                           "file")
+    runs.add_argument("--max-age-days", type=float, default=None,
+                      help="with 'gc': remove runs older than this")
+    runs.add_argument("--keep", type=int, default=None,
+                      help="with 'gc': keep only the newest N runs")
+    runs.set_defaults(func=cmd_runs)
+
     synth = sub.add_parser(
         "synth", help="synthesize a ground-truth corpus of planted "
                       "overflow/safe C files (deterministic by --seed)")
@@ -669,7 +874,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Long listings piped into ``head`` close stdout early; point
+        # it at devnull so interpreter shutdown's flush stays quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -41,6 +41,7 @@ stage for chaos testing.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import os
 import pickle
 import time
@@ -52,14 +53,15 @@ from ..cfront.cache import CacheStats, ContentCache, content_key, \
 from ..cfront.source import count_source_lines
 from . import faults, profile
 from .diagnostics import (
-    KIND_TIMEOUT, KIND_WORKER_DIED, STATUS_FAILED, STATUS_OK,
-    FileDiagnostic, diagnostic_from_exception, status_of,
-    supervisor_diagnostic,
+    KIND_QUARANTINED, KIND_TIMEOUT, KIND_WORKER_DIED, STATUS_FAILED,
+    STATUS_OK, STATUS_QUARANTINED, FileDiagnostic,
+    diagnostic_from_exception, status_of, supervisor_diagnostic,
 )
 from .backends import (  # noqa: F401 (re-exported arbitration helpers)
     ARBITRATION_VERSION, CANDIDATE_ERROR, COMPOSITE_BACKEND,
     ArbitrationReport, arbitrate_file, arbitration_from_env,
-    backends_from_env, resolve_arbitration, resolve_backends, scoreboard,
+    backends_from_env, reset_breakers, resolve_arbitration,
+    resolve_backends, scoreboard,
 )
 from .session import AnalysisSession, get_session
 from .slr import SafeLibraryReplacement
@@ -431,6 +433,11 @@ class SerialExecutor:
             yield index, transform_file(task)
 
 
+#: How often an idle pool worker wakes to check it has not been
+#: orphaned by a dead scheduler.
+_ORPHAN_POLL_S = 1.0
+
+
 def _pool_worker(inbox, result_queue) -> None:
     """Supervised-pool worker loop: pull tasks from this worker's own
     inbox until the ``None`` sentinel, ship each report back pre-pickled.
@@ -445,10 +452,25 @@ def _pool_worker(inbox, result_queue) -> None:
     in a buffer.  Pre-pickling converts an unpicklable report into an
     ordinary contained failure instead of an invisible serialization
     error.
+
+    Idle waits poll rather than block: if the scheduler process dies
+    without cleanup (crash, SIGKILL, an injected ``parent-kill`` fault),
+    the worker notices its reparenting and exits instead of blocking on
+    the inbox forever — a crashed batch must not leak a pool of orphaned
+    workers holding the terminal's pipes open.
     """
     faults.mark_worker()
+    parent = os.getppid()
+    reader = getattr(inbox, "_reader", None)
     while True:
-        item = inbox.get()
+        try:
+            if reader is not None:
+                while not reader.poll(_ORPHAN_POLL_S):
+                    if os.getppid() != parent:
+                        os._exit(0)         # scheduler died; orphaned
+            item = inbox.get()
+        except (EOFError, OSError):
+            os._exit(0)                     # inbox torn down under us
         if item is None:
             return
         index, task = item
@@ -737,13 +759,38 @@ class ProcessPoolExecutor:
         attempts[index] = attempts.get(index, 0) + 1
         if attempts[index] <= self.retries:
             self.supervision["retries"] += 1
-            # Short backoff: a transient cause (memory pressure, a
-            # saturated disk) gets a beat to clear before the retry.
             retry_at.append((time.monotonic()
-                             + min(0.05 * attempts[index], 0.5), index))
+                             + retry_backoff(attempts[index],
+                                             held[index].filename),
+                             index))
         else:
             ready[index] = _supervisor_report(
                 held[index], kind, message, retries=attempts[index] - 1)
+
+
+#: Retry backoff bounds for the supervised pool: first retry waits
+#: around the base, each further attempt doubles it, and no retry ever
+#: waits past the cap.
+RETRY_BACKOFF_BASE_S = 0.05
+RETRY_BACKOFF_CAP_S = 2.0
+
+
+def retry_backoff(attempt: int, subject: str) -> float:
+    """Seconds to wait before retry ``attempt`` (1-based) of ``subject``.
+
+    Exponential (base × 2^(attempt-1)) with *deterministic* per-subject
+    jitter in [0.5, 1.5) — a keyed hash of the subject name, not a PRNG
+    — and a hard cap.  The jitter de-synchronizes a respawn storm (ten
+    tasks orphaned by one dead worker no longer hammer the pool on the
+    same tick) while keeping every run's schedule reproducible; the
+    exponent stops a repeatedly-dying task from busy-looping the
+    supervisor; the cap bounds the latency a transient failure can add.
+    """
+    base = RETRY_BACKOFF_BASE_S * (2 ** max(0, attempt - 1))
+    digest = hashlib.blake2b(f"repro-backoff|{subject}".encode("utf-8"),
+                             digest_size=8).digest()
+    jitter = 0.5 + int.from_bytes(digest, "big") / float(1 << 64)
+    return min(base * jitter, RETRY_BACKOFF_CAP_S)
 
 
 def make_executor(jobs: int | None = None):
@@ -785,6 +832,10 @@ class BatchStats:
     #: disqualified (semantics-changed or non-parsing output).
     backends_attempted: int = 0
     backends_rejected: int = 0
+    #: Run-journal tallies (zero without ``--resume``/journaling):
+    #: files replayed from the journal and files skipped as quarantined.
+    replayed: int = 0
+    quarantined: int = 0
 
     @property
     def stage_totals(self) -> dict[str, float]:
@@ -808,7 +859,9 @@ class BatchStats:
                 "deduplicated": self.deduplicated,
                 "supervision": dict(self.supervision),
                 "backends_attempted": self.backends_attempted,
-                "backends_rejected": self.backends_rejected}
+                "backends_rejected": self.backends_rejected,
+                "replayed": self.replayed,
+                "quarantined": self.quarantined}
 
 
 @dataclass
@@ -873,9 +926,10 @@ class BatchResult:
                 for diag in report.diagnostics]
 
     def status_counts(self) -> dict[str, int]:
-        """``{'ok': …, 'degraded': …, 'failed': …}`` over all files."""
+        """``{'ok': …, 'degraded': …, 'failed': …, 'quarantined': …}``
+        over all files."""
         counts = {status: 0 for status in
-                  ("ok", "degraded", "failed")}
+                  ("ok", "degraded", "failed", "quarantined")}
         for report in self.reports:
             counts[report.status] = counts.get(report.status, 0) + 1
         return counts
@@ -977,7 +1031,10 @@ def _task_work_key(task: FileTask) -> str:
                   *task.backends, task.filename, str(task.fuzz_seed)]
     if task.validate:
         parts += [task.filename, str(task.fuzz_seed)]
-    if faults.faults_enabled():
+    if faults.faults_enabled() and faults.affects_results():
+        # Scheduler-only faults (journal/dispatch parent-kill) never
+        # change report content, so they stay out of the key — the run
+        # they crash must resume onto the keys it journaled.
         parts += ["faults", task.filename]
     return content_key(*parts)
 
@@ -990,6 +1047,22 @@ def _preprocess_failure_report(filename: str, original_text: str,
     return FileTransformReport(
         filename, None, None, original_text, True, wall, None, {},
         status=STATUS_FAILED, diagnostics=[diagnostic])
+
+
+def _quarantined_report(filename: str, text: str,
+                        entry: dict) -> FileTransformReport:
+    """The report for a known poison file: input shipped verbatim with
+    status ``quarantined`` and a diagnostic naming the run that first
+    condemned it — no retry/timeout budget is spent."""
+    message = (f"skipped: content quarantined by run "
+               f"{entry.get('run_id', '?')} after "
+               f"{entry.get('attempts', 1)} attempt(s) "
+               f"({entry.get('kind', '?')}: {entry.get('message', '')})")
+    return FileTransformReport(
+        filename, None, None, text, True, 0.0, None, {},
+        status=STATUS_QUARANTINED,
+        diagnostics=[FileDiagnostic(filename, "worker", KIND_QUARANTINED,
+                                    message)])
 
 
 _PENDING = object()     # dedup sentinel: representative still computing
@@ -1015,6 +1088,11 @@ class StreamInfo:
     emitted: int = 0
     deduplicated: int = 0
     preprocess_failures: int = 0
+    #: Files served straight from an attached run journal (``--resume``).
+    replayed: int = 0
+    #: Files skipped because a previous journaled run quarantined their
+    #: content (shipped verbatim, status ``quarantined``).
+    quarantined: int = 0
     supervision: dict[str, int] = field(
         default_factory=_empty_supervision)
     #: Per-file parent-side preprocess wall seconds (empty when the
@@ -1050,8 +1128,17 @@ class BatchStream:
                  session: AnalysisSession | None = None,
                  window: int | None = None,
                  dedup_cap: int | None = None,
-                 memoize_preprocess: bool = False):
+                 memoize_preprocess: bool = False,
+                 journal=None):
         self.program = program
+        #: Optional :class:`repro.core.runlog.RunJournal`.  When set,
+        #: completed files replay from the journal (``--resume``),
+        #: terminal reports are journaled as they emit, and known
+        #: poison content is quarantined instead of re-dispatched.
+        self.journal = journal
+        # Fresh circuit-breaker state per batch, installed pre-fork so
+        # every worker inherits closed breakers.
+        reset_breakers()
         self.session = session if session is not None else get_session()
         self.run_slr = run_slr
         self.run_str = run_str
@@ -1127,12 +1214,18 @@ class BatchStream:
                     wall = time.perf_counter() - start
                     self.info.pp_timings[filename] = wall
                     self.info.preprocess_failures += 1
-                    slots.append((filename, _SLOT_REPORT,
-                                  _preprocess_failure_report(
-                                      filename, program.files[filename],
-                                      diagnostic_from_exception(
-                                          "preprocess", filename, exc),
-                                      wall)))
+                    failure = _preprocess_failure_report(
+                        filename, program.files[filename],
+                        diagnostic_from_exception(
+                            "preprocess", filename, exc),
+                        wall)
+                    if self.journal is not None:
+                        self.journal.record_result(
+                            filename,
+                            content_key("pp-fail",
+                                        program.files[filename]),
+                            failure)
+                    slots.append((filename, _SLOT_REPORT, failure))
                     continue
                 self.info.pp_timings[filename] = \
                     time.perf_counter() - start
@@ -1142,6 +1235,25 @@ class BatchStream:
                             self.profile, self.validate, self.fuzz_seed,
                             self.backend_ids, self.arbitration)
             key = _task_work_key(task)
+            if self.journal is not None:
+                # Resume: a journaled completion whose work key still
+                # matches (content, settings, tool all unchanged)
+                # replays without dispatching; a key miss falls through
+                # and recomputes.
+                replayed = self.journal.replay(filename, key)
+                if replayed is not None:
+                    self.info.replayed += 1
+                    slots.append((filename, _SLOT_REPORT, replayed))
+                    continue
+                from .runlog import quarantine_lookup
+                entry = quarantine_lookup(text)
+                if entry is not None:
+                    self.info.quarantined += 1
+                    report = _quarantined_report(filename, text, entry)
+                    self.journal.record_quarantined(filename, key, entry)
+                    self.journal.write_audit(report)
+                    slots.append((filename, _SLOT_REPORT, report))
+                    continue
             if key in self._reps:
                 self.info.deduplicated += 1
                 self._pins[key] = self._pins.get(key, 0) + 1
@@ -1155,7 +1267,27 @@ class BatchStream:
             self._trim_reps()
             unique_keys.append(key)
             slots.append((filename, _SLOT_UNIQUE, key))
+            if self.journal is not None:
+                self.journal.record_dispatched(filename, key)
             yield task
+
+    def _journal_emission(self, filename: str, key: str,
+                          report: FileTransformReport) -> None:
+        """Journal one computed report as it emits — result pointer
+        published first, then the WAL event — and quarantine content
+        that burned the whole retry budget on a worker-stage death or
+        timeout (the poison-file signature: the *machinery* around the
+        file kept dying, so no per-stage guard could contain it)."""
+        self.journal.record_result(filename, key, report)
+        if report.status != STATUS_FAILED:
+            return
+        from .runlog import quarantine_record
+        for diag in report.diagnostics:
+            if diag.stage == "worker" \
+                    and diag.kind in (KIND_TIMEOUT, KIND_WORKER_DIED):
+                quarantine_record(report.final_text, filename, diag,
+                                  self.journal.run_id)
+                return
 
     def _run(self):
         from collections import deque
@@ -1196,6 +1328,8 @@ class BatchStream:
                 elif report.filename != filename:
                     report = dataclasses.replace(
                         report, filename=filename)
+                if self.journal is not None:
+                    self._journal_emission(filename, value, report)
                 self.info.emitted += 1
                 yield report
             if exhausted and not slots:
@@ -1211,6 +1345,8 @@ class BatchStream:
                 self._reps[key] = report
             self._trim_reps()
         self.info.supervision = dict(runner.supervision)
+        if self.journal is not None:
+            self.journal.close()
         program = self.program
         if pp_texts is not None and not program.preprocessed \
                 and program._pp_memo is None \
@@ -1238,7 +1374,8 @@ def apply_batch(program: SourceProgram, *, run_slr: bool = True,
                 fuzz_seed: int | None = None,
                 backends=None,
                 arbitration: str | None = None,
-                session: AnalysisSession | None = None) -> BatchResult:
+                session: AnalysisSession | None = None,
+                journal=None) -> BatchResult:
     """Preprocess and transform every file of ``program``.
 
     Files are processed in filename order by the executor selected via
@@ -1288,7 +1425,8 @@ def apply_batch(program: SourceProgram, *, run_slr: bool = True,
                          fuzz_seed=fuzz_seed, backends=backends,
                          arbitration=arbitration, session=session,
                          window=max(1, program.file_count),
-                         dedup_cap=0, memoize_preprocess=True)
+                         dedup_cap=0, memoize_preprocess=True,
+                         journal=journal)
     reports = list(stream)
     wall = time.perf_counter() - start
     after = snapshot_stats()
@@ -1316,6 +1454,8 @@ def apply_batch(program: SourceProgram, *, run_slr: bool = True,
         deduplicated=stream.info.deduplicated,
         supervision=stream.info.supervision,
         backends_attempted=result.backends_attempted,
-        backends_rejected=result.backends_rejected)
+        backends_rejected=result.backends_rejected,
+        replayed=stream.info.replayed,
+        quarantined=stream.info.quarantined)
     result.stats = stats
     return result

@@ -26,13 +26,21 @@ from ..cfront.source import SourceError
 STATUS_OK = "ok"                # every requested stage succeeded
 STATUS_DEGRADED = "degraded"    # some stage failed; partial result shipped
 STATUS_FAILED = "failed"        # nothing transformed; input shipped verbatim
+STATUS_QUARANTINED = "quarantined"  # known poison file skipped; input
+                                    # shipped verbatim without spending
+                                    # the retry/timeout budget
 
-STATUSES = (STATUS_OK, STATUS_DEGRADED, STATUS_FAILED)
+STATUSES = (STATUS_OK, STATUS_DEGRADED, STATUS_FAILED,
+            STATUS_QUARANTINED)
 
 #: Synthetic diagnostic kinds the supervisor records (no exception class
 #: exists for a worker the parent had to kill or that died under it).
 KIND_TIMEOUT = "timeout"
 KIND_WORKER_DIED = "worker-died"
+
+#: Diagnostic kind for a file skipped because an earlier journaled run
+#: quarantined its content (see :mod:`repro.core.runlog`).
+KIND_QUARANTINED = "quarantined"
 
 #: Traceback truncation bounds: enough to locate a bug, small enough to
 #: ship thousands of diagnostics through a result queue.

@@ -13,19 +13,31 @@ of ``stage:kind:rate`` rules:
 ``stage``
     Where to fire — ``preprocess``, ``slr``, ``str``, ``verify``,
     ``validate`` (the per-file stage guards in
-    :func:`repro.core.batch.transform_file`), or ``store`` (the
-    persistent artifact store's read path).
+    :func:`repro.core.batch.transform_file`), ``store`` (the
+    persistent artifact store's read path), or the run-journal hooks
+    ``dispatch`` / ``journal`` (fired by
+    :class:`repro.core.runlog.RunJournal` around its write-ahead-log
+    appends — the crash-recovery suite plants ``parent-kill`` there).
 ``kind``
-    ``exception``  raise :class:`InjectedFault` at the stage boundary;
-    ``hang``       stall the stage (``REPRO_FAULT_HANG_S`` seconds in a
-                   supervised pool worker, where the watchdog is
-                   expected to kill it; a short cooperative stall +
-                   :class:`InjectedHang` elsewhere);
-    ``kill``       die without cleanup — ``os._exit`` in a pool worker
-                   (exercising dead-worker detection), a raised
-                   :class:`InjectedKill` in-process;
-    ``corrupt``    flip bytes in a persistent-store entry before it is
-                   unpickled (``store`` stage only).
+    ``exception``    raise :class:`InjectedFault` at the stage boundary;
+    ``hang``         stall the stage (``REPRO_FAULT_HANG_S`` seconds in
+                     a supervised pool worker, where the watchdog is
+                     expected to kill it; a short cooperative stall +
+                     :class:`InjectedHang` elsewhere);
+    ``kill``         die without cleanup — ``os._exit`` in a pool
+                     worker (exercising dead-worker detection), a
+                     raised :class:`InjectedKill` in-process;
+    ``parent-kill``  ``os._exit`` in the *parent* (scheduler) process —
+                     a no-op inside pool workers — simulating the whole
+                     batch driver dying mid-run with no cleanup, the
+                     crash ``--resume`` must recover from;
+    ``corrupt``      flip bytes in a persistent-store entry before it
+                     is unpickled (``store`` stage only);
+    ``disk-full``    make the next matching journal/store write raise
+                     ``OSError(ENOSPC)``, proving durable-run I/O
+                     degrades warn-once instead of failing the batch
+                     (consumed via :func:`should_fail_disk`, not
+                     :func:`check`).
 ``rate``
     Fraction of subjects the rule fires on, in ``[0, 1]``.
 
@@ -52,10 +64,12 @@ from dataclasses import dataclass
 #: (``tr24731``, ``s3lib``, …) — a ``tr24731:exception:1.0`` rule fails
 #: exactly that backend's candidates and lets the next-best fix win.
 INJECTABLE_STAGES = ("preprocess", "slr", "str", "tr24731", "s3lib",
-                     "verify", "validate", "store")
+                     "verify", "validate", "store", "dispatch",
+                     "journal")
 
 #: Supported fault kinds.
-KINDS = ("exception", "hang", "kill", "corrupt")
+KINDS = ("exception", "hang", "kill", "parent-kill", "corrupt",
+         "disk-full")
 
 #: How long a ``hang`` fault stalls inside a supervised pool worker
 #: (long enough that any sane ``REPRO_TASK_TIMEOUT`` expires first).
@@ -146,6 +160,20 @@ def faults_enabled() -> bool:
     return bool(os.environ.get("REPRO_FAULTS"))
 
 
+#: Stages whose faults never alter a file's *report* — they kill or
+#: starve the scheduler around it.  Rules limited to these stages do
+#: not salt the per-task work key, so a run crashed by a
+#: ``journal:parent-kill`` rule resumes (faults disarmed) onto the same
+#: keys it journaled.
+RESULT_NEUTRAL_STAGES = ("dispatch", "journal")
+
+
+def affects_results() -> bool:
+    """Does any active rule target a stage that shapes report content?"""
+    return any(rule.stage not in RESULT_NEUTRAL_STAGES
+               for rule in active_rules())
+
+
 def should_fire(rule: FaultRule, subject: str) -> bool:
     """Deterministic per-subject coin flip at the rule's rate.
 
@@ -214,7 +242,8 @@ def check(stage: str, subject: str) -> None:
     if not faults_enabled():
         return
     for rule in active_rules():
-        if rule.stage != stage or rule.kind == "corrupt" \
+        if rule.stage != stage \
+                or rule.kind in ("corrupt", "disk-full") \
                 or not should_fire(rule, subject):
             continue
         if rule.kind == "exception":
@@ -234,6 +263,28 @@ def check(stage: str, subject: str) -> None:
                 os._exit(KILL_EXIT_CODE)
             raise InjectedKill(
                 f"injected {stage} kill for {subject}")
+        if rule.kind == "parent-kill":
+            # Only the scheduler dies; inside a pool worker this rule
+            # is inert (killing a worker is what plain ``kill`` does).
+            if not in_worker():
+                os._exit(KILL_EXIT_CODE)
+
+
+def should_fail_disk(stage: str, subject: str) -> bool:
+    """Would an active ``disk-full`` rule hit this write?
+
+    Unlike :func:`check` this never raises — the journal and store call
+    it *inside* the try blocks that absorb real ``OSError`` so the
+    injected ENOSPC exercises the same degradation path a full disk
+    would.
+    """
+    if not faults_enabled():
+        return False
+    for rule in active_rules():
+        if rule.stage == stage and rule.kind == "disk-full" \
+                and should_fire(rule, subject):
+            return True
+    return False
 
 
 def corrupt_entry(key: str, data: bytes) -> bytes:

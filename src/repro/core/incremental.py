@@ -398,7 +398,7 @@ class UpdateReport:
     """One edit-to-verdict round trip."""
 
     filename: str
-    mode: str           # 'full' | 'incremental' | 'no-op' | 'error'
+    mode: str   # 'full' | 'incremental' | 'no-op' | 'error' | 'removed'
     reason: str                     # why this mode (fallback cause, ...)
     final_text: str
     parses: bool

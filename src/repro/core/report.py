@@ -138,22 +138,36 @@ def render_backend_scoreboard(result: BatchResult) -> str:
                 order.append(backend_id)
     order.extend(b for b in sorted(board) if b not in order)
     site_mode = any(a.mode == "site" for a in arbitrations)
+    # The breaker column appears only when a breaker actually tripped,
+    # keeping the healthy-run table in the PR 6 shape.
+    breaker_mode = any(row.get("breaker_skips", 0)
+                       for row in board.values())
     rows = [[backend_id,
              row["attempted"], row["changed"], row["selected"],
              row["runner_up"], row["rejected"], row["no_change"],
              row["not_applicable"], row["errors"],
+             *([row.get("breaker_skips", 0)] if breaker_mode else []),
              row["overflow_prevented"], row["sites_transformed"],
              *([row.get("sites_won", 0)] if site_mode else [])]
             for backend_id in order
             for row in (board[backend_id],)]
     table = _table(["backend", "attempted", "changed", "selected",
                     "runner-up", "rejected", "no-change", "n/a",
-                    "errors", "overflow-prevented", "sites",
+                    "errors",
+                    *(["breaker-skips"] if breaker_mode else []),
+                    "overflow-prevented", "sites",
                     *(["sites-won"] if site_mode else [])], rows)
     summary = (f"arbitration: {len(arbitrations)} file(s), "
                f"{result.backends_attempted} candidate(s) attempted, "
                f"{result.backends_rejected} rejected by the oracle")
     lines = [table, "", summary]
+    if breaker_mode:
+        skipped = " ".join(
+            f"{backend}={board[backend].get('breaker_skips', 0)}"
+            for backend in order
+            if board[backend].get("breaker_skips", 0))
+        lines.append(f"circuit breakers: candidates skipped while "
+                     f"open: {skipped}")
     if site_mode:
         winners = result.site_winner_totals()
         breakdown = " ".join(f"{backend}={count}" for backend, count

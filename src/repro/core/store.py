@@ -46,6 +46,7 @@ Environment knobs:
 from __future__ import annotations
 
 import atexit
+import errno
 import io
 import json
 import os
@@ -72,8 +73,11 @@ SCHEMA_VERSION = 1
 #: renders and transform outcomes keyed on (stage, function token hash,
 #: headers/preamble fingerprint) — so an unchanged function hits disk
 #: across edits even though the whole-file keys all miss.
+#: ``quarantine`` holds poison-file records (content hash → diagnostic)
+#: written by journaled batch runs — the fingerprint-salted version dir
+#: means a tool change releases every quarantined file automatically.
 FAMILIES = ("preprocess", "parse", "slr", "str", "backend", "site",
-            "validate", "execute", "func")
+            "validate", "execute", "func", "quarantine")
 
 #: Abandoned temp files older than this are garbage (a crashed writer);
 #: live writers hold a temp file for milliseconds.
@@ -289,6 +293,10 @@ class ArtifactStore:
             f".{os.path.basename(path)[:-4]}."
             f"{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
         try:
+            if faults.faults_enabled() and faults.should_fail_disk(
+                    "store", os.path.basename(path)):
+                raise OSError(errno.ENOSPC,
+                              f"injected disk-full for {path}")
             os.makedirs(directory, exist_ok=True)
             with open(tmp, "wb") as handle:
                 handle.write(data)

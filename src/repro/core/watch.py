@@ -104,12 +104,24 @@ class WatchLoop:
         everything immediately (startup / ``--once``)."""
         reports = []
         now = self.clock()
-        for path in self.watched_paths():
+        paths = self.watched_paths()
+        # Directory watch: a file deleted between polls silently drops
+        # out of the rescan — sweep its state (and emit its removal
+        # record) instead of holding a dead engine forever.
+        watched = set(paths)
+        for path in [p for p in self.files if p not in watched]:
+            removed = self._handle_removed(path, self.files[path])
+            if removed is not None:
+                reports.append(removed)
+        for path in paths:
             state = self._state(path)
             try:
                 mtime = os.stat(path).st_mtime
             except OSError:
-                continue                      # deleted mid-scan
+                removed = self._handle_removed(path, state)
+                if removed is not None:
+                    reports.append(removed)
+                continue
             if not force:
                 if mtime == state.mtime and state.pending_mtime is None:
                     continue
@@ -124,6 +136,12 @@ class WatchLoop:
                 with open(path, encoding="utf-8", errors="replace") as fh:
                     text = fh.read()
             except OSError:
+                # Deleted (or made unreadable) between the debounce
+                # settling and the read — same removal handling as a
+                # failed stat.
+                removed = self._handle_removed(path, state)
+                if removed is not None:
+                    reports.append(removed)
                 continue
             t0 = time.perf_counter()
             try:
@@ -141,6 +159,24 @@ class WatchLoop:
             self._emit(path, report)
             reports.append(report)
         return reports
+
+    def _handle_removed(self, path: str,
+                        state: _WatchedFile) -> UpdateReport | None:
+        """A watched file vanished (deleted between polls, or between
+        the debounce settling and the re-read).  Treat it as a removal:
+        drop its engine state so a recreated file starts a fresh
+        session, and emit exactly one ``removed`` diagnostic — but only
+        for files the loop had actually seen (a file that appears and
+        disappears before its first read was never watched content).
+        The loop itself keeps running either way."""
+        self.files.pop(path, None)
+        if state.mtime is None and state.pending_mtime is None:
+            return None
+        report = UpdateReport(os.path.basename(path), "removed",
+                              "watched file deleted", final_text="",
+                              parses=True)
+        self._emit(path, report)
+        return report
 
     def run(self, max_scans: int | None = None) -> int:
         """Poll until interrupted (or for ``max_scans`` polls).  The
@@ -171,7 +207,7 @@ class WatchLoop:
             parts.append(f"({report.reason})")
         if report.invalidated:
             parts.append("invalidated=" + ",".join(sorted(report.invalidated)))
-        if report.mode != "no-op":
+        if report.mode not in ("no-op", "removed"):
             parts.append(f"sites={len(report.slr_outcomes) + len(report.str_outcomes)}")
             parts.append("parses" if report.parses else "PARSE-ERROR")
         if report.validation is not None:

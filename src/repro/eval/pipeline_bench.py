@@ -168,7 +168,7 @@ def run_summary(*, scale: float = 0.05, limit: int = 24, jobs: int = 1,
     start = time.perf_counter()
     stream = stream_batch(program, jobs=jobs, validate=validate,
                           fuzz_seed=fuzz_seed)
-    status = {"ok": 0, "degraded": 0, "failed": 0}
+    status = {"ok": 0, "degraded": 0, "failed": 0, "quarantined": 0}
     verdict_totals: dict[str, int] = {}
     parses = 0
     slr = [0, 0]
@@ -213,6 +213,63 @@ def run_summary(*, scale: float = 0.05, limit: int = 24, jobs: int = 1,
         },
         "peak_rss_kb": {"parent": rss_self, "children": rss_children},
         "store_contention": get_store().contention_summary(),
+    }
+
+
+def run_resume_benchmark(*, limit: int = 24, jobs: int = 1,
+                         validate: bool = True,
+                         fuzz_seed: int | None = None,
+                         corpus: str = "synth",
+                         synth_seed: int = 0,
+                         scale: float = 0.05) -> dict:
+    """The ``resume`` leg: replay overhead of ``--resume`` on a fully
+    completed run versus the compute cost of the original run.
+
+    A journaled clean run establishes the write-ahead log, then a second
+    :func:`apply_batch` resumes from it — every file should replay from
+    the journal's result pointers without re-dispatching, so the resume
+    wall measures pure journal-replay overhead.  Byte-identity of the
+    replayed reports (status, final text, parse bit, diagnostics) is
+    asserted against the original run, not assumed.
+    """
+    from ..core.runlog import RunJournal
+
+    program = build_corpus(corpus, scale=scale, limit=limit,
+                           synth_seed=synth_seed)
+
+    journal = RunJournal()
+    journal.begin(program, {"bench": "resume", "validate": validate})
+    start = time.perf_counter()
+    clean = apply_batch(program, jobs=jobs, validate=validate,
+                        fuzz_seed=fuzz_seed, journal=journal)
+    compute_wall = time.perf_counter() - start
+
+    resumed = RunJournal(journal.run_id)
+    resumed.load()
+    start = time.perf_counter()
+    replay = apply_batch(program, jobs=jobs, validate=validate,
+                         fuzz_seed=fuzz_seed, journal=resumed)
+    resume_wall = time.perf_counter() - start
+
+    def _essence(result: BatchResult) -> dict:
+        return {r.filename: (r.status, r.final_text, r.parses,
+                             [(d.stage, d.kind) for d in r.diagnostics])
+                for r in result.reports}
+
+    identical = _essence(clean) == _essence(replay)
+    speedup = compute_wall / resume_wall if resume_wall > 0 else None
+    return {
+        "corpus": corpus,
+        "files": len(clean.reports),
+        "jobs": jobs,
+        "run_id": journal.run_id,
+        "compute_wall_s": round(compute_wall, 4),
+        "resume_wall_s": round(resume_wall, 4),
+        "speedup": round(speedup, 2) if speedup else None,
+        "replayed": replay.stats.replayed if replay.stats else None,
+        "quarantined": replay.stats.quarantined if replay.stats else None,
+        "reports_identical": identical,
+        "status": replay.status_counts(),
     }
 
 
@@ -366,6 +423,11 @@ def main(argv: list[str] | None = None) -> int:
                              "record (adds peak RSS, stream buffering "
                              "high-water mark, store contention) instead "
                              "of per-file runs")
+    parser.add_argument("--resume-leg", action="store_true",
+                        help="run the crash-recovery leg instead: a "
+                             "journaled clean run, then a --resume "
+                             "replay of it, reporting replay overhead "
+                             "and byte-identity")
     parser.add_argument("--incremental", type=int, default=None,
                         metavar="N",
                         help="run the incremental watch-mode leg instead: "
@@ -379,6 +441,21 @@ def main(argv: list[str] | None = None) -> int:
         record = run_incremental_benchmark(functions=args.incremental,
                                            seed=args.seed or 0)
         payload = json.dumps({"incremental": record}, indent=2,
+                             sort_keys=True) + "\n"
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+        else:
+            sys.stdout.write(payload)
+        return 0
+    if args.resume_leg:
+        record = run_resume_benchmark(limit=args.limit, jobs=args.jobs,
+                                      validate=not args.no_validate,
+                                      fuzz_seed=args.seed,
+                                      corpus=args.corpus,
+                                      synth_seed=args.synth_seed,
+                                      scale=args.scale)
+        payload = json.dumps({"resume": record}, indent=2,
                              sort_keys=True) + "\n"
         if args.out:
             with open(args.out, "w", encoding="utf-8") as fh:

@@ -501,3 +501,100 @@ class TestBackendsCLI:
         code = main(["batch", str(tmp_path), "--backends", "bogus"])
         assert code == 1
         assert "unknown fix backend" in capsys.readouterr().err
+
+
+class TestCircuitBreaker:
+    """PR 10: per-backend circuit breakers in ``arbitrate_file`` —
+    consecutive operational failures open a backend's breaker, open
+    breakers skip it (cheaply, with a skipped candidate on the report),
+    and a half-open trial after the cooldown closes or reopens it."""
+
+    CHAIN = ("s3lib", "slr")
+
+    @pytest.fixture(autouse=True)
+    def _fresh_breakers(self):
+        from repro.core.backends import reset_breakers
+        reset_breakers()
+        yield
+        reset_breakers()
+
+    def _arbitrate(self, name):
+        text = pp(OVERFLOW_SRC)
+        return arbitrate_file(text, name, self.CHAIN)[3]
+
+    def test_trips_after_threshold_then_skips(self, monkeypatch):
+        from repro.core.backends import CANDIDATE_SKIPPED
+        monkeypatch.setenv("REPRO_FAULTS", "s3lib:exception:1.0")
+        monkeypatch.setenv("REPRO_BREAKER_THRESHOLD", "2")
+        monkeypatch.setenv("REPRO_BREAKER_COOLDOWN", "2")
+        with pytest.warns(RuntimeWarning, match="circuit breaker opened"):
+            for i in range(2):
+                report = self._arbitrate(f"f{i}.c")
+                assert report.candidate_for("s3lib").status \
+                    == CANDIDATE_ERROR
+        # Open: the next files skip s3lib without running it; the
+        # surviving backend still wins, and skips are not "attempted".
+        for i in range(2, 4):
+            report = self._arbitrate(f"f{i}.c")
+            skipped = report.candidate_for("s3lib")
+            assert skipped.status == CANDIDATE_SKIPPED
+            assert "circuit breaker open" in skipped.reason
+            assert report.winner == "slr"
+            assert report.attempted == 1
+        # Cooldown elapsed: one half-open trial — still faulted, so the
+        # breaker reopens and the next file skips again.
+        report = self._arbitrate("f4.c")
+        assert report.candidate_for("s3lib").status == CANDIDATE_ERROR
+        report = self._arbitrate("f5.c")
+        assert report.candidate_for("s3lib").status == CANDIDATE_SKIPPED
+
+    def test_half_open_success_closes(self, monkeypatch):
+        from repro.core.backends import CANDIDATE_SKIPPED
+        monkeypatch.setenv("REPRO_BREAKER_THRESHOLD", "1")
+        monkeypatch.setenv("REPRO_BREAKER_COOLDOWN", "1")
+        monkeypatch.setenv("REPRO_FAULTS", "s3lib:exception:1.0")
+        with pytest.warns(RuntimeWarning, match="circuit breaker opened"):
+            self._arbitrate("f0.c")                 # trips
+        assert self._arbitrate("f1.c").candidate_for("s3lib").status \
+            == CANDIDATE_SKIPPED                    # cooldown skip
+        monkeypatch.delenv("REPRO_FAULTS")          # backend healthy again
+        for name in ("f2.c", "f3.c"):               # trial + closed state
+            status = self._arbitrate(name).candidate_for("s3lib").status
+            assert status not in (CANDIDATE_SKIPPED, CANDIDATE_ERROR)
+
+    def test_zero_threshold_disables_breakers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "s3lib:exception:1.0")
+        monkeypatch.setenv("REPRO_BREAKER_THRESHOLD", "0")
+        for i in range(4):
+            report = self._arbitrate(f"f{i}.c")
+            assert report.candidate_for("s3lib").status == CANDIDATE_ERROR
+
+    def test_semantic_rejection_does_not_feed_breaker(self, monkeypatch):
+        """A judge-rejected (semantics-changed) candidate is the oracle
+        working, not a backend malfunction — it must reset, not grow,
+        the failure streak."""
+        from repro.core.backends import _breaker_for
+        monkeypatch.setenv("REPRO_BREAKER_THRESHOLD", "2")
+        self._arbitrate("f0.c")
+        assert _breaker_for("s3lib").failures == 0
+        assert _breaker_for("s3lib").state == "closed"
+
+    def test_scoreboard_counts_breaker_skips(self, monkeypatch):
+        from repro.core.report import render_backend_scoreboard
+        monkeypatch.setenv("REPRO_FAULTS", "s3lib:exception:1.0")
+        monkeypatch.setenv("REPRO_BREAKER_THRESHOLD", "2")
+        monkeypatch.setenv("REPRO_BREAKER_COOLDOWN", "10")
+        with pytest.warns(RuntimeWarning, match="circuit breaker opened"):
+            batch = apply_batch(_program(5), backends="s3lib,slr", jobs=1)
+        board = batch.backend_scoreboard()
+        assert board["s3lib"]["breaker_skips"] == 3     # files 3..5
+        assert board["s3lib"]["attempted"] == 2
+        rendered = render_backend_scoreboard(batch)
+        assert "breaker-skips" in rendered
+        assert "circuit breakers:" in rendered
+
+    def test_healthy_scoreboard_hides_breaker_column(self):
+        from repro.core.report import render_backend_scoreboard
+        batch = apply_batch(_program(2), backends="s3lib,slr", jobs=1)
+        rendered = render_backend_scoreboard(batch)
+        assert "breaker-skips" not in rendered

@@ -1,0 +1,587 @@
+"""Crash-safe run journal, resume, quarantine, and audit trail (PR 10).
+
+Covers: the write-ahead journal round trip (manifest, events, result
+pointers, audit records), ``--resume`` replay semantics (including
+parent-kill crashes at the journal's worst-ordered write point, proven
+byte-identical against an uninterrupted run at jobs 1 and 4, warm and
+cold store), poison-file quarantine (skip without spending the retry
+budget, re-entry on content change, ``REPRO_QUARANTINE=0``), disk-full
+degradation, run GC, the ``repro runs`` CLI, and the supervised pool's
+exponential retry backoff.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import subprocess
+import sys
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.core.batch import (
+    RETRY_BACKOFF_BASE_S, RETRY_BACKOFF_CAP_S, SourceProgram, apply_batch,
+    retry_backoff,
+)
+from repro.core.diagnostics import STATUS_FAILED, STATUS_QUARANTINED
+from repro.core.faults import KILL_EXIT_CODE, FaultRule, should_fire
+from repro.core.runlog import (
+    EVENT_COMPLETED, EVENT_DISPATCHED, RunJournal, RunNotFound, gc_runs,
+    latest_run_id, list_runs, quarantine_key, quarantine_lookup,
+)
+
+REPO_SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def make_files(count: int, tag: str = "") -> dict[str, str]:
+    """``count`` distinct single-overflow C files (distinct content, so
+    no two deduplicate into one work key)."""
+    files = {}
+    for i in range(count):
+        files[f"file{i:02d}.c"] = (
+            "#include <stdio.h>\n#include <string.h>\n"
+            f"void f{i}(const char *s) {{\n"
+            f"    char buf[{8 + i}];\n"
+            "    strcpy(buf, s);\n"
+            f'    printf("{i}{tag} %s\\n", buf);\n'
+            "}\n")
+    return files
+
+
+def make_program(count: int = 3, tag: str = "") -> SourceProgram:
+    return SourceProgram(f"runlog-prog{tag}", make_files(count, tag))
+
+
+def report_essence(result):
+    """Everything that must be byte-identical across a resume (wall
+    times legitimately differ)."""
+    return {r.filename: (r.status, r.final_text, r.parses,
+                         [(d.stage, d.kind) for d in r.diagnostics])
+            for r in result.reports}
+
+
+# ------------------------------------------------------------ round trip
+
+
+class TestJournalRoundTrip:
+    def test_journaled_batch_writes_run_dir(self, tmp_path):
+        program = make_program(3)
+        journal = RunJournal("run-a", root=str(tmp_path / "runs"))
+        journal.begin(program, {"validate": False})
+        result = apply_batch(program, jobs=1, validate=False,
+                             journal=journal)
+        assert all(r.status == "ok" for r in result.reports)
+
+        manifest = json.loads(Path(journal.manifest_path).read_text())
+        assert manifest["run_id"] == "run-a"
+        assert sorted(manifest["files"]) == sorted(program.files)
+        assert manifest["settings"] == {"validate": False}
+
+        events = journal.events()
+        dispatched = [e["file"] for e in events
+                      if e["event"] == EVENT_DISPATCHED]
+        completed = [e["file"] for e in events
+                     if e["event"] == EVENT_COMPLETED]
+        assert sorted(dispatched) == sorted(program.files)
+        assert sorted(completed) == sorted(program.files)
+        # WAL ordering: every completion's dispatch precedes it.
+        for name in program.files:
+            assert events.index(
+                next(e for e in events if e["event"] == EVENT_DISPATCHED
+                     and e["file"] == name)) < events.index(
+                next(e for e in events if e["event"] == EVENT_COMPLETED
+                     and e["file"] == name))
+
+        # Result pointers and audit records exist for every file.
+        assert len(os.listdir(journal.results_dir)) == 3
+        for name in program.files:
+            audit = journal.read_audit(name)
+            assert audit["status"] == "ok"
+            assert audit["diff"]            # strcpy fix → non-empty diff
+            assert audit["parses"] is True
+
+    def test_resume_completed_run_replays_everything(self, tmp_path):
+        program = make_program(3)
+        root = str(tmp_path / "runs")
+        first = RunJournal("run-a", root=root)
+        first.begin(program, {"validate": False})
+        clean = apply_batch(program, jobs=1, validate=False, journal=first)
+        events_before = len(first.events())
+
+        resumed = RunJournal("run-a", root=root)
+        resumed.load()
+        assert resumed.resumed
+        replay = apply_batch(program, jobs=1, validate=False,
+                             journal=resumed)
+        assert replay.stats.replayed == 3
+        assert report_essence(replay) == report_essence(clean)
+        # Replayed files are not re-journaled: the WAL does not grow.
+        assert len(resumed.events()) == events_before
+
+    def test_resume_unknown_run_raises(self, tmp_path):
+        journal = RunJournal("nope", root=str(tmp_path / "runs"))
+        with pytest.raises(RunNotFound):
+            journal.load()
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        program = make_program(2)
+        root = str(tmp_path / "runs")
+        journal = RunJournal("run-torn", root=root)
+        journal.begin(program, {})
+        apply_batch(program, jobs=1, validate=False, journal=journal)
+        with open(journal.journal_path, "a", encoding="utf-8") as fh:
+            fh.write('{"event": "comple')       # crash cut a write short
+        reopened = RunJournal("run-torn", root=root)
+        reopened.load()
+        assert sorted(reopened.completed) == sorted(program.files)
+        assert all(kind == EVENT_COMPLETED
+                   for kind, _key in reopened.completed.values())
+
+    def test_content_change_recomputes_only_edited_file(self, tmp_path):
+        program = make_program(3)
+        root = str(tmp_path / "runs")
+        journal = RunJournal("run-a", root=root)
+        journal.begin(program, {})
+        apply_batch(program, jobs=1, validate=False, journal=journal)
+
+        edited_files = dict(program.files)
+        edited_files["file01.c"] = edited_files["file01.c"].replace(
+            '"1 %s\\n"', '"one %s\\n"')
+        edited = SourceProgram(program.name, edited_files)
+        resumed = RunJournal("run-a", root=root)
+        resumed.load()
+        replay = apply_batch(edited, jobs=1, validate=False,
+                             journal=resumed)
+        assert replay.stats.replayed == 2       # the edit missed its key
+        assert '"one %s\\n"' in next(
+            r.final_text for r in replay.reports
+            if r.filename == "file01.c")
+
+
+# --------------------------------------------------------- crash resume
+
+
+DRIVER = """\
+import json, os, sys
+sys.path.insert(0, {src!r})
+os.environ["REPRO_CACHE_DIR"] = {cache!r}
+if {faults!r}:
+    os.environ["REPRO_FAULTS"] = {faults!r}
+from repro.core.batch import SourceProgram, apply_batch
+from repro.core.runlog import RunJournal
+program = SourceProgram("crash-prog", json.loads({files_json!r}))
+journal = RunJournal({run_id!r}, root={runroot!r})
+if {resume!r}:
+    journal.load()
+journal.begin(program, {{"validate": False}})
+result = apply_batch(program, jobs={jobs}, validate=False,
+                     journal=journal)
+record = {{"replayed": result.stats.replayed,
+           "reports": {{r.filename: [r.status, r.final_text, r.parses,
+                                     [[d.stage, d.kind]
+                                      for d in r.diagnostics]]
+                        for r in result.reports}}}}
+with open({out!r}, "w") as fh:
+    json.dump(record, fh)
+"""
+
+
+def run_driver(tmp_path, name, files, *, jobs, cache, runroot,
+               run_id=None, resume=False, faults=None):
+    out = str(tmp_path / f"{name}.json")
+    script = DRIVER.format(src=REPO_SRC, cache=cache, faults=faults,
+                           files_json=json.dumps(files), run_id=run_id,
+                           runroot=runroot, resume=resume, jobs=jobs,
+                           out=out)
+    env = {**os.environ}
+    env.pop("REPRO_FAULTS", None)
+    proc = subprocess.run([sys.executable, "-c", script], env=env,
+                          capture_output=True, text=True, timeout=300)
+    return proc, out
+
+
+def pick_kill_rate(names, stage):
+    """A deterministic fault rate whose first firing file is not the
+    batch's first file (so a crashed run has completions to replay)."""
+    ordered = sorted(names)
+    for rate in (0.15, 0.3, 0.5, 0.7, 0.9):
+        rule = FaultRule(stage, "parent-kill", rate)
+        fired = [n for n in ordered if should_fire(rule, n)]
+        if fired and ordered.index(fired[0]) > 0:
+            return rate, fired
+    return 1.0, ordered
+
+
+class TestCrashResume:
+    COUNT = 6
+
+    @pytest.mark.parametrize("jobs,warm", [(1, True), (4, False)])
+    def test_parent_kill_then_resume_is_byte_identical(
+            self, tmp_path, jobs, warm):
+        """A run killed mid-journal-append resumes byte-identically —
+        at jobs 1 (warm store) and jobs 4 (cold store)."""
+        files = make_files(self.COUNT, tag=f"-j{jobs}")
+        rate, fired = pick_kill_rate(files, "journal")
+        runroot = str(tmp_path / "runs")
+        crash_cache = str(tmp_path / "cache-crash")
+
+        clean_proc, clean_out = run_driver(
+            tmp_path, "clean", files, jobs=jobs,
+            cache=str(tmp_path / "cache-clean"),
+            runroot=str(tmp_path / "runs-clean"))
+        assert clean_proc.returncode == 0, clean_proc.stderr
+
+        crash_proc, _ = run_driver(
+            tmp_path, "crash", files, jobs=jobs, cache=crash_cache,
+            runroot=runroot, run_id="crash-run",
+            faults=f"journal:parent-kill:{rate}")
+        assert crash_proc.returncode == KILL_EXIT_CODE, crash_proc.stderr
+
+        # What the WAL actually captured before the kill: the resumed
+        # run must replay exactly these and recompute the rest.
+        crashed = RunJournal("crash-run", root=runroot)
+        crashed.load()
+        journaled = len(crashed.completed)
+        # The journal-stage kill fires *between* the result publish and
+        # the WAL append of the first fired file, so that file is never
+        # journaled — completions stop strictly before it.
+        assert journaled == sorted(files).index(fired[0])
+
+        resume_cache = crash_cache if warm \
+            else str(tmp_path / "cache-cold")
+        resume_proc, resume_out = run_driver(
+            tmp_path, "resume", files, jobs=jobs, cache=resume_cache,
+            runroot=runroot, run_id="crash-run", resume=True)
+        assert resume_proc.returncode == 0, resume_proc.stderr
+
+        clean = json.load(open(clean_out))
+        resumed = json.load(open(resume_out))
+        assert resumed["replayed"] == journaled
+        assert resumed["reports"] == clean["reports"]
+        assert all(status == "ok"
+                   for status, *_ in resumed["reports"].values())
+
+    def test_dispatch_kill_then_resume_is_byte_identical(self, tmp_path):
+        """Same recovery when the parent dies at the dispatch record —
+        a different crash point in the file lifecycle."""
+        files = make_files(self.COUNT, tag="-dispatch")
+        rate, _fired = pick_kill_rate(files, "dispatch")
+        runroot = str(tmp_path / "runs")
+        cache = str(tmp_path / "cache")
+
+        clean_proc, clean_out = run_driver(
+            tmp_path, "clean", files, jobs=1,
+            cache=str(tmp_path / "cache-clean"),
+            runroot=str(tmp_path / "runs-clean"))
+        assert clean_proc.returncode == 0, clean_proc.stderr
+
+        crash_proc, _ = run_driver(
+            tmp_path, "crash", files, jobs=1, cache=cache,
+            runroot=runroot, run_id="crash-run",
+            faults=f"dispatch:parent-kill:{rate}")
+        assert crash_proc.returncode == KILL_EXIT_CODE, crash_proc.stderr
+
+        crashed = RunJournal("crash-run", root=runroot)
+        crashed.load()
+        journaled = len(crashed.completed)
+
+        resume_proc, resume_out = run_driver(
+            tmp_path, "resume", files, jobs=1, cache=cache,
+            runroot=runroot, run_id="crash-run", resume=True)
+        assert resume_proc.returncode == 0, resume_proc.stderr
+        clean = json.load(open(clean_out))
+        resumed = json.load(open(resume_out))
+        assert resumed["replayed"] == journaled
+        assert resumed["reports"] == clean["reports"]
+
+
+# ----------------------------------------------------------- quarantine
+
+
+class TestQuarantine:
+    def _run(self, program, run_id, root, jobs=1):
+        journal = RunJournal(run_id, root=root)
+        journal.begin(program, {})
+        return apply_batch(program, jobs=jobs, validate=False,
+                           journal=journal)
+
+    def test_poison_file_quarantined_then_skipped(
+            self, fresh_store, tmp_path, monkeypatch):
+        """A file whose worker keeps dying is quarantined by the first
+        journaled run and skipped — shipped verbatim, no retry budget
+        spent — by the next, until its content changes."""
+        monkeypatch.setenv("REPRO_FAULTS", "slr:kill:1.0")
+        root = str(tmp_path / "runs")
+        program = make_program(2, tag="-poison")
+
+        first = self._run(program, "q1", root)
+        assert all(r.status == STATUS_FAILED for r in first.reports)
+        assert first.stats.quarantined == 0
+        # The second run finds the quarantine entries before dispatch.
+        second = self._run(program, "q2", root)
+        assert all(r.status == STATUS_QUARANTINED
+                   for r in second.reports)
+        assert second.stats.quarantined == 2
+        for report in second.reports:
+            assert report.wall_time == 0.0          # no budget spent
+            diag = report.diagnostics[0]
+            assert diag.kind == "quarantined"
+            assert "run q1" in diag.message
+
+    def test_content_change_releases_quarantine(
+            self, fresh_store, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "slr:kill:1.0")
+        root = str(tmp_path / "runs")
+        program = make_program(1, tag="-release")
+        self._run(program, "q1", root)
+
+        edited = SourceProgram(program.name, {
+            name: text + "/* edited */\n"
+            for name, text in program.files.items()})
+        third = self._run(edited, "q3", root)
+        # Edited content re-enters the pipeline (and fails again under
+        # the still-armed fault) instead of being skipped.
+        assert third.stats.quarantined == 0
+        assert all(r.status == STATUS_FAILED for r in third.reports)
+
+    def test_quarantine_disabled_by_knob(
+            self, fresh_store, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "slr:kill:1.0")
+        root = str(tmp_path / "runs")
+        program = make_program(1, tag="-knob")
+        self._run(program, "q1", root)
+
+        monkeypatch.setenv("REPRO_QUARANTINE", "0")
+        second = self._run(program, "q2", root)
+        assert second.stats.quarantined == 0
+        assert all(r.status == STATUS_FAILED for r in second.reports)
+
+    def test_healthy_batch_records_no_quarantine(
+            self, fresh_store, tmp_path):
+        from repro.core.session import get_session
+
+        program = make_program(2, tag="-healthy")
+        result = self._run(program, "q1", str(tmp_path / "runs"))
+        assert all(r.status == "ok" for r in result.reports)
+        session = get_session()
+        for name, text in program.files.items():
+            pp_text = session.preprocess(text, name).text
+            assert quarantine_lookup(pp_text) is None
+
+
+# ------------------------------------------------------------ disk full
+
+
+class TestDiskFull:
+    def test_journal_disk_full_degrades_warn_once(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "journal:disk-full:1.0")
+        program = make_program(2, tag="-df")
+        journal = RunJournal("dfull", root=str(tmp_path / "runs"))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            journal.begin(program, {})
+            result = apply_batch(program, jobs=1, validate=False,
+                                 journal=journal)
+        assert all(r.status == "ok" for r in result.reports)
+        assert not os.path.exists(journal.journal_path)
+        texts = [str(w.message) for w in caught]
+        assert any("run journal" in t for t in texts)
+
+    def test_store_disk_full_still_completes(
+            self, fresh_store, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_FAULTS", "store:disk-full:1.0")
+        program = make_program(2, tag="-sdf")
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            result = apply_batch(program, jobs=1, validate=False)
+        assert all(r.status == "ok" for r in result.reports)
+
+
+# -------------------------------------------------------------- registry
+
+
+class TestRunRegistry:
+    def _make_run(self, root, run_id, count=1):
+        program = make_program(count, tag=f"-{run_id}")
+        journal = RunJournal(run_id, root=root)
+        journal.begin(program, {})
+        apply_batch(program, jobs=1, validate=False, journal=journal)
+
+    def test_list_and_latest(self, tmp_path):
+        root = str(tmp_path / "runs")
+        self._make_run(root, "20260101-000000-aaaaaa")
+        self._make_run(root, "20260102-000000-bbbbbb")
+        runs = list_runs(root)
+        assert [r["run_id"] for r in runs] == [
+            "20260101-000000-aaaaaa", "20260102-000000-bbbbbb"]
+        assert all(r["completed"] == 1 for r in runs)
+        assert latest_run_id(root) == "20260102-000000-bbbbbb"
+
+    def test_gc_keep(self, tmp_path):
+        root = str(tmp_path / "runs")
+        for run_id in ("r1", "r2", "r3"):
+            self._make_run(root, run_id)
+        summary = gc_runs(keep=1, root=root)
+        assert summary["removed_runs"] == 2
+        assert summary["freed_bytes"] > 0
+        assert [r["run_id"] for r in list_runs(root)] == ["r3"]
+
+    def test_gc_defaults_remove_nothing(self, tmp_path):
+        root = str(tmp_path / "runs")
+        self._make_run(root, "r1")
+        assert gc_runs(root=root) == {"removed_runs": 0,
+                                      "freed_bytes": 0}
+        assert len(list_runs(root)) == 1
+
+
+# ------------------------------------------------------------------- CLI
+
+
+def run_cli(argv):
+    from repro.cli import main
+    out, err = io.StringIO(), io.StringIO()
+    old_out, old_err = sys.stdout, sys.stderr
+    sys.stdout, sys.stderr = out, err
+    try:
+        code = main([str(a) for a in argv])
+    finally:
+        sys.stdout, sys.stderr = old_out, old_err
+    return code, out.getvalue(), err.getvalue()
+
+
+class TestRunsCli:
+    @pytest.fixture(autouse=True)
+    def _run_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_DIR", str(tmp_path / "runs"))
+
+    def _journaled_run(self, run_id="cli-run"):
+        program = make_program(2, tag="-cli")
+        journal = RunJournal(run_id)
+        journal.begin(program, {"validate": False})
+        apply_batch(program, jobs=1, validate=False, journal=journal)
+        return journal
+
+    def test_list_empty(self):
+        code, out, _ = run_cli(["runs", "list"])
+        assert code == 0
+        assert "no runs under" in out
+
+    def test_list_and_show(self):
+        self._journaled_run()
+        code, out, _ = run_cli(["runs", "list"])
+        assert code == 0
+        assert "cli-run" in out
+
+        code, out, _ = run_cli(["runs", "show", "cli-run"])
+        assert code == 0
+        assert "run cli-run" in out
+        assert "file00.c: ok" in out
+        assert "diff:" in out           # hint line for the shipped fix
+
+        code, out, _ = run_cli(["runs", "show", "latest", "--diff"])
+        assert code == 0
+        assert "+" in out               # the unified diff is printed
+
+    def test_show_single_file(self):
+        self._journaled_run()
+        code, out, _ = run_cli(["runs", "show", "cli-run",
+                                "--file", "file01.c"])
+        assert code == 0
+        assert "file01.c: ok" in out
+        assert "file00.c" not in out
+
+    def test_show_unknown_run(self):
+        code, _, err = run_cli(["runs", "show", "missing"])
+        assert code == 2
+        assert "error:" in err
+
+    def test_gc_requires_opt_in(self):
+        self._journaled_run()
+        code, _, err = run_cli(["runs", "gc"])
+        assert code == 2
+        assert "--max-age-days" in err
+
+        code, out, _ = run_cli(["runs", "gc", "--keep", "0"])
+        assert code == 0
+        assert "removed 1 run(s)" in out
+        code, out, _ = run_cli(["runs", "list"])
+        assert "no runs under" in out
+
+
+class TestBatchCliJournal:
+    @pytest.fixture(autouse=True)
+    def _run_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_DIR", str(tmp_path / "runs"))
+
+    @pytest.fixture
+    def batch_dir(self, tmp_path):
+        target = tmp_path / "prog"
+        target.mkdir()
+        for name, text in make_files(2, tag="-bcli").items():
+            (target / name).write_text(text)
+        return target
+
+    def test_batch_prints_resume_hint(self, fresh_store, batch_dir,
+                                      tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_DIR", str(tmp_path / "runs2"))
+        code, _, err = run_cli(["batch", batch_dir, "--run-id", "cli-batch"])
+        assert code == 0
+        assert "run cli-batch: journaled to" in err
+        assert "--resume cli-batch" in err
+
+    def test_batch_resume_replays(self, fresh_store, batch_dir,
+                                  tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_DIR", str(tmp_path / "runs2"))
+        code, _, _ = run_cli(["batch", batch_dir,
+                              "--run-id", "cli-batch"])
+        assert code == 0
+        code, _, err = run_cli(["batch", batch_dir,
+                                "--resume", "cli-batch"])
+        assert code == 0
+        assert "(2 replayed, 0 quarantined)" in err
+
+    def test_no_run_log_disables_journaling(self, fresh_store, batch_dir,
+                                            monkeypatch):
+        # --no-run-log sets REPRO_RUN_LOG in-process; monkeypatch (set
+        # before the call) restores the outer environment afterwards.
+        monkeypatch.setenv("REPRO_RUN_LOG", "1")
+        code, _, err = run_cli(["batch", batch_dir,
+                                "--no-run-log"])
+        assert code == 0
+        assert "journaled to" not in err
+
+    def test_resume_without_journaling_is_an_error(
+            self, fresh_store, batch_dir, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_LOG", "1")
+        code, _, err = run_cli(["batch", batch_dir, "--no-run-log",
+                                "--resume", "latest"])
+        assert code == 2
+        assert "--resume requires run journaling" in err
+
+
+# -------------------------------------------------------- retry backoff
+
+
+class TestRetryBackoff:
+    def test_exponential_and_capped(self):
+        waits = [retry_backoff(attempt, "task.c")
+                 for attempt in range(1, 12)]
+        assert waits == sorted(waits)               # monotone
+        assert waits[0] >= RETRY_BACKOFF_BASE_S * 0.5
+        assert waits[0] < RETRY_BACKOFF_BASE_S * 1.5
+        assert waits[-1] == RETRY_BACKOFF_CAP_S     # hard cap reached
+        assert all(w <= RETRY_BACKOFF_CAP_S for w in waits)
+
+    def test_jitter_is_deterministic_per_subject(self):
+        assert retry_backoff(2, "a.c") == retry_backoff(2, "a.c")
+        # Different subjects de-synchronize (distinct jitter draws).
+        draws = {retry_backoff(1, f"f{i}.c") for i in range(8)}
+        assert len(draws) > 1
+
+    def test_quarantine_key_tracks_content(self):
+        assert quarantine_key("abc") == quarantine_key("abc")
+        assert quarantine_key("abc") != quarantine_key("abd")

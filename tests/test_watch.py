@@ -184,3 +184,85 @@ def test_cli_cache_stats_reports_func_family(tmp_path, capsys,
     out = capsys.readouterr().out
     assert "func" in out
     assert "this process" in out
+
+
+class TestDeletedWhileWatched:
+    """PR 10 satellite: a watched file deleted under the loop — between
+    polls, or in the race window between the debounce settling and the
+    re-read — is treated as a removal: one ``removed`` record, engine
+    state dropped, and the loop keeps watching."""
+
+    def test_deleted_between_polls_emits_one_removal(self, tmp_path):
+        loop, path, clock, out = make_loop(tmp_path, validate=False)
+        loop.scan_once(force=True)
+        os.remove(path)
+        clock.now += 10.0
+        reports = loop.scan_once()
+        assert [r.mode for r in reports] == ["removed"]
+        assert reports[0].reason == "watched file deleted"
+        assert loop.files == {}
+        assert "removed" in out.getvalue()
+        # The loop keeps running; the gone file produces nothing more.
+        clock.now += 10.0
+        assert loop.scan_once() == []
+
+    def test_deleted_between_debounce_and_read(self, tmp_path,
+                                               monkeypatch):
+        """The narrow race: stat saw the edit, the quiet period passed,
+        and the file vanished before the re-read opened it."""
+        loop, path, clock, _out = make_loop(tmp_path, validate=False,
+                                            debounce_s=0.5)
+        loop.scan_once(force=True)
+        # The edit is observed (stat succeeds) but the file is gone by
+        # the time the settled change is read back.
+        real_stat = os.stat
+
+        class _Stat:
+            st_mtime = 2000.0
+            st_mode = 0o100644          # regular file (isdir → False)
+
+        def fake_stat(p, *args, **kwargs):
+            if str(p) == str(path):
+                return _Stat()
+            return real_stat(p, *args, **kwargs)
+
+        monkeypatch.setattr(os, "stat", fake_stat)
+        os.remove(path)
+        assert loop.scan_once() == []       # change seen, quiet begins
+        clock.now += 1.0
+        reports = loop.scan_once()          # settled → read → ENOENT
+        assert [r.mode for r in reports] == ["removed"]
+        assert loop.files == {}
+
+    def test_recreated_file_starts_fresh(self, tmp_path):
+        loop, path, clock, _out = make_loop(tmp_path, validate=False)
+        loop.scan_once(force=True)
+        os.remove(path)
+        clock.now += 10.0
+        assert [r.mode for r in loop.scan_once()] == ["removed"]
+        path.write_text(SRC)
+        touch(path, 3000.0)
+        reports = loop.scan_once(force=True)
+        assert [r.mode for r in reports] == ["full"]    # fresh session
+
+    def test_directory_watch_sweeps_deleted_file(self, tmp_path):
+        (tmp_path / "a.c").write_text(SRC)
+        (tmp_path / "b.c").write_text(SRC)
+        out = io.StringIO()
+        loop = WatchLoop(str(tmp_path), validate=False, clock=FakeClock(),
+                         sleep=lambda s: None, out=out)
+        assert len(loop.scan_once(force=True)) == 2
+        os.remove(tmp_path / "b.c")
+        reports = loop.scan_once(force=True)
+        by_file = {r.filename: r.mode for r in reports}
+        assert by_file["b.c"] == "removed"
+        assert sorted(os.path.basename(p) for p in loop.files) == ["a.c"]
+
+    def test_never_read_file_vanishing_is_silent(self, tmp_path):
+        """A file that appears and disappears before its first read was
+        never watched content — no removal record."""
+        loop, path, clock, _out = make_loop(tmp_path, validate=False)
+        # No force scan: the file has never been processed.
+        os.remove(path)
+        assert loop.scan_once() == []
+        assert loop.files == {}
